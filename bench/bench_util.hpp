@@ -1,0 +1,66 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Environment knobs:
+//   VCFR_BENCH_SCALE      workload scale (default 1; 0 = smoke, 2 = long)
+//   VCFR_BENCH_MAX_INSTR  dynamic instruction cap per run (default 5e6)
+//   VCFR_BENCH_SEED       randomization seed (default 2015, the paper year)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rewriter/randomizer.hpp"
+#include "sim/cpu.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::bench {
+
+inline int scale() {
+  const char* s = std::getenv("VCFR_BENCH_SCALE");
+  return s ? std::atoi(s) : 1;
+}
+
+inline uint64_t max_instr() {
+  const char* s = std::getenv("VCFR_BENCH_MAX_INSTR");
+  return s ? std::strtoull(s, nullptr, 10) : 5'000'000ull;
+}
+
+inline uint64_t seed() {
+  const char* s = std::getenv("VCFR_BENCH_SEED");
+  return s ? std::strtoull(s, nullptr, 10) : 2015ull;
+}
+
+inline sim::CpuConfig cpu_config(uint32_t drc_entries) {
+  sim::CpuConfig config;
+  config.drc.entries = drc_entries;
+  return config;
+}
+
+/// Randomizes a workload with the bench seed.
+inline rewriter::RandomizeResult randomized(const binary::Image& image) {
+  rewriter::RandomizeOptions opts;
+  opts.seed = seed();
+  return rewriter::randomize(image, opts);
+}
+
+inline sim::SimResult run(const binary::Image& image, uint32_t drc_entries) {
+  return sim::simulate(image, max_instr(), cpu_config(drc_entries));
+}
+
+/// Standard header naming the reproduced exhibit.
+inline void print_header(const char* exhibit, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", exhibit);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+inline void print_footer(double measured_avg, const char* what) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("measured average %s: %.3f\n\n", what, measured_avg);
+}
+
+}  // namespace vcfr::bench

@@ -1,0 +1,34 @@
+// Figure 2: performance decrement of emulator-based ILR versus native
+// execution. The paper reports slowdowns in the hundreds (up to ~1500x for
+// "python"); the emulator cost model is documented in
+// src/emu/ilr_emulator.hpp.
+#include "bench_util.hpp"
+#include "emu/ilr_emulator.hpp"
+
+int main() {
+  using namespace vcfr;
+  bench::print_header(
+      "Figure 2 — ILR on an instruction-level emulator vs native",
+      "execution time increases by over a hundred times (up to ~1500x)");
+  std::printf("%-10s %14s %16s %14s\n", "app", "native CPI",
+              "emu cyc/instr", "slowdown (x)");
+
+  double sum = 0;
+  int n = 0;
+  for (const auto& name : workloads::fig2_names()) {
+    const auto image = workloads::make(name, bench::scale());
+    const auto base = bench::run(image, 128);
+    const auto rr = bench::randomized(image);
+    emu::RunLimits limits;
+    limits.max_instructions = bench::max_instr();
+    const auto emu_result =
+        emu::emulate_ilr(rr.naive, base.cpi(), limits);
+    std::printf("%-10s %14.3f %16.1f %14.1f\n", name.c_str(), base.cpi(),
+                emu_result.host_cycles_per_instr,
+                emu_result.slowdown_vs_native);
+    sum += emu_result.slowdown_vs_native;
+    ++n;
+  }
+  bench::print_footer(sum / n, "slowdown (x)");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 4: IPC of the straightforward hardware implementation of ILR,
+// normalized to the no-randomization baseline. Paper: average drops to
+// ~0.61-0.66 of baseline.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vcfr;
+  bench::print_header(
+      "Figure 4 — naive hardware ILR: normalized IPC",
+      "average IPC reduces to ~61-66% of baseline");
+  std::printf("%-10s %12s %12s %16s\n", "app", "base IPC", "naive IPC",
+              "normalized");
+
+  double sum = 0;
+  int n = 0;
+  for (const auto& name : workloads::spec_names()) {
+    const auto image = workloads::make(name, bench::scale());
+    const auto base = bench::run(image, 128);
+    const auto rr = bench::randomized(image);
+    const auto naive = bench::run(rr.naive, 128);
+    const double norm = naive.ipc() / std::max(1e-9, base.ipc());
+    std::printf("%-10s %12.3f %12.3f %16.3f\n", name.c_str(), base.ipc(),
+                naive.ipc(), norm);
+    sum += norm;
+    ++n;
+  }
+  bench::print_footer(sum / n, "normalized IPC");
+  return 0;
+}

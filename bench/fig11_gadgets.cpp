@@ -1,0 +1,48 @@
+// Figure 11 + §V-B: percentage of ROP gadgets removed by control-flow
+// randomization, and attack-payload assembly before/after. Paper: without
+// randomization ROPgadget assembles payloads for every app; after, none
+// assemble and on average 98% of gadgets are removed.
+#include "bench_util.hpp"
+#include "gadget/payload.hpp"
+#include "gadget/scanner.hpp"
+
+int main() {
+  using namespace vcfr;
+  bench::print_header(
+      "Figure 11 — gadgets removed by randomization + payload assembly",
+      "~98% of gadgets removed on average; no payloads assemble afterwards");
+  std::printf("%-10s %10s %10s %12s %14s %14s\n", "app", "before", "after",
+              "removed(%)", "payload pre", "payload post");
+
+  double sum = 0;
+  int n = 0;
+  bool any_pre_failed = false, any_post_assembled = false;
+  for (const auto& name : workloads::spec_names()) {
+    const auto image = workloads::make(name, bench::scale());
+    const auto scan_result = gadget::scan(image);
+    const auto rr = bench::randomized(image);
+    const auto survival = gadget::survival_after_randomization(
+        scan_result, rr.vcfr.tables);
+
+    const bool pre = gadget::any_assembled(
+        gadget::compile_payloads(scan_result.gadgets));
+    const bool post =
+        gadget::any_assembled(gadget::compile_payloads(survival.surviving));
+    any_pre_failed |= !pre;
+    any_post_assembled |= post;
+
+    std::printf("%-10s %10zu %10zu %12.1f %14s %14s\n", name.c_str(),
+                survival.before, survival.after, survival.removal_percent(),
+                pre ? "ASSEMBLED" : "failed", post ? "ASSEMBLED" : "failed");
+    sum += survival.removal_percent();
+    ++n;
+  }
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("measured average gadget removal: %.1f%%\n", sum / n);
+  std::printf("payloads before randomization: %s; after randomization: %s\n\n",
+              any_pre_failed ? "NOT all assembled (mismatch)"
+                             : "all assembled (matches paper)",
+              any_post_assembled ? "some assembled (mismatch)"
+                                 : "none assembled (matches paper)");
+  return 0;
+}

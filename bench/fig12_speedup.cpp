@@ -1,0 +1,29 @@
+// Figure 12: VCFR (128-entry DRC) speedup over the straightforward ILR
+// implementation. Paper: average 1.63x; namd, h264ref, mcf, and xalancbmk
+// exceed 2x.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vcfr;
+  bench::print_header(
+      "Figure 12 — VCFR speedup over straightforward ILR (DRC 128)",
+      "average speedup 1.63x; namd/h264ref/mcf/xalan above 2x");
+  std::printf("%-10s %12s %12s %12s\n", "app", "naive IPC", "VCFR IPC",
+              "speedup");
+
+  double sum = 0;
+  int n = 0;
+  for (const auto& name : workloads::spec_names()) {
+    const auto image = workloads::make(name, bench::scale());
+    const auto rr = bench::randomized(image);
+    const auto naive = bench::run(rr.naive, 128);
+    const auto vcfr = bench::run(rr.vcfr, 128);
+    const double speedup = vcfr.ipc() / std::max(1e-9, naive.ipc());
+    std::printf("%-10s %12.3f %12.3f %12.2f\n", name.c_str(), naive.ipc(),
+                vcfr.ipc(), speedup);
+    sum += speedup;
+    ++n;
+  }
+  bench::print_footer(sum / n, "speedup (x)");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 13: VCFR IPC normalized to the no-randomization baseline for
+// DRC sizes 512 / 128 / 64. Paper: 98.9% of baseline at 512 entries;
+// average slowdown no more than 2.1% even at 64 entries.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vcfr;
+  bench::print_header(
+      "Figure 13 — VCFR normalized IPC for DRC sizes 512/128/64",
+      "avg 98.9% of baseline at DRC-512; <=2.1% slowdown at DRC-64");
+  std::printf("%-10s %12s %12s %12s %12s\n", "app", "base IPC", "DRC 512",
+              "DRC 128", "DRC 64");
+
+  double sum512 = 0, sum128 = 0, sum64 = 0;
+  int n = 0;
+  for (const auto& name : workloads::spec_names()) {
+    const auto image = workloads::make(name, bench::scale());
+    const auto base = bench::run(image, 128);
+    const auto rr = bench::randomized(image);
+    const double n512 =
+        bench::run(rr.vcfr, 512).ipc() / std::max(1e-9, base.ipc());
+    const double n128 =
+        bench::run(rr.vcfr, 128).ipc() / std::max(1e-9, base.ipc());
+    const double n64 =
+        bench::run(rr.vcfr, 64).ipc() / std::max(1e-9, base.ipc());
+    std::printf("%-10s %12.3f %12.3f %12.3f %12.3f\n", name.c_str(),
+                base.ipc(), n512, n128, n64);
+    sum512 += n512;
+    sum128 += n128;
+    sum64 += n64;
+    ++n;
+  }
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("measured averages: DRC-512 %.3f, DRC-128 %.3f, DRC-64 %.3f "
+              "(slowdowns %.1f%% / %.1f%% / %.1f%%)\n\n",
+              sum512 / n, sum128 / n, sum64 / n, 100 * (1 - sum512 / n),
+              100 * (1 - sum128 / n), 100 * (1 - sum64 / n));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 15: dynamic power overhead of the DRC (128 entries) as a
+// percentage of total CPU dynamic power (McPAT-style accounting).
+// Paper: 0.18% average.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vcfr;
+  bench::print_header(
+      "Figure 15 — DRC dynamic power overhead (DRC 128)",
+      "average DRC dynamic power is 0.18% of CPU dynamic power");
+  std::printf("%-10s %16s %16s %14s\n", "app", "CPU dyn (uJ)", "DRC dyn (uJ)",
+              "overhead (%)");
+
+  double sum = 0;
+  int n = 0;
+  for (const auto& name : workloads::spec_names()) {
+    const auto image = workloads::make(name, bench::scale());
+    const auto rr = bench::randomized(image);
+    const auto r = bench::run(rr.vcfr, 128);
+    const double pct = r.power.drc_overhead_percent();
+    std::printf("%-10s %16.1f %16.3f %14.3f\n", name.c_str(),
+                r.power.cpu_total() * 1e-6, r.power.drc * 1e-6, pct);
+    sum += pct;
+    ++n;
+  }
+  bench::print_footer(sum / n, "DRC power overhead (%)");
+  return 0;
+}

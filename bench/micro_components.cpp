@@ -1,0 +1,151 @@
+// Component microbenchmarks (google-benchmark): throughput of the pieces
+// the reproduction is built from — DRC lookups, cache accesses, the
+// assembler, the rewriter, the gadget scanner, and end-to-end simulation.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "core/drc.hpp"
+#include "emu/emulator.hpp"
+#include "gadget/scanner.hpp"
+#include "isa/assembler.hpp"
+#include "rewriter/randomizer.hpp"
+#include "emu/ilr_emulator.hpp"
+#include "sim/cpu.hpp"
+#include "sim/ooo.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace vcfr;
+
+void BM_DrcLookup(benchmark::State& state) {
+  core::Drc drc({.entries = static_cast<uint32_t>(state.range(0)),
+                 .assoc = 1,
+                 .hit_latency = 1});
+  for (uint32_t i = 0; i < 1024; ++i) {
+    drc.insert(0x40000000 + i * 64, true, {0x1000 + i, true});
+  }
+  uint32_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drc.lookup(0x40000000 + (key++ % 1024) * 64, true));
+  }
+}
+BENCHMARK(BM_DrcLookup)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::Cache c({.name = "bench",
+                  .size_bytes = 32 * 1024,
+                  .assoc = 2,
+                  .line_bytes = 64,
+                  .hit_latency = 2});
+  uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(addr, false));
+    addr = (addr + 4) % (64 * 1024);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_Assembler(benchmark::State& state) {
+  const auto src = [] {
+    std::string s = ".entry main\nmain:\n";
+    for (int i = 0; i < 500; ++i) s += "  add r1, " + std::to_string(i) + "\n";
+    s += "  halt\n";
+    return s;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::assemble(src));
+  }
+}
+BENCHMARK(BM_Assembler);
+
+void BM_Randomize(benchmark::State& state) {
+  const auto image = workloads::make("gcc", 0);
+  rewriter::RandomizeOptions opts;
+  for (auto _ : state) {
+    opts.seed++;
+    benchmark::DoNotOptimize(rewriter::randomize(image, opts));
+  }
+}
+BENCHMARK(BM_Randomize);
+
+void BM_GadgetScan(benchmark::State& state) {
+  const auto image = workloads::make("xalan", 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gadget::scan(image));
+  }
+}
+BENCHMARK(BM_GadgetScan);
+
+void BM_EmulatorThroughput(benchmark::State& state) {
+  const auto image = workloads::make("hmmer", 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emu::run_image(image));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(emu::run_image(image).stats.instructions));
+}
+BENCHMARK(BM_EmulatorThroughput);
+
+void BM_CycleSimThroughput(benchmark::State& state) {
+  const auto image = workloads::make("hmmer", 0);
+  sim::CpuConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(image, 10'000'000, cfg));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(sim::simulate(image, 10'000'000, cfg).instructions));
+}
+BENCHMARK(BM_CycleSimThroughput);
+
+void BM_DramRead(benchmark::State& state) {
+  dram::DramConfig cfg;
+  cfg.t_refi = 0;
+  dram::Dram d(cfg);
+  uint64_t now = 0;
+  uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.read(addr, now));
+    addr += state.range(0);  // stride selects row-hit vs row-miss mix
+    now += 20;
+  }
+}
+BENCHMARK(BM_DramRead)->Arg(64)->Arg(8192);
+
+void BM_TlbAccess(benchmark::State& state) {
+  cache::Tlb tlb({.entries = 64, .page_bits = 12, .miss_penalty = 20});
+  uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.access(addr));
+    addr += 4096 * static_cast<uint32_t>(state.range(0));
+  }
+}
+BENCHMARK(BM_TlbAccess)->Arg(0)->Arg(3);
+
+void BM_IlrEmulatorModel(benchmark::State& state) {
+  const auto image = workloads::make("hmmer", 0);
+  const auto rr = rewriter::randomize(image, {});
+  emu::RunLimits limits;
+  limits.max_instructions = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emu::emulate_ilr(rr.naive, 1.0, limits));
+  }
+}
+BENCHMARK(BM_IlrEmulatorModel);
+
+void BM_OooSimThroughput(benchmark::State& state) {
+  const auto image = workloads::make("hmmer", 0);
+  sim::OooConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_ooo(image, 10'000'000, cfg));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(sim::simulate_ooo(image, 10'000'000, cfg).instructions));
+}
+BENCHMARK(BM_OooSimThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// DRC design-space exploration (the ablation called out in DESIGN.md §6):
+// sweeps the De-Randomization Cache's size and associativity on a
+// DRC-hungry workload and reports miss rate, IPC, and the estimated
+// per-access energy — the trade the paper resolves in §IV-B ("the design
+// doesn't require a fully-associative DRC since the miss penalty is
+// marginal"; "often small size directly mapped DRC cache consumes very
+// small amount of energy").
+#include <cstdio>
+
+#include "power/energy.hpp"
+#include "rewriter/randomizer.hpp"
+#include "sim/cpu.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace vcfr;
+
+  const auto image = workloads::make("xalan", 1);
+  rewriter::RandomizeOptions opts;
+  opts.seed = 7;
+  const auto rr = rewriter::randomize(image, opts);
+
+  const auto base = sim::simulate(image, 2'000'000);
+  std::printf("workload: xalan (the paper's worst DRC client); baseline IPC "
+              "%.3f\n\n",
+              base.ipc());
+  std::printf("%8s %6s %12s %10s %12s %14s\n", "entries", "assoc",
+              "miss rate", "IPC", "vs base", "pJ/lookup");
+
+  for (uint32_t entries : {32u, 64u, 128u, 256u, 512u}) {
+    for (uint32_t assoc : {1u, 2u, 4u}) {
+      if (entries % assoc != 0) continue;
+      sim::CpuConfig cfg;
+      cfg.drc.entries = entries;
+      cfg.drc.assoc = assoc;
+      const auto r = sim::simulate(rr.vcfr, 2'000'000, cfg);
+      const double energy =
+          power::sram_access_pj(entries * 8, assoc) *
+          cfg.energy.drc_array_factor;
+      std::printf("%8u %6u %11.1f%% %10.3f %11.1f%% %14.2f\n", entries, assoc,
+                  100 * r.drc.miss_rate(), r.ipc(),
+                  100 * (r.ipc() / base.ipc() - 1.0), energy);
+    }
+  }
+  std::printf("\nReading: associativity buys little IPC because the miss "
+              "penalty is an L2 hit; a small direct-mapped DRC is the "
+              "right point — the paper's conclusion.\n");
+  return 0;
+}

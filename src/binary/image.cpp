@@ -1,0 +1,29 @@
+#include "binary/image.hpp"
+
+#include <stdexcept>
+
+namespace vcfr::binary {
+
+uint32_t Image::read_data32(uint32_t addr) const {
+  if (addr < data_base || addr + 4 > data_end()) {
+    throw std::out_of_range("Image::read_data32: address outside data section");
+  }
+  const size_t off = addr - data_base;
+  return static_cast<uint32_t>(data[off]) |
+         (static_cast<uint32_t>(data[off + 1]) << 8) |
+         (static_cast<uint32_t>(data[off + 2]) << 16) |
+         (static_cast<uint32_t>(data[off + 3]) << 24);
+}
+
+void Image::write_data32(uint32_t addr, uint32_t value) {
+  if (addr < data_base || addr + 4 > data_end()) {
+    throw std::out_of_range("Image::write_data32: address outside data section");
+  }
+  const size_t off = addr - data_base;
+  data[off] = static_cast<uint8_t>(value);
+  data[off + 1] = static_cast<uint8_t>(value >> 8);
+  data[off + 2] = static_cast<uint8_t>(value >> 16);
+  data[off + 3] = static_cast<uint8_t>(value >> 24);
+}
+
+}  // namespace vcfr::binary

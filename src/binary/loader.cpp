@@ -1,0 +1,123 @@
+#include "binary/loader.hpp"
+
+namespace vcfr::binary {
+
+namespace {
+
+/// 32-bit mix (xorshift-multiply) used to spread table keys over buckets.
+uint32_t mix32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352du;
+  x ^= x >> 15;
+  x *= 0x846ca68bu;
+  x ^= x >> 16;
+  return x;
+}
+
+}  // namespace
+
+const Memory::Page* Memory::find_page(uint32_t addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page& Memory::touch_page(uint32_t addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) slot = std::make_unique<Page>(Page{});
+  return *slot;
+}
+
+uint8_t Memory::read8(uint32_t addr) const {
+  const Page* page = find_page(addr);
+  return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void Memory::write8(uint32_t addr, uint8_t value) {
+  touch_page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+uint32_t Memory::read32(uint32_t addr) const {
+  // Fast path when the word does not straddle a page boundary.
+  if ((addr & (kPageSize - 1)) <= kPageSize - 4) {
+    const Page* page = find_page(addr);
+    if (!page) return 0;
+    const uint32_t off = addr & (kPageSize - 1);
+    return static_cast<uint32_t>((*page)[off]) |
+           (static_cast<uint32_t>((*page)[off + 1]) << 8) |
+           (static_cast<uint32_t>((*page)[off + 2]) << 16) |
+           (static_cast<uint32_t>((*page)[off + 3]) << 24);
+  }
+  return static_cast<uint32_t>(read8(addr)) |
+         (static_cast<uint32_t>(read8(addr + 1)) << 8) |
+         (static_cast<uint32_t>(read8(addr + 2)) << 16) |
+         (static_cast<uint32_t>(read8(addr + 3)) << 24);
+}
+
+void Memory::write32(uint32_t addr, uint32_t value) {
+  write8(addr, static_cast<uint8_t>(value));
+  write8(addr + 1, static_cast<uint8_t>(value >> 8));
+  write8(addr + 2, static_cast<uint8_t>(value >> 16));
+  write8(addr + 3, static_cast<uint8_t>(value >> 24));
+}
+
+void Memory::read_block(uint32_t addr, uint8_t* out, uint32_t n) const {
+  for (uint32_t i = 0; i < n; ++i) out[i] = read8(addr + i);
+}
+
+uint64_t Memory::checksum() const {
+  // XOR of per-page FNV-1a hashes keyed by page number, so iteration order
+  // over the hash map does not matter.
+  uint64_t sum = 0;
+  for (const auto& [page_no, page] : pages_) {
+    uint64_t h = 1469598103934665603ull ^ (static_cast<uint64_t>(page_no) << 1);
+    for (uint8_t b : *page) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    sum ^= h;
+  }
+  return sum;
+}
+
+uint32_t table_entry_addr(const TranslationTables& tables, uint32_t addr) {
+  const uint32_t slots = tables.table_bytes / 8;
+  if (slots == 0) return tables.table_base;
+  const uint32_t slot = mix32(addr) & (slots - 1);  // table_bytes is pow2*8
+  return tables.table_base + slot * 8;
+}
+
+void load(const Image& image, Memory& mem) {
+  for (size_t i = 0; i < image.code.size(); ++i) {
+    mem.write8(image.code_base + static_cast<uint32_t>(i), image.code[i]);
+  }
+  for (size_t i = 0; i < image.data.size(); ++i) {
+    mem.write8(image.data_base + static_cast<uint32_t>(i), image.data[i]);
+  }
+  if (image.layout == Layout::kNaiveIlr) {
+    for (const auto& [addr, bytes] : image.sparse_code) {
+      for (size_t i = 0; i < bytes.size(); ++i) {
+        mem.write8(addr + static_cast<uint32_t>(i), bytes[i]);
+      }
+    }
+  }
+  if (image.layout == Layout::kVcfr && image.tables.table_bytes != 0) {
+    store_tables(image.tables, mem);
+  }
+}
+
+void store_tables(const TranslationTables& tables, Memory& mem) {
+  if (tables.table_bytes == 0) return;
+  // Serialize (key, translation) pairs so the tables occupy real cacheable
+  // memory. Bucket collisions overwrite; functional translation always
+  // uses the exact in-image maps, the serialized form exists to give DRC
+  // misses a concrete line to fetch.
+  auto store = [&](uint32_t key, uint32_t value) {
+    const uint32_t entry = table_entry_addr(tables, key);
+    mem.write32(entry, key);
+    mem.write32(entry + 4, value);
+  };
+  for (const auto& [r, o] : tables.derand) store(r, o);
+  for (const auto& [o, r] : tables.rand) store(o, r);
+}
+
+}  // namespace vcfr::binary

@@ -1,0 +1,63 @@
+// Sparse paged memory model and image loader.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "binary/image.hpp"
+
+namespace vcfr::binary {
+
+/// Flat 32-bit byte-addressable memory, backed by 4 KiB pages allocated on
+/// first touch. Unwritten bytes read as zero.
+class Memory {
+ public:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+  [[nodiscard]] uint8_t read8(uint32_t addr) const;
+  void write8(uint32_t addr, uint8_t value);
+
+  [[nodiscard]] uint32_t read32(uint32_t addr) const;
+  void write32(uint32_t addr, uint32_t value);
+
+  /// Copies up to `n` bytes starting at `addr` into `out`; missing pages
+  /// yield zeros. Used by instruction decode.
+  void read_block(uint32_t addr, uint8_t* out, uint32_t n) const;
+
+  [[nodiscard]] size_t pages_allocated() const { return pages_.size(); }
+
+  /// FNV-1a hash over all allocated pages (page-order independent).
+  /// Used by equivalence tests to compare final memory states.
+  [[nodiscard]] uint64_t checksum() const;
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+  [[nodiscard]] const Page* find_page(uint32_t addr) const;
+  Page& touch_page(uint32_t addr);
+
+  std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+/// Loads an image's sections into memory:
+///  * kOriginal / kVcfr: dense code at code_base;
+///  * kNaiveIlr: sparse_code at randomized addresses;
+///  * always: data section, and for kVcfr the translation tables serialized
+///    at tables.table_base (so DRC misses touch real cacheable memory).
+void load(const Image& image, Memory& mem);
+
+/// Writes (only) the serialized translation tables into memory at
+/// tables.table_base — used by load() and by live re-randomization, which
+/// must refresh the tables without touching the program's evolved data.
+void store_tables(const TranslationTables& tables, Memory& mem);
+
+/// Serialized translation-table entry layout: 8 bytes per entry
+/// (4-byte key slot hash bucket -> 4-byte translation). Returns the
+/// simulated address of the table entry that holds the mapping for `addr`,
+/// which is the line the hardware reads on a DRC miss.
+[[nodiscard]] uint32_t table_entry_addr(const TranslationTables& tables,
+                                        uint32_t addr);
+
+}  // namespace vcfr::binary

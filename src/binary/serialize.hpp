@@ -1,0 +1,33 @@
+// VXE on-disk image format: serialization for Image objects so the CLI
+// tool (tools/vcfr_cli.cpp) can pass programs between pipeline stages.
+//
+// Layout (little-endian):
+//   magic "VXE1" | layout u8 | seed u64 | name (len-prefixed) |
+//   code_base u32 | code (len-prefixed bytes) |
+//   data_base u32 | data (len-prefixed bytes) | entry u32 |
+//   relocs (count + u32 each) | functions (count + name/addr) |
+//   rand_base u32 | rand_size u32 |
+//   sparse_code (count + addr/bytes) | fallthrough (count + pairs) |
+//   tables: derand pairs, rand pairs, unrandomized set, base/bytes
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "binary/image.hpp"
+
+namespace vcfr::binary {
+
+/// Serializes `image` to a stream. Throws std::runtime_error on I/O error.
+void save(const Image& image, std::ostream& out);
+
+/// Deserializes an image. Throws std::runtime_error on bad magic,
+/// truncation, or malformed fields.
+[[nodiscard]] Image load_file(std::istream& in);
+
+/// Convenience file wrappers.
+void save(const Image& image, const std::string& path);
+[[nodiscard]] Image load_file(const std::string& path);
+
+}  // namespace vcfr::binary

@@ -1,0 +1,3 @@
+// NextLinePrefetcher is header-only; this translation unit anchors the
+// module in the build.
+#include "cache/prefetcher.hpp"

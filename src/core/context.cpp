@@ -1,0 +1,27 @@
+#include "core/context.hpp"
+
+namespace vcfr::core {
+
+uint32_t ContextManager::switch_to(const ProcessContext& next) {
+  if (next.pid == current_.pid && next.epoch == current_.epoch &&
+      current_.tables != nullptr) {
+    return 0;  // resuming the same image: cached translations stay valid
+  }
+  ++stats_.switches;
+  const uint32_t flushed = drc_.flush();
+  stats_.entries_flushed += flushed;
+  current_ = next;
+  return flushed;
+}
+
+uint32_t ContextManager::rerandomize_current(
+    const binary::TranslationTables& new_tables) {
+  ++stats_.rerandomizations;
+  ++current_.epoch;
+  current_.tables = &new_tables;
+  const uint32_t flushed = drc_.flush();
+  stats_.entries_flushed += flushed;
+  return flushed;
+}
+
+}  // namespace vcfr::core

@@ -1,0 +1,67 @@
+// Process-context management for randomization state (§IV-B / §IV-D).
+//
+// The paper stores the randomization/de-randomization tables "in the
+// kernel as part of the process context and protected from illegitimate
+// accesses", and notes that "at system level, the main impact is to extend
+// application context to include the de-randomization/randomization
+// tables". This module models that OS-visible surface:
+//
+//   * each process carries a pointer to its (kernel-owned) tables and the
+//     placement seed epoch;
+//   * a context switch installs the new tables and flushes the DRC —
+//     cached translations are per-process secrets, and letting them
+//     linger would leak one process's layout to another;
+//   * re-randomization (§V-C) bumps the epoch: a fresh image + tables are
+//     installed and every cached translation is invalidated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "binary/image.hpp"
+#include "core/drc.hpp"
+
+namespace vcfr::core {
+
+/// Kernel-side per-process randomization state.
+struct ProcessContext {
+  uint32_t pid = 0;
+  std::string name;
+  /// Kernel-owned translation tables (never user-visible; the data TLB
+  /// marks their pages invisible). Must outlive the context.
+  const binary::TranslationTables* tables = nullptr;
+  /// Re-randomization epoch: bumped each time the process is re-imaged
+  /// with a fresh seed.
+  uint64_t epoch = 0;
+};
+
+struct ContextStats {
+  uint64_t switches = 0;
+  uint64_t entries_flushed = 0;
+  uint64_t rerandomizations = 0;
+};
+
+/// Models the kernel's handling of the DRC across context switches.
+class ContextManager {
+ public:
+  explicit ContextManager(Drc& drc) : drc_(drc) {}
+
+  /// Installs `next` as the running context. Flushes the DRC unless the
+  /// context is unchanged (same pid and epoch). Returns the number of
+  /// translations lost to the flush.
+  uint32_t switch_to(const ProcessContext& next);
+
+  /// Registers a re-randomization of the *current* process: new tables,
+  /// bumped epoch, mandatory flush (the old translations are dead).
+  uint32_t rerandomize_current(const binary::TranslationTables& new_tables);
+
+  [[nodiscard]] const ProcessContext& current() const { return current_; }
+  [[nodiscard]] const ContextStats& stats() const { return stats_; }
+
+ private:
+  Drc& drc_;
+  ProcessContext current_;
+  ContextStats stats_;
+};
+
+}  // namespace vcfr::core

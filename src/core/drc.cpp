@@ -1,0 +1,96 @@
+#include "core/drc.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace vcfr::core {
+
+Drc::Drc(const DrcConfig& config) : config_(config) {
+  if (config.entries == 0 || config.assoc == 0 ||
+      config.entries % config.assoc != 0) {
+    throw std::invalid_argument("Drc: entries must be a multiple of assoc");
+  }
+  num_sets_ = config.entries / config.assoc;
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("Drc: set count must be a power of two");
+  }
+  entries_.resize(config.entries);
+}
+
+uint32_t Drc::set_of(uint32_t key) const {
+  // Instruction addresses are byte-granular; fold the low bits so nearby
+  // addresses spread over the sets.
+  const uint32_t h = key ^ (key >> 13) ^ (key >> 21);
+  return h & (num_sets_ - 1);
+}
+
+std::optional<DrcEntryValue> Drc::lookup(uint32_t key, bool derand) {
+  ++stats_.lookups;
+  if (derand) {
+    ++stats_.derand_lookups;
+  } else {
+    ++stats_.rand_lookups;
+  }
+  const uint32_t set = set_of(key);
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    Entry& e = entries_[set * config_.assoc + w];
+    if (e.valid && e.key == key && e.is_derand == derand) {
+      ++stats_.hits;
+      e.lru = ++tick_;
+      return DrcEntryValue{e.translation, e.randomized_tag};
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void Drc::insert(uint32_t key, bool derand, DrcEntryValue value) {
+  const uint32_t set = set_of(key);
+  Entry* victim = nullptr;
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    Entry& e = entries_[set * config_.assoc + w];
+    if (e.valid && e.key == key && e.is_derand == derand) {
+      victim = &e;  // refresh in place
+      break;
+    }
+    if (!e.valid) {
+      if (victim == nullptr || victim->valid) victim = &e;
+    } else if (victim == nullptr || (victim->valid && e.lru < victim->lru)) {
+      victim = &e;
+    }
+  }
+  victim->valid = true;
+  victim->is_derand = derand;
+  victim->randomized_tag = value.randomized_tag;
+  victim->key = key;
+  victim->translation = value.translation;
+  victim->lru = ++tick_;
+}
+
+uint32_t Drc::flush() {
+  uint32_t flushed = 0;
+  for (auto& e : entries_) {
+    if (e.valid) ++flushed;
+    e.valid = false;
+  }
+  return flushed;
+}
+
+uint32_t Drc::valid_entries() const {
+  uint32_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.valid) ++n;
+  }
+  return n;
+}
+
+bool Drc::contains(uint32_t key, bool derand) const {
+  const uint32_t set = set_of(key);
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    const Entry& e = entries_[set * config_.assoc + w];
+    if (e.valid && e.key == key && e.is_derand == derand) return true;
+  }
+  return false;
+}
+
+}  // namespace vcfr::core

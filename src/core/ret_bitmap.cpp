@@ -1,0 +1,37 @@
+#include "core/ret_bitmap.hpp"
+
+namespace vcfr::core {
+
+RetBitmapCache::RetBitmapCache(const RetBitmapConfig& config,
+                               cache::MemHier& mem)
+    : config_(config), mem_(mem) {
+  entries_.resize(config.entries);
+  mem_.dtlb().set_invisible(config.store_base, config.store_bytes);
+}
+
+uint32_t RetBitmapCache::access(uint32_t addr, uint64_t now) {
+  ++stats_.accesses;
+  const uint32_t region = addr / config_.line_cover;
+  Entry* victim = nullptr;
+  for (auto& e : entries_) {
+    if (e.valid && e.region == region) {
+      e.lru = ++tick_;
+      return 0;
+    }
+    if (!e.valid) {
+      if (victim == nullptr || victim->valid) victim = &e;
+    } else if (victim == nullptr || (victim->valid && e.lru < victim->lru)) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->region = region;
+  victim->lru = ++tick_;
+  const uint32_t line =
+      config_.store_base + (region * (config_.line_cover / 32)) %
+                               (config_.store_bytes ? config_.store_bytes : 1);
+  return mem_.table_read(line, now).latency;
+}
+
+}  // namespace vcfr::core

@@ -1,0 +1,404 @@
+#include "emu/emulator.hpp"
+
+#include <cstdio>
+
+#include "isa/encoding.hpp"
+
+namespace vcfr::emu {
+
+using binary::Layout;
+using isa::Cond;
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+std::string hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+Emulator::Emulator(const binary::Image& image, binary::Memory& mem)
+    : image_(image), mem_(mem) {
+  state_.pc = image.entry;
+  if (image.layout == Layout::kNaiveIlr || image.layout == Layout::kVcfr) {
+    // Entry point expressed in the randomized space when it was randomized.
+    state_.pc = image.tables.to_randomized(image.entry);
+    if (image.layout == Layout::kNaiveIlr) {
+      // Naive images carry their mapping implicitly in the relocated code;
+      // the randomizer stores the randomized entry in image.entry already.
+      state_.pc = image.entry;
+    }
+  }
+  state_.regs[isa::kSp] = binary::kDefaultStackTop;
+}
+
+void Emulator::fault(const std::string& msg) {
+  error_ = msg + " (pc=" + hex(state_.pc) + ")";
+}
+
+uint32_t Emulator::to_upc(uint32_t rpc) const {
+  if (image_.layout == Layout::kVcfr) return image_.tables.to_original(rpc);
+  return rpc;  // original and naive-ILR: bytes live at the architectural pc
+}
+
+uint32_t Emulator::sequential_next(uint32_t rpc, uint32_t upc,
+                                   uint8_t len) const {
+  switch (image_.layout) {
+    case Layout::kOriginal:
+      return rpc + len;
+    case Layout::kNaiveIlr: {
+      auto it = image_.fallthrough.find(rpc);
+      return it == image_.fallthrough.end() ? 0 : it->second;
+    }
+    case Layout::kVcfr:
+      // Architectural successor is the randomized image of upc+len; the
+      // hardware streams along UPC and never materializes this unless
+      // needed, but the golden model keeps RPC exact.
+      return image_.tables.to_randomized(upc + len);
+  }
+  return rpc + len;
+}
+
+void Emulator::set_flags_logic(uint32_t result) {
+  state_.zf = result == 0;
+  state_.nf = (result >> 31) != 0;
+  state_.cf = false;
+  state_.vf = false;
+}
+
+void Emulator::set_flags_sub(uint32_t a, uint32_t b) {
+  const uint32_t r = a - b;
+  state_.zf = r == 0;
+  state_.nf = (r >> 31) != 0;
+  state_.cf = a < b;  // borrow
+  state_.vf = (((a ^ b) & (a ^ r)) >> 31) != 0;
+}
+
+bool Emulator::eval_cond(Cond cond) const {
+  switch (cond) {
+    case Cond::kEq: return state_.zf;
+    case Cond::kNe: return !state_.zf;
+    case Cond::kLt: return state_.nf != state_.vf;
+    case Cond::kLe: return state_.zf || state_.nf != state_.vf;
+    case Cond::kGt: return !state_.zf && state_.nf == state_.vf;
+    case Cond::kGe: return state_.nf == state_.vf;
+    case Cond::kB: return state_.cf;
+    case Cond::kAe: return !state_.cf;
+  }
+  return false;
+}
+
+void Emulator::push32(uint32_t value) {
+  state_.regs[isa::kSp] -= 4;
+  const uint32_t sp = state_.regs[isa::kSp];
+  mem_.write32(sp, value);
+  ret_bitmap_.erase(sp);  // plain store overwrites any stale mark
+}
+
+uint32_t Emulator::pop32() {
+  const uint32_t sp = state_.regs[isa::kSp];
+  state_.regs[isa::kSp] = sp + 4;
+  return mem_.read32(sp);
+}
+
+bool Emulator::step(StepInfo* info) {
+  if (halted_ || !error_.empty()) return false;
+
+  const uint32_t rpc = state_.pc;
+  const uint32_t upc = to_upc(rpc);
+
+  uint8_t buf[isa::kMaxInstrLength];
+  mem_.read_block(upc, buf, sizeof buf);
+  const auto decoded = isa::decode(std::span<const uint8_t>(buf, sizeof buf));
+  if (!decoded) {
+    fault("invalid opcode " + hex(buf[0]));
+    return false;
+  }
+  const Instr in = *decoded;
+
+  StepInfo local;
+  StepInfo& si = info ? *info : local;
+  si = StepInfo{};
+  si.rpc = rpc;
+  si.upc = upc;
+  si.instr = in;
+
+  const bool vcfr = image_.layout == Layout::kVcfr;
+  auto& tables = image_.tables;
+  auto& regs = state_.regs;
+
+  uint32_t next = sequential_next(rpc, upc, in.length);
+  if (image_.layout == Layout::kNaiveIlr && next == 0 && in.has_fallthrough()) {
+    fault("missing fall-through successor");
+    return false;
+  }
+
+  // Records a de-randomizing transfer: architectural target `target_rand`
+  // (randomized space), execution continues at its original-space image.
+  bool tag_fault = false;
+  auto transfer_to = [&](uint32_t target_rand) {
+    si.is_taken_transfer = true;
+    if (vcfr) {
+      si.needs_derand = true;
+      si.derand_key = target_rand;
+      ++stats_.derand_events;
+      if (!tables.is_randomized_addr(target_rand)) {
+        // Target expressed in original space. Legal only for the failover
+        // (un-randomized) set; anything else would trip the randomized tag.
+        auto it = tables.rand.find(target_rand);
+        if (it != tables.rand.end() && it->second != target_rand &&
+            !tables.unrandomized.contains(target_rand)) {
+          ++stats_.tag_violations;
+        }
+        if (enforce_tags_ && image_.in_code(target_rand) &&
+            !tables.unrandomized.contains(target_rand)) {
+          tag_fault = true;  // §IV-A: jumps to tagged locations prohibited
+        }
+      }
+    }
+    next = target_rand;
+  };
+
+  switch (in.op) {
+    case Op::kNop:
+      break;
+    case Op::kHalt:
+      halted_ = true;
+      break;
+    case Op::kSys:
+      if (in.imm == 0) {
+        halted_ = true;
+      } else if (in.imm == 1) {
+        if (output_.size() < max_output_) output_.push_back(regs[0]);
+      } else {
+        fault("unknown sys function " + std::to_string(in.imm));
+        return false;
+      }
+      break;
+    case Op::kOut:
+      if (output_.size() < max_output_) output_.push_back(regs[in.rd]);
+      break;
+    case Op::kMovRR:
+      regs[in.rd] = regs[in.rs];
+      break;
+    case Op::kMovRI:
+      regs[in.rd] = in.imm;
+      break;
+    case Op::kLd:
+    case Op::kLdb: {
+      const uint32_t addr = regs[in.rs] + static_cast<uint32_t>(in.disp);
+      si.has_mem = true;
+      si.mem_addr = addr;
+      uint32_t value = in.op == Op::kLd ? mem_.read32(addr) : mem_.read8(addr);
+      if (vcfr && in.op == Op::kLd && ret_bitmap_.contains(addr)) {
+        // §IV-C: direct fetch of a randomized return address is
+        // automatically de-randomized by the hardware.
+        value = tables.to_original(value);
+        si.bitmap_load = true;
+        ++stats_.bitmap_autoderand_loads;
+      }
+      regs[in.rd] = value;
+      break;
+    }
+    case Op::kSt:
+    case Op::kStb: {
+      const uint32_t addr = regs[in.rs] + static_cast<uint32_t>(in.disp);
+      si.has_mem = true;
+      si.mem_addr = addr;
+      si.mem_is_store = true;
+      if (in.op == Op::kSt) {
+        mem_.write32(addr, regs[in.rd]);
+      } else {
+        mem_.write8(addr, static_cast<uint8_t>(regs[in.rd]));
+      }
+      ret_bitmap_.erase(addr);
+      break;
+    }
+    case Op::kAddRR:
+    case Op::kAddRI: {
+      const uint32_t b = in.op == Op::kAddRR ? regs[in.rs] : in.imm;
+      const uint32_t a = regs[in.rd];
+      const uint32_t r = a + b;
+      state_.zf = r == 0;
+      state_.nf = (r >> 31) != 0;
+      state_.cf = r < a;
+      state_.vf = ((~(a ^ b) & (a ^ r)) >> 31) != 0;
+      regs[in.rd] = r;
+      break;
+    }
+    case Op::kSubRR:
+    case Op::kSubRI: {
+      const uint32_t b = in.op == Op::kSubRR ? regs[in.rs] : in.imm;
+      const uint32_t a = regs[in.rd];
+      set_flags_sub(a, b);
+      regs[in.rd] = a - b;
+      break;
+    }
+    case Op::kAndRR:
+    case Op::kAndRI:
+      regs[in.rd] &= (in.op == Op::kAndRR ? regs[in.rs] : in.imm);
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kOrRR:
+    case Op::kOrRI:
+      regs[in.rd] |= (in.op == Op::kOrRR ? regs[in.rs] : in.imm);
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kXorRR:
+    case Op::kXorRI:
+      regs[in.rd] ^= (in.op == Op::kXorRR ? regs[in.rs] : in.imm);
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kShlRR:
+    case Op::kShlRI:
+      regs[in.rd] <<= ((in.op == Op::kShlRR ? regs[in.rs] : in.imm) & 31);
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kShrRR:
+    case Op::kShrRI:
+      regs[in.rd] >>= ((in.op == Op::kShrRR ? regs[in.rs] : in.imm) & 31);
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kMulRR:
+    case Op::kMulRI:
+      regs[in.rd] *= (in.op == Op::kMulRR ? regs[in.rs] : in.imm);
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kDivRR:
+      if (regs[in.rs] == 0) {
+        fault("division by zero");
+        return false;
+      }
+      regs[in.rd] /= regs[in.rs];
+      set_flags_logic(regs[in.rd]);
+      break;
+    case Op::kCmpRR:
+      set_flags_sub(regs[in.rd], regs[in.rs]);
+      break;
+    case Op::kCmpRI:
+      set_flags_sub(regs[in.rd], in.imm);
+      break;
+    case Op::kTestRR:
+      set_flags_logic(regs[in.rd] & regs[in.rs]);
+      break;
+    case Op::kPushR:
+      push32(regs[in.rd]);
+      si.has_mem = true;
+      si.mem_addr = regs[isa::kSp];
+      si.mem_is_store = true;
+      break;
+    case Op::kPushI:
+      // Software return-address randomization pushes the randomized return
+      // here; the bitmap is not involved (that is the architectural
+      // option's advantage, §IV-C).
+      push32(in.imm);
+      si.has_mem = true;
+      si.mem_addr = regs[isa::kSp];
+      si.mem_is_store = true;
+      break;
+    case Op::kPopR: {
+      const uint32_t sp = regs[isa::kSp];
+      si.has_mem = true;
+      si.mem_addr = sp;
+      uint32_t value = pop32();
+      if (vcfr && ret_bitmap_.contains(sp)) {
+        value = tables.to_original(value);
+        si.bitmap_load = true;
+        ++stats_.bitmap_autoderand_loads;
+        ret_bitmap_.erase(sp);
+      }
+      regs[in.rd] = value;
+      break;
+    }
+    case Op::kJmp:
+      transfer_to(in.imm);
+      break;
+    case Op::kJcc:
+      if (eval_cond(in.cond)) transfer_to(in.imm);
+      break;
+    case Op::kJmpR:
+      ++stats_.indirect_transfers;
+      transfer_to(regs[in.rd]);
+      break;
+    case Op::kCall:
+    case Op::kCallR: {
+      ++stats_.calls;
+      if (in.op == Op::kCallR) ++stats_.indirect_transfers;
+      uint32_t ret_value = next;  // architectural successor address
+      if (vcfr) {
+        const uint32_t ret_orig = upc + in.length;
+        if (tables.is_randomized_addr(next)) {
+          // Randomized return site: the hardware looks up the rand entry
+          // for ret_orig and pushes the randomized address (§IV-A option 2).
+          si.needs_rand = true;
+          si.rand_key = ret_orig;
+          ++stats_.rand_events;
+        } else {
+          ret_value = ret_orig;  // failover: push the original address
+        }
+      }
+      si.call_push_value = ret_value;
+      push32(ret_value);
+      si.has_mem = true;
+      si.mem_addr = regs[isa::kSp];
+      si.mem_is_store = true;
+      if (vcfr && si.needs_rand) ret_bitmap_.insert(regs[isa::kSp]);
+      transfer_to(in.op == Op::kCall ? in.imm : regs[in.rd]);
+      break;
+    }
+    case Op::kRet: {
+      ++stats_.returns;
+      const uint32_t sp = regs[isa::kSp];
+      si.has_mem = true;
+      si.mem_addr = sp;
+      const uint32_t value = pop32();
+      ret_bitmap_.erase(sp);  // consumed by the return
+      transfer_to(value);
+      break;
+    }
+  }
+
+  ++stats_.instructions;
+  if (tag_fault) {
+    fault("randomized-tag violation: transfer to " + hex(next));
+    si.next_rpc = next;
+    si.next_upc = next;
+    return true;  // the faulting instruction itself did execute
+  }
+  if (!halted_ && error_.empty()) {
+    state_.pc = next;
+  }
+  si.next_rpc = next;
+  si.next_upc = to_upc(next);
+  return true;
+}
+
+RunResult Emulator::run(const RunLimits& limits) {
+  max_output_ = limits.max_output;
+  if (limits.enforce_tags) enforce_tags_ = true;
+  while (stats_.instructions < limits.max_instructions) {
+    if (!step()) break;
+    if (halted_) break;
+  }
+  RunResult result;
+  result.halted = halted_;
+  result.error = error_;
+  result.stats = stats_;
+  result.output = output_;
+  result.mem_checksum = mem_.checksum();
+  result.final_state = state_;
+  return result;
+}
+
+RunResult run_image(const binary::Image& image, const RunLimits& limits) {
+  binary::Memory mem;
+  binary::load(image, mem);
+  Emulator emulator(image, mem);
+  return emulator.run(limits);
+}
+
+}  // namespace vcfr::emu

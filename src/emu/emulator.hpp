@@ -1,0 +1,167 @@
+// Functional (architectural) emulator for VX images.
+//
+// This is the golden model: it defines the semantics of all three image
+// layouts (original, naive-ILR, VCFR) and is reused by the cycle simulator,
+// which wraps timing around the per-step trace records produced here.
+//
+// VCFR semantics implemented (paper §IV):
+//  * the architectural PC (RPC) lives in the randomized instruction space;
+//    the execution cursor (UPC) is its de-randomized image, and instruction
+//    bytes are fetched at UPC from the original layout;
+//  * direct-transfer targets in the binary are randomized-space addresses
+//    and are de-randomized through the translation tables;
+//  * calls push the randomized return address when the site was randomized;
+//    a stack bitmap remembers which slots hold randomized return addresses;
+//  * loads (ld/pop) from bitmap-marked slots are automatically
+//    de-randomized, supporting the PIC call/pop idiom and stack walks
+//    (§IV-C); stores to marked slots clear the mark.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "binary/image.hpp"
+#include "binary/loader.hpp"
+#include "isa/isa.hpp"
+
+namespace vcfr::emu {
+
+/// Architectural register/flag state.
+struct ArchState {
+  std::array<uint32_t, isa::kNumRegs> regs{};
+  bool zf = false, nf = false, cf = false, vf = false;
+  /// Architectural PC. For kNaiveIlr/kVcfr this is a randomized-space
+  /// address; for kOriginal it equals the original-space address.
+  uint32_t pc = 0;
+};
+
+/// Per-instruction trace record for the cycle simulator.
+struct StepInfo {
+  uint32_t rpc = 0;   // architectural address of this instruction
+  uint32_t upc = 0;   // original-space address (== rpc when not randomized)
+  isa::Instr instr;
+  uint32_t next_rpc = 0;
+  uint32_t next_upc = 0;
+  bool is_taken_transfer = false;  // control left the sequential path
+
+  bool has_mem = false;  // data-memory access (ld/st/push/pop/call/ret)
+  uint32_t mem_addr = 0;
+  bool mem_is_store = false;
+  /// For calls: the return-address value pushed onto the stack (randomized
+  /// when the site is randomized). Consumed by the simulator's RAS model.
+  uint32_t call_push_value = 0;
+
+  // VCFR translation events (all false for other layouts):
+  bool needs_derand = false;  // target de-randomization, key = derand_key
+  uint32_t derand_key = 0;
+  bool needs_rand = false;    // return-address randomization, key = rand_key
+  uint32_t rand_key = 0;
+  bool bitmap_load = false;   // auto-de-randomized load of a marked slot
+};
+
+/// Counters the functional model maintains (security-relevant events).
+struct EmuStats {
+  uint64_t instructions = 0;
+  uint64_t calls = 0;
+  uint64_t returns = 0;
+  uint64_t indirect_transfers = 0;
+  uint64_t derand_events = 0;
+  uint64_t rand_events = 0;
+  uint64_t bitmap_autoderand_loads = 0;
+  /// Transfers whose target is an original-space address that had been
+  /// randomized away (would trip the paper's "randomized tag" check).
+  uint64_t tag_violations = 0;
+};
+
+struct RunLimits {
+  uint64_t max_instructions = 200'000'000;
+  size_t max_output = 1u << 20;
+  bool enforce_tags = false;  // see Emulator::set_enforce_tags
+};
+
+struct RunResult {
+  bool halted = false;          // reached halt/sys-exit
+  std::string error;            // non-empty on fault (bad opcode, div0, ...)
+  EmuStats stats;
+  std::vector<uint32_t> output;
+  uint64_t mem_checksum = 0;
+  ArchState final_state;
+};
+
+class Emulator {
+ public:
+  /// The image must already be loaded into `mem` (binary::load).
+  Emulator(const binary::Image& image, binary::Memory& mem);
+
+  /// Enables the hardware's randomized-tag enforcement (§IV-A): for VCFR
+  /// images, any control transfer into the original code space whose
+  /// target is not in the un-randomized failover set faults instead of
+  /// executing. Off by default so compatibility studies can count
+  /// would-be violations without dying.
+  void set_enforce_tags(bool on) { enforce_tags_ = on; }
+
+  /// Executes one instruction. Returns false when execution has ended
+  /// (halted or faulted) and no instruction was executed. When `info` is
+  /// non-null it receives the step's trace record.
+  bool step(StepInfo* info = nullptr);
+
+  /// Runs to completion (halt, fault, or instruction limit).
+  RunResult run(const RunLimits& limits = {});
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const ArchState& state() const { return state_; }
+  [[nodiscard]] ArchState& state() { return state_; }
+  [[nodiscard]] const EmuStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<uint32_t>& output() const { return output_; }
+  [[nodiscard]] const binary::Image& image() const { return image_; }
+
+  /// Stack slots currently holding randomized return addresses — the
+  /// architectural bitmap (§IV-C). Live re-randomization uses this to
+  /// locate exactly the words that must be re-translated.
+  [[nodiscard]] const std::unordered_set<uint32_t>& ret_bitmap() const {
+    return ret_bitmap_;
+  }
+
+  /// Restores mid-run state into a fresh emulator (live re-randomization:
+  /// the new emulator wraps the new image over the same memory).
+  void restore(const ArchState& state, std::unordered_set<uint32_t> bitmap,
+               std::vector<uint32_t> output) {
+    state_ = state;
+    ret_bitmap_ = std::move(bitmap);
+    output_ = std::move(output);
+  }
+
+ private:
+  void fault(const std::string& msg);
+  [[nodiscard]] uint32_t to_upc(uint32_t rpc) const;
+  [[nodiscard]] uint32_t sequential_next(uint32_t rpc, uint32_t upc,
+                                         uint8_t len) const;
+  void set_flags_logic(uint32_t result);
+  void set_flags_sub(uint32_t a, uint32_t b);
+  [[nodiscard]] bool eval_cond(isa::Cond cond) const;
+  void push32(uint32_t value);
+  uint32_t pop32();
+
+  const binary::Image& image_;
+  binary::Memory& mem_;
+  ArchState state_;
+  EmuStats stats_;
+  std::vector<uint32_t> output_;
+  /// Stack slots currently holding randomized return addresses (§IV-C
+  /// bitmap). Keyed by address; only meaningful for kVcfr.
+  std::unordered_set<uint32_t> ret_bitmap_;
+  bool halted_ = false;
+  bool enforce_tags_ = false;
+  std::string error_;
+  size_t max_output_ = 1u << 20;
+};
+
+/// Convenience: load + run an image on a fresh memory.
+[[nodiscard]] RunResult run_image(const binary::Image& image,
+                                  const RunLimits& limits = {});
+
+}  // namespace vcfr::emu

@@ -1,0 +1,116 @@
+#include "emu/ilr_emulator.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "binary/loader.hpp"
+
+namespace vcfr::emu {
+
+using isa::Op;
+
+namespace {
+
+enum class HandlerClass { kAlu, kMemory, kControl };
+
+HandlerClass classify(Op op) {
+  switch (op) {
+    case Op::kLd:
+    case Op::kSt:
+    case Op::kLdb:
+    case Op::kStb:
+    case Op::kPushR:
+    case Op::kPushI:
+    case Op::kPopR:
+      return HandlerClass::kMemory;
+    case Op::kJmp:
+    case Op::kJcc:
+    case Op::kJmpR:
+    case Op::kCall:
+    case Op::kCallR:
+    case Op::kRet:
+      return HandlerClass::kControl;
+    default:
+      return HandlerClass::kAlu;
+  }
+}
+
+}  // namespace
+
+IlrEmulationResult emulate_ilr(const binary::Image& image, double native_cpi,
+                               const RunLimits& limits,
+                               const IlrEmulatorCosts& costs) {
+  binary::Memory mem;
+  binary::load(image, mem);
+  Emulator emulator(image, mem);
+
+  // Dispatch-handler predictor for the interpreter's indirect jump, keyed
+  // by the last two guest opcodes (a BTB-like last-target scheme with
+  // two-opcode context). Interpreter-style guests ("python") defeat it:
+  // their own dispatch makes the opcode stream context-free.
+  std::array<uint8_t, 4096> handler_pred{};
+  uint32_t ctx = 0;
+
+  // Per-site last-target cache for guest control transfers: a target
+  // change forces the emulator to re-probe its PC-mapping table instead of
+  // reusing the translated host address it cached for the site.
+  std::unordered_map<uint32_t, uint32_t> target_cache;
+
+  double host_instrs = 0.0;
+  uint64_t mispredicts = 0;
+  uint64_t target_changes = 0;
+
+  StepInfo si;
+  uint64_t executed = 0;
+  while (executed < limits.max_instructions && emulator.step(&si)) {
+    ++executed;
+    const auto op_byte = static_cast<uint8_t>(si.instr.op);
+
+    host_instrs += costs.dispatch + costs.pc_mapping +
+                   costs.per_encoded_byte * si.instr.length;
+    const uint32_t slot = ctx & (handler_pred.size() - 1);
+    if (handler_pred[slot] != op_byte) {
+      ++mispredicts;
+      handler_pred[slot] = op_byte;
+    }
+    ctx = (ctx << 6) ^ op_byte;
+
+    switch (classify(si.instr.op)) {
+      case HandlerClass::kAlu:
+        host_instrs += costs.alu;
+        break;
+      case HandlerClass::kMemory:
+        host_instrs += costs.memory;
+        break;
+      case HandlerClass::kControl:
+        host_instrs += costs.control;
+        if (si.is_taken_transfer) {
+          host_instrs += costs.target_mapping;
+          auto [it, inserted] = target_cache.try_emplace(si.rpc, si.next_rpc);
+          if (!inserted && it->second != si.next_rpc) {
+            it->second = si.next_rpc;
+            ++target_changes;
+            host_instrs += costs.target_change;
+          }
+        }
+        break;
+    }
+    if (emulator.halted()) break;
+  }
+
+  IlrEmulationResult result;
+  result.guest_instructions = executed;
+  if (executed == 0) return result;
+  result.host_cycles =
+      host_instrs * costs.host_cpi +
+      static_cast<double>(mispredicts) * costs.dispatch_mispredict;
+  result.host_cycles_per_instr =
+      result.host_cycles / static_cast<double>(executed);
+  result.dispatch_mispredict_rate =
+      static_cast<double>(mispredicts) / static_cast<double>(executed);
+  result.slowdown_vs_native =
+      result.host_cycles_per_instr / (native_cpi > 0 ? native_cpi : 1.0);
+  return result;
+}
+
+}  // namespace vcfr::emu

@@ -1,0 +1,62 @@
+#include "emu/rerandomize.hpp"
+
+#include <stdexcept>
+
+namespace vcfr::emu {
+
+std::unique_ptr<Emulator> rerandomize_live(
+    const Emulator& running, binary::Memory& mem,
+    const rewriter::RandomizeResult& old_rr,
+    const rewriter::RandomizeResult& new_rr, LiveRerandomizeStats* stats) {
+  const binary::Image& old_img = old_rr.vcfr;
+  const binary::Image& new_img = new_rr.vcfr;
+  if (old_img.layout != binary::Layout::kVcfr ||
+      new_img.layout != binary::Layout::kVcfr) {
+    throw std::invalid_argument("rerandomize_live: requires VCFR images");
+  }
+  if (old_img.code.size() != new_img.code.size() ||
+      old_img.code_base != new_img.code_base) {
+    throw std::invalid_argument(
+        "rerandomize_live: images must share the original layout");
+  }
+
+  LiveRerandomizeStats local;
+  LiveRerandomizeStats& st = stats ? *stats : local;
+  st = LiveRerandomizeStats{};
+
+  auto retranslate = [&](uint32_t old_value) {
+    return new_img.tables.to_randomized(old_img.tables.to_original(old_value));
+  };
+
+  // 1. Stack: re-translate every bitmap-marked randomized return address.
+  for (uint32_t slot : running.ret_bitmap()) {
+    mem.write32(slot, retranslate(mem.read32(slot)));
+    ++st.stack_slots_translated;
+  }
+
+  // 2. Architectural PC.
+  ArchState state = running.state();
+  const uint32_t new_pc = retranslate(state.pc);
+  st.pc_translated = new_pc != state.pc;
+  state.pc = new_pc;
+
+  // 3. Code bytes (same layout, new encoded targets), jump-table slots,
+  //    and the kernel tables.
+  for (size_t i = 0; i < new_img.code.size(); ++i) {
+    mem.write8(new_img.code_base + static_cast<uint32_t>(i),
+               new_img.code[i]);
+  }
+  for (const auto& r : new_img.relocs) {
+    mem.write32(r.data_addr, retranslate(mem.read32(r.data_addr)));
+    ++st.reloc_slots_patched;
+  }
+  binary::store_tables(new_img.tables, mem);
+
+  // 4. Resume over the new image.
+  auto fresh = std::make_unique<Emulator>(new_img, mem);
+  fresh->restore(state, running.ret_bitmap(),
+                 std::vector<uint32_t>(running.output()));
+  return fresh;
+}
+
+}  // namespace vcfr::emu

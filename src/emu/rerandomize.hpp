@@ -1,0 +1,52 @@
+// Live re-randomization of a running VCFR process (§V-C: "a common
+// practice to prevent leaking randomization/de-randomization tables to
+// the attackers is to apply regular re-randomization of the binary images
+// that will create a new sets of address translation tables and new
+// randomized images. Even an attacker managed to obtain the old ... the
+// information would be outdated for mounting new attacks").
+//
+// This goes one step beyond restart-time re-randomization: the swap
+// happens *mid-run*, at a quiescent point, without losing program state:
+//
+//   1. every randomized return address on the stack — located exactly by
+//      the §IV-C bitmap — is translated old-randomized -> original ->
+//      new-randomized;
+//   2. the architectural PC is translated the same way;
+//   3. code bytes (same original layout, new encoded targets), jump-table
+//      relocation slots, and the serialized kernel tables are refreshed;
+//      program *data* is untouched;
+//   4. a new emulator resumes over the same memory with the carried-over
+//      register file, bitmap, and output stream.
+//
+// Quiescence condition: no general-purpose register may hold a code
+// pointer at the swap point (call sites pick e.g. the top of a request
+// loop). Return addresses are fully covered by the bitmap; un-randomized
+// failover addresses are identity in every epoch because the failover set
+// is analysis-determined and seed-independent.
+#pragma once
+
+#include <memory>
+
+#include "binary/loader.hpp"
+#include "emu/emulator.hpp"
+#include "rewriter/randomizer.hpp"
+
+namespace vcfr::emu {
+
+struct LiveRerandomizeStats {
+  uint32_t stack_slots_translated = 0;
+  bool pc_translated = false;
+  uint32_t reloc_slots_patched = 0;
+};
+
+/// Swaps `running` (executing old_rr.vcfr over `mem`) onto new_rr.vcfr.
+/// Both RandomizeResults must come from the same original binary; the
+/// returned emulator resumes where `running` stopped. `new_rr.vcfr` must
+/// outlive the returned emulator.
+[[nodiscard]] std::unique_ptr<Emulator> rerandomize_live(
+    const Emulator& running, binary::Memory& mem,
+    const rewriter::RandomizeResult& old_rr,
+    const rewriter::RandomizeResult& new_rr,
+    LiveRerandomizeStats* stats = nullptr);
+
+}  // namespace vcfr::emu

@@ -1,0 +1,63 @@
+#include "emu/trace.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "binary/loader.hpp"
+#include "emu/emulator.hpp"
+#include "isa/disassembler.hpp"
+
+namespace vcfr::emu {
+
+std::string trace(const binary::Image& image, const TraceOptions& options) {
+  binary::Memory mem;
+  binary::load(image, mem);
+  Emulator emulator(image, mem);
+
+  std::string out;
+  std::array<uint32_t, isa::kNumRegs> prev_regs = emulator.state().regs;
+  StepInfo si;
+  for (uint64_t step = 0; step < options.max_steps; ++step) {
+    if (!emulator.step(&si)) break;
+    char buf[64];
+    if (si.rpc == si.upc) {
+      std::snprintf(buf, sizeof buf, "%08x             ", si.rpc);
+    } else {
+      std::snprintf(buf, sizeof buf, "%08x -> %08x ", si.rpc, si.upc);
+    }
+    out += buf;
+    out += isa::format_instr(si.instr);
+    if (si.needs_derand) {
+      std::snprintf(buf, sizeof buf, "  [derand %08x]", si.derand_key);
+      out += buf;
+    }
+    if (si.needs_rand) {
+      std::snprintf(buf, sizeof buf, "  [rand ret %08x]", si.rand_key);
+      out += buf;
+    }
+    if (si.bitmap_load) out += "  [bitmap auto-derand]";
+    if (options.show_registers) {
+      const auto& regs = emulator.state().regs;
+      for (int r = 0; r < isa::kNumRegs; ++r) {
+        if (regs[r] != prev_regs[r]) {
+          std::snprintf(buf, sizeof buf, "  %s=%#x",
+                        isa::reg_name(static_cast<uint8_t>(r)).c_str(),
+                        regs[r]);
+          out += buf;
+        }
+      }
+      prev_regs = emulator.state().regs;
+    }
+    out += '\n';
+    if (emulator.halted()) {
+      out += "== halted\n";
+      break;
+    }
+  }
+  if (!emulator.error().empty()) {
+    out += "== FAULT: " + emulator.error() + '\n';
+  }
+  return out;
+}
+
+}  // namespace vcfr::emu

@@ -1,0 +1,29 @@
+// Execution tracer: formats the golden-model instruction stream for
+// debugging randomized binaries (the `vcfr trace` CLI subcommand).
+//
+// Each line shows the architectural (randomized-space) PC, the fetch
+// (original-space) PC when they differ, the disassembled instruction, and
+// VCFR translation events:
+//
+//   40000f12 -> 00001024  callr r6        [derand 40000a80]
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "binary/image.hpp"
+
+namespace vcfr::emu {
+
+struct TraceOptions {
+  uint64_t max_steps = 64;
+  bool show_registers = false;  // append changed-register values
+};
+
+/// Runs `image` from its entry point and returns the formatted trace.
+/// Stops at halt, fault (the fault message becomes the last line), or
+/// `max_steps`.
+[[nodiscard]] std::string trace(const binary::Image& image,
+                                const TraceOptions& options = {});
+
+}  // namespace vcfr::emu

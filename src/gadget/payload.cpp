@@ -1,0 +1,107 @@
+#include "gadget/payload.hpp"
+
+#include <optional>
+
+#include "binary/loader.hpp"
+#include "emu/emulator.hpp"
+
+namespace vcfr::gadget {
+
+std::vector<PayloadTemplate> default_templates() {
+  return {
+      {"write-what-where",
+       {GadgetKind::kPopReg, GadgetKind::kPopReg, GadgetKind::kStore,
+        GadgetKind::kSys}},
+      {"register-init-call",
+       {GadgetKind::kPopReg, GadgetKind::kMovReg, GadgetKind::kSys}},
+      {"arith-chain",
+       {GadgetKind::kPopReg, GadgetKind::kArith, GadgetKind::kStore,
+        GadgetKind::kSys}},
+  };
+}
+
+std::vector<PayloadResult> compile_payloads(
+    const std::vector<Gadget>& pool,
+    const std::vector<PayloadTemplate>& templates) {
+  std::vector<PayloadResult> out;
+  out.reserve(templates.size());
+  for (const auto& tmpl : templates) {
+    PayloadResult r;
+    r.name = tmpl.name;
+    r.assembled = true;
+    for (GadgetKind need : tmpl.required) {
+      std::optional<uint32_t> found;
+      for (const auto& g : pool) {
+        if (g.kind == need) {
+          found = g.addr;
+          break;
+        }
+      }
+      if (!found) {
+        r.assembled = false;
+        r.chain.clear();
+        break;
+      }
+      r.chain.push_back(*found);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool any_assembled(const std::vector<PayloadResult>& results) {
+  for (const auto& r : results) {
+    if (r.assembled) return true;
+  }
+  return false;
+}
+
+ChainResult execute_chain(const binary::Image& image,
+                          const std::vector<uint32_t>& chain,
+                          uint64_t max_instructions) {
+  ChainResult result;
+  if (chain.empty()) {
+    result.faulted = true;
+    result.fault = "empty chain";
+    return result;
+  }
+
+  binary::Memory mem;
+  binary::load(image, mem);
+  emu::Emulator emulator(image, mem);
+  emulator.set_enforce_tags(true);
+
+  // Lay the chain out as a hijacked stack: the first word is what the
+  // victim's `ret` popped (it becomes the PC), the rest sit above the
+  // stack pointer for the gadgets to consume.
+  const uint32_t sp =
+      binary::kDefaultStackTop - static_cast<uint32_t>(chain.size()) * 4;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    mem.write32(sp + static_cast<uint32_t>(i - 1) * 4, chain[i]);
+  }
+  emulator.state().regs[isa::kSp] = sp;
+
+  // The hijacked ret's transfer: under VCFR the attacker-supplied value is
+  // an original-space address — the hardware's randomized tag blocks it
+  // unless the location is in the failover set.
+  const uint32_t entry = chain.front();
+  if (image.layout == binary::Layout::kVcfr && image.in_code(entry) &&
+      !image.tables.unrandomized.contains(entry) &&
+      !image.tables.is_randomized_addr(entry)) {
+    result.faulted = true;
+    result.fault = "randomized-tag violation at chain entry";
+    return result;
+  }
+  emulator.state().pc = entry;
+
+  emu::RunLimits limits;
+  limits.max_instructions = max_instructions;
+  const auto run = emulator.run(limits);
+  result.faulted = !run.error.empty();
+  result.fault = run.error;
+  result.output = run.output;
+  result.instructions = run.stats.instructions;
+  return result;
+}
+
+}  // namespace vcfr::gadget

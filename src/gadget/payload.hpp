@@ -1,0 +1,62 @@
+// Attack-payload compiler — the "auto-roper" half of ROPgadget (§V-B).
+//
+// A payload template lists the gadget kinds an exploit chain needs (set a
+// register, write-what-where, reach a system call, ...). The compiler
+// tries to satisfy each requirement from a scanned gadget pool; a payload
+// "assembles" when every slot is filled. §V-B's result — payloads assemble
+// for every un-randomized benchmark and for none after randomization — is
+// reproduced by compiling against scan() vs the survivors of
+// survival_after_randomization().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gadget/scanner.hpp"
+
+namespace vcfr::gadget {
+
+struct PayloadTemplate {
+  std::string name;
+  std::vector<GadgetKind> required;  // one gadget per slot, in chain order
+};
+
+/// The built-in template database (modelled on ROPgadget's payload
+/// patterns): register initialization, write-what-where, and a syscall
+/// trampoline.
+[[nodiscard]] std::vector<PayloadTemplate> default_templates();
+
+struct PayloadResult {
+  std::string name;
+  bool assembled = false;
+  std::vector<uint32_t> chain;  // gadget addresses, one per required slot
+};
+
+/// Attempts to assemble each template from `pool`. Distinct slots may use
+/// the same gadget only when no alternative exists (ROPgadget reuses
+/// gadgets freely; we allow reuse).
+[[nodiscard]] std::vector<PayloadResult> compile_payloads(
+    const std::vector<Gadget>& pool,
+    const std::vector<PayloadTemplate>& templates = default_templates());
+
+/// True when at least one template assembled.
+[[nodiscard]] bool any_assembled(const std::vector<PayloadResult>& results);
+
+/// Outcome of dynamically executing a ROP chain against an image.
+struct ChainResult {
+  bool faulted = false;
+  std::string fault;
+  std::vector<uint32_t> output;  // values the chain exfiltrated via sys/out
+  uint64_t instructions = 0;
+};
+
+/// Executes a ROP chain the way a hijacked `ret` would: the words of
+/// `chain` are placed on the stack, the first word becomes the program
+/// counter, and execution proceeds (with the randomized-tag protection
+/// enforced for VCFR images). This is the dynamic counterpart of
+/// compile_payloads: it proves whether an assembled chain actually runs.
+[[nodiscard]] ChainResult execute_chain(const binary::Image& image,
+                                        const std::vector<uint32_t>& chain,
+                                        uint64_t max_instructions = 10'000);
+
+}  // namespace vcfr::gadget

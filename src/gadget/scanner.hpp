@@ -1,0 +1,84 @@
+// ROP gadget scanner — our stand-in for ROPgadget 4.0.1 (§V-B).
+//
+// Scans a binary's code bytes at *every byte offset* (VX is variable-
+// length, so unaligned decoding yields gadgets exactly as on x86) for
+// short instruction sequences ending in a ret or an indirect transfer.
+//
+// The "modified ROPgadget" evaluation of §V-B is implemented by
+// survival_after_randomization(): the attacker only knows the original
+// (un-randomized) instruction locations, and under VCFR control may only
+// be transferred to addresses whose randomized tag is clear — the
+// un-randomized failover set. A gadget survives randomization iff every
+// instruction it executes sits at such an address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binary/image.hpp"
+#include "isa/isa.hpp"
+
+namespace vcfr::gadget {
+
+/// Semantic classification of a gadget (by its payload-useful head
+/// instruction), mirroring ROPgadget's pattern database.
+enum class GadgetKind {
+  kPopReg,   // pop rX; ... ; ret           (load a register from the stack)
+  kMovReg,   // mov rX, rY; ... ; ret       (shuffle registers)
+  kArith,    // add/sub/xor/...; ... ; ret  (arithmetic)
+  kLoad,     // ld rX, [rY+d]; ... ; ret    (memory read)
+  kStore,    // st rX, [rY+d]; ... ; ret    (write-what-where)
+  kSys,      // sys n; ... ; ret            (system-call gadget)
+  kOther,
+};
+
+[[nodiscard]] std::string_view kind_name(GadgetKind kind);
+
+struct Gadget {
+  uint32_t addr = 0;                // start address in the scanned space
+  std::vector<isa::Instr> instrs;   // decoded sequence incl. terminator
+  GadgetKind kind = GadgetKind::kOther;
+  bool aligned = false;             // starts at a true instruction boundary
+
+  /// Addresses of each instruction in the sequence.
+  [[nodiscard]] std::vector<uint32_t> instr_addrs() const;
+};
+
+struct ScanOptions {
+  uint32_t max_instrs = 5;  // window: up to 4 body instructions + terminator
+};
+
+struct ScanResult {
+  std::vector<Gadget> gadgets;
+  uint64_t bytes_scanned = 0;
+  uint64_t aligned_count = 0;
+  uint64_t unaligned_count = 0;
+
+  [[nodiscard]] size_t count(GadgetKind kind) const;
+};
+
+/// Scans an original-layout image's code section.
+[[nodiscard]] ScanResult scan(const binary::Image& image,
+                              const ScanOptions& options = {});
+
+struct SurvivalResult {
+  size_t before = 0;
+  size_t after = 0;
+  std::vector<Gadget> surviving;
+
+  [[nodiscard]] double removal_percent() const {
+    return before == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(before - after) /
+                     static_cast<double>(before);
+  }
+};
+
+/// Re-evaluates the gadget pool against a randomized image's translation
+/// tables: a gadget survives iff all of its instruction addresses are in
+/// the un-randomized failover set (clear randomized tag).
+[[nodiscard]] SurvivalResult survival_after_randomization(
+    const ScanResult& original_scan, const binary::TranslationTables& tables);
+
+}  // namespace vcfr::gadget

@@ -1,0 +1,415 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace vcfr::isa {
+namespace {
+
+using binary::Image;
+
+struct AsmError : std::runtime_error {
+  AsmError(size_t line, const std::string& msg)
+      : std::runtime_error("asm:" + std::to_string(line) + ": " + msg) {}
+};
+
+/// An instruction whose immediate/target may still be symbolic.
+struct PendingInstr {
+  Instr instr;
+  std::string target_label;  // for jmp/jcc/call targets
+  std::string imm_label;     // for `mov rX, @label`
+  size_t line = 0;
+  uint32_t addr = 0;
+};
+
+/// A pending data item.
+struct DataItem {
+  enum class Kind { kWord, kByte, kSpace, kPtr } kind = Kind::kWord;
+  uint32_t value = 0;      // word/byte value or space size
+  std::string label;       // for kPtr
+  size_t line = 0;
+  uint32_t addr = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) : source_(source) {}
+
+  Image run() {
+    parse();
+    resolve();
+    return std::move(image_);
+  }
+
+ private:
+  // ---- lexing helpers -----------------------------------------------------
+
+  static std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+      s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.remove_suffix(1);
+    }
+    return s;
+  }
+
+  /// Splits "a, b" operands on commas, trimming whitespace.
+  static std::vector<std::string_view> split_operands(std::string_view s) {
+    std::vector<std::string_view> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == ',') {
+        auto piece = trim(s.substr(start, i - start));
+        if (!piece.empty()) out.push_back(piece);
+        start = i + 1;
+      }
+    }
+    return out;
+  }
+
+  std::optional<int64_t> parse_int(std::string_view s) const {
+    bool neg = false;
+    if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+      neg = s[0] == '-';
+      s.remove_prefix(1);
+    }
+    if (s.empty()) return std::nullopt;
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+      base = 16;
+      s.remove_prefix(2);
+    }
+    uint64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), value, base);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+    return neg ? -static_cast<int64_t>(value) : static_cast<int64_t>(value);
+  }
+
+  uint8_t expect_reg(std::string_view tok, size_t line) const {
+    auto reg = parse_reg(tok);
+    if (!reg) throw AsmError(line, "expected register, got '" + std::string(tok) + "'");
+    return *reg;
+  }
+
+  int64_t expect_int(std::string_view tok, size_t line) const {
+    auto v = parse_int(tok);
+    if (!v) throw AsmError(line, "expected integer, got '" + std::string(tok) + "'");
+    return *v;
+  }
+
+  // ---- pass 1: parse ------------------------------------------------------
+
+  void parse() {
+    size_t line_no = 0;
+    size_t pos = 0;
+    while (pos <= source_.size()) {
+      size_t eol = source_.find('\n', pos);
+      if (eol == std::string_view::npos) eol = source_.size();
+      std::string_view line = source_.substr(pos, eol - pos);
+      pos = eol + 1;
+      ++line_no;
+
+      if (auto cut = line.find_first_of(";#"); cut != std::string_view::npos) {
+        line = line.substr(0, cut);
+      }
+      line = trim(line);
+      if (line.empty()) continue;
+
+      if (line.back() == ':') {
+        define_label(std::string(trim(line.substr(0, line.size() - 1))), line_no);
+        continue;
+      }
+      if (line.front() == '.') {
+        parse_directive(line, line_no);
+        continue;
+      }
+      parse_instr(line, line_no);
+    }
+    if (pending_func_.has_value()) {
+      throw AsmError(line_no, ".func not followed by a label");
+    }
+  }
+
+  void define_label(const std::string& name, size_t line) {
+    if (name.empty()) throw AsmError(line, "empty label");
+    const uint32_t addr = in_data_ ? data_cursor_ : code_cursor_;
+    if (!labels_.emplace(name, addr).second) {
+      throw AsmError(line, "duplicate label '" + name + "'");
+    }
+    if (pending_func_.has_value()) {
+      image_.functions.push_back({*pending_func_, addr});
+      pending_func_.reset();
+    }
+  }
+
+  void parse_directive(std::string_view line, size_t line_no) {
+    const size_t sp = line.find_first_of(" \t");
+    std::string_view dir = line.substr(0, sp);
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : trim(line.substr(sp));
+
+    if (dir == ".name") {
+      image_.name = std::string(rest);
+    } else if (dir == ".code") {
+      image_.code_base = static_cast<uint32_t>(expect_int(rest, line_no));
+      code_cursor_ = image_.code_base;
+      in_data_ = false;
+    } else if (dir == ".data") {
+      if (!rest.empty()) {
+        image_.data_base = static_cast<uint32_t>(expect_int(rest, line_no));
+        data_cursor_ = image_.data_base;
+      }
+      in_data_ = true;
+    } else if (dir == ".text") {
+      in_data_ = false;
+    } else if (dir == ".entry") {
+      entry_label_ = std::string(rest);
+      entry_line_ = line_no;
+    } else if (dir == ".func") {
+      if (rest.empty()) throw AsmError(line_no, ".func requires a name");
+      pending_func_ = std::string(rest);
+    } else if (dir == ".word") {
+      data_items_.push_back({DataItem::Kind::kWord,
+                             static_cast<uint32_t>(expect_int(rest, line_no)),
+                             {}, line_no, data_cursor_});
+      data_cursor_ += 4;
+    } else if (dir == ".byte") {
+      data_items_.push_back({DataItem::Kind::kByte,
+                             static_cast<uint32_t>(expect_int(rest, line_no)),
+                             {}, line_no, data_cursor_});
+      data_cursor_ += 1;
+    } else if (dir == ".space") {
+      const auto n = expect_int(rest, line_no);
+      if (n < 0) throw AsmError(line_no, ".space size must be non-negative");
+      data_items_.push_back({DataItem::Kind::kSpace, static_cast<uint32_t>(n),
+                             {}, line_no, data_cursor_});
+      data_cursor_ += static_cast<uint32_t>(n);
+    } else if (dir == ".ptr") {
+      if (rest.empty()) throw AsmError(line_no, ".ptr requires a label");
+      data_items_.push_back({DataItem::Kind::kPtr, 0, std::string(rest),
+                             line_no, data_cursor_});
+      data_cursor_ += 4;
+    } else {
+      throw AsmError(line_no, "unknown directive '" + std::string(dir) + "'");
+    }
+  }
+
+  /// Parses "[rN]", "[rN+d]", "[rN-d]".
+  std::pair<uint8_t, int32_t> parse_mem(std::string_view tok, size_t line) const {
+    if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']') {
+      throw AsmError(line, "expected memory operand, got '" + std::string(tok) + "'");
+    }
+    std::string_view inner = trim(tok.substr(1, tok.size() - 2));
+    size_t sign = inner.find_first_of("+-");
+    if (sign == std::string_view::npos) {
+      return {expect_reg(inner, line), 0};
+    }
+    const uint8_t base = expect_reg(trim(inner.substr(0, sign)), line);
+    const int64_t disp = expect_int(inner.substr(sign), line);
+    if (disp < -32768 || disp > 32767) {
+      throw AsmError(line, "displacement out of 16-bit range");
+    }
+    return {base, static_cast<int32_t>(disp)};
+  }
+
+  void emit(PendingInstr p) {
+    if (in_data_) {
+      throw AsmError(p.line, "instruction in data section");
+    }
+    p.addr = code_cursor_;
+    p.instr.length = instr_length(static_cast<uint8_t>(p.instr.op));
+    code_cursor_ += p.instr.length;
+    instrs_.push_back(std::move(p));
+  }
+
+  void parse_instr(std::string_view line, size_t line_no) {
+    const size_t sp = line.find_first_of(" \t");
+    std::string mn{line.substr(0, sp)};
+    const auto ops = split_operands(
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp));
+
+    PendingInstr p;
+    p.line = line_no;
+    Instr& in = p.instr;
+
+    auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(line_no, mn + " expects " + std::to_string(n) +
+                                    " operand(s), got " + std::to_string(ops.size()));
+      }
+    };
+    auto reg_or_imm = [&](Op rr, Op ri) {
+      need(2);
+      in.rd = expect_reg(ops[0], line_no);
+      if (parse_reg(ops[1])) {
+        in.op = rr;
+        in.rs = *parse_reg(ops[1]);
+      } else {
+        in.op = ri;
+        if (!ops[1].empty() && ops[1][0] == '@') {
+          p.imm_label = std::string(ops[1].substr(1));
+        } else {
+          in.imm = static_cast<uint32_t>(expect_int(ops[1], line_no));
+        }
+      }
+    };
+    auto mem_op = [&](Op op) {
+      need(2);
+      in.op = op;
+      in.rd = expect_reg(ops[0], line_no);
+      auto [base, disp] = parse_mem(ops[1], line_no);
+      in.rs = base;
+      in.disp = disp;
+    };
+    auto one_reg = [&](Op op) {
+      need(1);
+      in.op = op;
+      in.rd = expect_reg(ops[0], line_no);
+    };
+    auto direct = [&](Op op) {
+      need(1);
+      in.op = op;
+      if (auto v = parse_int(ops[0])) {
+        in.imm = static_cast<uint32_t>(*v);
+      } else {
+        p.target_label = std::string(ops[0]);
+      }
+    };
+
+    if (mn == "nop") { need(0); in.op = Op::kNop; }
+    else if (mn == "halt") { need(0); in.op = Op::kHalt; }
+    else if (mn == "ret") { need(0); in.op = Op::kRet; }
+    else if (mn == "sys") {
+      need(1);
+      in.op = Op::kSys;
+      in.imm = static_cast<uint32_t>(expect_int(ops[0], line_no));
+    }
+    else if (mn == "out") { one_reg(Op::kOut); }
+    else if (mn == "push") {
+      need(1);
+      if (parse_reg(ops[0])) {
+        in.op = Op::kPushR;
+        in.rd = *parse_reg(ops[0]);
+      } else {
+        in.op = Op::kPushI;
+        in.imm = static_cast<uint32_t>(expect_int(ops[0], line_no));
+      }
+    }
+    else if (mn == "pop") { one_reg(Op::kPopR); }
+    else if (mn == "jmpr") { one_reg(Op::kJmpR); }
+    else if (mn == "callr") { one_reg(Op::kCallR); }
+    else if (mn == "mov") { reg_or_imm(Op::kMovRR, Op::kMovRI); }
+    else if (mn == "add") { reg_or_imm(Op::kAddRR, Op::kAddRI); }
+    else if (mn == "sub") { reg_or_imm(Op::kSubRR, Op::kSubRI); }
+    else if (mn == "and") { reg_or_imm(Op::kAndRR, Op::kAndRI); }
+    else if (mn == "or") { reg_or_imm(Op::kOrRR, Op::kOrRI); }
+    else if (mn == "xor") { reg_or_imm(Op::kXorRR, Op::kXorRI); }
+    else if (mn == "shl") { reg_or_imm(Op::kShlRR, Op::kShlRI); }
+    else if (mn == "shr") { reg_or_imm(Op::kShrRR, Op::kShrRI); }
+    else if (mn == "mul") { reg_or_imm(Op::kMulRR, Op::kMulRI); }
+    else if (mn == "cmp") { reg_or_imm(Op::kCmpRR, Op::kCmpRI); }
+    else if (mn == "div") {
+      need(2);
+      in.op = Op::kDivRR;
+      in.rd = expect_reg(ops[0], line_no);
+      in.rs = expect_reg(ops[1], line_no);
+    }
+    else if (mn == "test") {
+      need(2);
+      in.op = Op::kTestRR;
+      in.rd = expect_reg(ops[0], line_no);
+      in.rs = expect_reg(ops[1], line_no);
+    }
+    else if (mn == "ld") { mem_op(Op::kLd); }
+    else if (mn == "st") { mem_op(Op::kSt); }
+    else if (mn == "ldb") { mem_op(Op::kLdb); }
+    else if (mn == "stb") { mem_op(Op::kStb); }
+    else if (mn == "jmp") { direct(Op::kJmp); }
+    else if (mn == "call") { direct(Op::kCall); }
+    else if (mn.size() > 1 && mn[0] == 'j' && parse_cond(mn.substr(1))) {
+      direct(Op::kJcc);
+      in.cond = *parse_cond(mn.substr(1));
+    }
+    else {
+      throw AsmError(line_no, "unknown mnemonic '" + mn + "'");
+    }
+    emit(std::move(p));
+  }
+
+  // ---- pass 2: resolve and encode ----------------------------------------
+
+  uint32_t lookup(const std::string& label, size_t line) const {
+    auto it = labels_.find(label);
+    if (it == labels_.end()) throw AsmError(line, "undefined label '" + label + "'");
+    return it->second;
+  }
+
+  void resolve() {
+    for (auto& p : instrs_) {
+      if (!p.target_label.empty()) p.instr.imm = lookup(p.target_label, p.line);
+      if (!p.imm_label.empty()) p.instr.imm = lookup(p.imm_label, p.line);
+      encode(p.instr, image_.code);
+    }
+    image_.data.resize(data_cursor_ - image_.data_base, 0);
+    for (const auto& d : data_items_) {
+      const uint32_t off = d.addr - image_.data_base;
+      switch (d.kind) {
+        case DataItem::Kind::kWord:
+          image_.write_data32(d.addr, d.value);
+          break;
+        case DataItem::Kind::kByte:
+          image_.data[off] = static_cast<uint8_t>(d.value);
+          break;
+        case DataItem::Kind::kSpace:
+          break;  // already zero-filled
+        case DataItem::Kind::kPtr: {
+          const uint32_t target = lookup(d.label, d.line);
+          image_.write_data32(d.addr, target);
+          if (target >= image_.code_base && target < code_cursor_) {
+            image_.relocs.push_back({d.addr});
+          }
+          break;
+        }
+      }
+    }
+    if (!entry_label_.empty()) {
+      image_.entry = lookup(entry_label_, entry_line_);
+    } else {
+      image_.entry = image_.code_base;
+    }
+  }
+
+  std::string_view source_;
+  Image image_ = [] {
+    Image img;
+    img.code_base = binary::kDefaultCodeBase;
+    img.data_base = binary::kDefaultDataBase;
+    return img;
+  }();
+  bool in_data_ = false;
+  uint32_t code_cursor_ = binary::kDefaultCodeBase;
+  uint32_t data_cursor_ = binary::kDefaultDataBase;
+  std::unordered_map<std::string, uint32_t> labels_;
+  std::vector<PendingInstr> instrs_;
+  std::vector<DataItem> data_items_;
+  std::optional<std::string> pending_func_;
+  std::string entry_label_;
+  size_t entry_line_ = 0;
+};
+
+}  // namespace
+
+binary::Image assemble(std::string_view source) {
+  return Assembler(source).run();
+}
+
+}  // namespace vcfr::isa

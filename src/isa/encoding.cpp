@@ -1,0 +1,173 @@
+#include "isa/encoding.hpp"
+
+#include <cassert>
+
+namespace vcfr::isa {
+namespace {
+
+void put32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t get32(std::span<const uint8_t> b, size_t off) {
+  return static_cast<uint32_t>(b[off]) | (static_cast<uint32_t>(b[off + 1]) << 8) |
+         (static_cast<uint32_t>(b[off + 2]) << 16) |
+         (static_cast<uint32_t>(b[off + 3]) << 24);
+}
+
+}  // namespace
+
+void encode(const Instr& instr, std::vector<uint8_t>& out) {
+  const auto op = static_cast<uint8_t>(instr.op);
+  out.push_back(op);
+  switch (instr.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kRet:
+      break;
+    case Op::kSys:
+      out.push_back(static_cast<uint8_t>(instr.imm));
+      break;
+    case Op::kOut:
+    case Op::kJmpR:
+    case Op::kCallR:
+    case Op::kPushR:
+    case Op::kPopR:
+    case Op::kMovRR:
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kAndRR:
+    case Op::kOrRR:
+    case Op::kXorRR:
+    case Op::kShlRR:
+    case Op::kShrRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+    case Op::kCmpRR:
+    case Op::kTestRR:
+      out.push_back(static_cast<uint8_t>((instr.rd << 4) | (instr.rs & 0xf)));
+      break;
+    case Op::kLd:
+    case Op::kSt:
+    case Op::kLdb:
+    case Op::kStb: {
+      out.push_back(static_cast<uint8_t>((instr.rd << 4) | (instr.rs & 0xf)));
+      const auto disp = static_cast<uint16_t>(static_cast<int16_t>(instr.disp));
+      out.push_back(static_cast<uint8_t>(disp));
+      out.push_back(static_cast<uint8_t>(disp >> 8));
+      break;
+    }
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kPushI:
+      put32(out, instr.imm);
+      break;
+    case Op::kJcc:
+      out.push_back(static_cast<uint8_t>(instr.cond));
+      put32(out, instr.imm);
+      break;
+    case Op::kMovRI:
+    case Op::kAddRI:
+    case Op::kSubRI:
+    case Op::kAndRI:
+    case Op::kOrRI:
+    case Op::kXorRI:
+    case Op::kShlRI:
+    case Op::kShrRI:
+    case Op::kMulRI:
+    case Op::kCmpRI:
+      out.push_back(instr.rd);
+      put32(out, instr.imm);
+      break;
+  }
+}
+
+std::vector<uint8_t> encode(const Instr& instr) {
+  std::vector<uint8_t> out;
+  encode(instr, out);
+  return out;
+}
+
+std::optional<Instr> decode(std::span<const uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  const uint8_t op_byte = bytes[0];
+  const uint8_t len = instr_length(op_byte);
+  if (len == 0 || bytes.size() < len) return std::nullopt;
+
+  Instr instr;
+  instr.op = static_cast<Op>(op_byte);
+  instr.length = len;
+  switch (instr.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kRet:
+      break;
+    case Op::kSys:
+      instr.imm = bytes[1];
+      break;
+    case Op::kOut:
+    case Op::kJmpR:
+    case Op::kCallR:
+    case Op::kPushR:
+    case Op::kPopR:
+    case Op::kMovRR:
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kAndRR:
+    case Op::kOrRR:
+    case Op::kXorRR:
+    case Op::kShlRR:
+    case Op::kShrRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+    case Op::kCmpRR:
+    case Op::kTestRR:
+      instr.rd = bytes[1] >> 4;
+      instr.rs = bytes[1] & 0xf;
+      break;
+    case Op::kLd:
+    case Op::kSt:
+    case Op::kLdb:
+    case Op::kStb:
+      instr.rd = bytes[1] >> 4;
+      instr.rs = bytes[1] & 0xf;
+      instr.disp = static_cast<int16_t>(
+          static_cast<uint16_t>(bytes[2]) | (static_cast<uint16_t>(bytes[3]) << 8));
+      break;
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kPushI:
+      instr.imm = get32(bytes, 1);
+      break;
+    case Op::kJcc:
+      if (bytes[1] > static_cast<uint8_t>(Cond::kAe)) return std::nullopt;
+      instr.cond = static_cast<Cond>(bytes[1]);
+      instr.imm = get32(bytes, 2);
+      break;
+    case Op::kMovRI:
+    case Op::kAddRI:
+    case Op::kSubRI:
+    case Op::kAndRI:
+    case Op::kOrRI:
+    case Op::kXorRI:
+    case Op::kShlRI:
+    case Op::kShrRI:
+    case Op::kMulRI:
+    case Op::kCmpRI:
+      if (bytes[1] >= kNumRegs) return std::nullopt;
+      instr.rd = bytes[1];
+      instr.imm = get32(bytes, 2);
+      break;
+  }
+  return instr;
+}
+
+uint32_t target_field_offset(Op op) {
+  assert(op == Op::kJmp || op == Op::kCall || op == Op::kJcc);
+  return op == Op::kJcc ? 2 : 1;
+}
+
+}  // namespace vcfr::isa

@@ -1,0 +1,39 @@
+// Binary encoding and decoding of VX instructions.
+//
+// Layouts (little-endian multi-byte fields):
+//   1 byte : op                                   (nop, halt, ret)
+//   2 bytes: op, rd<<4|rs                         (reg-reg ALU, push/pop, ...)
+//   2 bytes: op, func                             (sys)
+//   4 bytes: op, rd<<4|rs, disp16                 (ld/st/ldb/stb)
+//   5 bytes: op, target32                         (jmp, call)
+//   6 bytes: op, rd, imm32                        (reg-imm ALU, mov-imm)
+//   6 bytes: op, cond, target32                   (jcc)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace vcfr::isa {
+
+/// Appends the encoding of `instr` to `out`. The instruction's `length`
+/// field is ignored; the canonical length for its opcode is used.
+void encode(const Instr& instr, std::vector<uint8_t>& out);
+
+/// Encodes a single instruction into a fresh buffer.
+[[nodiscard]] std::vector<uint8_t> encode(const Instr& instr);
+
+/// Decodes one instruction from `bytes`. Returns nullopt when the first
+/// byte is not a valid opcode or the buffer is too short for the opcode's
+/// length. Gadget scanning relies on this failure tolerance.
+[[nodiscard]] std::optional<Instr> decode(std::span<const uint8_t> bytes);
+
+/// Byte offset of the 32-bit absolute-target field within a direct-transfer
+/// encoding (jmp/call: 1, jcc: 2). Used by the rewriter to patch targets
+/// in place.
+[[nodiscard]] uint32_t target_field_offset(Op op);
+
+}  // namespace vcfr::isa

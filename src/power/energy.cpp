@@ -1,0 +1,28 @@
+#include "power/energy.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vcfr::power {
+
+double sram_access_pj(uint32_t size_bytes, uint32_t assoc) {
+  // E = c * sqrt(size) * (1 + 0.1 * (assoc - 1));
+  // c chosen so a 32 KiB 2-way array costs ~25 pJ per access.
+  constexpr double kCoeff = 0.125;
+  const double base = kCoeff * std::sqrt(static_cast<double>(size_bytes));
+  return base * (1.0 + 0.1 * (assoc > 0 ? assoc - 1 : 0));
+}
+
+std::string PowerAccount::report() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "core=%.1fuJ il1=%.1fuJ dl1=%.1fuJ l2=%.1fuJ drc=%.3fuJ "
+                "bpred=%.1fuJ btb=%.1fuJ ras=%.1fuJ tlb=%.1fuJ dram=%.1fuJ "
+                "cpu_total=%.1fuJ drc_overhead=%.3f%%",
+                core * 1e-6, il1 * 1e-6, dl1 * 1e-6, l2 * 1e-6, drc * 1e-6,
+                bpred * 1e-6, btb * 1e-6, ras * 1e-6, tlb * 1e-6, dram * 1e-6,
+                cpu_total() * 1e-6, drc_overhead_percent());
+  return buf;
+}
+
+}  // namespace vcfr::power

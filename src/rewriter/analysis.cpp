@@ -1,0 +1,338 @@
+#include "rewriter/analysis.hpp"
+
+#include <array>
+
+namespace vcfr::rewriter {
+
+using isa::Op;
+
+namespace {
+
+/// Abstract value for the register constant-propagation pass.
+struct AbsVal {
+  enum class Kind {
+    kUnknown,
+    kConstCode,     // literal instruction-start address (def_site records the mov)
+    kConstData,     // literal data-section address
+    kDataDerived,   // arithmetic over a data address
+    kCodeDerived,   // arithmetic over a code address (computed dispatch)
+    kRetAddr,       // the function's own return address (pop / ld [sp] at entry)
+    kRetDerived,    // arithmetic over the return address (PIC addressing)
+    kRelocLoad,     // loaded from the data section (relocation-covered slot)
+  };
+  Kind kind = Kind::kUnknown;
+  uint32_t addr = 0;      // code address for kConstCode / base for kCodeDerived
+  uint32_t def_site = 0;  // instruction address of the defining mov (kConstCode)
+};
+
+using Kind = AbsVal::Kind;
+
+struct FunctionFacts {
+  bool returns_via_jump = false;   // return address reaches jmpr/callr
+  bool reads_ret_addr = false;     // return address read at all (PIC / EH)
+};
+
+class Propagator {
+ public:
+  Propagator(const binary::Image& image, const Cfg& cfg, AnalysisResult& out)
+      : image_(image), cfg_(cfg), out_(out) {}
+
+  void run() {
+    facts_.resize(cfg_.functions.size());
+    for (const auto& block : cfg_.blocks) walk_block(block);
+    // Sites used as arithmetic bases must keep their literal values.
+    for (uint32_t site : arith_code_sites_) out_.code_imm_sites.erase(site);
+  }
+
+  [[nodiscard]] const std::vector<FunctionFacts>& facts() const {
+    return facts_;
+  }
+  [[nodiscard]] bool has_unknown_indirect() const {
+    return has_unknown_indirect_;
+  }
+
+ private:
+  [[nodiscard]] bool in_data(uint32_t v) const {
+    return v >= image_.data_base && v < image_.data_end();
+  }
+
+  [[nodiscard]] size_t function_index(uint32_t addr) const {
+    const FunctionExtent* f = cfg_.function_of(addr);
+    if (!f) return SIZE_MAX;
+    return static_cast<size_t>(f - cfg_.functions.data());
+  }
+
+  [[nodiscard]] bool at_function_entry(uint32_t addr) const {
+    const FunctionExtent* f = cfg_.function_of(addr);
+    return f != nullptr && f->start == addr;
+  }
+
+  void mark_computed_window(uint32_t base) {
+    // All instruction starts in the enclosing function (or a fixed window
+    // when the base is outside any known function) become potential targets
+    // of a computed transfer and must keep their original addresses.
+    const FunctionExtent* f = cfg_.function_of(base);
+    const uint32_t lo = f ? f->start : base;
+    const uint32_t hi = f ? f->end : base + 256;
+    for (const auto& e : cfg_.instrs) {
+      if (e.addr >= lo && e.addr < hi) out_.unrandomized.insert(e.addr);
+    }
+  }
+
+  AbsVal combine_arith(const AbsVal& a, const AbsVal& b) {
+    auto derived_of = [&](const AbsVal& v) -> AbsVal {
+      switch (v.kind) {
+        case Kind::kConstCode:
+          arith_code_sites_.insert(v.def_site);
+          return {Kind::kCodeDerived, v.addr, 0};
+        case Kind::kCodeDerived:
+          return v;
+        case Kind::kRetAddr:
+        case Kind::kRetDerived:
+          return {Kind::kRetDerived, v.addr, 0};
+        case Kind::kConstData:
+        case Kind::kDataDerived:
+          return {Kind::kDataDerived, v.addr, 0};
+        default:
+          return {};
+      }
+    };
+    const AbsVal da = derived_of(a);
+    if (da.kind == Kind::kCodeDerived || da.kind == Kind::kRetDerived) return da;
+    const AbsVal db = derived_of(b);
+    if (db.kind == Kind::kCodeDerived || db.kind == Kind::kRetDerived) return db;
+    if (da.kind == Kind::kDataDerived) return da;
+    if (db.kind == Kind::kDataDerived) return db;
+    return {};
+  }
+
+  void consume_indirect(const isa::DisasmEntry& e, const AbsVal& v) {
+    const size_t fi = function_index(e.addr);
+    switch (v.kind) {
+      case Kind::kConstCode:
+      case Kind::kRelocLoad:
+        break;  // resolved: the producing site / slot will be patched
+      case Kind::kRetAddr:
+      case Kind::kRetDerived:
+        if (fi != SIZE_MAX) facts_[fi].returns_via_jump = true;
+        break;
+      case Kind::kCodeDerived:
+        mark_computed_window(v.addr);
+        break;
+      default:
+        has_unknown_indirect_ = true;
+        break;
+    }
+  }
+
+  void walk_block(const BasicBlock& block) {
+    std::array<AbsVal, isa::kNumRegs> regs{};  // all kUnknown at block entry
+    for (size_t i = 0; i < block.num_instrs; ++i) {
+      const auto& e = cfg_.instrs[block.first_instr + i];
+      const auto& in = e.instr;
+      switch (in.op) {
+        case Op::kMovRI:
+          if (cfg_.is_instr_start(in.imm)) {
+            regs[in.rd] = {Kind::kConstCode, in.imm, e.addr};
+            out_.code_imm_sites.insert(e.addr);
+          } else if (in_data(in.imm)) {
+            regs[in.rd] = {Kind::kConstData, in.imm, e.addr};
+          } else {
+            regs[in.rd] = {};
+          }
+          break;
+        case Op::kMovRR:
+          regs[in.rd] = regs[in.rs];
+          break;
+        case Op::kAddRR:
+        case Op::kSubRR:
+        case Op::kMulRR:
+        case Op::kAndRR:
+        case Op::kOrRR:
+        case Op::kXorRR:
+        case Op::kShlRR:
+        case Op::kShrRR:
+        case Op::kDivRR:
+          regs[in.rd] = combine_arith(regs[in.rd], regs[in.rs]);
+          break;
+        case Op::kAddRI:
+        case Op::kSubRI:
+        case Op::kMulRI:
+        case Op::kAndRI:
+        case Op::kOrRI:
+        case Op::kXorRI:
+        case Op::kShlRI:
+        case Op::kShrRI: {
+          AbsVal imm_val;
+          if (cfg_.is_instr_start(in.imm)) {
+            imm_val = {Kind::kConstCode, in.imm, e.addr};
+          } else if (in_data(in.imm)) {
+            imm_val = {Kind::kConstData, in.imm, e.addr};
+          }
+          regs[in.rd] = combine_arith(regs[in.rd], imm_val);
+          break;
+        }
+        case Op::kLd: {
+          const AbsVal& base = regs[in.rs];
+          if (in.rs == isa::kSp && in.disp == 0 && at_function_entry(e.addr)) {
+            regs[in.rd] = {Kind::kRetAddr, e.addr, 0};
+            if (auto fi = function_index(e.addr); fi != SIZE_MAX) {
+              facts_[fi].reads_ret_addr = true;
+            }
+          } else if (base.kind == Kind::kConstData ||
+                     base.kind == Kind::kDataDerived) {
+            regs[in.rd] = {Kind::kRelocLoad, 0, 0};
+          } else {
+            regs[in.rd] = {};
+          }
+          break;
+        }
+        case Op::kPopR:
+          if (at_function_entry(e.addr)) {
+            regs[in.rd] = {Kind::kRetAddr, e.addr, 0};
+            if (auto fi = function_index(e.addr); fi != SIZE_MAX) {
+              facts_[fi].reads_ret_addr = true;
+            }
+          } else {
+            regs[in.rd] = {};
+          }
+          break;
+        case Op::kLdb:
+          regs[in.rd] = {};
+          break;
+        case Op::kJmpR:
+        case Op::kCallR:
+          consume_indirect(e, regs[in.rd]);
+          if (in.op == Op::kCallR) regs.fill({});  // callee clobbers
+          break;
+        case Op::kCall:
+          regs.fill({});
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const binary::Image& image_;
+  const Cfg& cfg_;
+  AnalysisResult& out_;
+  std::vector<FunctionFacts> facts_;
+  std::unordered_set<uint32_t> arith_code_sites_;
+  bool has_unknown_indirect_ = false;
+};
+
+}  // namespace
+
+StaticStats static_stats(const binary::Image& image, const Cfg& cfg) {
+  StaticStats s;
+  s.app = image.name;
+  s.instructions = cfg.instrs.size();
+  for (const auto& e : cfg.instrs) {
+    switch (e.instr.op) {
+      case Op::kJmp:
+      case Op::kJcc:
+        ++s.direct_transfers;
+        break;
+      case Op::kCall:
+        ++s.direct_transfers;
+        ++s.function_calls;
+        break;
+      case Op::kJmpR:
+        ++s.indirect_transfers;
+        break;
+      case Op::kCallR:
+        ++s.indirect_transfers;
+        ++s.function_calls;
+        ++s.indirect_calls;
+        break;
+      case Op::kRet:
+        ++s.returns;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& f : cfg.functions) {
+    if (f.has_ret) {
+      ++s.functions_with_ret;
+    } else {
+      ++s.functions_without_ret;
+    }
+  }
+  return s;
+}
+
+AnalysisResult analyze(const binary::Image& image, const Cfg& cfg,
+                       ReturnPolicy policy) {
+  AnalysisResult out;
+  out.stats = static_stats(image, cfg);
+
+  Propagator prop(image, cfg, out);
+  prop.run();
+
+  // Byte-by-byte pointer scan over the data section (Hiser et al.'s
+  // heuristic): every pointer-sized constant that matches an instruction
+  // start is a candidate indirect target. Relocation records prove which
+  // slots are genuine code pointers (patched); the rest stay unproven.
+  std::unordered_set<uint32_t> reloc_slots;
+  for (const auto& r : image.relocs) reloc_slots.insert(r.data_addr);
+  if (image.data.size() >= 4) {
+    for (uint32_t off = 0; off + 4 <= image.data.size(); ++off) {
+      const uint32_t addr = image.data_base + off;
+      const uint32_t value = image.read_data32(addr);
+      if (!cfg.is_instr_start(value)) continue;
+      if (reloc_slots.contains(addr)) {
+        out.patched_data_slots.insert(addr);
+      } else {
+        out.unproven_data_slots.insert(addr);
+        out.unrandomized.insert(value);
+      }
+    }
+  }
+
+  // An indirect transfer with a wholly unknown source keeps the paper's
+  // initial conservative assumption: every unproven candidate can be a
+  // target. (Proven slots are patched, so their targets still randomize.)
+  // The unproven targets were already added above; nothing further needed
+  // unless there were no data candidates at all, in which case nothing can
+  // be claimed and the transfer relies on patched sources at runtime.
+  (void)prop.has_unknown_indirect();
+
+  // Return-site safety (§IV-A, §IV-C).
+  for (size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    const auto& block = cfg.blocks[bi];
+    const auto& last = cfg.instrs[block.first_instr + block.num_instrs - 1];
+    if (!last.instr.is_call()) continue;
+    const uint32_t ret_site = last.addr + last.instr.length;
+    if (!cfg.is_instr_start(ret_site)) continue;
+
+    bool unsafe = false;
+    if (policy == ReturnPolicy::kNone) {
+      unsafe = true;  // no architectural return randomization available
+    } else if (last.instr.op == Op::kCallR) {
+      unsafe = true;  // indirect-call returns are never randomized
+    } else {
+      const FunctionExtent* callee = cfg.function_of(last.instr.imm);
+      if (callee != nullptr) {
+        const auto fi = static_cast<size_t>(callee - cfg.functions.data());
+        const auto& facts = prop.facts()[fi];
+        if (facts.returns_via_jump || !callee->has_ret) {
+          unsafe = true;  // callee re-enters via a jump in original space
+        } else if (policy == ReturnPolicy::kConservative &&
+                   facts.reads_ret_addr) {
+          // PIC-style read of the return address: only the architectural
+          // bitmap (§IV-C) makes randomizing this safe.
+          unsafe = true;
+        }
+      }
+    }
+    if (unsafe) {
+      out.unsafe_return_sites.insert(ret_site);
+      out.unrandomized.insert(ret_site);
+    }
+  }
+  return out;
+}
+
+}  // namespace vcfr::rewriter

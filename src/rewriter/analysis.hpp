@@ -1,0 +1,83 @@
+// Static analyses the paper's randomization software applies (§IV-A):
+//
+//  * indirect-target recovery: relocation records, a constant-propagation
+//    pass over registers (code-address producers -> indirect-transfer
+//    consumers), and the byte-by-byte pointer-scan heuristic of Hiser et
+//    al.;
+//  * the un-randomizable ("failover") set: targets of indirect transfers
+//    that cannot be proven patched keep their original addresses;
+//  * call/return safety: return sites of indirect calls and of calls to
+//    functions that return without `ret` (or immediately read their return
+//    address) are not randomized under the conservative policy;
+//  * static statistics for Table II and Figure 9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "binary/image.hpp"
+#include "rewriter/cfg.hpp"
+
+namespace vcfr::rewriter {
+
+/// Table II row + Figure 9 pair for one application.
+struct StaticStats {
+  std::string app;
+  uint64_t direct_transfers = 0;    // jmp, jcc, direct call
+  uint64_t indirect_transfers = 0;  // jmpr, callr (register/computed)
+  uint64_t function_calls = 0;      // call + callr
+  uint64_t indirect_calls = 0;      // callr
+  uint64_t returns = 0;
+  uint64_t functions_with_ret = 0;
+  uint64_t functions_without_ret = 0;
+  uint64_t instructions = 0;
+};
+
+/// Result of the indirect-transfer / safety analyses.
+struct AnalysisResult {
+  /// Instruction starts that must keep their original addresses (tag
+  /// cleared): unproven indirect targets + the computed-dispatch windows.
+  std::unordered_set<uint32_t> unrandomized;
+  /// Return-site addresses (instruction after a call) that must not be
+  /// randomized: indirect-call returns always; returns into unsafe callees
+  /// under the conservative policy.
+  std::unordered_set<uint32_t> unsafe_return_sites;
+  /// `mov rX, imm` instruction addresses whose immediate is a proven code
+  /// pointer and must be patched into the randomized space.
+  std::unordered_set<uint32_t> code_imm_sites;
+  /// Data addresses of 32-bit slots holding code pointers that the
+  /// byte-scan heuristic found *and* relocation records cover (patched).
+  std::unordered_set<uint32_t> patched_data_slots;
+  /// Byte-scan candidates in data with no relocation record (left alone;
+  /// their targets populate `unrandomized`).
+  std::unordered_set<uint32_t> unproven_data_slots;
+  StaticStats stats;
+};
+
+/// Policy for return-address randomization (§IV-A/§IV-C).
+enum class ReturnPolicy {
+  /// Software-only option: randomize only provably safe call sites.
+  kConservative,
+  /// Architectural option: randomize every safe-by-architecture return
+  /// (the stack bitmap de-randomizes direct accesses); only indirect-call
+  /// returns and non-ret-returning callees stay un-randomized.
+  kArchitectural,
+  /// No call pushes a randomized return address at all. Used underneath
+  /// the software call rewrite (ReturnOption::kSoftwareRewrite), where the
+  /// rewritten sites push their randomized returns explicitly and every
+  /// remaining call must stay un-randomized.
+  kNone,
+};
+
+/// Runs all analyses over a recovered CFG.
+[[nodiscard]] AnalysisResult analyze(const binary::Image& image,
+                                     const Cfg& cfg,
+                                     ReturnPolicy policy);
+
+/// Static statistics only (Table II / Fig 9) without the heavier passes.
+[[nodiscard]] StaticStats static_stats(const binary::Image& image,
+                                       const Cfg& cfg);
+
+}  // namespace vcfr::rewriter

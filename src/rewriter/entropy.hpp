@@ -1,0 +1,44 @@
+// Randomization-entropy analysis (§V-C(a): "ILR can have high entropy,
+// which defends against attacks that try to evade the protection by
+// reducing the entropy of a system"; randomization at instruction
+// granularity gives "a large randomization space").
+//
+// Quantifies, for a randomization result:
+//   * bits of location uncertainty per instruction,
+//   * the probability that a single attacker guess (one remote attempt —
+//     a crash on failure, per the threat model) hits a chosen instruction,
+//   * the expected number of attempts to land one gadget, and
+//   * the residual (failover) surface that carries no entropy at all.
+#pragma once
+
+#include <cstdint>
+
+#include "rewriter/randomizer.hpp"
+
+namespace vcfr::rewriter {
+
+struct EntropyReport {
+  /// log2 of the number of addresses a randomized instruction may occupy.
+  double bits_per_instruction = 0;
+  /// Probability that one guessed address equals a chosen instruction's
+  /// randomized location.
+  double single_guess_probability = 0;
+  /// Expected crash-inducing attempts before hitting one chosen gadget.
+  double expected_attempts = 0;
+  size_t randomized_instructions = 0;
+  size_t failover_instructions = 0;  // zero-entropy residual surface
+  /// Fraction of the program that carries full entropy.
+  [[nodiscard]] double coverage() const {
+    const size_t total = randomized_instructions + failover_instructions;
+    return total == 0 ? 0.0
+                      : static_cast<double>(randomized_instructions) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Computes the entropy report for a randomization outcome produced with
+/// `options` (the placement policy determines the location space).
+[[nodiscard]] EntropyReport analyze_entropy(const RandomizeResult& result,
+                                            const RandomizeOptions& options);
+
+}  // namespace vcfr::rewriter

@@ -1,0 +1,290 @@
+#include "rewriter/randomizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <bit>
+#include <random>
+#include <stdexcept>
+
+#include "isa/encoding.hpp"
+
+namespace vcfr::rewriter {
+
+using isa::Op;
+
+namespace {
+
+/// Re-encodes one instruction with its control-flow-relevant immediate
+/// mapped through `remap` (identity for everything else). PushI immediates
+/// are return addresses produced by the software call rewrite and are
+/// always code pointers.
+std::vector<uint8_t> rewrite_instr(
+    const isa::DisasmEntry& entry,
+    const std::unordered_map<uint32_t, uint32_t>& placement,
+    const std::unordered_set<uint32_t>& code_imm_sites) {
+  isa::Instr instr = entry.instr;
+  const bool is_code_imm =
+      instr.op == Op::kMovRI && code_imm_sites.contains(entry.addr);
+  if (instr.is_direct_transfer() || is_code_imm || instr.op == Op::kPushI) {
+    auto it = placement.find(instr.imm);
+    if (it != placement.end()) instr.imm = it->second;
+  }
+  return isa::encode(instr);
+}
+
+uint32_t next_pow2(uint32_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+}  // namespace
+
+binary::Image rewrite_calls_software(const binary::Image& image,
+                                     SoftwareRewriteStats* stats) {
+  if (image.layout != binary::Layout::kOriginal) {
+    throw std::invalid_argument(
+        "rewrite_calls_software: requires an original-layout image");
+  }
+  const Cfg cfg = build_cfg(image);
+  // Conservative safety: the software option has no bitmap, so any callee
+  // that touches its return address disqualifies the site.
+  const AnalysisResult ar = analyze(image, cfg, ReturnPolicy::kConservative);
+
+  // Pass 1: build the transformed instruction list and the old->new
+  // address map for instruction starts.
+  struct NewInstr {
+    isa::Instr instr;
+    uint32_t new_addr = 0;
+    bool pushi_needs_ret = false;  // imm := address after the next instr
+  };
+  std::vector<NewInstr> out;
+  out.reserve(cfg.instrs.size() + 64);
+  std::unordered_map<uint32_t, uint32_t> addr_map;
+  addr_map.reserve(cfg.instrs.size());
+  uint32_t cursor = image.code_base;
+  uint32_t rewritten = 0;
+
+  for (const auto& e : cfg.instrs) {
+    addr_map.emplace(e.addr, cursor);
+    const uint32_t ret_site = e.addr + e.instr.length;
+    const FunctionExtent* callee =
+        e.instr.op == Op::kCall ? cfg.function_of(e.instr.imm) : nullptr;
+    const bool rewrite = e.instr.op == Op::kCall && callee != nullptr &&
+                         callee->has_ret &&
+                         !ar.unsafe_return_sites.contains(ret_site) &&
+                         cfg.is_instr_start(ret_site);
+    if (rewrite) {
+      ++rewritten;
+      isa::Instr push{.op = Op::kPushI};
+      push.length = isa::instr_length(static_cast<uint8_t>(Op::kPushI));
+      out.push_back({push, cursor, /*pushi_needs_ret=*/true});
+      cursor += push.length;
+      isa::Instr jmp{.op = Op::kJmp, .imm = e.instr.imm};
+      jmp.length = isa::instr_length(static_cast<uint8_t>(Op::kJmp));
+      out.push_back({jmp, cursor, false});
+      cursor += jmp.length;
+    } else {
+      out.push_back({e.instr, cursor, false});
+      cursor += e.instr.length;
+    }
+  }
+
+  // Pass 2: re-link every address reference through addr_map and resolve
+  // the push immediates (the return address is the instruction after the
+  // jmp, in new-address terms).
+  auto remap_old = [&](uint32_t a) {
+    auto it = addr_map.find(a);
+    return it == addr_map.end() ? a : it->second;
+  };
+  binary::Image result = image;
+  result.code.clear();
+  result.code.reserve(cursor - image.code_base);
+  for (size_t i = 0; i < out.size(); ++i) {
+    isa::Instr instr = out[i].instr;
+    if (out[i].pushi_needs_ret) {
+      // Skip the jmp that follows this push: the return lands after it.
+      instr.imm = i + 2 < out.size() ? out[i + 2].new_addr : cursor;
+    } else if (instr.is_direct_transfer() ||
+               (instr.op == Op::kMovRI && cfg.is_instr_start(instr.imm))) {
+      instr.imm = remap_old(instr.imm);
+    }
+    isa::encode(instr, result.code);
+  }
+  for (const auto& r : result.relocs) {
+    result.write_data32(r.data_addr, remap_old(result.read_data32(r.data_addr)));
+  }
+  for (auto& f : result.functions) f.addr = remap_old(f.addr);
+  result.entry = remap_old(result.entry);
+
+  if (stats != nullptr) {
+    stats->calls_rewritten = rewritten;
+    stats->code_bytes_before = static_cast<uint32_t>(image.code.size());
+    stats->code_bytes_after = static_cast<uint32_t>(result.code.size());
+  }
+  return result;
+}
+
+RandomizeResult randomize(const binary::Image& image,
+                          const RandomizeOptions& options) {
+  if (image.layout != binary::Layout::kOriginal) {
+    throw std::invalid_argument("randomize: image is already randomized");
+  }
+  if (options.return_option == ReturnOption::kSoftwareRewrite) {
+    SoftwareRewriteStats sw_stats;
+    const binary::Image transformed =
+        rewrite_calls_software(image, &sw_stats);
+    RandomizeOptions inner = options;
+    inner.return_option = ReturnOption::kArchitectural;
+    // The remaining (un-rewritten) calls must push original addresses:
+    // no architectural return randomization exists in this configuration.
+    inner.return_policy = ReturnPolicy::kNone;
+    RandomizeResult result = randomize(transformed, inner);
+    result.sw_stats = sw_stats;
+    return result;
+  }
+  if (options.slot_bytes < isa::kMaxInstrLength + 1) {
+    throw std::invalid_argument("randomize: slot_bytes too small");
+  }
+  if (options.spread < 1.0) {
+    throw std::invalid_argument("randomize: spread must be >= 1.0");
+  }
+
+  RandomizeResult result;
+  const Cfg cfg = build_cfg(image);
+  result.analysis = analyze(image, cfg, options.return_policy);
+  const auto& unrandomized = result.analysis.unrandomized;
+
+  // --- assign randomized addresses ----------------------------------------
+  std::mt19937_64 rng(options.seed);
+  std::vector<size_t> movable;
+  movable.reserve(cfg.instrs.size());
+  for (size_t i = 0; i < cfg.instrs.size(); ++i) {
+    if (!unrandomized.contains(cfg.instrs[i].addr)) movable.push_back(i);
+  }
+
+  uint32_t region_size = 0;
+  if (options.placement == PlacementPolicy::kFullSpread) {
+    const auto slot_count = static_cast<uint32_t>(std::max<double>(
+        static_cast<double>(movable.size()),
+        static_cast<double>(movable.size()) * options.spread));
+    std::vector<uint32_t> slots(slot_count);
+    for (uint32_t i = 0; i < slot_count; ++i) slots[i] = i;
+    std::shuffle(slots.begin(), slots.end(), rng);
+
+    for (size_t k = 0; k < movable.size(); ++k) {
+      const auto& e = cfg.instrs[movable[k]];
+      const uint32_t jitter = static_cast<uint32_t>(
+          rng() % (options.slot_bytes - e.instr.length + 1));
+      const uint32_t addr =
+          options.rand_base + slots[k] * options.slot_bytes + jitter;
+      result.placement.emplace(e.addr, addr);
+    }
+    region_size = slot_count * options.slot_bytes;
+  } else {
+    // kPageConfined: per original 4 KiB page, shuffle its instructions and
+    // re-pack them (with random gaps from the page's slack) into one
+    // dedicated randomized region. The region stride carries one cache
+    // line of slop beyond the page size: an instruction *starting* in a
+    // page's last bytes straddles into the next page, so a group's total
+    // can slightly exceed 4096 bytes.
+    constexpr uint32_t kPage = 4096;
+    constexpr uint32_t kStride = kPage + 64;
+    std::map<uint32_t, std::vector<size_t>> by_page;  // ordered for determinism
+    for (size_t idx : movable) {
+      by_page[(cfg.instrs[idx].addr - image.code_base) / kPage].push_back(idx);
+    }
+    uint32_t max_page = 0;
+    for (auto& [page, list] : by_page) {
+      max_page = std::max(max_page, page);
+      std::shuffle(list.begin(), list.end(), rng);
+      uint32_t total = 0;
+      for (size_t idx : list) total += cfg.instrs[idx].instr.length;
+      uint32_t slack = kStride > total ? kStride - total : 0;
+      uint32_t pos = options.rand_base + page * kStride;
+      size_t remaining = list.size();
+      for (size_t idx : list) {
+        const uint32_t gap_cap =
+            remaining > 0 ? static_cast<uint32_t>(2 * slack / remaining + 1)
+                          : 1;
+        const uint32_t gap = std::min<uint32_t>(slack, rng() % gap_cap);
+        pos += gap;
+        slack -= gap;
+        result.placement.emplace(cfg.instrs[idx].addr, pos);
+        pos += cfg.instrs[idx].instr.length;
+        --remaining;
+      }
+    }
+    region_size = (max_page + 1) * kStride;
+  }
+  const auto& placement = result.placement;
+  auto remap = [&](uint32_t addr) {
+    auto it = placement.find(addr);
+    return it == placement.end() ? addr : it->second;
+  };
+
+  // --- shared translation tables -------------------------------------------
+  binary::TranslationTables tables;
+  tables.derand.reserve(placement.size());
+  tables.rand.reserve(placement.size());
+  for (const auto& [orig, rand_addr] : placement) {
+    tables.derand.emplace(rand_addr, orig);
+    tables.rand.emplace(orig, rand_addr);
+  }
+  tables.unrandomized = unrandomized;
+  tables.table_base = options.table_base;
+  // Open-addressed table over (derand + rand) entries, 8 bytes each, at
+  // ~full occupancy (the walker models a single-probe perfect hash; the
+  // size only determines the table's cache footprint).
+  tables.table_bytes =
+      next_pow2(static_cast<uint32_t>(placement.size()) * 2) * 8;
+
+  // --- data patching (jump tables / stored code pointers) ------------------
+  auto patch_data = [&](binary::Image& img) {
+    for (const auto& r : img.relocs) {
+      const uint32_t v = img.read_data32(r.data_addr);
+      img.write_data32(r.data_addr, remap(v));
+    }
+  };
+
+  // --- VCFR image ------------------------------------------------------------
+  binary::Image& vcfr = result.vcfr;
+  vcfr = image;
+  vcfr.layout = binary::Layout::kVcfr;
+  vcfr.seed = options.seed;
+  vcfr.code.clear();
+  vcfr.code.reserve(image.code.size());
+  for (const auto& e : cfg.instrs) {
+    const auto bytes =
+        rewrite_instr(e, placement, result.analysis.code_imm_sites);
+    vcfr.code.insert(vcfr.code.end(), bytes.begin(), bytes.end());
+  }
+  patch_data(vcfr);
+  vcfr.tables = tables;
+  vcfr.rand_base = options.rand_base;
+  vcfr.rand_size = region_size;
+
+  // --- naive-ILR image -------------------------------------------------------
+  binary::Image& naive = result.naive;
+  naive = image;
+  naive.layout = binary::Layout::kNaiveIlr;
+  naive.seed = options.seed;
+  naive.code.clear();  // all instructions live in sparse_code
+  naive.rand_base = options.rand_base;
+  naive.rand_size = region_size;
+  naive.sparse_code.reserve(cfg.instrs.size());
+  for (size_t i = 0; i < cfg.instrs.size(); ++i) {
+    const auto& e = cfg.instrs[i];
+    naive.sparse_code.emplace(
+        remap(e.addr),
+        rewrite_instr(e, placement, result.analysis.code_imm_sites));
+    if (i + 1 < cfg.instrs.size()) {
+      naive.fallthrough.emplace(remap(e.addr), remap(cfg.instrs[i + 1].addr));
+    }
+  }
+  patch_data(naive);
+  naive.tables = tables;  // the mapping exists on the naive hardware too
+  naive.entry = remap(image.entry);
+
+  return result;
+}
+
+}  // namespace vcfr::rewriter

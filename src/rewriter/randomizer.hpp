@@ -1,0 +1,112 @@
+// The ILR randomization software (§IV-A): takes an original-layout binary,
+// runs the CFG + target/safety analyses, assigns every randomizable
+// instruction a fresh address in the randomized instruction space, and
+// emits two executable forms:
+//
+//   * a *naive-ILR* image: instructions physically relocated to their
+//     randomized addresses (plus the fall-through successor map the
+//     straightforward hardware resolves at zero cost) — the §III baseline;
+//   * a *VCFR* image: instruction bytes kept in the original layout with
+//     direct targets, patched immediates, and jump-table slots rewritten
+//     into the randomized space, plus the randomization/de-randomization
+//     tables the DRC caches at run time — the paper's proposal.
+//
+// Both images are semantically equivalent to the original program; the
+// equivalence property tests exercise this across seeds.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "binary/image.hpp"
+#include "rewriter/analysis.hpp"
+#include "rewriter/cfg.hpp"
+
+namespace vcfr::rewriter {
+
+/// How return addresses get randomized (§IV-A):
+enum class ReturnOption {
+  /// Option 2: the hardware pushes the randomized return address (looked
+  /// up in the DRC) and maintains the stack bitmap. Fully transparent,
+  /// constant code size.
+  kArchitectural,
+  /// Option 1: the rewriter replaces each safely-randomizable `call X`
+  /// with `push <randomized return>; jmp X` before relocation. No
+  /// hardware support needed, but the program grows and call sites whose
+  /// callees touch the return address cannot be randomized.
+  kSoftwareRewrite,
+};
+
+/// Where randomized instructions may land (§IV-D: "control flow
+/// randomization can be confined within the same page, which will further
+/// reduce its impact to iTLB").
+enum class PlacementPolicy {
+  /// Complete spread: one instruction per cache-line-sized slot across the
+  /// whole randomized region (maximum entropy; the paper's default).
+  kFullSpread,
+  /// Each original 4 KiB code page gets one dedicated randomized page;
+  /// its instructions are shuffled and re-packed inside it. The iTLB
+  /// working set stays identical to the baseline at the cost of lower
+  /// per-instruction entropy and partially preserved line locality.
+  kPageConfined,
+};
+
+struct RandomizeOptions {
+  uint64_t seed = 1;
+  PlacementPolicy placement = PlacementPolicy::kFullSpread;
+  /// Base of the randomized instruction space.
+  uint32_t rand_base = binary::kDefaultRandBase;
+  /// One randomized instruction is placed per slot; with 64-byte slots each
+  /// instruction lands in its own cache line, which is what destroys fetch
+  /// locality for the naive hardware implementation (§III-A).
+  uint32_t slot_bytes = 64;
+  /// Region slots = instructions * spread (>= 1.0). Larger values thin the
+  /// randomized space further.
+  double spread = 1.25;
+  ReturnPolicy return_policy = ReturnPolicy::kArchitectural;
+  ReturnOption return_option = ReturnOption::kArchitectural;
+  /// Simulated placement of the serialized rand/derand tables.
+  uint32_t table_base = 0x6000'0000;
+};
+
+/// Outcome of the software call rewrite (ReturnOption::kSoftwareRewrite).
+struct SoftwareRewriteStats {
+  uint32_t calls_rewritten = 0;
+  uint32_t code_bytes_before = 0;
+  uint32_t code_bytes_after = 0;
+
+  [[nodiscard]] double expansion_percent() const {
+    return code_bytes_before == 0
+               ? 0.0
+               : 100.0 * (static_cast<double>(code_bytes_after) /
+                              static_cast<double>(code_bytes_before) -
+                          1.0);
+  }
+};
+
+struct RandomizeResult {
+  binary::Image naive;
+  binary::Image vcfr;
+  AnalysisResult analysis;
+  /// original instruction address -> randomized address (identity entries
+  /// are omitted; un-randomized instructions keep their addresses).
+  std::unordered_map<uint32_t, uint32_t> placement;
+  /// Populated when return_option == kSoftwareRewrite.
+  SoftwareRewriteStats sw_stats;
+};
+
+/// Applies the §IV-A option-1 rewrite standalone: every safely
+/// randomizable direct call becomes `push <return>; jmp target` (the push
+/// immediate still holds the *original* return address; randomize() remaps
+/// it like any other code pointer). Returns an expanded original-layout
+/// image with all address references (targets, relocations, symbols,
+/// entry) re-linked.
+[[nodiscard]] binary::Image rewrite_calls_software(
+    const binary::Image& image, SoftwareRewriteStats* stats = nullptr);
+
+/// Randomizes an original-layout image. Throws std::invalid_argument when
+/// `image` is already randomized or options are inconsistent.
+[[nodiscard]] RandomizeResult randomize(const binary::Image& image,
+                                        const RandomizeOptions& options = {});
+
+}  // namespace vcfr::rewriter

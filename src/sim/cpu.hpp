@@ -1,0 +1,101 @@
+// Cycle-level model of the paper's machine (§VI-C): a 1.6 GHz single-issue
+// in-order x86-style pipeline with detailed, stateful front-end and memory
+// structures. It executes all three image layouts:
+//
+//   * kOriginal  — the no-randomization baseline;
+//   * kNaiveIlr  — straightforward hardware ILR: fetch follows randomized
+//                  addresses (address mapping itself is free, §III), so
+//                  the penalty is purely the destroyed fetch locality;
+//   * kVcfr      — the paper's proposal: fetch streams along the original
+//                  space (UPC), the architectural control flow lives in the
+//                  randomized space (RPC), and the DRC translates between
+//                  them on demand.
+//
+// Timing model: the golden-model emulator supplies the exact dynamic
+// instruction stream; the simulator charges cycle costs through stateful
+// caches, TLBs, DRAM, predictors, and the DRC, composing per-instruction
+// fetch/decode/issue/execute times with in-order single-issue constraints,
+// an 18-entry instruction-queue fetch window, and a store buffer. This is
+// an analytic pipeline over real structures (see DESIGN.md §2 for the
+// XIOSim substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "binary/image.hpp"
+#include "cache/memhier.hpp"
+#include "core/drc.hpp"
+#include "core/ret_bitmap.hpp"
+#include "power/energy.hpp"
+#include "sim/bpred.hpp"
+
+namespace vcfr::sim {
+
+struct CpuConfig {
+  cache::MemHierConfig mem{};
+  core::DrcConfig drc{};
+  core::RetBitmapConfig bitmap{};
+  BpredConfig bpred{};
+  power::EnergyParams energy{};
+
+  uint32_t iq_size = 18;          // instruction queue (macro-ops)
+  uint32_t store_buffer = 32;     // load/store queue entries used by stores
+  /// Instructions issued per cycle. 1 = the paper's machine; >1 models a
+  /// W-wide *in-order* superscalar — a first step toward the out-of-order
+  /// design §IX names as future work (bench/future_superscalar).
+  uint32_t issue_width = 1;
+  uint32_t decode_latency = 3;    // pre-decode + decode + alloc
+  uint32_t redirect_penalty = 2;  // mispredict pipeline refill bubble
+  /// Minimum cycles between the starts of two instruction-fetch misses
+  /// (MSHR-limited outstanding fetch misses; the full miss latency is
+  /// overlapped with IQ drain rather than blocking the front end).
+  uint32_t ifetch_miss_initiation = 3;
+  uint32_t mul_latency = 3;
+  uint32_t div_latency = 12;
+  double clock_ghz = 1.6;
+};
+
+struct SimResult {
+  std::string app;
+  binary::Layout layout = binary::Layout::kOriginal;
+  bool halted = false;
+  std::string error;
+
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  [[nodiscard]] double cpi() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles) /
+                                   static_cast<double>(instructions);
+  }
+
+  cache::CacheStats il1;
+  cache::CacheStats dl1;
+  cache::CacheStats l2;
+  cache::L2PressureStats l2_pressure;
+  uint64_t prefetches_issued = 0;
+  cache::TlbStats itlb;
+  cache::TlbStats dtlb;
+  dram::DramStats dram;
+  BpredStats bpred;
+  core::DrcStats drc;
+  /// Populated only when DrcConfig::l2_entries > 0 (ablation mode).
+  core::DrcStats drc_l2;
+  uint64_t drc_table_walks = 0;
+  core::RetBitmapStats ret_bitmap;
+  power::PowerAccount power;
+};
+
+/// Simulates `image` for up to `max_instructions` dynamic instructions (or
+/// to completion). The image is loaded into a fresh memory.
+[[nodiscard]] SimResult simulate(const binary::Image& image,
+                                 uint64_t max_instructions,
+                                 const CpuConfig& config = {});
+
+}  // namespace vcfr::sim

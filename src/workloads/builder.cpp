@@ -1,0 +1,80 @@
+#include "workloads/builder.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace vcfr::workloads {
+
+Builder::Builder(std::string_view name) {
+  src_ += ".name ";
+  src_ += name;
+  src_ += "\n.entry main\n";
+}
+
+Builder& Builder::line(std::string_view text) {
+  src_ += "  ";
+  src_ += text;
+  src_ += '\n';
+  return *this;
+}
+
+Builder& Builder::label(std::string_view name) {
+  src_ += name;
+  src_ += ":\n";
+  return *this;
+}
+
+Builder& Builder::func(std::string_view name) {
+  src_ += ".func ";
+  src_ += name;
+  src_ += '\n';
+  return label(name);
+}
+
+Builder& Builder::data_section() {
+  src_ += ".data\n";
+  return *this;
+}
+
+Builder& Builder::text_section() {
+  src_ += ".text\n";
+  return *this;
+}
+
+Builder& Builder::word(uint32_t value) {
+  src_ += ".word " + std::to_string(value) + "\n";
+  return *this;
+}
+
+Builder& Builder::byte(uint32_t value) {
+  src_ += ".byte " + std::to_string(value) + "\n";
+  return *this;
+}
+
+Builder& Builder::space(uint32_t bytes) {
+  src_ += ".space " + std::to_string(bytes) + "\n";
+  return *this;
+}
+
+Builder& Builder::ptr(std::string_view label) {
+  src_ += ".ptr ";
+  src_ += label;
+  src_ += '\n';
+  return *this;
+}
+
+std::string Builder::fresh(std::string_view stem) {
+  return std::string(stem) + "_" + std::to_string(fresh_counter_++);
+}
+
+Builder& Builder::entry(std::string_view label) {
+  src_ += ".entry ";
+  src_ += label;
+  src_ += '\n';
+  return *this;
+}
+
+binary::Image Builder::build() const {
+  return isa::assemble(src_);
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,52 @@
+// Thin program-construction helper used by the workload generators:
+// accumulates VX assembly source with label management and assembles it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "binary/image.hpp"
+
+namespace vcfr::workloads {
+
+class Builder {
+ public:
+  explicit Builder(std::string_view name);
+
+  /// Appends one raw assembly line (instruction or directive).
+  Builder& line(std::string_view text);
+
+  /// Label definition at the current cursor.
+  Builder& label(std::string_view name);
+
+  /// `.func name` followed by the label. Function symbols feed the
+  /// rewriter's extent analysis (Fig 9 / return-safety).
+  Builder& func(std::string_view name);
+
+  /// Switches to the data section (first call) / back to text.
+  Builder& data_section();
+  Builder& text_section();
+
+  Builder& word(uint32_t value);
+  Builder& byte(uint32_t value);
+  Builder& space(uint32_t bytes);
+  Builder& ptr(std::string_view label);
+
+  /// Generates a fresh unique label with the given stem.
+  [[nodiscard]] std::string fresh(std::string_view stem);
+
+  /// Marks the entry label (defaults to "main").
+  Builder& entry(std::string_view label);
+
+  [[nodiscard]] const std::string& source() const { return src_; }
+
+  /// Assembles the accumulated source. Throws on assembly errors.
+  [[nodiscard]] binary::Image build() const;
+
+ private:
+  std::string src_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace vcfr::workloads

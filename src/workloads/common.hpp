@@ -1,0 +1,166 @@
+// Shared emission helpers for the workload generators.
+//
+// Register conventions across all workloads:
+//   r10 — PRNG (LCG) state
+//   r11 — running output checksum (emitted with `out r11` before halt)
+//   r12/r13 — scratch reserved for helpers
+//   sp  — stack pointer (calls only)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/builder.hpp"
+
+namespace vcfr::workloads {
+
+/// Advances the LCG in r10 (numerical recipes constants).
+inline void emit_lcg_step(Builder& b) {
+  b.line("mul r10, 1103515245");
+  b.line("add r10, 12345");
+}
+
+/// Emits a loop that fills `bytes` bytes at the address in `base_reg` with
+/// LCG-derived byte values. Clobbers r10, r12, r13 and `base_reg`.
+inline void emit_fill_bytes(Builder& b, const std::string& base_reg,
+                            uint32_t bytes) {
+  const std::string loop = b.fresh("fill");
+  b.line("mov r12, 0");
+  b.label(loop);
+  emit_lcg_step(b);
+  b.line("mov r13, r10");
+  b.line("shr r13, 16");
+  b.line("stb r13, [" + base_reg + "]");
+  b.line("add " + base_reg + ", 1");
+  b.line("add r12, 1");
+  b.line("cmp r12, " + std::to_string(bytes));
+  b.line("jlt " + loop);
+}
+
+/// Emits a loop that fills `words` 32-bit words at `base_reg` with LCG
+/// values masked by `mask`. Clobbers r10, r12, r13 and `base_reg`.
+inline void emit_fill_words(Builder& b, const std::string& base_reg,
+                            uint32_t words, uint32_t mask) {
+  const std::string loop = b.fresh("fillw");
+  b.line("mov r12, 0");
+  b.label(loop);
+  emit_lcg_step(b);
+  b.line("mov r13, r10");
+  b.line("shr r13, 8");
+  b.line("and r13, " + std::to_string(mask));
+  b.line("st r13, [" + base_reg + "]");
+  b.line("add " + base_reg + ", 4");
+  b.line("add r12, 1");
+  b.line("cmp r12, " + std::to_string(words));
+  b.line("jlt " + loop);
+}
+
+/// Standard epilogue plus the statically linked mini-runtime every app
+/// carries (the paper's rewriter "only works for statically linked binary
+/// with all the libraries embedded", §VI-A — and those library routines
+/// are exactly where ROPgadget finds its material: syscall wrappers,
+/// callee-saved register pops, and store helpers).
+inline void emit_epilogue(Builder& b) {
+  b.line("call rt_fini");
+  b.line("call rt_swap");
+  b.line("mov r0, r11");
+  b.line("call rt_write");
+  b.line("halt");
+
+  b.data_section();
+  b.label("rt_scratch").space(16);
+  b.text_section();
+
+  // write() wrapper: the syscall stub.
+  b.func("rt_write");
+  b.line("sys 1");
+  b.line("ret");
+  // Teardown: spills/restores state (store + pop epilogue).
+  b.func("rt_fini");
+  b.line("push r13");
+  b.line("mov r13, @rt_scratch");
+  b.line("st r0, [r13]");
+  b.line("ld r0, [r13]");
+  b.line("pop r13");
+  b.line("ret");
+  // Register shuffle helper.
+  b.func("rt_swap");
+  b.line("mov r13, r0");
+  b.line("mov r0, r13");
+  b.line("ret");
+}
+
+// ---- cold-code bank ---------------------------------------------------------
+//
+// Real SPEC applications carry hundreds of kilobytes of warm-but-not-hot
+// code (logging, allocation, format conversion, ...) that gives their
+// baselines a realistic instruction-side miss floor. The cold bank models
+// this: `funcs` round-robin-called functions whose combined size exceeds
+// the IL1, so each visit misses a handful of lines in the baseline — and
+// every line under naive ILR.
+
+/// Emits the bank's dispatch table and scratch slot. Call while in the
+/// data section.
+inline void emit_cold_bank_table(Builder& b, const std::string& prefix,
+                                 int funcs) {
+  b.label(prefix + "_scratch").space(16);
+  b.label(prefix + "_jt");
+  for (int i = 0; i < funcs; ++i) b.ptr(prefix + "_" + std::to_string(i));
+}
+
+/// Emits the bank's functions. Call while in the text section. Bodies
+/// clobber r13 only and fold into the checksum. Function shapes vary the
+/// way compiled library code does:
+///   * most functions save/restore r13 (pop/ret epilogues);
+///   * every fourth spills the visit counter to the scratch slot before
+///     returning (store gadget material);
+///   * every eighth tail-jumps into the next bank function instead of
+///     returning (a function without `ret`, Fig 9's minority class).
+inline void emit_cold_bank_funcs(Builder& b, const std::string& prefix,
+                                 int funcs, int ops) {
+  for (int i = 0; i < funcs; ++i) {
+    const bool tail_call = i % 8 == 7 && funcs > 1;
+    b.func(prefix + "_" + std::to_string(i));
+    if (!tail_call) b.line("push r13");
+    b.line("mov r13, r11");
+    for (int k = 0; k < ops; ++k) {
+      const int c = (i * 727 + k * 53) % 32749 + 1;
+      switch (k % 4) {
+        case 0: b.line("add r13, " + std::to_string(c)); break;
+        case 1: b.line("xor r13, " + std::to_string(c)); break;
+        case 2: b.line("shr r13, 1"); break;
+        default: b.line("mul r13, 5"); break;
+      }
+    }
+    b.line("and r13, 8191");
+    b.line("add r11, r13");
+    if (tail_call) {
+      b.line("jmp " + prefix + "_" + std::to_string((i + 1) % funcs));
+      continue;
+    }
+    if (i % 4 == 1) {
+      b.line("mov r13, @" + prefix + "_scratch");
+      b.line("st r12, [r13]");
+    }
+    b.line("pop r13");
+    b.line("ret");
+  }
+}
+
+/// Emits one call into the bank. Uses r12 as the persistent visit counter
+/// and r13 as scratch; `funcs` must be a power of two. The odd stride
+/// visits functions in a memory-non-adjacent order so the next-line
+/// prefetcher cannot chain across functions (real cold code is reached
+/// from unrelated call sites, not sequentially).
+inline void emit_cold_bank_call(Builder& b, const std::string& prefix,
+                                int funcs) {
+  b.line("add r12, 45");
+  b.line("and r12, " + std::to_string(funcs - 1));
+  b.line("mov r13, r12");
+  b.line("mul r13, 4");
+  b.line("add r13, @" + prefix + "_jt");
+  b.line("ld r13, [r13]");
+  b.line("callr r13");
+}
+
+}  // namespace vcfr::workloads

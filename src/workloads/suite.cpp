@@ -1,0 +1,37 @@
+#include "workloads/suite.hpp"
+
+#include <stdexcept>
+
+namespace vcfr::workloads {
+
+const std::vector<std::string>& spec_names() {
+  static const std::vector<std::string> names = {
+      "bzip2", "gcc",  "mcf",   "hmmer", "sjeng", "libquantum",
+      "h264ref", "lbm", "xalan", "namd",  "soplex"};
+  return names;
+}
+
+const std::vector<std::string>& fig2_names() {
+  static const std::vector<std::string> names = {
+      "bzip2", "h264ref", "hmmer", "memcpy", "python", "xalan"};
+  return names;
+}
+
+binary::Image make(std::string_view name, int scale) {
+  if (name == "bzip2") return make_compress(scale);
+  if (name == "gcc") return make_compiler(scale);
+  if (name == "mcf") return make_graph(scale);
+  if (name == "hmmer") return make_dp(scale);
+  if (name == "sjeng") return make_search(scale);
+  if (name == "libquantum") return make_quantum(scale);
+  if (name == "h264ref") return make_video(scale);
+  if (name == "lbm") return make_stencil(scale);
+  if (name == "xalan") return make_xml(scale);
+  if (name == "namd") return make_nbody(scale);
+  if (name == "soplex") return make_simplex(scale);
+  if (name == "memcpy") return make_memcpy(scale);
+  if (name == "python") return make_python(scale);
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+}  // namespace vcfr::workloads

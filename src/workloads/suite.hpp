@@ -1,0 +1,47 @@
+// The synthetic SPEC CPU2006 stand-in suite (see DESIGN.md §2).
+//
+// SPEC CPU2006 is proprietary; each generator below produces a VX program
+// that mimics the named benchmark's micro-architectural character — hot
+// static code footprint, branch behaviour, data-access pattern, and
+// direct/indirect transfer mix — which is what the paper's evaluation
+// actually exercises (IL1/L2 capacity vs code spread, DRC target working
+// set, gadget surface).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "binary/image.hpp"
+
+namespace vcfr::workloads {
+
+/// `scale` controls footprints/iterations: 0 = tiny (unit tests),
+/// 1 = bench default, 2 = long runs.
+binary::Image make_compress(int scale);  // bzip2   — branchy byte coding
+binary::Image make_compiler(int scale);  // gcc     — huge code, many funcs
+binary::Image make_graph(int scale);     // mcf     — pointer chasing
+binary::Image make_dp(int scale);        // hmmer   — regular DP kernel
+binary::Image make_search(int scale);    // sjeng   — recursion + indirect
+binary::Image make_quantum(int scale);   // libquantum — tiny hot loop
+binary::Image make_video(int scale);     // h264ref — SAD block search
+binary::Image make_stencil(int scale);   // lbm     — streaming stencil
+binary::Image make_xml(int scale);       // xalan   — dispatch-table heavy
+binary::Image make_nbody(int scale);     // namd    — mul-heavy kernel
+binary::Image make_simplex(int scale);   // soplex  — sparse indexed loads
+binary::Image make_memcpy(int scale);    // memcpy  — Fig 2 extra app
+binary::Image make_python(int scale);    // python  — Fig 2 interpreter
+
+/// The 11 SPEC-like applications evaluated in Figs 3/4/11-15 and Tables
+/// I/II, in the paper's order.
+[[nodiscard]] const std::vector<std::string>& spec_names();
+
+/// The Figure 2 application set (bzip2, h264ref, hmmer, memcpy, python,
+/// xalan).
+[[nodiscard]] const std::vector<std::string>& fig2_names();
+
+/// Builds a workload by name. Throws std::invalid_argument for unknown
+/// names.
+[[nodiscard]] binary::Image make(std::string_view name, int scale = 1);
+
+}  // namespace vcfr::workloads

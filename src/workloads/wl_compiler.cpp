@@ -1,0 +1,228 @@
+// "gcc" stand-in: a token-dispatch engine with a large population of small
+// handler functions plus a bank of cloned "optimizer pass" routines. The
+// defining characteristics reproduced from gcc: a very large static code
+// footprint spread over many functions, dense direct branching, frequent
+// indirect calls through a jump table, recursion, and a PIC-style helper
+// that reads its own return address.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+namespace {
+
+/// Emits one token-handler function. Bodies vary by kind so the handlers
+/// look like distinct compiled basic blocks, not copies.
+void emit_handler(Builder& b, int i) {
+  const std::string name = "tok_" + std::to_string(i);
+  b.func(name);
+  const int kind = i % 4;
+  // A few "compiled code" filler ops with per-handler constants.
+  for (int k = 0; k < 4 + (i % 5); ++k) {
+    const int c = (i * 97 + k * 31) % 4093 + 1;
+    switch ((i + k) % 3) {
+      case 0: b.line("add r11, " + std::to_string(c)); break;
+      case 1: b.line("xor r11, " + std::to_string(c)); break;
+      default: b.line("add r6, " + std::to_string(c)); break;
+    }
+  }
+  switch (kind) {
+    case 0:
+      b.line("mov r6, r11");
+      b.line("shr r6, " + std::to_string(i % 13 + 1));
+      b.line("add r11, r6");
+      break;
+    case 1: {
+      const std::string skip = b.fresh("h_skip");
+      b.line("mov r6, r11");
+      b.line("and r6, " + std::to_string(1 << (i % 8)));
+      b.line("cmp r6, 0");
+      b.line("jeq " + skip);
+      b.line("add r11, " + std::to_string(i + 3));
+      b.label(skip);
+      break;
+    }
+    case 2:
+      b.line("call helper_" + std::to_string(i % 8));
+      break;
+    default:
+      // Indirect helper call through the per-handler pointer table — gcc
+      // has the second-highest static indirect-call population (Table II).
+      b.line("mov r6, @jt2");
+      b.line("ld r6, [r6+" + std::to_string((i / 4) * 4) + "]");
+      b.line("callr r6");
+      break;
+  }
+  b.line("ret");
+}
+
+/// Cloned "optimizer pass" functions: straight-line compiled-looking code
+/// that inflates the static footprint the way gcc's many passes do.
+void emit_pass(Builder& b, int i, int body_ops) {
+  b.func("pass_" + std::to_string(i));
+  b.line("mov r6, r11");
+  for (int k = 0; k < body_ops; ++k) {
+    const int c = (i * 131 + k * 17) % 8191 + 1;
+    switch (k % 4) {
+      case 0: b.line("add r6, " + std::to_string(c)); break;
+      case 1: b.line("xor r6, " + std::to_string(c)); break;
+      case 2: b.line("shr r6, 1"); break;
+      default: b.line("mul r6, 3"); break;
+    }
+  }
+  b.line("add r11, r6");
+  b.line("ret");
+}
+
+}  // namespace
+
+binary::Image make_compiler(int scale) {
+  const int handlers = 128;  // power of two for mask dispatch
+  const int passes = scale == 0 ? 8 : 48;
+  const int pass_body = scale == 0 ? 8 : 36;
+  const uint32_t tokens = scale == 0 ? 256 : scale == 1 ? 3072 : 12288;
+  const int rounds = scale == 0 ? 1 : 3;
+
+  Builder b("gcc");
+  b.data_section();
+  b.label("tokens").space(tokens);
+  b.label("jt");
+  for (int i = 0; i < handlers; ++i) b.ptr("tok_" + std::to_string(i));
+  b.label("jt2");
+  for (int i = 0; i < handlers / 4; ++i) {
+    b.ptr("helper_" + std::to_string(i % 8));
+  }
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 7");
+  b.line("mov r11, 0");
+  b.line("mov r1, @tokens");
+  emit_fill_bytes(b, "r1", tokens);
+
+  b.line("mov r12, 0");  // cold-bank round-robin counter
+  b.line("mov r9, 0");  // round counter
+  b.label("round");
+  b.line("mov r1, @tokens");
+  b.line("mov r2, r1");
+  b.line("add r2, " + std::to_string(tokens));
+  b.label("tok_loop");
+  b.line("ldb r3, [r1]");
+  b.line("and r3, " + std::to_string(handlers - 1));
+  // Common tokens take the compiled switch (compare tree to specialized
+  // direct handlers); only computed/rare tokens (low bits zero, 1 in 8) go
+  // through the function-pointer table — matching gcc's mix of dense
+  // direct branching with occasional indirect calls.
+  b.line("mov r4, r3");
+  b.line("and r4, 7");
+  b.line("cmp r4, 0");
+  b.line("jeq tok_indirect");
+  b.line("cmp r3, 64");
+  b.line("jlt tok_lo");
+  b.line("cmp r3, 96");
+  b.line("jlt tok_mid_hi");
+  b.line("call dh_3");
+  b.line("jmp tok_next");
+  b.label("tok_mid_hi");
+  b.line("call dh_2");
+  b.line("jmp tok_next");
+  b.label("tok_lo");
+  b.line("cmp r3, 32");
+  b.line("jlt tok_lo_lo");
+  b.line("call dh_1");
+  b.line("jmp tok_next");
+  b.label("tok_lo_lo");
+  b.line("call dh_0");
+  b.line("jmp tok_next");
+  b.label("tok_indirect");
+  b.line("mul r3, 4");
+  b.line("add r3, @jt");
+  b.line("ld r4, [r3]");
+  b.line("callr r4");
+  b.label("tok_next");
+  b.line("mov r4, r1");
+  b.line("and r4, 31");
+  b.line("cmp r4, 31");
+  b.line("jne tok_warm");
+  // Periodic visit into the warm/cold code bank (see common.hpp).
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.label("tok_warm");
+  b.line("add r1, 1");
+  b.line("cmp r1, r2");
+  b.line("jb tok_loop");
+  // Run the optimizer passes after each token sweep.
+  for (int i = 0; i < passes; ++i) b.line("call pass_" + std::to_string(i));
+  b.line("call nest_entry");
+  b.line("call pic_probe");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round");
+  emit_epilogue(b);
+
+  // Specialized direct token handlers for the compare-tree fast path.
+  for (int i = 0; i < 4; ++i) {
+    b.func("dh_" + std::to_string(i));
+    b.line("mov r6, r11");
+    for (int k = 0; k < 24; ++k) {
+      const int c = (i * 409 + k * 23) % 2039 + 1;
+      switch (k % 4) {
+        case 0: b.line("add r6, " + std::to_string(c)); break;
+        case 1: b.line("xor r6, " + std::to_string(c)); break;
+        case 2: b.line("shr r6, 1"); break;
+        default: b.line("add r11, " + std::to_string(c & 15)); break;
+      }
+    }
+    b.line("and r6, 4095");
+    b.line("add r11, r6");
+    b.line("ret");
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    b.func("helper_" + std::to_string(i));
+    b.line("add r11, " + std::to_string(i * 7 + 1));
+    b.line("mov r7, r11");
+    b.line("and r7, 1023");
+    b.line("add r11, r7");
+    b.line("ret");
+  }
+
+  for (int i = 0; i < handlers; ++i) emit_handler(b, i);
+  for (int i = 0; i < passes; ++i) emit_pass(b, i, pass_body);
+
+  // Bounded recursion: models gcc's recursive tree walks.
+  b.func("nest_entry");
+  b.line("mov r1, 10");
+  b.line("call nest");
+  b.line("ret");
+  b.func("nest");
+  b.line("cmp r1, 0");
+  b.line("jgt nest_go");
+  b.line("ret");
+  b.label("nest_go");
+  b.line("push r1");
+  b.line("sub r1, 1");
+  b.line("add r11, r1");
+  b.line("call nest");
+  b.line("pop r1");
+  b.line("ret");
+
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  // PIC-style helper: reads its own return address (for computation only);
+  // randomizable only via the §IV-C architectural bitmap.
+  b.func("pic_probe");
+  b.line("ld r6, [sp]");
+  b.line("and r6, 0");
+  b.line("add r6, 13");
+  b.line("add r11, r6");
+  b.line("ret");
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

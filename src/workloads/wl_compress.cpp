@@ -1,0 +1,161 @@
+// "bzip2" stand-in: run-length coding plus a move-to-front transform over
+// pseudo-random bytes — data-dependent branches, byte loads/stores, and a
+// moderate hot-code footprint (three cloned coding passes), matching
+// bzip2's compression-kernel character.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+namespace {
+
+/// Emits one RLE pass over [src, src+len) writing (runlen, value) pairs to
+/// dst and folding them into r11. Cloned with different run caps to widen
+/// the static footprint the way bzip2's specialized coding loops do.
+void emit_rle_pass(Builder& b, const std::string& fn, uint32_t src_off,
+                   uint32_t len, uint32_t run_cap) {
+  b.func(fn);
+  b.line("mov r1, @src");
+  b.line("add r1, " + std::to_string(src_off));
+  b.line("mov r2, r1");
+  b.line("add r2, " + std::to_string(len));
+  b.line("mov r3, @dst");
+  const std::string loop = b.fresh("rle_loop");
+  const std::string inner = b.fresh("rle_inner");
+  const std::string flush = b.fresh("rle_flush");
+  b.label(loop);
+  b.line("ldb r4, [r1]");
+  b.line("mov r5, 1");
+  b.label(inner);
+  b.line("add r1, 1");
+  b.line("cmp r1, r2");
+  b.line("jae " + flush);
+  b.line("ldb r6, [r1]");
+  b.line("cmp r6, r4");
+  b.line("jne " + flush);
+  b.line("add r5, 1");
+  b.line("cmp r5, " + std::to_string(run_cap));
+  b.line("jlt " + inner);
+  b.label(flush);
+  b.line("stb r5, [r3]");
+  b.line("add r3, 1");
+  b.line("stb r4, [r3]");
+  b.line("add r3, 1");
+  b.line("mov r7, r5");
+  b.line("xor r7, r4");
+  b.line("add r11, r7");
+  b.line("cmp r1, r2");
+  b.line("jb " + loop);
+  b.line("ret");
+}
+
+}  // namespace
+
+binary::Image make_compress(int scale) {
+  const uint32_t src_bytes = scale == 0 ? 1023 : scale == 1 ? 6144 : 49152;
+  const uint32_t mtf_bytes = scale == 0 ? 256 : scale == 1 ? 768 : 8192;
+  const int rounds = scale == 0 ? 1 : 2;
+  constexpr uint32_t kMtfEntries = 64;
+
+  Builder b("bzip2");
+  b.data_section();
+  b.label("src").space(src_bytes);
+  b.label("dst").space(src_bytes * 2 + 16);
+  b.label("mtf").space(kMtfEntries * 4);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 42");
+  b.line("mov r11, 0");
+  b.line("mov r1, @src");
+  emit_fill_bytes(b, "r1", src_bytes);
+  // mtf[i] = i
+  b.line("mov r1, @mtf");
+  b.line("mov r2, 0");
+  b.label("mtf_init");
+  b.line("st r2, [r1]");
+  b.line("add r1, 4");
+  b.line("add r2, 1");
+  b.line("cmp r2, " + std::to_string(kMtfEntries));
+  b.line("jlt mtf_init");
+
+  const uint32_t third = src_bytes / 3;
+  b.line("mov r9, 0");
+  b.label("round_loop");
+  b.line("call rle_a");
+  b.line("call rle_b");
+  b.line("call rle_c");
+  b.line("call mtf_pass");
+  b.line("call pack_pass");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round_loop");
+  emit_epilogue(b);
+
+  // Bit-packing pass over the RLE output: an unrolled mixing chain per
+  // block, modelling bzip2's Huffman coding stage. Together with the RLE
+  // and MTF loops this gives bzip2 a moderate alternating hot footprint.
+  b.func("pack_pass");
+  b.line("mov r1, @dst");
+  b.line("mov r2, 0");
+  b.label("pack_outer");
+  b.line("mov r7, 0");
+  for (int s = 0; s < 48; ++s) {
+    b.line("ldb r5, [r1+" + std::to_string(s % 16) + "]");
+    b.line("shl r5, " + std::to_string(s % 3));
+    b.line("xor r7, r5");
+    b.line("add r7, " + std::to_string(s * 29 + 1));
+    b.line("shr r7, " + std::to_string(s % 2));
+  }
+  b.line("add r11, r7");
+  b.line("add r1, 16");
+  b.line("add r2, 1");
+  b.line("cmp r2, 48");
+  b.line("jlt pack_outer");
+  b.line("ret");
+
+  emit_rle_pass(b, "rle_a", 0, third, 255);
+  emit_rle_pass(b, "rle_b", third, third, 64);
+  emit_rle_pass(b, "rle_c", 2 * third, third, 16);
+
+  // Move-to-front over a prefix of src (values folded into 0..63).
+  b.func("mtf_pass");
+  b.line("mov r1, @src");
+  b.line("mov r2, r1");
+  b.line("add r2, " + std::to_string(mtf_bytes));
+  b.label("mtf_outer");
+  b.line("ldb r3, [r1]");
+  b.line("and r3, " + std::to_string(kMtfEntries - 1));
+  b.line("mov r4, @mtf");
+  b.line("mov r5, 0");
+  b.label("mtf_search");
+  b.line("ld r6, [r4]");
+  b.line("cmp r6, r3");
+  b.line("jeq mtf_found");
+  b.line("add r4, 4");
+  b.line("add r5, 1");
+  b.line("cmp r5, " + std::to_string(kMtfEntries));
+  b.line("jlt mtf_search");
+  b.label("mtf_found");
+  b.line("add r11, r5");
+  b.label("mtf_shift");
+  b.line("cmp r5, 0");
+  b.line("jeq mtf_place");
+  b.line("ld r6, [r4-4]");
+  b.line("st r6, [r4]");
+  b.line("sub r4, 4");
+  b.line("sub r5, 1");
+  b.line("jmp mtf_shift");
+  b.label("mtf_place");
+  b.line("st r3, [r4]");
+  b.line("add r1, 1");
+  b.line("cmp r1, r2");
+  b.line("jb mtf_outer");
+  b.line("ret");
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,140 @@
+// "hmmer" stand-in: a Viterbi-style dynamic-programming recurrence over a
+// 64-state profile with a 16-way unrolled inner loop, alternating with an
+// unrolled posterior-decoding sweep — hmmer is a regular, high-IPC integer
+// kernel whose two alternating phases give it a moderate hot-code
+// footprint (noticeable, but not catastrophic, under naive ILR).
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_dp(int scale) {
+  constexpr uint32_t kStates = 64;
+  const uint32_t seq_len = scale == 0 ? 32 : scale == 1 ? 400 : 2000;
+
+  Builder b("hmmer");
+  b.data_section();
+  b.label("dp0").space(kStates * 4 + 4);  // slot 0 is the j-1 boundary
+  b.label("dp1").space(kStates * 4 + 4);
+  b.label("emit").space(64 * 4);
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 1234");
+  b.line("mov r11, 0");
+  b.line("mov r1, @emit");
+  emit_fill_words(b, "r1", 64, 255);
+  // dp0[j] = j * 3.
+  b.line("mov r1, @dp0");
+  b.line("add r1, 4");
+  b.line("mov r2, 0");
+  b.label("dpinit");
+  b.line("mov r3, r2");
+  b.line("mul r3, 3");
+  b.line("st r3, [r1]");
+  b.line("add r1, 4");
+  b.line("add r2, 1");
+  b.line("cmp r2, " + std::to_string(kStates));
+  b.line("jlt dpinit");
+
+  b.line("mov r12, 0");        // cold-bank counter
+  b.line("mov r9, 0");         // t
+  b.line("mov r1, @dp0");      // prev row
+  b.line("mov r2, @dp1");      // next row
+  b.label("t_loop");
+  emit_lcg_step(b);
+  b.line("mov r3, r10");
+  b.line("shr r3, 10");
+  b.line("and r3, 63");
+  b.line("mul r3, 4");
+  b.line("add r3, @emit");
+  b.line("ld r3, [r3]");       // e = emit[sym]
+
+  // Inner recurrence, unrolled by 16:
+  //   next[j] = (max(prev[j]+3, prev[j-1]+5) + e) >> 1
+  b.line("mov r4, 1");  // j
+  b.label("j_loop");
+  for (int u = 0; u < 16; ++u) {
+    const std::string take_move = b.fresh("dp_move");
+    const std::string store = b.fresh("dp_store");
+    b.line("mov r5, r4");
+    b.line("mul r5, 4");
+    b.line("mov r6, r5");
+    b.line("add r5, r1");      // &prev[j]
+    b.line("add r6, r2");      // &next[j]
+    b.line("ld r7, [r5]");
+    b.line("ld r8, [r5-4]");
+    b.line("add r7, 3");
+    b.line("add r8, 5");
+    b.line("cmp r7, r8");
+    b.line("jlt " + take_move);
+    b.line("add r7, r3");
+    b.line("shr r7, 1");
+    b.line("st r7, [r6]");
+    b.line("jmp " + store);
+    b.label(take_move);
+    b.line("add r8, r3");
+    b.line("shr r8, 1");
+    b.line("st r8, [r6]");
+    b.label(store);
+    b.line("add r4, 1");
+  }
+  b.line("cmp r4, " + std::to_string(kStates + 1));
+  b.line("jlt j_loop");
+
+  // checksum += next[kStates]; swap rows; posterior sweep every 8 steps.
+  b.line("mov r5, " + std::to_string(kStates * 4));
+  b.line("add r5, r2");
+  b.line("ld r5, [r5]");
+  b.line("add r11, r5");
+  b.line("mov r5, r1");
+  b.line("mov r1, r2");
+  b.line("mov r2, r5");
+  b.line("mov r5, r9");
+  b.line("and r5, 7");
+  b.line("cmp r5, 7");
+  b.line("jne no_post");
+  b.line("push r1");
+  b.line("push r2");
+  b.line("call posterior");
+  b.line("pop r2");
+  b.line("pop r1");
+  b.label("no_post");
+  b.line("mov r5, r9");
+  b.line("and r5, 1");
+  b.line("cmp r5, 0");
+  b.line("jne t_warm");
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.label("t_warm");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(seq_len));
+  b.line("jlt t_loop");
+  emit_epilogue(b);
+
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  // Posterior decoding sweep: unrolled read-combine over the two rows.
+  b.func("posterior");
+  b.line("mov r6, 0");
+  for (int s = 0; s < 48; ++s) {
+    const uint32_t off = 4 + (s * 5 % kStates) * 4;
+    b.line("mov r5, @dp0");
+    b.line("ld r7, [r5+" + std::to_string(off) + "]");
+    b.line("mov r5, @dp1");
+    b.line("ld r8, [r5+" + std::to_string(off) + "]");
+    b.line("add r7, r8");
+    b.line("shr r7, " + std::to_string(s % 5 + 1));
+    b.line("add r6, r7");
+  }
+  b.line("add r11, r6");
+  b.line("ret");
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,125 @@
+// "mcf" stand-in: pointer chasing over a large node array with
+// data-dependent potential updates — mcf's defining behaviour is a big
+// irregular data working set (D-cache/L2 misses) driven by a small code
+// footprint.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_graph(int scale) {
+  const uint32_t nodes = scale == 0 ? 1024 : scale == 1 ? 32768 : 131072;
+  const uint32_t hops = scale == 0 ? 2000 : scale == 1 ? 16000 : 80000;
+  constexpr uint32_t kNodeBytes = 16;  // next, weight, potential, pad
+
+  Builder b("mcf");
+  b.data_section();
+  b.label("nodeheap").space(nodes * kNodeBytes);
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 99");
+  b.line("mov r11, 0");
+
+  // Initialize nodes: next = multiplicative-hash successor index, weight =
+  // pseudo-random 16-bit, potential = 0.
+  b.line("mov r1, @nodeheap");
+  b.line("mov r2, 0");
+  b.label("init");
+  b.line("mov r3, r2");
+  b.line("mul r3, 40503");
+  b.line("add r3, 1299721");
+  b.line("and r3, " + std::to_string(nodes - 1));
+  b.line("st r3, [r1]");
+  emit_lcg_step(b);
+  b.line("mov r4, r10");
+  b.line("shr r4, 12");
+  b.line("and r4, 65535");
+  b.line("st r4, [r1+4]");
+  b.line("mov r4, 0");
+  b.line("st r4, [r1+8]");
+  b.line("add r1, " + std::to_string(kNodeBytes));
+  b.line("add r2, 1");
+  b.line("cmp r2, " + std::to_string(nodes));
+  b.line("jlt init");
+
+  // Chase: follow next pointers, relaxing potentials.
+  b.line("mov r12, 0");  // cold-bank counter
+  b.line("mov r5, 0");  // current node index
+  b.line("mov r9, 0");  // hop counter
+  b.label("chase");
+  b.line("mov r6, r5");
+  b.line("mul r6, " + std::to_string(kNodeBytes));
+  b.line("add r6, @nodeheap");
+  b.line("ld r7, [r6]");     // next index
+  b.line("ld r8, [r6+4]");   // weight
+  b.line("ld r4, [r6+8]");   // potential
+  b.line("cmp r8, r4");
+  b.line("jle no_relax");
+  b.line("st r8, [r6+8]");   // potential = weight
+  b.line("add r11, 1");
+  b.label("no_relax");
+  b.line("add r11, r8");
+  // Occasionally perturb the weight so later passes keep relaxing.
+  b.line("mov r4, r9");
+  b.line("and r4, 63");
+  b.line("cmp r4, 0");
+  b.line("jne no_bump");
+  b.line("add r8, 17");
+  b.line("and r8, 65535");
+  b.line("st r8, [r6+4]");
+  b.label("no_bump");
+  b.line("mov r5, r7");
+  // Arc-pricing sweep every 64 hops (mcf's basis-pricing phase): an
+  // unrolled scan that alternates with the chase loop and pushes the
+  // combined hot footprint past the IL1's line count under naive ILR.
+  b.line("mov r4, r9");
+  b.line("and r4, 31");
+  b.line("cmp r4, 31");
+  b.line("jne no_price");
+  b.line("push r5");
+  b.line("call pricing");
+  b.line("pop r5");
+  b.label("no_price");
+  b.line("mov r4, r9");
+  b.line("and r4, 255");
+  b.line("cmp r4, 255");
+  b.line("jne no_cold");
+  b.line("push r5");
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.line("pop r5");
+  b.label("no_cold");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(hops));
+  b.line("jlt chase");
+  emit_epilogue(b);
+
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  // pricing: unrolled reduced-cost checks over a strided arc sample.
+  b.func("pricing");
+  b.line("mov r1, @nodeheap");
+  for (int a = 0; a < 96; ++a) {
+    const std::string skip = b.fresh("pr_skip");
+    const uint32_t off = (a * 1201u % nodes) * kNodeBytes;
+    b.line("mov r2, r1");
+    b.line("add r2, " + std::to_string(off));
+    b.line("ld r3, [r2+4]");   // weight
+    b.line("ld r4, [r2+8]");   // potential
+    b.line("sub r3, r4");
+    b.line("cmp r3, " + std::to_string(a * 13 + 7));
+    b.line("jle " + skip);
+    b.line("add r11, 1");
+    b.label(skip);
+  }
+  b.line("ret");
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

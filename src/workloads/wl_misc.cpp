@@ -1,0 +1,156 @@
+// The two extra Figure 2 applications:
+//
+//  * "memcpy"  — a tight unrolled word-copy loop (the best case for native
+//    execution and therefore one of the starkest emulation slowdowns);
+//  * "python"  — a bytecode interpreter: computed-goto dispatch over a
+//    stride-padded handler cluster operating on a software VM stack.
+//    Interpreters are the worst case for an emulation-based ILR (the
+//    dispatch indirect branch defeats the emulator's own dispatch
+//    prediction), which is why the paper's Fig 2 shows "python" highest.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_memcpy(int scale) {
+  const uint32_t words = scale == 0 ? 1024 : scale == 1 ? 16384 : 65536;
+  const int rounds = scale == 0 ? 1 : 4;
+
+  Builder b("memcpy");
+  b.data_section();
+  b.label("srcbuf").space(words * 4);
+  b.label("dstbuf").space(words * 4);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 21");
+  b.line("mov r11, 0");
+  b.line("mov r1, @srcbuf");
+  emit_fill_words(b, "r1", words, 0xffffff);
+
+  b.line("mov r9, 0");
+  b.label("round");
+  b.line("mov r1, @srcbuf");
+  b.line("mov r2, @dstbuf");
+  b.line("mov r3, 0");
+  b.label("copy_loop");
+  for (int u = 0; u < 8; ++u) {
+    const std::string off = std::to_string(u * 4);
+    b.line("ld r4, [r1+" + off + "]");
+    b.line("st r4, [r2+" + off + "]");
+  }
+  b.line("add r1, 32");
+  b.line("add r2, 32");
+  b.line("add r3, 8");
+  b.line("cmp r3, " + std::to_string(words));
+  b.line("jlt copy_loop");
+  b.line("ld r4, [r2-4]");
+  b.line("add r11, r4");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round");
+  emit_epilogue(b);
+
+  return b.build();
+}
+
+binary::Image make_python(int scale) {
+  const uint32_t code_len = scale == 0 ? 256 : 4096;
+  const int rounds = scale == 0 ? 1 : scale == 1 ? 5 : 20;
+  constexpr int kOps = 8;
+  constexpr int kStride = 64;
+
+  Builder b("python");
+  b.data_section();
+  b.label("bytecode").space(code_len);
+  b.label("vmstack").space(1024);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 17");
+  b.line("mov r11, 0");
+  b.line("mov r1, @bytecode");
+  emit_fill_bytes(b, "r1", code_len);
+
+  b.line("mov r9, 0");
+  b.label("round");
+  b.line("mov r1, @bytecode");     // virtual PC
+  b.line("mov r2, r1");
+  b.line("add r2, " + std::to_string(code_len));
+  b.line("mov r8, @vmstack");
+  b.line("add r8, 512");           // VM stack pointer (middle of buffer)
+  b.label("dispatch");
+  b.line("ldb r3, [r1]");
+  b.line("and r3, " + std::to_string(kOps - 1));
+  b.line("mul r3, " + std::to_string(kStride));
+  b.line("mov r4, @py_cluster");   // computed dispatch: unpatchable base
+  b.line("add r4, r3");
+  b.line("jmpr r4");
+  b.label("py_next");
+  // Clamp the VM stack pointer inside the buffer (underflow/overflow guard).
+  b.line("mov r5, r8");
+  b.line("sub r5, @vmstack");
+  b.line("and r5, 1020");
+  b.line("mov r8, @vmstack");
+  b.line("add r8, r5");
+  b.line("add r1, 1");
+  b.line("cmp r1, r2");
+  b.line("jb dispatch");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round");
+  emit_epilogue(b);
+
+  // Handler cluster: kOps handlers padded to a kStride-byte grid inside a
+  // single function extent, reached by address arithmetic (computed goto).
+  b.func("py_cluster");
+  const char* bodies[kOps] = {
+      // PUSH_CONST
+      "st r3, [r8] / add r8, 4",
+      // ADD (pop two, push sum)
+      "ld r5, [r8-4] / ld r6, [r8-8] / add r5, r6 / sub r8, 4 / st r5, [r8-4]",
+      // XOR_TOP
+      "ld r5, [r8-4] / xor r5, 2863311530 / st r5, [r8-4]",
+      // DUP
+      "ld r5, [r8-4] / st r5, [r8] / add r8, 4",
+      // DROP
+      "sub r8, 4",
+      // ACC (fold top into checksum)
+      "ld r5, [r8-4] / add r11, r5",
+      // SHR_TOP
+      "ld r5, [r8-4] / shr r5, 1 / st r5, [r8-4]",
+      // NOP-ish counter
+      "add r11, 1",
+  };
+  for (int i = 0; i < kOps; ++i) {
+    // Emit the handler body, then a direct jump back to the dispatch loop,
+    // then nop padding to the stride boundary.
+    uint32_t bytes = 0;
+    std::string body(bodies[i]);
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+      const size_t next = body.find(" / ", pos);
+      const std::string instr =
+          body.substr(pos, next == std::string::npos ? next : next - pos);
+      b.line(instr);
+      // Track encoded size: ld/st 4B, add/sub/xor/shr reg-imm 6B, reg-reg 2B.
+      if (instr.rfind("ld", 0) == 0 || instr.rfind("st", 0) == 0) {
+        bytes += 4;
+      } else if (instr.find(", r") != std::string::npos) {
+        bytes += 2;
+      } else {
+        bytes += 6;
+      }
+      pos = next == std::string::npos ? next : next + 3;
+    }
+    b.line("jmp py_next");
+    bytes += 5;
+    for (uint32_t p = bytes; p < kStride; ++p) b.line("nop");
+  }
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,142 @@
+// "namd" stand-in: fixed-point pairwise force evaluation — namd's
+// character is a multiply/divide-heavy arithmetic kernel (unrolled
+// non-bonded inner loop) plus a separate unrolled bonded-forces kernel.
+// The two alternating kernels give namd a hot footprint well beyond the
+// IL1's line count under naive ILR (the paper's Fig 12 shows namd with a
+// >2x VCFR speedup).
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_nbody(int scale) {
+  const uint32_t bodies = scale == 0 ? 64 : 512;
+  const uint32_t neighbors = scale == 0 ? 8 : scale == 1 ? 20 : 64;
+
+  Builder b("namd");
+  b.data_section();
+  b.label("px").space(bodies * 4);
+  b.label("py").space(bodies * 4);
+  b.label("pz").space(bodies * 4);
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 11");
+  b.line("mov r11, 0");
+  b.line("mov r1, @px");
+  emit_fill_words(b, "r1", bodies, 4095);
+  b.line("mov r1, @py");
+  emit_fill_words(b, "r1", bodies, 4095);
+  b.line("mov r1, @pz");
+  emit_fill_words(b, "r1", bodies, 4095);
+
+  b.line("mov r12, 0");  // cold-bank counter
+  b.line("mov r1, 0");  // i
+  b.label("i_loop");
+  // Load body i coordinates into r2/r3/r4.
+  b.line("mov r5, r1");
+  b.line("mul r5, 4");
+  b.line("mov r6, r5");
+  b.line("add r6, @px");
+  b.line("ld r2, [r6]");
+  b.line("mov r6, r5");
+  b.line("add r6, @py");
+  b.line("ld r3, [r6]");
+  b.line("mov r6, r5");
+  b.line("add r6, @pz");
+  b.line("ld r4, [r6]");
+  b.line("call nonbonded");
+  b.line("call bonded");
+  b.line("mov r5, r1");
+  b.line("and r5, 1");
+  b.line("cmp r5, 0");
+  b.line("jne i_warm");
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.label("i_warm");
+  b.line("add r1, 1");
+  b.line("cmp r1, " + std::to_string(bodies));
+  b.line("jlt i_loop");
+  emit_epilogue(b);
+
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  // Non-bonded kernel: neighbor loop unrolled by 4, one axis at a time.
+  // In: r1 = i, r2/r3/r4 = coordinates. Clobbers r5..r9.
+  b.func("nonbonded");
+  b.line("mov r7, 0");  // k
+  b.label("k_loop");
+  for (int u = 0; u < 4; ++u) {
+    // j = (i * 31 + (k + u) * 7 + 1) & (bodies-1)
+    b.line("mov r5, r1");
+    b.line("mul r5, 31");
+    b.line("mov r6, r7");
+    b.line("add r6, " + std::to_string(u));
+    b.line("mul r6, 7");
+    b.line("add r5, r6");
+    b.line("add r5, 1");
+    b.line("and r5, " + std::to_string(bodies - 1));
+    b.line("mul r5, 4");
+    // squared distance in r8
+    b.line("mov r6, r5");
+    b.line("add r6, @px");
+    b.line("ld r8, [r6]");
+    b.line("mov r6, r2");
+    b.line("sub r6, r8");
+    b.line("mul r6, r6");
+    b.line("mov r8, r6");
+    b.line("mov r6, r5");
+    b.line("add r6, @py");
+    b.line("ld r9, [r6]");
+    b.line("mov r6, r3");
+    b.line("sub r6, r9");
+    b.line("mul r6, r6");
+    b.line("add r8, r6");
+    b.line("mov r6, r5");
+    b.line("add r6, @pz");
+    b.line("ld r9, [r6]");
+    b.line("mov r6, r4");
+    b.line("sub r6, r9");
+    b.line("mul r6, r6");
+    b.line("add r8, r6");
+    b.line("and r8, 65535");
+    b.line("add r8, 1");
+    b.line("mov r6, 16777216");
+    b.line("div r6, r8");
+    b.line("add r11, r6");
+  }
+  b.line("add r7, 4");
+  b.line("cmp r7, " + std::to_string(neighbors));
+  b.line("jlt k_loop");
+  b.line("ret");
+
+  // Bonded kernel: unrolled fixed-topology terms (springs to a handful of
+  // statically known partners). In: r1 = i, r2/r3/r4 = coords.
+  b.func("bonded");
+  b.line("mov r9, 0");  // local accumulator
+  for (int t = 0; t < 48; ++t) {
+    // partner = (i + stride_t) & (bodies-1), axis rotates with t.
+    const char* axis = t % 3 == 0 ? "@px" : t % 3 == 1 ? "@py" : "@pz";
+    const char* coord = t % 3 == 0 ? "r2" : t % 3 == 1 ? "r3" : "r4";
+    b.line("mov r5, r1");
+    b.line("add r5, " + std::to_string(t * 5 + 1));
+    b.line("and r5, " + std::to_string(bodies - 1));
+    b.line("mul r5, 4");
+    b.line("add r5, " + std::string(axis));
+    b.line("ld r6, [r5]");
+    b.line("sub r6, " + std::string(coord));
+    b.line("mul r6, r6");
+    b.line("shr r6, " + std::to_string(t % 7 + 2));
+    b.line("add r9, r6");
+  }
+  b.line("add r11, r9");
+  b.line("ret");
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

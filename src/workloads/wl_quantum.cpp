@@ -1,0 +1,59 @@
+// "libquantum" stand-in: quantum-gate style bit manipulation swept over a
+// large state vector — libquantum's character is a tiny, extremely hot
+// loop (near-zero baseline IL1 miss rate, so naive ILR's miss-rate *ratio*
+// explodes) with streaming data.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_quantum(int scale) {
+  const uint32_t amps = scale == 0 ? 1024 : scale == 1 ? 16384 : 65536;
+  const int gates = scale == 0 ? 2 : 3;
+
+  Builder b("libquantum");
+  b.data_section();
+  b.label("state").space(amps * 4);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 5");
+  b.line("mov r11, 0");
+  b.line("mov r1, @state");
+  emit_fill_words(b, "r1", amps, 0xffff);
+
+  b.line("mov r9, 0");  // gate index
+  b.label("gate_loop");
+  b.line("mov r1, @state");
+  b.line("mov r2, 0");
+  // mask = 1 << (gate*3 + 1)
+  b.line("mov r8, r9");
+  b.line("mul r8, 3");
+  b.line("add r8, 1");
+  b.line("mov r7, 1");
+  b.line("shl r7, r8");
+  b.label("amp_loop");
+  b.line("ld r3, [r1]");
+  b.line("mov r4, r3");
+  b.line("and r4, r7");
+  b.line("cmp r4, 0");
+  b.line("jeq amp_skip");
+  b.line("xor r3, 2863311530");  // controlled phase-flip pattern
+  b.line("st r3, [r1]");
+  b.label("amp_skip");
+  b.line("add r11, r3");
+  b.line("add r1, 4");
+  b.line("add r2, 1");
+  b.line("cmp r2, " + std::to_string(amps));
+  b.line("jlt amp_loop");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(gates));
+  b.line("jlt gate_loop");
+  emit_epilogue(b);
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,147 @@
+// "sjeng" stand-in: a recursive game-tree (negamax-style) search with
+// move generators selected through a function-pointer table — sjeng's
+// character is deep call/return recursion (RAS pressure), indirect calls,
+// and data-dependent branching.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_search(int scale) {
+  const int depth = scale == 0 ? 4 : scale == 1 ? 6 : 8;
+  constexpr int kMovegens = 16;
+
+  Builder b("sjeng");
+  b.data_section();
+  b.label("mg_jt");
+  for (int i = 0; i < kMovegens; ++i) b.ptr("mg_" + std::to_string(i));
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r11, 0");
+  b.line("mov r1, " + std::to_string(depth));
+  b.line("mov r2, 123456789");
+  b.line("call search");
+  b.line("add r11, r3");
+  b.line("mov r1, " + std::to_string(depth - 1));
+  b.line("mov r2, 987654321");
+  b.line("call search");
+  b.line("add r11, r3");
+  emit_epilogue(b);
+
+  // search(r1=depth, r2=hash) -> r3=score. Saves state on the stack across
+  // recursive calls; reads the saved depth back with an ld [sp+20].
+  b.func("search");
+  b.line("cmp r1, 0");
+  b.line("jgt s_deeper");
+  b.line("mov r3, r2");
+  b.line("and r3, 255");
+  b.line("call eval_leaf");
+  b.line("ret");
+  b.label("s_deeper");
+  b.line("push r1");
+  b.line("push r2");
+  // Movegen via indirect call: mutates r2, sets r5 = move count (2..3).
+  b.line("mov r4, r2");
+  b.line("and r4, 15");
+  b.line("mul r4, 4");
+  b.line("add r4, @mg_jt");
+  b.line("ld r4, [r4]");
+  b.line("callr r4");
+  b.line("mov r9, r2");  // base child hash
+  b.line("mov r3, 0");   // best
+  b.line("mov r7, 0");   // move index
+  b.label("s_loop");
+  b.line("cmp r7, r5");
+  b.line("jae s_done");
+  b.line("push r3");
+  b.line("push r5");
+  b.line("push r7");
+  b.line("push r9");
+  b.line("mov r2, r7");
+  b.line("mul r2, 2654435761");
+  b.line("add r2, 977");
+  b.line("xor r2, r9");
+  b.line("ld r1, [sp+20]");  // saved depth
+  b.line("sub r1, 1");
+  b.line("call search");
+  b.line("pop r9");
+  b.line("pop r7");
+  b.line("pop r5");
+  b.line("pop r4");  // previous best
+  b.line("cmp r3, r4");
+  b.line("jge s_keep");
+  b.line("mov r3, r4");
+  b.label("s_keep");
+  b.line("add r7, 1");
+  b.line("jmp s_loop");
+  b.label("s_done");
+  b.line("pop r2");
+  b.line("pop r1");
+  b.line("ret");
+
+  // Leaf evaluation: two of sixteen feature scorers selected by position
+  // bits through compare trees (the way sjeng's evaluate() compiles its
+  // feature cascade). The scorer bank widens the hot footprint.
+  b.func("eval_leaf");
+  b.line("mov r6, r3");
+  b.line("and r6, 7");
+  for (int v = 0; v < 8; ++v) {
+    const std::string next = b.fresh("ev_sel");
+    b.line("cmp r6, " + std::to_string(v));
+    b.line("jne " + next);
+    b.line("call feat_" + std::to_string(v));
+    b.line("jmp ev_second");
+    b.label(next);
+  }
+  b.label("ev_second");
+  b.line("mov r6, r2");
+  b.line("shr r6, 4");
+  b.line("and r6, 7");
+  for (int v = 0; v < 8; ++v) {
+    const std::string next = b.fresh("ev_sel2");
+    b.line("cmp r6, " + std::to_string(v));
+    b.line("jne " + next);
+    b.line("call feat_" + std::to_string(v + 8));
+    b.line("jmp ev_done");
+    b.label(next);
+  }
+  b.label("ev_done");
+  b.line("ret");
+
+  // Feature scorers: straight-line fixed-point mixes of the position hash.
+  for (int f = 0; f < 16; ++f) {
+    b.func("feat_" + std::to_string(f));
+    b.line("mov r6, r2");
+    for (int k = 0; k < 12; ++k) {
+      const int c = (f * 211 + k * 37) % 16381 + 1;
+      switch (k % 4) {
+        case 0: b.line("xor r6, " + std::to_string(c)); break;
+        case 1: b.line("add r6, " + std::to_string(c)); break;
+        case 2: b.line("shr r6, 1"); break;
+        default: b.line("mul r6, 3"); break;
+      }
+    }
+    b.line("and r6, 63");
+    b.line("add r3, r6");
+    b.line("ret");
+  }
+
+  // Move generators: distinct hash mutations; count = 2 or 3.
+  for (int i = 0; i < kMovegens; ++i) {
+    b.func("mg_" + std::to_string(i));
+    b.line("mul r2, " + std::to_string(2 * i + 3));
+    b.line("add r2, " + std::to_string(i * 7919 + 1));
+    b.line("mov r5, r2");
+    b.line("shr r5, 9");
+    b.line("and r5, 1");
+    b.line("add r5, 2");
+    b.line("ret");
+  }
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

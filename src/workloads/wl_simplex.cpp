@@ -1,0 +1,148 @@
+// "soplex" stand-in: sparse matrix-vector products in CSR form plus a
+// pivot-selection sweep — soplex's character is indexed (gather) loads,
+// mixed regular/irregular branching, and two alternating cloned kernels
+// (price/update in the real solver) whose union exceeds the IL1 line count
+// under naive ILR.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+namespace {
+
+/// Emits a fully unrolled CSR row kernel (nnz_per_row gathers). Variants
+/// model soplex's separate pricing/update sweeps.
+void emit_spmv(Builder& b, const std::string& name, uint32_t rows,
+               uint32_t nnz_per_row, int variant, int bank_funcs) {
+  b.func(name);
+  b.line("mov r1, 0");  // row
+  b.line("mov r2, @colidx");
+  b.line("mov r3, @vals");
+  const std::string row_loop = b.fresh("row_loop");
+  b.label(row_loop);
+  b.line("mov r4, 0");  // accumulator
+  for (uint32_t k = 0; k < nnz_per_row; ++k) {
+    const std::string off = std::to_string(k * 4);
+    b.line("ld r6, [r2+" + off + "]");   // column index
+    b.line("mul r6, 4");
+    b.line("add r6, @xvec");
+    b.line("ld r6, [r6]");               // x[col]
+    b.line("ld r7, [r3+" + off + "]");   // value
+    b.line("mul r6, r7");
+    if (variant == 1 && k % 4 == 3) b.line("shr r6, 1");
+    b.line("add r4, r6");
+  }
+  b.line("add r2, " + std::to_string(nnz_per_row * 4));
+  b.line("add r3, " + std::to_string(nnz_per_row * 4));
+  b.line("shr r4, 8");
+  b.line("mov r6, r1");
+  b.line("mul r6, 4");
+  b.line("add r6, @yvec");
+  b.line("st r4, [r6]");
+  const std::string warm = b.fresh("row_warm");
+  b.line("mov r6, r1");
+  b.line("and r6, 15");
+  b.line("cmp r6, 0");
+  b.line("jne " + warm);
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.label(warm);
+  b.line("add r1, 1");
+  b.line("cmp r1, " + std::to_string(rows));
+  b.line("jlt " + row_loop);
+  b.line("ret");
+}
+
+}  // namespace
+
+binary::Image make_simplex(int scale) {
+  const uint32_t rows = scale == 0 ? 32 : 256;
+  const uint32_t nnz_per_row = 24;
+  const int passes = scale == 0 ? 2 : scale == 1 ? 6 : 24;
+  const uint32_t nnz = rows * nnz_per_row;
+
+  Builder b("soplex");
+  b.data_section();
+  b.label("colidx").space(nnz * 4);
+  b.label("vals").space(nnz * 4);
+  b.label("xvec").space(rows * 4);
+  b.label("yvec").space(rows * 4);
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 31");
+  b.line("mov r11, 0");
+  b.line("mov r1, @colidx");
+  emit_fill_words(b, "r1", nnz, rows - 1);
+  b.line("mov r1, @vals");
+  emit_fill_words(b, "r1", nnz, 1023);
+  b.line("mov r1, @xvec");
+  emit_fill_words(b, "r1", rows, 255);
+
+  b.line("mov r12, 0");  // cold-bank counter
+  b.line("mov r9, 0");  // pass
+  b.label("pass_loop");
+  // Alternate the two sweep kernels across passes.
+  b.line("mov r1, r9");
+  b.line("and r1, 1");
+  b.line("cmp r1, 0");
+  b.line("jeq pass_even");
+  b.line("call spmv_update");
+  b.line("jmp pass_pivot");
+  b.label("pass_even");
+  b.line("call spmv_price");
+  b.label("pass_pivot");
+  b.line("call pivot");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(passes));
+  b.line("jlt pass_loop");
+  emit_epilogue(b);
+
+  emit_spmv(b, "spmv_price", rows, nnz_per_row, 0, bank_funcs);
+  emit_spmv(b, "spmv_update", rows, nnz_per_row, 1, bank_funcs);
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  // Pivot selection: argmax over y (4-way unrolled) with a data-dependent
+  // update of x.
+  b.func("pivot");
+  b.line("mov r1, 0");  // row
+  b.line("mov r2, 0");  // best value
+  b.line("mov r3, 0");  // best row
+  b.label("pv_loop");
+  for (int u = 0; u < 4; ++u) {
+    const std::string next = b.fresh("pv_next");
+    b.line("mov r4, r1");
+    b.line("add r4, " + std::to_string(u));
+    b.line("mul r4, 4");
+    b.line("add r4, @yvec");
+    b.line("ld r4, [r4]");
+    b.line("cmp r4, r2");
+    b.line("jle " + next);
+    b.line("mov r2, r4");
+    b.line("mov r3, r1");
+    b.line("add r3, " + std::to_string(u));
+    b.label(next);
+  }
+  b.line("add r1, 4");
+  b.line("cmp r1, " + std::to_string(rows));
+  b.line("jlt pv_loop");
+  // x[best] = (x[best] + best_val) & 255; checksum.
+  b.line("mov r4, r3");
+  b.line("mul r4, 4");
+  b.line("add r4, @xvec");
+  b.line("ld r5, [r4]");
+  b.line("add r5, r2");
+  b.line("and r5, 255");
+  b.line("st r5, [r4]");
+  b.line("add r11, r2");
+  b.line("add r11, r3");
+  b.line("ret");
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,81 @@
+// "lbm" stand-in: a 2-D four-point stencil sweep between two grids —
+// lbm's character is streaming loads/stores over a working set larger than
+// the L1 with a compact, regular kernel.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+binary::Image make_stencil(int scale) {
+  const uint32_t dim = scale == 0 ? 32 : 128;  // grid is dim x dim words
+  const int rounds = scale == 0 ? 1 : scale == 1 ? 2 : 8;
+  const uint32_t grid_bytes = dim * dim * 4;
+  const uint32_t row_bytes = dim * 4;
+
+  Builder b("lbm");
+  b.data_section();
+  b.label("grid_a").space(grid_bytes);
+  b.label("grid_b").space(grid_bytes);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 3");
+  b.line("mov r11, 0");
+  b.line("mov r1, @grid_a");
+  emit_fill_words(b, "r1", dim * dim, 1023);
+
+  b.line("mov r9, 0");        // round
+  b.line("mov r1, @grid_a");  // src
+  b.line("mov r2, @grid_b");  // dst
+  b.label("round");
+  b.line("mov r3, 1");  // y
+  b.label("y_loop");
+  // r4 = src + y*row + 4 ; r5 = dst + y*row + 4
+  b.line("mov r4, r3");
+  b.line("mul r4, " + std::to_string(row_bytes));
+  b.line("mov r5, r4");
+  b.line("add r4, r1");
+  b.line("add r4, 4");
+  b.line("add r5, r2");
+  b.line("add r5, 4");
+  b.line("mov r6, 1");  // x
+  b.label("x_loop");
+  b.line("ld r7, [r4-4]");                                // left
+  b.line("ld r8, [r4+4]");                                // right
+  b.line("add r7, r8");
+  b.line("ld r8, [r4-" + std::to_string(row_bytes) + "]");  // up
+  b.line("add r7, r8");
+  b.line("ld r8, [r4+" + std::to_string(row_bytes) + "]");  // down
+  b.line("add r7, r8");
+  b.line("shr r7, 2");
+  b.line("ld r8, [r4]");
+  b.line("and r8, 255");
+  b.line("add r7, r8");
+  b.line("st r7, [r5]");
+  b.line("add r4, 4");
+  b.line("add r5, 4");
+  b.line("add r6, 1");
+  b.line("cmp r6, " + std::to_string(dim - 1));
+  b.line("jlt x_loop");
+  b.line("add r3, 1");
+  b.line("cmp r3, " + std::to_string(dim - 1));
+  b.line("jlt y_loop");
+  // checksum one interior cell, then swap grids.
+  b.line("mov r4, " + std::to_string(row_bytes + 8));
+  b.line("add r4, r2");
+  b.line("ld r4, [r4]");
+  b.line("add r11, r4");
+  b.line("mov r4, r1");
+  b.line("mov r1, r2");
+  b.line("mov r2, r4");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round");
+  emit_epilogue(b);
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,131 @@
+// "h264ref" stand-in: sum-of-absolute-differences motion search over a
+// reference frame — h264ref's character is nested search loops around
+// unrolled SAD kernels with short data-dependent branches (the abs), and a
+// bank of specialized row kernels (as the real encoder has per-block-size
+// SAD variants). The kernel bank pushes the hot code footprint past the
+// IL1's line count once ILR spreads each instruction onto its own line,
+// which is why the paper's Fig 12 shows h264ref with a >2x VCFR speedup.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+namespace {
+
+constexpr int kRowKernels = 8;
+
+/// Emits a SAD kernel for one 16-pixel row, columns unrolled; variants
+/// differ in accumulation detail like specialized codec kernels do.
+/// In: r1 = &ref_row, r2 = &cur_row. Out: r7 += SAD. Clobbers r5, r6.
+void emit_sad_row(Builder& b, int variant) {
+  b.func("sad_row_" + std::to_string(variant));
+  for (int c = 0; c < 16; ++c) {
+    const std::string pos = b.fresh("sad_pos");
+    b.line("ldb r5, [r1+" + std::to_string(c) + "]");
+    b.line("ldb r6, [r2+" + std::to_string(c) + "]");
+    b.line("sub r5, r6");
+    b.line("cmp r5, 0");
+    b.line("jge " + pos);
+    b.line("mov r6, 0");
+    b.line("sub r6, r5");
+    b.line("mov r5, r6");
+    b.label(pos);
+    if (variant % 2 == 0) {
+      b.line("add r7, r5");
+    } else {
+      // Weighted variant (keeps the checksum variant-dependent but
+      // deterministic).
+      b.line("shl r5, 0");
+      b.line("add r7, r5");
+    }
+  }
+  b.line("ret");
+}
+
+}  // namespace
+
+binary::Image make_video(int scale) {
+  constexpr uint32_t kFrameW = 128;
+  const uint32_t frame_bytes = kFrameW * kFrameW;
+  const int search_range = scale == 0 ? 2 : 6;   // (range x range) candidates
+  const int rounds = scale == 0 ? 1 : scale == 1 ? 2 : 8;
+
+  Builder b("h264ref");
+  b.data_section();
+  b.label("refframe").space(frame_bytes);
+  b.label("curblock").space(16 * 16);
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 77");
+  b.line("mov r11, 0");
+  b.line("mov r1, @refframe");
+  emit_fill_bytes(b, "r1", frame_bytes);
+  b.line("mov r1, @curblock");
+  emit_fill_bytes(b, "r1", 16 * 16);
+
+  b.line("mov r12, 0");  // cold-bank counter
+  b.line("mov r9, 0");  // round
+  b.label("round");
+  b.line("mov r3, 0");  // dy
+  b.label("dy_loop");
+  b.line("mov r4, 0");  // dx
+  b.label("dx_loop");
+  b.line("mov r7, 0");  // SAD accumulator
+  b.line("mov r8, 0");  // row
+  b.label("row_loop");
+  // r1 = ref + (dy + row) * W + dx ; r2 = cur + row * 16
+  b.line("mov r1, r3");
+  b.line("add r1, r8");
+  b.line("mul r1, " + std::to_string(kFrameW));
+  b.line("add r1, r4");
+  b.line("add r1, @refframe");
+  b.line("mov r2, r8");
+  b.line("mul r2, 16");
+  b.line("add r2, @curblock");
+  // Select the specialized row kernel (row & 7) via a compare tree, the
+  // way the encoder's block-size dispatch compiles.
+  b.line("mov r5, r8");
+  b.line("and r5, " + std::to_string(kRowKernels - 1));
+  for (int v = 0; v < kRowKernels; ++v) {
+    const std::string next = b.fresh("vsel");
+    b.line("cmp r5, " + std::to_string(v));
+    b.line("jne " + next);
+    b.line("call sad_row_" + std::to_string(v));
+    b.line("jmp row_next");
+    b.label(next);
+  }
+  b.label("row_next");
+  b.line("mov r5, r8");
+  b.line("and r5, 7");
+  b.line("cmp r5, 0");
+  b.line("jne row_warm");
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.label("row_warm");
+  b.line("add r8, 1");
+  b.line("cmp r8, 16");
+  b.line("jlt row_loop");
+  b.line("add r11, r7");
+  b.line("add r4, 1");
+  b.line("cmp r4, " + std::to_string(search_range));
+  b.line("jlt dx_loop");
+  b.line("add r3, 1");
+  b.line("cmp r3, " + std::to_string(search_range));
+  b.line("jlt dy_loop");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round");
+  emit_epilogue(b);
+
+  for (int v = 0; v < kRowKernels; ++v) emit_sad_row(b, v);
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,195 @@
+// "xalan" (Xalan-C++ XSLT processor) stand-in: two-level dispatch over a
+// synthetic tag stream through nested jump tables of handler functions —
+// xalan's character is the largest indirect-call density in the suite
+// (Table II: 15465 indirect calls), a large spread-out code footprint, and
+// string-scanning loops.
+//
+// It also carries a computed-dispatch cluster (handlers at a fixed stride,
+// reached via address arithmetic). The target analysis cannot patch
+// computed code addresses, so the cluster becomes the un-randomized
+// failover set — the residual gadget surface of Figure 11.
+#include <string>
+
+#include "workloads/common.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+
+namespace {
+
+constexpr int kClasses = 16;
+constexpr int kPerClass = 16;
+
+void emit_tag_handler(Builder& b, int cls, int idx) {
+  const std::string name =
+      "h_" + std::to_string(cls) + "_" + std::to_string(idx);
+  b.func(name);
+  const int c = cls * 131 + idx * 17 + 1;
+  b.line("add r11, " + std::to_string(c));
+  for (int k = 0; k < 10 + ((cls + idx) % 10); ++k) {
+    switch (k % 3) {
+      case 0: b.line("xor r11, " + std::to_string(c * 3 + k)); break;
+      case 1: b.line("add r6, " + std::to_string(c + k)); break;
+      default: b.line("shr r6, 1"); break;
+    }
+  }
+  if ((cls + idx) % 5 == 0) {
+    const std::string skip = b.fresh("xh_skip");
+    b.line("mov r6, r11");
+    b.line("and r6, 3");
+    b.line("cmp r6, 0");
+    b.line("jne " + skip);
+    b.line("add r11, 1");
+    b.label(skip);
+  }
+  if ((cls + idx) % 3 == 0) {
+    // Indirect leaf call — xalan dominates the suite's static and dynamic
+    // indirect-call counts (Table II: 15465 for the real xalancbmk).
+    b.line("mov r6, @aux_jt");
+    b.line("ld r6, [r6+" + std::to_string(((cls * 16 + idx) % 16) * 4) + "]");
+    b.line("callr r6");
+  }
+  b.line("ret");
+}
+
+}  // namespace
+
+binary::Image make_xml(int scale) {
+  const uint32_t tags = scale == 0 ? 256 : scale == 1 ? 2800 : 12000;
+  const int rounds = scale == 0 ? 1 : 3;
+  const uint32_t text_bytes = scale == 0 ? 256 : 4096;
+
+  Builder b("xalan");
+  b.data_section();
+  b.label("tagstream").space(tags);
+  b.label("textbuf").space(text_bytes);
+  // Top-level class table, then one table per class.
+  b.label("class_jt");
+  for (int c = 0; c < kClasses; ++c) b.ptr("class_" + std::to_string(c));
+  for (int c = 0; c < kClasses; ++c) {
+    b.label("jt_" + std::to_string(c));
+    for (int i = 0; i < kPerClass; ++i) {
+      b.ptr("h_" + std::to_string(c) + "_" + std::to_string(i));
+    }
+  }
+  b.label("aux_jt");
+  for (int i = 0; i < 16; ++i) b.ptr("leaf_" + std::to_string(i));
+  const int bank_funcs = scale == 0 ? 16 : 128;
+  const int bank_ops = scale == 0 ? 24 : 110;
+  emit_cold_bank_table(b, "cold", bank_funcs);
+  b.text_section();
+
+  b.func("main");
+  b.line("mov r10, 2024");
+  b.line("mov r11, 0");
+  b.line("mov r1, @tagstream");
+  emit_fill_bytes(b, "r1", tags);
+  b.line("mov r1, @textbuf");
+  emit_fill_bytes(b, "r1", text_bytes);
+
+  b.line("mov r12, 0");
+  b.line("mov r9, 0");
+  b.label("round");
+  b.line("mov r1, @tagstream");
+  b.line("mov r2, r1");
+  b.line("add r2, " + std::to_string(tags));
+  b.label("tag_loop");
+  b.line("ldb r3, [r1]");
+  // First level: class dispatch (indirect call through class_jt).
+  b.line("mov r4, r3");
+  b.line("shr r4, 4");
+  b.line("and r4, " + std::to_string(kClasses - 1));
+  b.line("mul r4, 4");
+  b.line("add r4, @class_jt");
+  b.line("ld r4, [r4]");
+  b.line("callr r4");
+  b.line("mov r4, r1");
+  b.line("and r4, 31");
+  b.line("cmp r4, 31");
+  b.line("jne tag_warm");
+  emit_cold_bank_call(b, "cold", bank_funcs);
+  b.label("tag_warm");
+  b.line("add r1, 1");
+  b.line("cmp r1, r2");
+  b.line("jb tag_loop");
+  b.line("call strscan");
+  b.line("call attr_norm");
+  b.line("add r9, 1");
+  b.line("cmp r9, " + std::to_string(rounds));
+  b.line("jlt round");
+  emit_epilogue(b);
+
+  // Per-class dispatchers: second-level indirect call keyed by the low
+  // nibble of the tag (still in r3).
+  for (int c = 0; c < kClasses; ++c) {
+    b.func("class_" + std::to_string(c));
+    // Only the low two tag bits select the handler: per-site indirect
+    // targets are polymorphic but low-entropy, as in real XSLT dispatch.
+    b.line("mov r5, r3");
+    b.line("and r5, 3");
+    b.line("mul r5, 4");
+    b.line("add r5, @jt_" + std::to_string(c));
+    b.line("ld r5, [r5]");
+    b.line("callr r5");
+    b.line("ret");
+  }
+  for (int c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < kPerClass; ++i) emit_tag_handler(b, c, i);
+  }
+
+  emit_cold_bank_funcs(b, "cold", bank_funcs, bank_ops);
+
+  for (int i = 0; i < 16; ++i) {
+    b.func("leaf_" + std::to_string(i));
+    b.line("add r11, " + std::to_string(i * 3 + 1));
+    b.line("ret");
+  }
+
+  // String scan: count 'delimiter' bytes in the text buffer.
+  b.func("strscan");
+  b.line("mov r1, @textbuf");
+  b.line("mov r2, r1");
+  b.line("add r2, " + std::to_string(text_bytes));
+  b.label("ss_loop");
+  b.line("ldb r3, [r1]");
+  b.line("and r3, 63");
+  b.line("cmp r3, 60");  // '<'
+  b.line("jne ss_next");
+  b.line("add r11, 1");
+  b.label("ss_next");
+  b.line("add r1, 1");
+  b.line("cmp r1, r2");
+  b.line("jb ss_loop");
+  b.line("ret");
+
+  // Attribute normalization through the *computed* cluster: handler
+  // address = cluster_base + (val & 7) * 32. The analysis must leave the
+  // whole cluster un-randomized (failover set).
+  b.func("attr_norm");
+  b.line("mov r7, 0");
+  b.label("an_loop");
+  b.line("mov r4, r11");
+  b.line("and r4, 7");
+  b.line("mul r4, 32");
+  b.line("mov r5, @cluster");
+  b.line("add r5, r4");
+  b.line("callr r5");
+  b.line("add r7, 1");
+  b.line("cmp r7, 8");
+  b.line("jlt an_loop");
+  b.line("ret");
+
+  // The computed cluster: 8 mini-handlers padded to a 32-byte stride, all
+  // inside one function extent so the analysis marks the whole window.
+  b.func("cluster");
+  for (int i = 0; i < 8; ++i) {
+    // add r11, C (6B) + ret (1B) = 7 bytes; pad with 25 nops to 32.
+    b.line("add r11, " + std::to_string(i * 37 + 5));
+    b.line("ret");
+    for (int p = 0; p < 25; ++p) b.line("nop");
+  }
+
+  return b.build();
+}
+
+}  // namespace vcfr::workloads

@@ -1,0 +1,209 @@
+// Random structured-program generator shared by the fuzz tests and the
+// trace-diff debugging tool. Programs are guaranteed to terminate
+// (bounded loops, DAG calls with fan-out <= 2) and to be layout-
+// insensitive in their observable outputs.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <random>
+#include <string>
+
+namespace vcfr {
+
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(uint32_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    src_ = ".name fuzz\n.entry main\n.data 0x10000000\n";
+    src_ += "buf:\n.space 1024\n";
+    num_funcs_ = 3 + rng_() % 5;
+    // Indirect-call table over the leaf functions.
+    src_ += "leaf_jt:\n";
+    src_ += ".ptr f" + std::to_string(num_funcs_ - 1) + "\n";
+    src_ += ".ptr f" + std::to_string(num_funcs_ - 2) + "\n";
+    src_ += ".text\n";
+    src_ += ".func main\nmain:\n";
+    emit_line("mov r8, @buf");
+    emit_line("mov r11, 0");
+    emit_line("call f0");
+    emit_line("out r11");
+    emit_line("halt");
+    for (int f = 0; f < num_funcs_; ++f) emit_function(f);
+    return src_;
+  }
+
+ private:
+  void emit_line(const std::string& s) { src_ += "  " + s + "\n"; }
+
+  std::string fresh(const char* stem) {
+    return std::string(stem) + std::to_string(label_counter_++);
+  }
+
+  int reg() { return 1 + static_cast<int>(rng_() % 7); }  // r1..r7
+
+  void emit_arith() {
+    const char* ops[] = {"add", "sub", "xor", "and", "or", "mul", "shr", "shl"};
+    const std::string op = ops[rng_() % 8];
+    const int rd = reg();
+    if (rng_() % 2 == 0) {
+      emit_line(op + " r" + std::to_string(rd) + ", r" +
+                std::to_string(reg()));
+    } else {
+      // Keep immediates clear of the code-address range: the byte-scan
+      // heuristic (§IV-A, Hiser et al.) treats any pointer-sized constant
+      // that matches an instruction start as a code pointer and patches
+      // it — the paper's documented false-positive risk. Real programs
+      // rarely carry such constants; the fuzzer must not either.
+      uint32_t imm = rng_() % 2 == 0 ? rng_() % 3000
+                                     : 0x00200000u + rng_() % 1000000;
+      if (op == "shr" || op == "shl") imm %= 31;
+      emit_line(op + " r" + std::to_string(rd) + ", " + std::to_string(imm));
+    }
+    emit_line("add r11, r" + std::to_string(rd));
+  }
+
+  void emit_div() {
+    const int rd = reg();
+    const int rs = reg();
+    emit_line("or r" + std::to_string(rs) + ", 1");  // never zero
+    if (rd != rs) emit_line("div r" + std::to_string(rd) + ", r" +
+                            std::to_string(rs));
+  }
+
+  void emit_mem() {
+    const uint32_t off = (rng_() % 255) * 4;
+    const int r = reg();
+    if (rng_() % 2 == 0) {
+      emit_line("st r" + std::to_string(r) + ", [r8+" + std::to_string(off) +
+                "]");
+    } else {
+      emit_line("ld r" + std::to_string(r) + ", [r8+" + std::to_string(off) +
+                "]");
+      emit_line("add r11, r" + std::to_string(r));
+    }
+  }
+
+  void emit_branch(int func, int depth) {
+    const std::string other = fresh("else_");
+    const std::string join = fresh("join_");
+    const char* conds[] = {"jeq", "jne", "jlt", "jge", "jb", "jae"};
+    emit_line("cmp r" + std::to_string(reg()) + ", r" +
+              std::to_string(reg()));
+    emit_line(std::string(conds[rng_() % 6]) + " " + other);
+    emit_block(func, depth + 1, /*statements=*/1 + rng_() % 3);
+    emit_line("jmp " + join);
+    src_ += other + ":\n";
+    emit_block(func, depth + 1, 1 + rng_() % 3);
+    src_ += join + ":\n";
+  }
+
+  void emit_loop(int func, int depth) {
+    // Counted loop on r9/r10 by nesting depth; always terminates.
+    const int counter = depth % 2 == 0 ? 9 : 10;
+    const std::string head = fresh("loop_");
+    emit_line("mov r" + std::to_string(counter) + ", " +
+              std::to_string(1 + rng_() % 6));
+    src_ += head + ":\n";
+    emit_block(func, depth + 1, 1 + rng_() % 3);
+    emit_line("sub r" + std::to_string(counter) + ", 1");
+    emit_line("cmp r" + std::to_string(counter) + ", 0");
+    emit_line("jgt " + head);
+  }
+
+  void emit_call(int func) {
+    if (func + 1 >= num_funcs_) return;  // leaves call nobody
+    if (calls_emitted_[func] >= 2) {     // bound total work: fan-out <= 2
+      emit_arith();
+      return;
+    }
+    ++calls_emitted_[func];
+    const int span = std::min(2, num_funcs_ - func - 1);
+    const int target = func + 1 + static_cast<int>(rng_() % span);
+    // Preserve the loop counters across the call (callees reuse them).
+    emit_line("push r9");
+    emit_line("push r10");
+    if (func < num_funcs_ - 2 && target >= num_funcs_ - 2 &&
+        rng_() % 2 == 0) {  // never lets a leaf reach itself (recursion)
+      // Indirect call through the leaf table. The pointer lives in r12,
+      // which the arithmetic pool never touches: letting a code-pointer
+      // value flow into the checksum would make the output layout-
+      // dependent (no ILR could preserve it).
+      const uint32_t slot = rng_() % 2;
+      emit_line("mov r12, @leaf_jt");
+      emit_line("ld r12, [r12+" + std::to_string(slot * 4) + "]");
+      emit_line("callr r12");
+    } else {
+      emit_line("call f" + std::to_string(target));
+    }
+    emit_line("pop r10");
+    emit_line("pop r9");
+  }
+
+  void emit_statement(int func, int depth) {
+    switch (rng_() % 8) {
+      case 0:
+        if (depth < 2) {
+          emit_loop(func, depth);
+          return;
+        }
+        [[fallthrough]];
+      case 1:
+        if (depth < 3) {
+          emit_branch(func, depth);
+          return;
+        }
+        [[fallthrough]];
+      case 2:
+        // Calls only at function top level: a call inside a nest of loops
+        // multiplies work down the whole call DAG.
+        if (depth == 0) {
+          emit_call(func);
+        } else {
+          emit_mem();
+        }
+        return;
+      case 3:
+        emit_mem();
+        return;
+      case 4:
+        emit_div();
+        return;
+      default:
+        emit_arith();
+        return;
+    }
+  }
+
+  void emit_block(int func, int depth, int statements) {
+    for (int s = 0; s < statements; ++s) emit_statement(func, depth);
+  }
+
+  void emit_function(int f) {
+    src_ += ".func f" + std::to_string(f) + "\nf" + std::to_string(f) + ":\n";
+    const bool leaf = f >= num_funcs_ - 2;
+    if (!leaf && rng_() % 4 == 0) {
+      // Occasional PIC-style return-address read. The *value* must not
+      // flow into observable state in a layout-sensitive way (reading
+      // concrete address bits is inherently randomization-dependent; real
+      // ILR leaves such code un-randomized), so mask it to zero — the
+      // load still exercises the §IV-C bitmap auto-derand path.
+      emit_line("ld r7, [sp]");
+      emit_line("and r7, 0");
+      emit_line("add r11, r7");
+      emit_line("add r7, " + std::to_string(1 + rng_() % 9));
+    }
+    emit_block(f, 0, leaf ? 2 + rng_() % 3 : 3 + rng_() % 4);
+    emit_line("ret");
+  }
+
+  std::mt19937 rng_;
+  std::string src_;
+  int num_funcs_ = 0;
+  int label_counter_ = 0;
+  std::array<int, 16> calls_emitted_{};
+};
+
+
+}  // namespace vcfr

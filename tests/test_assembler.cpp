@@ -1,0 +1,171 @@
+// Tests for the two-pass assembler: directives, operands, labels,
+// relocations, and error reporting.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace vcfr::isa {
+namespace {
+
+using binary::Image;
+
+TEST(AssemblerTest, MinimalProgram) {
+  const Image img = assemble(R"(
+    .name tiny
+    .entry main
+    main:
+      mov r1, 7
+      out r1
+      halt
+  )");
+  EXPECT_EQ(img.name, "tiny");
+  EXPECT_EQ(img.entry, binary::kDefaultCodeBase);
+  const auto listing = disassemble(img);
+  ASSERT_EQ(listing.size(), 3u);
+  EXPECT_EQ(listing[0].instr.op, Op::kMovRI);
+  EXPECT_EQ(listing[1].instr.op, Op::kOut);
+  EXPECT_EQ(listing[2].instr.op, Op::kHalt);
+}
+
+TEST(AssemblerTest, LabelsResolveForwardAndBackward) {
+  const Image img = assemble(R"(
+    .entry main
+    main:
+      jmp fwd
+    back:
+      halt
+    fwd:
+      jmp back
+  )");
+  const auto listing = disassemble(img);
+  ASSERT_EQ(listing.size(), 3u);
+  EXPECT_EQ(listing[0].instr.imm, listing[2].addr);  // fwd
+  EXPECT_EQ(listing[2].instr.imm, listing[1].addr);  // back
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  const Image img = assemble(R"(
+    ld r1, [r2]
+    ld r3, [r4+16]
+    st r5, [sp-4]
+  )");
+  const auto listing = disassemble(img);
+  ASSERT_EQ(listing.size(), 3u);
+  EXPECT_EQ(listing[0].instr.disp, 0);
+  EXPECT_EQ(listing[1].instr.disp, 16);
+  EXPECT_EQ(listing[2].instr.rs, kSp);
+  EXPECT_EQ(listing[2].instr.disp, -4);
+}
+
+TEST(AssemblerTest, DataSectionAndPointers) {
+  const Image img = assemble(R"(
+    .entry main
+    .data 0x10000000
+    table:
+      .ptr f1
+      .ptr f2
+      .word 99
+      .byte 7
+      .space 3
+    .text
+    main:
+      halt
+    f1:
+      ret
+    f2:
+      ret
+  )");
+  ASSERT_EQ(img.relocs.size(), 2u);
+  EXPECT_EQ(img.relocs[0].data_addr, 0x10000000u);
+  EXPECT_EQ(img.relocs[1].data_addr, 0x10000004u);
+  const auto listing = disassemble(img);
+  ASSERT_EQ(listing.size(), 3u);
+  EXPECT_EQ(img.read_data32(0x10000000), listing[1].addr);  // f1
+  EXPECT_EQ(img.read_data32(0x10000004), listing[2].addr);  // f2
+  EXPECT_EQ(img.read_data32(0x10000008), 99u);
+  EXPECT_EQ(img.data[12], 7u);
+  EXPECT_EQ(img.data.size(), 16u);
+}
+
+TEST(AssemblerTest, AddressImmediate) {
+  const Image img = assemble(R"(
+    .data 0x10000000
+    buf:
+      .space 16
+    .text
+    mov r1, @buf
+    halt
+  )");
+  const auto listing = disassemble(img);
+  EXPECT_EQ(listing[0].instr.imm, 0x10000000u);
+}
+
+TEST(AssemblerTest, FunctionSymbols) {
+  const Image img = assemble(R"(
+    .entry main
+    .func main
+    main:
+      call helper
+      halt
+    .func helper
+    helper:
+      ret
+  )");
+  ASSERT_EQ(img.functions.size(), 2u);
+  EXPECT_EQ(img.functions[0].name, "main");
+  EXPECT_EQ(img.functions[1].name, "helper");
+  EXPECT_EQ(img.functions[1].addr, disassemble(img)[2].addr);
+}
+
+TEST(AssemblerTest, ConditionalMnemonics) {
+  const Image img = assemble(R"(
+    l:
+      jeq l
+      jne l
+      jlt l
+      jle l
+      jgt l
+      jge l
+      jb l
+      jae l
+  )");
+  const auto listing = disassemble(img);
+  ASSERT_EQ(listing.size(), 8u);
+  EXPECT_EQ(listing[0].instr.cond, Cond::kEq);
+  EXPECT_EQ(listing[7].instr.cond, Cond::kAe);
+}
+
+TEST(AssemblerTest, CommentsAndWhitespace) {
+  const Image img = assemble(
+      "  ; leading comment\n"
+      "main:   # trailing style\n"
+      "  nop ; mid\n"
+      "\n"
+      "  halt\n");
+  EXPECT_EQ(disassemble(img).size(), 2u);
+}
+
+TEST(AssemblerErrorTest, ReportsLineNumbers) {
+  try {
+    (void)assemble("nop\nbogus r1\n");
+    FAIL() << "expected AsmError";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("asm:2"), std::string::npos);
+  }
+}
+
+TEST(AssemblerErrorTest, RejectsCommonMistakes) {
+  EXPECT_THROW((void)assemble("jmp nowhere\nnowhere_else:\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("mov r1\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("mov r99, 1\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("ld r1, [r2+99999]\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("dup:\ndup:\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble(".entry missing\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble(".bogus 1\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble(".data\n nop\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vcfr::isa

@@ -1,0 +1,146 @@
+// Unit and invariant tests for the cache, TLB, and prefetcher models.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cache/cache.hpp"
+#include "cache/tlb.hpp"
+
+namespace vcfr::cache {
+namespace {
+
+CacheConfig small_cache() {
+  return {.name = "t", .size_bytes = 256, .assoc = 2, .line_bytes = 64,
+          .hit_latency = 2};
+}
+
+TEST(CacheTest, RejectsBadGeometry) {
+  CacheConfig c = small_cache();
+  c.line_bytes = 48;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);
+  c = small_cache();
+  c.assoc = 0;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);
+  c = small_cache();
+  c.size_bytes = 192;  // 3 sets
+  EXPECT_THROW(Cache{c}, std::invalid_argument);
+}
+
+TEST(CacheTest, HitAfterMiss) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1030, false).hit);  // same line
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, LruEviction) {
+  // 2 sets x 2 ways of 64B lines. Lines mapping to set 0: 0x000, 0x080, ...
+  Cache c(small_cache());
+  ASSERT_EQ(c.num_sets(), 2u);
+  EXPECT_FALSE(c.access(0x000, false).hit);
+  EXPECT_FALSE(c.access(0x080, false).hit);
+  EXPECT_TRUE(c.access(0x000, false).hit);  // refresh line 0
+  const auto out = c.access(0x100, false);  // evicts 0x080 (LRU)
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.evicted_valid);
+  EXPECT_EQ(out.evicted_line_addr, 0x080u);
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_FALSE(c.contains(0x080));
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback) {
+  Cache c(small_cache());
+  (void)c.access(0x000, true);  // dirty
+  (void)c.access(0x080, false);
+  const auto out = c.access(0x100, false);
+  EXPECT_TRUE(out.evicted_dirty);
+  EXPECT_EQ(out.evicted_line_addr, 0x000u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, PrefetchAccounting) {
+  Cache c(small_cache());
+  (void)c.fill_prefetch(0x000);
+  EXPECT_EQ(c.stats().prefetch_fills, 1u);
+  EXPECT_TRUE(c.access(0x000, false).hit);
+  EXPECT_EQ(c.stats().prefetch_hits, 1u);
+  // A prefetched line that is evicted before use counts as useless.
+  (void)c.fill_prefetch(0x080);
+  (void)c.access(0x100, false);
+  (void)c.access(0x180, false);  // set 0 full of demand lines now
+  EXPECT_EQ(c.stats().prefetch_evicted_unused, 1u);
+  EXPECT_GT(c.stats().prefetch_useless_rate(), 0.0);
+}
+
+TEST(CacheTest, ContainsDoesNotPerturbState) {
+  Cache c(small_cache());
+  (void)c.access(0x000, false);
+  const auto before = c.stats().accesses;
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_FALSE(c.contains(0x040));
+  EXPECT_EQ(c.stats().accesses, before);
+}
+
+// Property: a direct-mapped cache of N lines can hold any N consecutive
+// distinct lines with exactly one miss each (no conflict among them).
+TEST(CacheTest, SequentialLinesFitExactly) {
+  Cache c({.name = "dm", .size_bytes = 4096, .assoc = 1, .line_bytes = 64,
+           .hit_latency = 1});
+  for (uint32_t i = 0; i < 64; ++i) (void)c.access(i * 64, false);
+  EXPECT_EQ(c.stats().misses, 64u);
+  for (uint32_t i = 0; i < 64; ++i) (void)c.access(i * 64, false);
+  EXPECT_EQ(c.stats().misses, 64u) << "second pass must hit entirely";
+}
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb({.entries = 4, .page_bits = 12, .miss_penalty = 20});
+  EXPECT_EQ(tlb.access(0x1000), 20u);
+  EXPECT_EQ(tlb.access(0x1fff), 0u);  // same page
+  EXPECT_EQ(tlb.access(0x2000), 20u);
+  EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(TlbTest, LruReplacementAcrossCapacity) {
+  Tlb tlb({.entries = 2, .page_bits = 12, .miss_penalty = 10});
+  (void)tlb.access(0x1000);
+  (void)tlb.access(0x2000);
+  (void)tlb.access(0x1000);          // refresh page 1
+  EXPECT_EQ(tlb.access(0x3000), 10u);  // evicts page 2
+  EXPECT_EQ(tlb.access(0x1000), 0u);
+  EXPECT_EQ(tlb.access(0x2000), 10u);
+}
+
+TEST(TlbTest, VisibilityBitProtectsTablePages) {
+  Tlb tlb({});
+  tlb.set_invisible(0x60000000, 0x2000);
+  EXPECT_FALSE(tlb.user_visible(0x60000000));
+  EXPECT_FALSE(tlb.user_visible(0x60001fff));
+  EXPECT_TRUE(tlb.user_visible(0x60002000));
+  EXPECT_TRUE(tlb.check_user_access(0x50000000));
+  EXPECT_FALSE(tlb.check_user_access(0x60000800));
+  EXPECT_EQ(tlb.stats().visibility_faults, 1u);
+}
+
+// Property: random access streams keep hits + misses == accesses and the
+// working set never exceeds capacity.
+class CacheRandomProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CacheRandomProperty, CountersStayConsistent) {
+  std::mt19937 rng(GetParam());
+  Cache c({.name = "p", .size_bytes = 2048, .assoc = 4, .line_bytes = 32,
+           .hit_latency = 1});
+  for (int i = 0; i < 20000; ++i) {
+    (void)c.access((rng() % 4096) * 32, rng() % 4 == 0);
+  }
+  const auto& s = c.stats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_LE(s.writebacks, s.misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheRandomProperty,
+                         ::testing::Values(1u, 7u, 99u));
+
+}  // namespace
+}  // namespace vcfr::cache

@@ -1,0 +1,263 @@
+// Functional tests for the golden-model emulator on original-layout images.
+#include <gtest/gtest.h>
+
+#include "binary/loader.hpp"
+#include "emu/emulator.hpp"
+#include "isa/assembler.hpp"
+
+namespace vcfr::emu {
+namespace {
+
+RunResult run_src(const std::string& src, const RunLimits& limits = {}) {
+  return run_image(isa::assemble(src), limits);
+}
+
+TEST(EmulatorTest, ArithmeticAndOutput) {
+  const auto r = run_src(R"(
+    mov r1, 6
+    mov r2, 7
+    mul r1, r2
+    out r1
+    sub r1, 2
+    out r1
+    halt
+  )");
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.error, "");
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], 42u);
+  EXPECT_EQ(r.output[1], 40u);
+}
+
+TEST(EmulatorTest, LoopWithConditionals) {
+  // Sum 1..10.
+  const auto r = run_src(R"(
+    .entry main
+    main:
+      mov r1, 0
+      mov r2, 1
+    loop:
+      add r1, r2
+      add r2, 1
+      cmp r2, 10
+      jle loop
+      out r1
+      halt
+  )");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 55u);
+}
+
+TEST(EmulatorTest, SignedAndUnsignedConditions) {
+  const auto r = run_src(R"(
+    mov r1, 0
+    sub r1, 1        ; r1 = 0xffffffff (-1)
+    cmp r1, 1
+    jlt signed_less  ; -1 < 1 signed
+    out r0
+    halt
+  signed_less:
+    mov r2, 1
+    out r2
+    cmp r1, 1
+    jb unsigned_less  ; 0xffffffff > 1 unsigned: not taken
+    mov r3, 2
+    out r3
+    halt
+  unsigned_less:
+    out r0
+    halt
+  )");
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], 1u);
+  EXPECT_EQ(r.output[1], 2u);
+}
+
+TEST(EmulatorTest, MemoryLoadsAndStores) {
+  const auto r = run_src(R"(
+    .data 0x10000000
+    arr:
+      .word 10
+      .word 20
+      .word 30
+    .text
+    mov r1, @arr
+    ld r2, [r1]
+    ld r3, [r1+4]
+    add r2, r3
+    st r2, [r1+8]
+    ld r4, [r1+8]
+    out r4
+    stb r4, [r1]      ; write low byte (30)
+    ldb r5, [r1]
+    out r5
+    halt
+  )");
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], 30u);
+  EXPECT_EQ(r.output[1], 30u);
+}
+
+TEST(EmulatorTest, CallsAndReturns) {
+  const auto r = run_src(R"(
+    .entry main
+    .func main
+    main:
+      mov r1, 5
+      call square
+      out r1
+      halt
+    .func square
+    square:
+      mul r1, r1
+      ret
+  )");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 25u);
+  EXPECT_EQ(r.stats.calls, 1u);
+  EXPECT_EQ(r.stats.returns, 1u);
+}
+
+TEST(EmulatorTest, RecursiveCalls) {
+  // factorial(6) via recursion with stack discipline.
+  const auto r = run_src(R"(
+    .entry main
+    .func main
+    main:
+      mov r1, 6
+      call fact
+      out r2
+      halt
+    .func fact
+    fact:
+      cmp r1, 1
+      jgt recurse
+      mov r2, 1
+      ret
+    recurse:
+      push r1
+      sub r1, 1
+      call fact
+      pop r1
+      mul r2, r1
+      ret
+  )");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 720u);
+}
+
+TEST(EmulatorTest, IndirectCallThroughTable) {
+  const auto r = run_src(R"(
+    .entry main
+    .data 0x10000000
+    table:
+      .ptr add_one
+      .ptr add_two
+    .text
+    .func main
+    main:
+      mov r1, 100
+      mov r5, @table
+      ld r6, [r5+4]    ; add_two
+      callr r6
+      out r1
+      halt
+    .func add_one
+    add_one:
+      add r1, 1
+      ret
+    .func add_two
+    add_two:
+      add r1, 2
+      ret
+  )");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 102u);
+  EXPECT_EQ(r.stats.indirect_transfers, 1u);
+}
+
+TEST(EmulatorTest, SysExitAndSysOut) {
+  const auto r = run_src(R"(
+    mov r0, 9
+    sys 1
+    sys 0
+    out r0   ; unreachable
+  )");
+  EXPECT_TRUE(r.halted);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 9u);
+}
+
+TEST(EmulatorTest, FaultsOnInvalidOpcode) {
+  const auto r = run_src("jmp 0x9000\n");  // lands in unmapped memory
+  EXPECT_FALSE(r.halted);
+  EXPECT_NE(r.error.find("invalid opcode"), std::string::npos);
+}
+
+TEST(EmulatorTest, FaultsOnDivisionByZero) {
+  const auto r = run_src(R"(
+    mov r1, 10
+    mov r2, 0
+    div r1, r2
+    halt
+  )");
+  EXPECT_FALSE(r.halted);
+  EXPECT_NE(r.error.find("division by zero"), std::string::npos);
+}
+
+TEST(EmulatorTest, InstructionLimitStopsRun) {
+  RunLimits limits;
+  limits.max_instructions = 100;
+  const auto r = run_src("spin:\n jmp spin\n", limits);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.stats.instructions, 100u);
+}
+
+TEST(EmulatorTest, StepTraceRecordsTransfersAndMemory) {
+  binary::Memory mem;
+  const auto img = isa::assemble(R"(
+    mov r1, 1
+    push r1
+    pop r2
+    jmp done
+    nop
+    done:
+    halt
+  )");
+  binary::load(img, mem);
+  Emulator e(img, mem);
+  StepInfo si;
+  ASSERT_TRUE(e.step(&si));  // mov
+  EXPECT_FALSE(si.has_mem);
+  EXPECT_FALSE(si.is_taken_transfer);
+  ASSERT_TRUE(e.step(&si));  // push
+  EXPECT_TRUE(si.has_mem);
+  EXPECT_TRUE(si.mem_is_store);
+  ASSERT_TRUE(e.step(&si));  // pop
+  EXPECT_TRUE(si.has_mem);
+  EXPECT_FALSE(si.mem_is_store);
+  ASSERT_TRUE(e.step(&si));  // jmp
+  EXPECT_TRUE(si.is_taken_transfer);
+  EXPECT_EQ(si.next_rpc, si.instr.imm);
+  ASSERT_TRUE(e.step(&si));  // halt
+  EXPECT_FALSE(e.step(&si));
+}
+
+TEST(EmulatorTest, PushPopPreserveSp) {
+  const auto r = run_src(R"(
+    mov r1, 0xabcd
+    push r1
+    push r1
+    pop r2
+    pop r3
+    mov r4, sp
+    out r4
+    halt
+  )");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], binary::kDefaultStackTop);
+}
+
+}  // namespace
+}  // namespace vcfr::emu

@@ -1,0 +1,187 @@
+// Gadget scanner and payload-compiler tests (the §V-B security tooling).
+#include <gtest/gtest.h>
+
+#include "gadget/payload.hpp"
+#include "gadget/scanner.hpp"
+#include "isa/assembler.hpp"
+#include "rewriter/randomizer.hpp"
+
+namespace vcfr::gadget {
+namespace {
+
+using binary::Image;
+
+TEST(ScannerTest, FindsAlignedPopRetGadget) {
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      pop r1
+      ret
+  )");
+  const ScanResult r = scan(img);
+  ASSERT_GE(r.gadgets.size(), 1u);
+  const auto& g = r.gadgets.front();
+  EXPECT_EQ(g.addr, img.entry);
+  EXPECT_EQ(g.kind, GadgetKind::kPopReg);
+  EXPECT_TRUE(g.aligned);
+  EXPECT_EQ(g.instrs.size(), 2u);
+}
+
+TEST(ScannerTest, FindsUnalignedGadgetInsideImmediate) {
+  // mov r1, imm where a byte of imm is the Ret opcode (0x65): scanning at
+  // that byte offset yields a 1-instruction "ret" gadget — exactly the
+  // x86 unaligned-gadget phenomenon.
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      mov r1, 0x65        ; encodes ...0x65 0x00 0x00 0x00
+      halt
+  )");
+  const ScanResult r = scan(img);
+  EXPECT_GE(r.unaligned_count, 1u);
+  bool found = false;
+  for (const auto& g : r.gadgets) {
+    if (!g.aligned && g.instrs.back().op == isa::Op::kRet) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScannerTest, DirectTransfersAbortTheWindow) {
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      add r1, r2
+      jmp main        ; leaves the gadget: no gadget starting at add
+      ret
+  )");
+  const ScanResult r = scan(img);
+  for (const auto& g : r.gadgets) {
+    EXPECT_NE(g.addr, img.entry) << "gadget must not cross a direct jmp";
+  }
+}
+
+TEST(ScannerTest, ClassifiesKinds) {
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      st r1, [r2]
+      ret
+      ld r3, [r4+8]
+      ret
+      mov r5, r6
+      ret
+      add r7, 1
+      ret
+      sys 0
+      ret
+  )");
+  const ScanResult r = scan(img);
+  EXPECT_GE(r.count(GadgetKind::kStore), 1u);
+  EXPECT_GE(r.count(GadgetKind::kLoad), 1u);
+  EXPECT_GE(r.count(GadgetKind::kMovReg), 1u);
+  EXPECT_GE(r.count(GadgetKind::kArith), 1u);
+  EXPECT_GE(r.count(GadgetKind::kSys), 1u);
+}
+
+TEST(ScannerTest, WindowLimitsGadgetLength) {
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      add r1, r2
+      add r1, r2
+      add r1, r2
+      add r1, r2
+      add r1, r2
+      add r1, r2
+      ret
+  )");
+  ScanOptions narrow;
+  narrow.max_instrs = 3;
+  const ScanResult r = scan(img, narrow);
+  for (const auto& g : r.gadgets) {
+    EXPECT_LE(g.instrs.size(), 3u);
+  }
+  // With a 3-instruction window only the last two adds can reach the ret.
+  ScanOptions wide;
+  wide.max_instrs = 8;
+  EXPECT_GT(scan(img, wide).gadgets.size(), r.gadgets.size());
+}
+
+TEST(SurvivalTest, RandomizationRemovesAlmostAllGadgets) {
+  // A program with a realistic sprinkle of gadget heads plus one raw code
+  // pointer that forces a small un-randomized failover set.
+  const Image img = isa::assemble(R"(
+    .entry main
+    .data 0x10000000
+    raw:
+      .word 0x1000
+    .text
+    .func main
+    main:
+      pop r1
+      st r1, [r2]
+      mov r3, r4
+      add r3, 5
+      sys 1
+      ret
+  )");
+  const auto scan_result = scan(img);
+  ASSERT_GT(scan_result.gadgets.size(), 0u);
+  const auto rr = rewriter::randomize(img, {});
+  const auto survival =
+      survival_after_randomization(scan_result, rr.vcfr.tables);
+  EXPECT_EQ(survival.before, scan_result.gadgets.size());
+  EXPECT_LT(survival.after, survival.before);
+  EXPECT_GT(survival.removal_percent(), 50.0);
+}
+
+TEST(PayloadTest, AssemblesFromSufficientPool) {
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      pop r1
+      ret
+      mov r2, r1
+      ret
+      st r1, [r2]
+      ret
+      add r1, r2
+      ret
+      sys 0
+      ret
+  )");
+  const auto pool = scan(img).gadgets;
+  const auto payloads = compile_payloads(pool);
+  ASSERT_EQ(payloads.size(), default_templates().size());
+  for (const auto& p : payloads) {
+    EXPECT_TRUE(p.assembled) << p.name;
+    EXPECT_FALSE(p.chain.empty());
+  }
+  EXPECT_TRUE(any_assembled(payloads));
+}
+
+TEST(PayloadTest, FailsWithoutSysGadget) {
+  const Image img = isa::assemble(R"(
+    .entry main
+    main:
+      pop r1
+      ret
+      st r1, [r2]
+      ret
+      mov r2, r1
+      ret
+      add r1, 2
+      ret
+  )");
+  const auto payloads = compile_payloads(scan(img).gadgets);
+  EXPECT_FALSE(any_assembled(payloads))
+      << "every template needs a sys gadget";
+}
+
+TEST(PayloadTest, EmptyPoolAssemblesNothing) {
+  const auto payloads = compile_payloads({});
+  EXPECT_FALSE(any_assembled(payloads));
+}
+
+}  // namespace
+}  // namespace vcfr::gadget

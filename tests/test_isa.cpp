@@ -1,0 +1,168 @@
+// Unit and property tests for the VX ISA encoding layer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/isa.hpp"
+
+namespace vcfr::isa {
+namespace {
+
+TEST(IsaTest, LengthsMatchEncodedSize) {
+  Instr nop{.op = Op::kNop};
+  EXPECT_EQ(encode(nop).size(), 1u);
+  Instr mov{.op = Op::kMovRI, .rd = 3, .imm = 0xdeadbeef};
+  EXPECT_EQ(encode(mov).size(), 6u);
+  Instr ld{.op = Op::kLd, .rd = 1, .rs = 2, .disp = -8};
+  EXPECT_EQ(encode(ld).size(), 4u);
+  Instr jmp{.op = Op::kJmp, .imm = 0x1000};
+  EXPECT_EQ(encode(jmp).size(), 5u);
+  Instr jcc{.op = Op::kJcc, .cond = Cond::kNe, .imm = 0x1000};
+  EXPECT_EQ(encode(jcc).size(), 6u);
+}
+
+TEST(IsaTest, InvalidOpcodeHasZeroLength) {
+  EXPECT_EQ(instr_length(0x00), 0);
+  EXPECT_EQ(instr_length(0xff), 0);
+  EXPECT_FALSE(is_valid_opcode(0x00));
+  EXPECT_TRUE(is_valid_opcode(static_cast<uint8_t>(Op::kRet)));
+}
+
+TEST(IsaTest, DecodeRejectsShortBuffer) {
+  const auto bytes = encode(Instr{.op = Op::kMovRI, .rd = 1, .imm = 42});
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(decode(std::span(bytes.data(), n)).has_value()) << n;
+  }
+  EXPECT_TRUE(decode(std::span(bytes.data(), bytes.size())).has_value());
+}
+
+TEST(IsaTest, DecodeRejectsBadRegisterAndCond) {
+  // MovRI with register byte >= 16.
+  std::vector<uint8_t> bad = {static_cast<uint8_t>(Op::kMovRI), 16, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(bad).has_value());
+  // Jcc with condition byte > kAe.
+  std::vector<uint8_t> badcc = {static_cast<uint8_t>(Op::kJcc), 8, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(badcc).has_value());
+}
+
+TEST(IsaTest, RegisterNames) {
+  EXPECT_EQ(parse_reg("r0"), 0);
+  EXPECT_EQ(parse_reg("r15"), 15);
+  EXPECT_EQ(parse_reg("sp"), kSp);
+  EXPECT_FALSE(parse_reg("r16").has_value());
+  EXPECT_FALSE(parse_reg("x1").has_value());
+  EXPECT_FALSE(parse_reg("r").has_value());
+  EXPECT_EQ(reg_name(kSp), "sp");
+  EXPECT_EQ(reg_name(3), "r3");
+}
+
+TEST(IsaTest, CondRoundTrip) {
+  for (int c = 0; c <= static_cast<int>(Cond::kAe); ++c) {
+    const auto cond = static_cast<Cond>(c);
+    EXPECT_EQ(parse_cond(cond_name(cond)), cond);
+  }
+  EXPECT_FALSE(parse_cond("zz").has_value());
+}
+
+// Property: encode/decode round-trips for randomly generated instructions.
+class EncodingRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EncodingRoundTrip, RandomInstructions) {
+  std::mt19937 rng(GetParam());
+  constexpr Op kOps[] = {
+      Op::kNop,   Op::kHalt,  Op::kSys,   Op::kOut,   Op::kMovRR, Op::kMovRI,
+      Op::kLd,    Op::kSt,    Op::kLdb,   Op::kStb,   Op::kAddRR, Op::kSubRR,
+      Op::kAndRR, Op::kOrRR,  Op::kXorRR, Op::kShlRR, Op::kShrRR, Op::kMulRR,
+      Op::kDivRR, Op::kAddRI, Op::kSubRI, Op::kAndRI, Op::kOrRI,  Op::kXorRI,
+      Op::kShlRI, Op::kShrRI, Op::kMulRI, Op::kCmpRR, Op::kCmpRI, Op::kTestRR,
+      Op::kJmp,   Op::kJcc,   Op::kJmpR,  Op::kCall,  Op::kCallR, Op::kRet,
+      Op::kPushR, Op::kPopR};
+  for (int i = 0; i < 500; ++i) {
+    Instr in;
+    in.op = kOps[rng() % std::size(kOps)];
+    in.cond = static_cast<Cond>(rng() % 8);
+    in.rd = static_cast<uint8_t>(rng() % kNumRegs);
+    in.rs = static_cast<uint8_t>(rng() % kNumRegs);
+    in.imm = static_cast<uint32_t>(rng());
+    if (in.op == Op::kSys) in.imm &= 0xff;
+    in.disp = static_cast<int16_t>(rng());
+
+    const auto bytes = encode(in);
+    ASSERT_EQ(bytes.size(), instr_length(static_cast<uint8_t>(in.op)));
+    const auto back = decode(bytes);
+    ASSERT_TRUE(back.has_value()) << format_instr(in);
+    EXPECT_EQ(back->op, in.op);
+    EXPECT_EQ(back->length, bytes.size());
+    switch (in.op) {
+      case Op::kNop:
+      case Op::kHalt:
+      case Op::kRet:
+        break;
+      case Op::kSys:
+        EXPECT_EQ(back->imm, in.imm);
+        break;
+      case Op::kJmp:
+      case Op::kCall:
+        EXPECT_EQ(back->imm, in.imm);
+        break;
+      case Op::kJcc:
+        EXPECT_EQ(back->cond, in.cond);
+        EXPECT_EQ(back->imm, in.imm);
+        break;
+      case Op::kLd:
+      case Op::kSt:
+      case Op::kLdb:
+      case Op::kStb:
+        EXPECT_EQ(back->rd, in.rd);
+        EXPECT_EQ(back->rs, in.rs);
+        EXPECT_EQ(back->disp, in.disp);
+        break;
+      case Op::kMovRI:
+      case Op::kAddRI:
+      case Op::kSubRI:
+      case Op::kAndRI:
+      case Op::kOrRI:
+      case Op::kXorRI:
+      case Op::kShlRI:
+      case Op::kShrRI:
+      case Op::kMulRI:
+      case Op::kCmpRI:
+        EXPECT_EQ(back->rd, in.rd);
+        EXPECT_EQ(back->imm, in.imm);
+        break;
+      default:
+        EXPECT_EQ(back->rd, in.rd);
+        EXPECT_EQ(back->rs, in.rs);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+TEST(DisassemblerTest, LinearSweepStopsAtInvalidByte) {
+  std::vector<uint8_t> bytes = encode(Instr{.op = Op::kNop});
+  const auto ret = encode(Instr{.op = Op::kRet});
+  bytes.insert(bytes.end(), ret.begin(), ret.end());
+  bytes.push_back(0x00);  // invalid
+  const auto entries = disassemble(bytes, 0x1000);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].addr, 0x1000u);
+  EXPECT_EQ(entries[1].addr, 0x1001u);
+  EXPECT_EQ(entries[1].instr.op, Op::kRet);
+}
+
+TEST(DisassemblerTest, FormatsOperands) {
+  EXPECT_EQ(format_instr(Instr{.op = Op::kLd, .rd = 1, .rs = 2, .disp = -8}),
+            "ld r1, [r2-8]");
+  EXPECT_EQ(format_instr(Instr{.op = Op::kJcc, .cond = Cond::kGe, .imm = 16}),
+            "jge 0x10");
+  EXPECT_EQ(format_instr(Instr{.op = Op::kMovRR, .rd = 14, .rs = 3}),
+            "mov sp, r3");
+}
+
+}  // namespace
+}  // namespace vcfr::isa

@@ -1,0 +1,157 @@
+// Systematic per-opcode semantics tests: every VX instruction checked
+// against independently computed expected values (including wraparound,
+// shifts masked to 5 bits, byte truncation, and stack discipline).
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hpp"
+#include "isa/assembler.hpp"
+
+namespace vcfr::emu {
+namespace {
+
+uint32_t run1(const std::string& body) {
+  const auto r = run_image(isa::assemble(".entry main\nmain:\n" + body +
+                                         "  out r1\n  halt\n"));
+  EXPECT_TRUE(r.halted) << r.error << "\n" << body;
+  EXPECT_EQ(r.output.size(), 1u);
+  return r.output.empty() ? 0xdeadbeef : r.output[0];
+}
+
+TEST(OpcodeTest, MovRegAndImm) {
+  EXPECT_EQ(run1("  mov r1, 4294967295\n"), 0xffffffffu);
+  EXPECT_EQ(run1("  mov r2, 77\n  mov r1, r2\n"), 77u);
+}
+
+TEST(OpcodeTest, AddSubWraparound) {
+  EXPECT_EQ(run1("  mov r1, 4294967295\n  add r1, 2\n"), 1u);
+  EXPECT_EQ(run1("  mov r1, 0\n  sub r1, 1\n"), 0xffffffffu);
+  EXPECT_EQ(run1("  mov r1, 100\n  mov r2, 58\n  sub r1, r2\n"), 42u);
+}
+
+TEST(OpcodeTest, MulUnsignedWrap) {
+  EXPECT_EQ(run1("  mov r1, 65536\n  mul r1, 65536\n"), 0u);
+  EXPECT_EQ(run1("  mov r1, 3\n  mov r2, 7\n  mul r1, r2\n"), 21u);
+}
+
+TEST(OpcodeTest, DivUnsigned) {
+  EXPECT_EQ(run1("  mov r1, 100\n  mov r2, 7\n  div r1, r2\n"), 14u);
+  EXPECT_EQ(run1("  mov r1, 4294967295\n  mov r2, 2\n  div r1, r2\n"),
+            0x7fffffffu)
+      << "division is unsigned";
+}
+
+TEST(OpcodeTest, Bitwise) {
+  EXPECT_EQ(run1("  mov r1, 0xff0f\n  and r1, 0x0ff0\n"), 0x0f00u);
+  EXPECT_EQ(run1("  mov r1, 0xf0\n  or r1, 0x0f\n"), 0xffu);
+  EXPECT_EQ(run1("  mov r1, 0xffff\n  xor r1, 0xff00\n"), 0x00ffu);
+  EXPECT_EQ(run1("  mov r1, 5\n  mov r2, 3\n  and r1, r2\n"), 1u);
+}
+
+TEST(OpcodeTest, ShiftsMaskTo5Bits) {
+  EXPECT_EQ(run1("  mov r1, 1\n  shl r1, 4\n"), 16u);
+  EXPECT_EQ(run1("  mov r1, 256\n  shr r1, 4\n"), 16u);
+  // Shift amounts wrap modulo 32 (x86 semantics).
+  EXPECT_EQ(run1("  mov r1, 1\n  shl r1, 33\n"), 2u);
+  EXPECT_EQ(run1("  mov r1, 8\n  mov r2, 35\n  shr r1, r2\n"), 1u);
+}
+
+TEST(OpcodeTest, LoadStoreWordAndByte) {
+  EXPECT_EQ(run1("  mov r2, 0x10000000\n"
+                 "  mov r3, 0x11223344\n"
+                 "  st r3, [r2]\n"
+                 "  ld r1, [r2]\n"),
+            0x11223344u);
+  EXPECT_EQ(run1("  mov r2, 0x10000000\n"
+                 "  mov r3, 0x11223344\n"
+                 "  st r3, [r2]\n"
+                 "  ldb r1, [r2+1]\n"),
+            0x33u)
+      << "little-endian byte extraction";
+  EXPECT_EQ(run1("  mov r2, 0x10000000\n"
+                 "  mov r3, 0x1ff\n"
+                 "  stb r3, [r2]\n"
+                 "  ld r1, [r2]\n"),
+            0xffu)
+      << "stb truncates to one byte";
+}
+
+TEST(OpcodeTest, NegativeDisplacement) {
+  EXPECT_EQ(run1("  mov r2, 0x10000010\n"
+                 "  mov r3, 9\n"
+                 "  st r3, [r2-16]\n"
+                 "  mov r4, 0x10000000\n"
+                 "  ld r1, [r4]\n"),
+            9u);
+}
+
+TEST(OpcodeTest, PushPopLifo) {
+  EXPECT_EQ(run1("  mov r2, 1\n  mov r3, 2\n"
+                 "  push r2\n  push r3\n"
+                 "  pop r1\n  pop r4\n"
+                 "  shl r1, 8\n  or r1, r4\n"),
+            0x201u);
+  // push imm (the software-rewrite helper instruction).
+  EXPECT_EQ(run1("  push 4660\n  pop r1\n"), 4660u);
+}
+
+TEST(OpcodeTest, CallPushesReturnAndRetPops) {
+  const auto r = run_image(isa::assemble(R"(
+    .entry main
+    main:
+      call probe
+      out r1
+      halt
+    probe:
+      ld r1, [sp]     ; the return address = address of `out r1`
+      ret
+  )"));
+  ASSERT_TRUE(r.halted);
+  // call is at 0x1000, 5 bytes long -> return address 0x1005.
+  EXPECT_EQ(r.output[0], 0x1005u);
+}
+
+TEST(OpcodeTest, JmpRIndirect) {
+  EXPECT_EQ(run1("  mov r2, @target\n"
+                 "  jmpr r2\n"
+                 "  mov r1, 0\n"
+                 "  out r1\n"
+                 "  halt\n"
+                 "target:\n"
+                 "  mov r1, 5\n"),
+            5u);
+}
+
+TEST(OpcodeTest, NopChangesNothing) {
+  EXPECT_EQ(run1("  mov r1, 123\n  nop\n  nop\n  nop\n"), 123u);
+}
+
+TEST(OpcodeTest, SysZeroExitsImmediately) {
+  const auto r = run_image(isa::assemble(R"(
+    .entry main
+    main:
+      mov r0, 1
+      sys 0
+      out r0
+      halt
+  )"));
+  EXPECT_TRUE(r.halted);
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(OpcodeTest, OutAndSysOneEmitDifferentRegisters) {
+  const auto r = run_image(isa::assemble(R"(
+    .entry main
+    main:
+      mov r0, 10
+      mov r5, 20
+      sys 1     ; emits r0
+      out r5    ; emits r5
+      halt
+  )"));
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], 10u);
+  EXPECT_EQ(r.output[1], 20u);
+}
+
+}  // namespace
+}  // namespace vcfr::emu

@@ -1,0 +1,65 @@
+// Power-model tests: analytic SRAM scaling and the accounting arithmetic
+// behind Figure 15.
+#include <gtest/gtest.h>
+
+#include "power/energy.hpp"
+
+namespace vcfr::power {
+namespace {
+
+TEST(EnergyTest, SramEnergyGrowsWithSize) {
+  const double e1k = sram_access_pj(1024, 1);
+  const double e32k = sram_access_pj(32 * 1024, 1);
+  const double e512k = sram_access_pj(512 * 1024, 1);
+  EXPECT_LT(e1k, e32k);
+  EXPECT_LT(e32k, e512k);
+  // Square-root scaling: 512K/32K = 16x size -> 4x energy.
+  EXPECT_NEAR(e512k / e32k, 4.0, 0.01);
+}
+
+TEST(EnergyTest, AssociativityAddsCost) {
+  EXPECT_LT(sram_access_pj(32 * 1024, 1), sram_access_pj(32 * 1024, 2));
+  EXPECT_LT(sram_access_pj(32 * 1024, 2), sram_access_pj(32 * 1024, 8));
+}
+
+TEST(EnergyTest, CalibrationAnchors) {
+  // 32 KiB 2-way L1 around 25 pJ; 512 KiB 8-way L2 in the low hundreds.
+  const double l1 = sram_access_pj(32 * 1024, 2);
+  EXPECT_GT(l1, 15.0);
+  EXPECT_LT(l1, 40.0);
+  const double l2 = sram_access_pj(512 * 1024, 8);
+  EXPECT_GT(l2, 100.0);
+  EXPECT_LT(l2, 300.0);
+  // A 64-entry DRC (512 B direct-mapped) costs a few pJ at most.
+  EXPECT_LT(sram_access_pj(64 * 8, 1), 5.0);
+}
+
+TEST(PowerAccountTest, TotalsAndOverhead) {
+  PowerAccount pw;
+  pw.core = 1000.0;
+  pw.il1 = 500.0;
+  pw.drc = 3.0;
+  pw.dram = 1e9;  // off-chip: excluded from CPU total
+  EXPECT_DOUBLE_EQ(pw.cpu_total(), 1503.0);
+  EXPECT_NEAR(pw.drc_overhead_percent(), 100.0 * 3.0 / 1503.0, 1e-12);
+}
+
+TEST(PowerAccountTest, EmptyAccountIsSafe) {
+  PowerAccount pw;
+  EXPECT_DOUBLE_EQ(pw.cpu_total(), 0.0);
+  EXPECT_DOUBLE_EQ(pw.drc_overhead_percent(), 0.0);
+  EXPECT_FALSE(pw.report().empty());
+}
+
+TEST(PowerAccountTest, ReportMentionsEveryStructure) {
+  PowerAccount pw;
+  pw.core = 1;
+  const std::string r = pw.report();
+  for (const char* key : {"core=", "il1=", "dl1=", "l2=", "drc=", "bpred=",
+                          "btb=", "ras=", "tlb=", "dram=", "drc_overhead="}) {
+    EXPECT_NE(r.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace vcfr::power

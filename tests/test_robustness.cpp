@@ -1,0 +1,135 @@
+// Robustness / fuzz-style tests: hostile bytes and broken programs must
+// fail cleanly (decode rejections, emulator faults), never crash or hang.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "binary/loader.hpp"
+#include "emu/emulator.hpp"
+#include "gadget/scanner.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace vcfr {
+namespace {
+
+class ByteSoup : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ByteSoup, DecodeNeverMisbehaves) {
+  std::mt19937 rng(GetParam());
+  std::vector<uint8_t> bytes(4096);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng());
+  // Decode at every offset: either a valid instruction whose length fits,
+  // or nullopt. Never anything else.
+  for (size_t off = 0; off < bytes.size(); ++off) {
+    const auto d =
+        isa::decode(std::span(bytes.data() + off, bytes.size() - off));
+    if (d) {
+      EXPECT_GE(d->length, 1);
+      EXPECT_LE(d->length, isa::kMaxInstrLength);
+      EXPECT_LE(off + d->length, bytes.size());
+      // Formatting any decoded instruction is safe.
+      EXPECT_FALSE(isa::format_instr(*d).empty());
+    }
+  }
+}
+
+TEST_P(ByteSoup, LinearSweepTerminates) {
+  std::mt19937 rng(GetParam() ^ 0x5eed);
+  std::vector<uint8_t> bytes(8192);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng());
+  const auto listing = isa::disassemble(bytes, 0x1000);
+  // Monotone addresses, no overlap.
+  for (size_t i = 1; i < listing.size(); ++i) {
+    EXPECT_EQ(listing[i].addr,
+              listing[i - 1].addr + listing[i - 1].instr.length);
+  }
+}
+
+TEST_P(ByteSoup, EmulatingGarbageFaultsCleanly) {
+  std::mt19937 rng(GetParam() ^ 0xf00d);
+  binary::Image img;
+  img.name = "garbage";
+  img.code_base = 0x1000;
+  img.entry = 0x1000;
+  img.code.resize(512);
+  for (auto& b : img.code) b = static_cast<uint8_t>(rng());
+  emu::RunLimits limits;
+  limits.max_instructions = 20000;
+  const auto r = emu::run_image(img, limits);
+  // Any outcome is fine except a hang (the limit caps that) — and when it
+  // faulted there must be a message.
+  if (!r.halted && r.stats.instructions < limits.max_instructions) {
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST_P(ByteSoup, GadgetScanOnGarbageIsBounded) {
+  std::mt19937 rng(GetParam() ^ 0xface);
+  binary::Image img;
+  img.code_base = 0x1000;
+  img.code.resize(4096);
+  for (auto& b : img.code) b = static_cast<uint8_t>(rng());
+  const auto result = gadget::scan(img);
+  EXPECT_EQ(result.bytes_scanned, img.code.size());
+  for (const auto& g : result.gadgets) {
+    EXPECT_GE(g.addr, img.code_base);
+    EXPECT_LT(g.addr, img.code_base + img.code.size());
+    EXPECT_LE(g.instrs.size(), gadget::ScanOptions{}.max_instrs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteSoup,
+                         ::testing::Values(1u, 17u, 0xabcdefu));
+
+TEST(RobustnessTest, StackUnderflowReadsZeroPage) {
+  // Popping past the initial stack reads zeros (unmapped memory), which
+  // then faults on the jump — cleanly.
+  const auto r = emu::run_image(isa::assemble("ret\n"));
+  EXPECT_FALSE(r.halted);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(RobustnessTest, SelfModifyingStoreIsVisible) {
+  // VX has no coherence games: a store over upcoming code bytes changes
+  // what executes (the emulator reads memory at fetch). Overwrite the
+  // upcoming `out r1` (2 bytes) with `halt` + `nop`.
+  const auto img = isa::assemble(R"(
+    .entry main
+    main:
+      mov r1, 7
+      mov r2, @patch
+      mov r3, 0x0102      ; nop(0x01) halt(0x02) little-endian
+      st r3, [r2]
+    patch:
+      out r1
+      halt
+  )");
+  // "mov r2, patch" — a label used as a plain immediate.
+  const auto r = emu::run_image(img);
+  EXPECT_TRUE(r.halted) << r.error;
+  EXPECT_TRUE(r.output.empty()) << "patched-out `out` must not run";
+}
+
+TEST(RobustnessTest, OutputCapIsEnforced) {
+  const auto img = isa::assemble(R"(
+    .entry main
+    main:
+      mov r1, 0
+    l:
+      out r1
+      add r1, 1
+      cmp r1, 100
+      jlt l
+      halt
+  )");
+  emu::RunLimits limits;
+  limits.max_output = 10;
+  const auto r = emu::run_image(img, limits);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.output.size(), 10u);
+}
+
+}  // namespace
+}  // namespace vcfr

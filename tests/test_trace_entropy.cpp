@@ -1,0 +1,116 @@
+// Tests for the execution tracer, the entropy report, and the CFG dot
+// export.
+#include <gtest/gtest.h>
+
+#include "emu/trace.hpp"
+#include "isa/assembler.hpp"
+#include "rewriter/cfg.hpp"
+#include "rewriter/entropy.hpp"
+#include "rewriter/randomizer.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr {
+namespace {
+
+const char* kProg = R"(
+  .entry main
+  .func main
+  main:
+    mov r1, 3
+    call triple
+    out r1
+    halt
+  .func triple
+  triple:
+    mul r1, 3
+    ret
+)";
+
+TEST(TraceTest, OriginalLayoutShowsSinglePc) {
+  const auto img = isa::assemble(kProg);
+  const std::string t = emu::trace(img);
+  EXPECT_NE(t.find("mov r1, 3"), std::string::npos);
+  EXPECT_NE(t.find("== halted"), std::string::npos);
+  EXPECT_EQ(t.find("->"), std::string::npos)
+      << "no dual PC for an un-randomized image";
+  EXPECT_EQ(t.find("[derand"), std::string::npos);
+}
+
+TEST(TraceTest, VcfrShowsDualPcAndTranslationEvents) {
+  const auto img = isa::assemble(kProg);
+  rewriter::RandomizeOptions opts;
+  opts.seed = 5;
+  const auto rr = rewriter::randomize(img, opts);
+  const std::string t = emu::trace(rr.vcfr);
+  EXPECT_NE(t.find("->"), std::string::npos);
+  EXPECT_NE(t.find("[derand"), std::string::npos);
+  EXPECT_NE(t.find("[rand ret"), std::string::npos);
+  EXPECT_NE(t.find("== halted"), std::string::npos);
+}
+
+TEST(TraceTest, RegisterDiffsAndStepLimit) {
+  const auto img = isa::assemble(kProg);
+  emu::TraceOptions opts;
+  opts.show_registers = true;
+  const std::string t = emu::trace(img, opts);
+  EXPECT_NE(t.find("r1=0x3"), std::string::npos);
+
+  opts.show_registers = false;
+  opts.max_steps = 2;
+  const std::string t2 = emu::trace(img, opts);
+  EXPECT_EQ(t2.find("halted"), std::string::npos);
+  // Exactly two trace lines.
+  EXPECT_EQ(std::count(t2.begin(), t2.end(), '\n'), 2);
+}
+
+TEST(TraceTest, FaultAppearsInTrace) {
+  const auto img = isa::assemble("jmp 0x9000\n");
+  const std::string t = emu::trace(img);
+  EXPECT_NE(t.find("== FAULT"), std::string::npos);
+  EXPECT_NE(t.find("invalid opcode"), std::string::npos);
+}
+
+TEST(EntropyTest, FullSpreadReportsHighEntropy) {
+  const auto img = workloads::make("xalan", 0);
+  rewriter::RandomizeOptions opts;
+  const auto rr = rewriter::randomize(img, opts);
+  const auto report = rewriter::analyze_entropy(rr, opts);
+  EXPECT_GT(report.bits_per_instruction, 14.0);
+  EXPECT_GT(report.expected_attempts, 10000.0);
+  EXPECT_GT(report.coverage(), 0.80);
+  EXPECT_GT(report.failover_instructions, 0u)
+      << "xalan's computed cluster is the zero-entropy residue";
+  EXPECT_NEAR(report.single_guess_probability * report.expected_attempts, 1.0,
+              1e-9);
+}
+
+TEST(EntropyTest, PageConfinementCostsBits) {
+  const auto img = workloads::make("xalan", 0);
+  rewriter::RandomizeOptions fs;
+  const auto rr_fs = rewriter::randomize(img, fs);
+  rewriter::RandomizeOptions pc;
+  pc.placement = rewriter::PlacementPolicy::kPageConfined;
+  const auto rr_pc = rewriter::randomize(img, pc);
+  const auto e_fs = rewriter::analyze_entropy(rr_fs, fs);
+  const auto e_pc = rewriter::analyze_entropy(rr_pc, pc);
+  EXPECT_GT(e_fs.bits_per_instruction, e_pc.bits_per_instruction + 2.0);
+  EXPECT_DOUBLE_EQ(e_pc.bits_per_instruction, 12.0);  // log2(4096)
+}
+
+TEST(CfgDotTest, EmitsWellFormedGraph) {
+  const auto img = isa::assemble(kProg);
+  const auto cfg = rewriter::build_cfg(img);
+  const std::string dot = rewriter::to_dot(cfg);
+  EXPECT_EQ(dot.rfind("digraph cfg {", 0), 0u);
+  EXPECT_NE(dot.find("main"), std::string::npos);
+  EXPECT_NE(dot.find("triple"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("indirect"), std::string::npos);  // the ret terminator
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace vcfr

@@ -1,0 +1,130 @@
+// Workload-suite tests: every synthetic SPEC stand-in must run to
+// completion deterministically, and — the central property — behave
+// identically under naive-ILR and VCFR randomization for arbitrary seeds.
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hpp"
+#include "rewriter/cfg.hpp"
+#include "rewriter/randomizer.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::workloads {
+namespace {
+
+emu::RunLimits limits() {
+  emu::RunLimits l;
+  l.max_instructions = 20'000'000;
+  return l;
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRuns, CompletesAndIsDeterministic) {
+  const auto img = make(GetParam(), /*scale=*/0);
+  const auto r1 = emu::run_image(img, limits());
+  ASSERT_TRUE(r1.halted) << GetParam() << ": " << r1.error;
+  ASSERT_FALSE(r1.output.empty());
+  const auto r2 = emu::run_image(img, limits());
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.stats.instructions, r2.stats.instructions);
+}
+
+TEST_P(WorkloadRuns, SurvivesRandomizationBothLayouts) {
+  const auto img = make(GetParam(), /*scale=*/0);
+  const auto base = emu::run_image(img, limits());
+  ASSERT_TRUE(base.halted) << base.error;
+
+  for (uint64_t seed : {1ull, 1337ull}) {
+    rewriter::RandomizeOptions opts;
+    opts.seed = seed;
+    const auto rr = rewriter::randomize(img, opts);
+
+    const auto naive = emu::run_image(rr.naive, limits());
+    EXPECT_TRUE(naive.halted) << GetParam() << " naive seed " << seed << ": "
+                              << naive.error;
+    EXPECT_EQ(naive.output, base.output) << GetParam() << " naive " << seed;
+
+    const auto vcfr = emu::run_image(rr.vcfr, limits());
+    EXPECT_TRUE(vcfr.halted) << GetParam() << " vcfr seed " << seed << ": "
+                             << vcfr.error;
+    EXPECT_EQ(vcfr.output, base.output) << GetParam() << " vcfr " << seed;
+    EXPECT_EQ(vcfr.stats.tag_violations, 0u) << GetParam();
+  }
+}
+
+TEST_P(WorkloadRuns, RunsCleanUnderTagEnforcement) {
+  // The hardware's randomized-tag prohibition (§IV-A) must never trip on
+  // legitimate executions: the analyses put every address that legitimate
+  // control flow can reach in original space into the failover set.
+  const auto img = make(GetParam(), /*scale=*/0);
+  const auto rr = rewriter::randomize(img, {});
+  auto l = limits();
+  l.enforce_tags = true;
+  const auto r = emu::run_image(rr.vcfr, l);
+  EXPECT_TRUE(r.halted) << GetParam() << ": " << r.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadRuns,
+                         ::testing::Values("bzip2", "gcc", "mcf", "hmmer",
+                                           "sjeng", "libquantum", "h264ref",
+                                           "lbm", "xalan", "namd", "soplex",
+                                           "memcpy", "python"));
+
+TEST(SuiteTest, NameListsAreConsistent) {
+  EXPECT_EQ(spec_names().size(), 11u);
+  EXPECT_EQ(fig2_names().size(), 6u);
+  for (const auto& n : spec_names()) EXPECT_NO_THROW((void)make(n, 0));
+  EXPECT_THROW((void)make("notaworkload", 0), std::invalid_argument);
+}
+
+TEST(SuiteTest, ScaleGrowsWork) {
+  const auto small = emu::run_image(make("hmmer", 0), limits());
+  const auto big = emu::run_image(make("hmmer", 1), limits());
+  ASSERT_TRUE(small.halted);
+  ASSERT_TRUE(big.halted);
+  EXPECT_GT(big.stats.instructions, 4 * small.stats.instructions);
+}
+
+TEST(SuiteTest, StaticCharactersMatchTableII) {
+  // Relative shape of Table II: xalan has by far the most indirect calls;
+  // gcc has the most direct transfers; both have large code.
+  auto stats = [](const char* name) {
+    const auto img = make(name, 1);
+    const auto cfg = rewriter::build_cfg(img);
+    return rewriter::static_stats(img, cfg);
+  };
+  const auto xalan = stats("xalan");
+  const auto gcc = stats("gcc");
+  const auto mcf = stats("mcf");
+  EXPECT_GT(xalan.indirect_calls, gcc.indirect_calls);
+  EXPECT_GT(xalan.indirect_calls, 10u * std::max<uint64_t>(1, mcf.indirect_calls));
+  EXPECT_GT(gcc.direct_transfers, mcf.direct_transfers);
+  EXPECT_GT(gcc.instructions, 2000u);
+  EXPECT_GT(xalan.instructions, 2000u);
+  // gcc carries the largest code body; mcf's core is small (its bulk is
+  // the shared warm/cold bank all apps carry).
+  EXPECT_GT(gcc.instructions, mcf.instructions);
+}
+
+TEST(SuiteTest, XalanComputedClusterPopulatesFailoverSet) {
+  const auto img = make("xalan", 0);
+  const auto rr = rewriter::randomize(img, {});
+  EXPECT_GT(rr.vcfr.tables.unrandomized.size(), 8u);
+  // But the failover set stays a small fraction of the program.
+  const auto cfg = rewriter::build_cfg(img);
+  EXPECT_LT(rr.vcfr.tables.unrandomized.size(), cfg.instrs.size() / 5);
+}
+
+TEST(SuiteTest, GccExercisesReturnAddressBitmap) {
+  const auto img = make("gcc", 0);
+  rewriter::RandomizeOptions opts;
+  opts.return_policy = rewriter::ReturnPolicy::kArchitectural;
+  const auto rr = rewriter::randomize(img, opts);
+  const auto r = emu::run_image(rr.vcfr, limits());
+  ASSERT_TRUE(r.halted) << r.error;
+  EXPECT_GT(r.stats.bitmap_autoderand_loads, 0u)
+      << "the PIC probe must hit the §IV-C auto-de-randomization path";
+}
+
+}  // namespace
+}  // namespace vcfr::workloads

@@ -1,0 +1,28 @@
+# End-to-end CLI smoke: asm -> stats -> randomize -> run --enforce-tags.
+file(WRITE "${WORK_DIR}/smoke.vx" "
+.entry main
+.func main
+main:
+  mov r1, 6
+  call square
+  out r1
+  halt
+.func square
+square:
+  mul r1, r1
+  ret
+")
+execute_process(COMMAND ${VCFR_BIN} asm ${WORK_DIR}/smoke.vx -o ${WORK_DIR}/smoke.vxe
+                RESULT_VARIABLE rc1)
+execute_process(COMMAND ${VCFR_BIN} stats ${WORK_DIR}/smoke.vxe RESULT_VARIABLE rc2)
+execute_process(COMMAND ${VCFR_BIN} randomize ${WORK_DIR}/smoke.vxe --seed 7
+                -o ${WORK_DIR}/smoke.vcfr.vxe RESULT_VARIABLE rc3)
+execute_process(COMMAND ${VCFR_BIN} run ${WORK_DIR}/smoke.vcfr.vxe --enforce-tags
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc4)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0 OR NOT rc3 EQUAL 0 OR NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "CLI pipeline failed: ${rc1} ${rc2} ${rc3} ${rc4}")
+endif()
+string(FIND "${out}" "out: 36" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "expected output 36, got: ${out}")
+endif()

@@ -1,0 +1,318 @@
+// vcfr — command-line driver for the whole pipeline.
+//
+//   vcfr asm <src.vx> -o <out.vxe>          assemble VX source
+//   vcfr disasm <img.vxe>                    list instructions
+//   vcfr stats <img.vxe>                     static control-flow analysis
+//   vcfr randomize <img.vxe> -o <out.vxe>    ILR-randomize
+//       [--seed N] [--naive] [--software-returns] [--page-confined]
+//       (default output is the VCFR image; --naive emits the relocated one)
+//   vcfr run <img.vxe> [--enforce-tags] [--max-instr N]   golden-model run
+//   vcfr sim <img.vxe> [--drc N] [--max-instr N]          cycle simulation
+//   vcfr scan <img.vxe>                      gadget scan + payload attempt
+//   vcfr workload <name> [--scale S] -o <out.vxe>   emit a suite program
+//   vcfr trace <img.vxe> [--max-instr N] [--regs]    per-instruction trace
+//   vcfr cfg <img.vxe>                               Graphviz dot to stdout
+//   vcfr entropy <img.vxe> [--seed N] [--page-confined]   SV-C entropy report
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "binary/serialize.hpp"
+#include "emu/emulator.hpp"
+#include "emu/trace.hpp"
+#include "gadget/payload.hpp"
+#include "gadget/scanner.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "rewriter/cfg.hpp"
+#include "rewriter/entropy.hpp"
+#include "rewriter/randomizer.hpp"
+#include "sim/cpu.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace vcfr;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string output;
+  uint64_t seed = 1;
+  uint64_t max_instr = 100'000'000;
+  uint32_t drc = 128;
+  int scale = 1;
+  bool naive = false;
+  bool software_returns = false;
+  bool page_confined = false;
+  bool enforce_tags = false;
+  bool regs = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "-o" || a == "--output") {
+      args.output = value();
+    } else if (a == "--seed") {
+      args.seed = std::stoull(value());
+    } else if (a == "--max-instr") {
+      args.max_instr = std::stoull(value());
+    } else if (a == "--drc") {
+      args.drc = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--scale") {
+      args.scale = std::stoi(value());
+    } else if (a == "--naive") {
+      args.naive = true;
+    } else if (a == "--software-returns") {
+      args.software_returns = true;
+    } else if (a == "--page-confined") {
+      args.page_confined = true;
+    } else if (a == "--enforce-tags") {
+      args.enforce_tags = true;
+    } else if (a == "--regs") {
+      args.regs = true;
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::runtime_error("unknown flag: " + a);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::string require_input(const Args& args) {
+  if (args.positional.empty()) throw std::runtime_error("missing input file");
+  return args.positional.front();
+}
+
+int cmd_asm(const Args& args) {
+  const std::string path = require_input(args);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  binary::Image image = isa::assemble(ss.str());
+  if (image.name.empty()) image.name = path;
+  const std::string out = args.output.empty() ? path + ".vxe" : args.output;
+  binary::save(image, out);
+  std::printf("assembled %zu code bytes, %zu data bytes -> %s\n",
+              image.code.size(), image.data.size(), out.c_str());
+  return 0;
+}
+
+int cmd_disasm(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  if (image.layout == binary::Layout::kNaiveIlr) {
+    std::printf("; naive-ILR image: %zu relocated instructions\n",
+                image.sparse_code.size());
+    for (const auto& [addr, bytes] : image.sparse_code) {
+      const auto d = isa::decode(bytes);
+      if (d) std::printf("%08x: %s\n", addr, isa::format_instr(*d).c_str());
+    }
+    return 0;
+  }
+  std::fputs(isa::listing(image).c_str(), stdout);
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  const auto cfg = rewriter::build_cfg(image);
+  const auto s = rewriter::static_stats(image, cfg);
+  std::printf("name:                %s\n", image.name.c_str());
+  std::printf("instructions:        %llu\n",
+              static_cast<unsigned long long>(s.instructions));
+  std::printf("direct transfers:    %llu\n",
+              static_cast<unsigned long long>(s.direct_transfers));
+  std::printf("indirect transfers:  %llu\n",
+              static_cast<unsigned long long>(s.indirect_transfers));
+  std::printf("function calls:      %llu (indirect: %llu)\n",
+              static_cast<unsigned long long>(s.function_calls),
+              static_cast<unsigned long long>(s.indirect_calls));
+  std::printf("returns:             %llu\n",
+              static_cast<unsigned long long>(s.returns));
+  std::printf("functions with ret:  %llu, without: %llu\n",
+              static_cast<unsigned long long>(s.functions_with_ret),
+              static_cast<unsigned long long>(s.functions_without_ret));
+  return 0;
+}
+
+int cmd_randomize(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  rewriter::RandomizeOptions opts;
+  opts.seed = args.seed;
+  if (args.software_returns) {
+    opts.return_option = rewriter::ReturnOption::kSoftwareRewrite;
+  }
+  if (args.page_confined) {
+    opts.placement = rewriter::PlacementPolicy::kPageConfined;
+  }
+  const auto rr = rewriter::randomize(image, opts);
+  const auto& out_image = args.naive ? rr.naive : rr.vcfr;
+  const std::string out =
+      args.output.empty() ? image.name + (args.naive ? ".naive.vxe" : ".vcfr.vxe")
+                          : args.output;
+  binary::save(out_image, out);
+  std::printf("relocated %zu instructions (seed %llu); failover set: %zu; "
+              "-> %s\n",
+              rr.placement.size(),
+              static_cast<unsigned long long>(args.seed),
+              rr.analysis.unrandomized.size(), out.c_str());
+  if (args.software_returns) {
+    std::printf("software return rewrite: %u calls, +%.1f%% code\n",
+                rr.sw_stats.calls_rewritten,
+                rr.sw_stats.expansion_percent());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  emu::RunLimits limits;
+  limits.max_instructions = args.max_instr;
+  limits.enforce_tags = args.enforce_tags;
+  const auto r = emu::run_image(image, limits);
+  for (uint32_t v : r.output) std::printf("out: %u (0x%x)\n", v, v);
+  std::printf("%s after %llu instructions",
+              r.halted ? "halted" : (r.error.empty() ? "limit" : "FAULT"),
+              static_cast<unsigned long long>(r.stats.instructions));
+  if (!r.error.empty()) std::printf(": %s", r.error.c_str());
+  std::printf("\n");
+  return r.halted ? 0 : 1;
+}
+
+int cmd_sim(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  sim::CpuConfig config;
+  config.drc.entries = args.drc;
+  const auto r = sim::simulate(image, args.max_instr, config);
+  std::printf("instructions: %llu\ncycles:       %llu\nIPC:          %.3f\n",
+              static_cast<unsigned long long>(r.instructions),
+              static_cast<unsigned long long>(r.cycles), r.ipc());
+  std::printf("IL1 miss:     %.3f%%   DL1 miss: %.3f%%   L2 miss: %.3f%%\n",
+              100 * r.il1.miss_rate(), 100 * r.dl1.miss_rate(),
+              100 * r.l2.miss_rate());
+  std::printf("branch acc:   %.2f%%   DRC: %llu lookups, %.1f%% miss\n",
+              100 * r.bpred.cond_accuracy(),
+              static_cast<unsigned long long>(r.drc.lookups),
+              100 * r.drc.miss_rate());
+  std::printf("power:        %s\n", r.power.report().c_str());
+  return 0;
+}
+
+int cmd_scan(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  const auto result = gadget::scan(image);
+  std::printf("%zu gadgets (%llu aligned, %llu unaligned) in %llu bytes\n",
+              result.gadgets.size(),
+              static_cast<unsigned long long>(result.aligned_count),
+              static_cast<unsigned long long>(result.unaligned_count),
+              static_cast<unsigned long long>(result.bytes_scanned));
+  for (auto kind :
+       {gadget::GadgetKind::kPopReg, gadget::GadgetKind::kMovReg,
+        gadget::GadgetKind::kArith, gadget::GadgetKind::kLoad,
+        gadget::GadgetKind::kStore, gadget::GadgetKind::kSys,
+        gadget::GadgetKind::kOther}) {
+    std::printf("  %-8s %zu\n", std::string(gadget::kind_name(kind)).c_str(),
+                result.count(kind));
+  }
+  const auto payloads = gadget::compile_payloads(result.gadgets);
+  for (const auto& p : payloads) {
+    std::printf("payload '%s': %s\n", p.name.c_str(),
+                p.assembled ? "ASSEMBLED" : "failed");
+  }
+  return 0;
+}
+
+int cmd_workload(const Args& args) {
+  const std::string name = require_input(args);
+  const auto image = workloads::make(name, args.scale);
+  const std::string out = args.output.empty() ? name + ".vxe" : args.output;
+  binary::save(image, out);
+  std::printf("%s (scale %d): %zu code bytes -> %s\n", name.c_str(),
+              args.scale, image.code.size(), out.c_str());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  emu::TraceOptions opts;
+  opts.max_steps = args.max_instr == 100'000'000 ? 64 : args.max_instr;
+  opts.show_registers = args.regs;
+  std::fputs(emu::trace(image, opts).c_str(), stdout);
+  return 0;
+}
+
+int cmd_cfg(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  const auto cfg = rewriter::build_cfg(image);
+  std::fputs(rewriter::to_dot(cfg).c_str(), stdout);
+  return 0;
+}
+
+int cmd_entropy(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  rewriter::RandomizeOptions opts;
+  opts.seed = args.seed;
+  if (args.page_confined) {
+    opts.placement = rewriter::PlacementPolicy::kPageConfined;
+  }
+  const auto rr = rewriter::randomize(image, opts);
+  const auto report = rewriter::analyze_entropy(rr, opts);
+  std::printf("randomized instructions: %zu\n", report.randomized_instructions);
+  std::printf("failover instructions:   %zu (zero entropy)\n",
+              report.failover_instructions);
+  std::printf("entropy coverage:        %.2f%%\n", 100 * report.coverage());
+  std::printf("bits per instruction:    %.1f\n", report.bits_per_instruction);
+  std::printf("single-guess hit prob:   %.3g\n",
+              report.single_guess_probability);
+  std::printf("expected crash attempts: %.3g\n", report.expected_attempts);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: vcfr <asm|disasm|stats|randomize|run|sim|scan|workload|trace|"
+      "cfg|entropy> ...\n"
+      "see the header of tools/vcfr_cli.cpp for flags\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv);
+    if (cmd == "asm") return cmd_asm(args);
+    if (cmd == "disasm") return cmd_disasm(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "randomize") return cmd_randomize(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "sim") return cmd_sim(args);
+    if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "workload") return cmd_workload(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "cfg") return cmd_cfg(args);
+    if (cmd == "entropy") return cmd_entropy(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vcfr %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
