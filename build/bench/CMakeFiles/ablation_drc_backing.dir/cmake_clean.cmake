@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drc_backing.dir/ablation_drc_backing.cpp.o"
+  "CMakeFiles/ablation_drc_backing.dir/ablation_drc_backing.cpp.o.d"
+  "ablation_drc_backing"
+  "ablation_drc_backing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drc_backing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_confined.dir/ablation_page_confined.cpp.o"
+  "CMakeFiles/ablation_page_confined.dir/ablation_page_confined.cpp.o.d"
+  "ablation_page_confined"
+  "ablation_page_confined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_confined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

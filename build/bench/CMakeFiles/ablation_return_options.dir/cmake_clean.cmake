@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_return_options.dir/ablation_return_options.cpp.o"
+  "CMakeFiles/ablation_return_options.dir/ablation_return_options.cpp.o.d"
+  "ablation_return_options"
+  "ablation_return_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_return_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_emulation.dir/fig02_emulation.cpp.o"
+  "CMakeFiles/fig02_emulation.dir/fig02_emulation.cpp.o.d"
+  "fig02_emulation"
+  "fig02_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_naive_cache.dir/fig03_naive_cache.cpp.o"
+  "CMakeFiles/fig03_naive_cache.dir/fig03_naive_cache.cpp.o.d"
+  "fig03_naive_cache"
+  "fig03_naive_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_naive_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

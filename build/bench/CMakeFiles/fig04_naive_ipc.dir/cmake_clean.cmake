@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_naive_ipc.dir/fig04_naive_ipc.cpp.o"
+  "CMakeFiles/fig04_naive_ipc.dir/fig04_naive_ipc.cpp.o.d"
+  "fig04_naive_ipc"
+  "fig04_naive_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_naive_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_functions.dir/fig09_functions.cpp.o"
+  "CMakeFiles/fig09_functions.dir/fig09_functions.cpp.o.d"
+  "fig09_functions"
+  "fig09_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

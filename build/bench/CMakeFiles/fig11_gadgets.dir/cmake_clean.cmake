@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gadgets.dir/fig11_gadgets.cpp.o"
+  "CMakeFiles/fig11_gadgets.dir/fig11_gadgets.cpp.o.d"
+  "fig11_gadgets"
+  "fig11_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_drc_missrate.dir/fig14_drc_missrate.cpp.o"
+  "CMakeFiles/fig14_drc_missrate.dir/fig14_drc_missrate.cpp.o.d"
+  "fig14_drc_missrate"
+  "fig14_drc_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_drc_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

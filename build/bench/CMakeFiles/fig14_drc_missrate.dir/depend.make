@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_drc_missrate.
+# This may be replaced when dependencies are built.

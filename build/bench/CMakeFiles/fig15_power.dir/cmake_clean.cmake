@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_power.dir/fig15_power.cpp.o"
+  "CMakeFiles/fig15_power.dir/fig15_power.cpp.o.d"
+  "fig15_power"
+  "fig15_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_ooo.dir/future_ooo.cpp.o"
+  "CMakeFiles/future_ooo.dir/future_ooo.cpp.o.d"
+  "future_ooo"
+  "future_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

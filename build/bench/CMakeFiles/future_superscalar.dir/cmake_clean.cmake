@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_superscalar.dir/future_superscalar.cpp.o"
+  "CMakeFiles/future_superscalar.dir/future_superscalar.cpp.o.d"
+  "future_superscalar"
+  "future_superscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_static_analysis.dir/table2_static_analysis.cpp.o"
+  "CMakeFiles/table2_static_analysis.dir/table2_static_analysis.cpp.o.d"
+  "table2_static_analysis"
+  "table2_static_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_static_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_fleet.dir/diversity_fleet.cpp.o"
+  "CMakeFiles/diversity_fleet.dir/diversity_fleet.cpp.o.d"
+  "diversity_fleet"
+  "diversity_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

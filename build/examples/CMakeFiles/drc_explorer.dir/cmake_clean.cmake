@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drc_explorer.dir/drc_explorer.cpp.o"
+  "CMakeFiles/drc_explorer.dir/drc_explorer.cpp.o.d"
+  "drc_explorer"
+  "drc_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drc_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

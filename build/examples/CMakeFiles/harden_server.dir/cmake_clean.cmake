@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_server.dir/harden_server.cpp.o"
+  "CMakeFiles/harden_server.dir/harden_server.cpp.o.d"
+  "harden_server"
+  "harden_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

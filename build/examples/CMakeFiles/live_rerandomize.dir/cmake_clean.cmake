@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_rerandomize.dir/live_rerandomize.cpp.o"
+  "CMakeFiles/live_rerandomize.dir/live_rerandomize.cpp.o.d"
+  "live_rerandomize"
+  "live_rerandomize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_rerandomize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

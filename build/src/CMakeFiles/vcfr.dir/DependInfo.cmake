@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binary/image.cpp" "src/CMakeFiles/vcfr.dir/binary/image.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/binary/image.cpp.o.d"
+  "/root/repo/src/binary/loader.cpp" "src/CMakeFiles/vcfr.dir/binary/loader.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/binary/loader.cpp.o.d"
+  "/root/repo/src/binary/serialize.cpp" "src/CMakeFiles/vcfr.dir/binary/serialize.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/binary/serialize.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/vcfr.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/memhier.cpp" "src/CMakeFiles/vcfr.dir/cache/memhier.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/cache/memhier.cpp.o.d"
+  "/root/repo/src/cache/prefetcher.cpp" "src/CMakeFiles/vcfr.dir/cache/prefetcher.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/cache/prefetcher.cpp.o.d"
+  "/root/repo/src/cache/tlb.cpp" "src/CMakeFiles/vcfr.dir/cache/tlb.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/cache/tlb.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/CMakeFiles/vcfr.dir/core/context.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/core/context.cpp.o.d"
+  "/root/repo/src/core/drc.cpp" "src/CMakeFiles/vcfr.dir/core/drc.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/core/drc.cpp.o.d"
+  "/root/repo/src/core/ret_bitmap.cpp" "src/CMakeFiles/vcfr.dir/core/ret_bitmap.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/core/ret_bitmap.cpp.o.d"
+  "/root/repo/src/core/translation.cpp" "src/CMakeFiles/vcfr.dir/core/translation.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/core/translation.cpp.o.d"
+  "/root/repo/src/dram/dram.cpp" "src/CMakeFiles/vcfr.dir/dram/dram.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/dram/dram.cpp.o.d"
+  "/root/repo/src/emu/emulator.cpp" "src/CMakeFiles/vcfr.dir/emu/emulator.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/emu/emulator.cpp.o.d"
+  "/root/repo/src/emu/ilr_emulator.cpp" "src/CMakeFiles/vcfr.dir/emu/ilr_emulator.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/emu/ilr_emulator.cpp.o.d"
+  "/root/repo/src/emu/rerandomize.cpp" "src/CMakeFiles/vcfr.dir/emu/rerandomize.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/emu/rerandomize.cpp.o.d"
+  "/root/repo/src/emu/trace.cpp" "src/CMakeFiles/vcfr.dir/emu/trace.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/emu/trace.cpp.o.d"
+  "/root/repo/src/gadget/payload.cpp" "src/CMakeFiles/vcfr.dir/gadget/payload.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/gadget/payload.cpp.o.d"
+  "/root/repo/src/gadget/scanner.cpp" "src/CMakeFiles/vcfr.dir/gadget/scanner.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/gadget/scanner.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/vcfr.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/disassembler.cpp" "src/CMakeFiles/vcfr.dir/isa/disassembler.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/isa/disassembler.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/CMakeFiles/vcfr.dir/isa/encoding.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/isa/encoding.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/vcfr.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/power/energy.cpp" "src/CMakeFiles/vcfr.dir/power/energy.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/power/energy.cpp.o.d"
+  "/root/repo/src/rewriter/analysis.cpp" "src/CMakeFiles/vcfr.dir/rewriter/analysis.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/rewriter/analysis.cpp.o.d"
+  "/root/repo/src/rewriter/cfg.cpp" "src/CMakeFiles/vcfr.dir/rewriter/cfg.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/rewriter/cfg.cpp.o.d"
+  "/root/repo/src/rewriter/entropy.cpp" "src/CMakeFiles/vcfr.dir/rewriter/entropy.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/rewriter/entropy.cpp.o.d"
+  "/root/repo/src/rewriter/randomizer.cpp" "src/CMakeFiles/vcfr.dir/rewriter/randomizer.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/rewriter/randomizer.cpp.o.d"
+  "/root/repo/src/sim/bpred.cpp" "src/CMakeFiles/vcfr.dir/sim/bpred.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/sim/bpred.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/vcfr.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/ooo.cpp" "src/CMakeFiles/vcfr.dir/sim/ooo.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/sim/ooo.cpp.o.d"
+  "/root/repo/src/workloads/builder.cpp" "src/CMakeFiles/vcfr.dir/workloads/builder.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/builder.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/vcfr.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/suite.cpp.o.d"
+  "/root/repo/src/workloads/wl_compiler.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_compiler.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_compiler.cpp.o.d"
+  "/root/repo/src/workloads/wl_compress.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_compress.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_compress.cpp.o.d"
+  "/root/repo/src/workloads/wl_dp.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_dp.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_dp.cpp.o.d"
+  "/root/repo/src/workloads/wl_graph.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_graph.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_graph.cpp.o.d"
+  "/root/repo/src/workloads/wl_misc.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_misc.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_misc.cpp.o.d"
+  "/root/repo/src/workloads/wl_nbody.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_nbody.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_nbody.cpp.o.d"
+  "/root/repo/src/workloads/wl_quantum.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_quantum.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_quantum.cpp.o.d"
+  "/root/repo/src/workloads/wl_search.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_search.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_search.cpp.o.d"
+  "/root/repo/src/workloads/wl_simplex.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_simplex.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_simplex.cpp.o.d"
+  "/root/repo/src/workloads/wl_stencil.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_stencil.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_stencil.cpp.o.d"
+  "/root/repo/src/workloads/wl_video.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_video.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_video.cpp.o.d"
+  "/root/repo/src/workloads/wl_xml.cpp" "src/CMakeFiles/vcfr.dir/workloads/wl_xml.cpp.o" "gcc" "src/CMakeFiles/vcfr.dir/workloads/wl_xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_context_chain.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_context_chain.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_context_chain.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_emulator.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_emulator.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_emulator.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_fuzz_equivalence.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_fuzz_equivalence.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_fuzz_equivalence.cpp.o.d"
+  "/root/repo/tests/test_gadget.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_gadget.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_gadget.cpp.o.d"
+  "/root/repo/tests/test_ilr_emulator.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_ilr_emulator.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_ilr_emulator.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_loader.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_loader.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_loader.cpp.o.d"
+  "/root/repo/tests/test_memhier.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_memhier.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_memhier.cpp.o.d"
+  "/root/repo/tests/test_ooo.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_ooo.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_ooo.cpp.o.d"
+  "/root/repo/tests/test_opcodes.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_opcodes.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_opcodes.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_rerandomize.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_rerandomize.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_rerandomize.cpp.o.d"
+  "/root/repo/tests/test_rewriter.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_rewriter.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_rewriter.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim_vcfr.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_sim_vcfr.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_sim_vcfr.cpp.o.d"
+  "/root/repo/tests/test_swret.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_swret.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_swret.cpp.o.d"
+  "/root/repo/tests/test_trace_entropy.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_trace_entropy.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_trace_entropy.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/vcfr_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/vcfr_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcfr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

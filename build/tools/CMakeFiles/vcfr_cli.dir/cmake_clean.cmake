@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcfr_cli.dir/vcfr_cli.cpp.o"
+  "CMakeFiles/vcfr_cli.dir/vcfr_cli.cpp.o.d"
+  "vcfr"
+  "vcfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcfr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
