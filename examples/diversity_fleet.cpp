@@ -10,12 +10,16 @@
 //     from one variant still names an instruction start in another (the
 //     "outdated tables" argument of §V-C);
 //   * gadget survival: only the failover set survives in *every* variant.
+//
+// The variants are spawned as real processes of the OS/fleet runtime
+// (os::Kernel) — the same per-process tables the scheduler installs and
+// flushes at context switches are what this study inspects.
 #include <cmath>
 #include <cstdio>
 #include <unordered_set>
 
 #include "gadget/scanner.hpp"
-#include "rewriter/randomizer.hpp"
+#include "os/kernel.hpp"
 #include "workloads/suite.hpp"
 
 int main() {
@@ -27,21 +31,28 @@ int main() {
               "(%zu code bytes)\n\n",
               kVariants, base.name.c_str(), base.code.size());
 
-  std::vector<rewriter::RandomizeResult> fleet;
+  os::Kernel kernel(os::KernelConfig{});
+  for (int v = 0; v < kVariants; ++v) {
+    os::ProcessConfig pc;
+    pc.workload = "xalan";
+    pc.scale = 0;
+    pc.seed = 0x9e3779b97f4a7c15ull * (v + 1);
+    kernel.spawn(pc);
+  }
+  // The kernel's per-process randomization state, without running anyone.
+  std::vector<const rewriter::RandomizeResult*> fleet;
   fleet.reserve(kVariants);
   for (int v = 0; v < kVariants; ++v) {
-    rewriter::RandomizeOptions opts;
-    opts.seed = 0x9e3779b97f4a7c15ull * (v + 1);
-    fleet.push_back(rewriter::randomize(base, opts));
+    fleet.push_back(&kernel.randomization(v));
   }
 
   // --- placement overlap -----------------------------------------------------
   double total_pairs = 0, same_placement = 0;
   for (int a = 0; a < kVariants; ++a) {
     for (int b = a + 1; b < kVariants; ++b) {
-      for (const auto& [orig, addr] : fleet[a].placement) {
-        auto it = fleet[b].placement.find(orig);
-        if (it != fleet[b].placement.end()) {
+      for (const auto& [orig, addr] : fleet[a]->placement) {
+        auto it = fleet[b]->placement.find(orig);
+        if (it != fleet[b]->placement.end()) {
           ++total_pairs;
           if (it->second == addr) ++same_placement;
         }
@@ -54,7 +65,7 @@ int main() {
               total_pairs);
 
   // --- per-instruction location entropy --------------------------------------
-  const auto& first = fleet.front();
+  const auto& first = *fleet.front();
   const double slots = first.naive.rand_size / 64.0;  // one per 64B slot
   const double entropy_bits = std::log2(slots * 59.0);  // slot * jitter
   std::printf("randomized-space entropy per instruction: ~%.1f bits "
@@ -66,8 +77,8 @@ int main() {
   // re-randomizes: how many of those addresses still hit an instruction?
   uint64_t still_instr = 0, probes = 0;
   std::unordered_set<uint32_t> v1_starts;
-  for (const auto& [orig, addr] : fleet[1].placement) v1_starts.insert(addr);
-  for (const auto& [orig, addr] : fleet[0].placement) {
+  for (const auto& [orig, addr] : fleet[1]->placement) v1_starts.insert(addr);
+  for (const auto& [orig, addr] : fleet[0]->placement) {
     ++probes;
     if (v1_starts.contains(addr)) ++still_instr;
   }
@@ -83,7 +94,7 @@ int main() {
   std::unordered_set<uint32_t> common;
   bool first_variant = true;
   for (const auto& rr : fleet) {
-    const auto sv = gadget::survival_after_randomization(scan0, rr.vcfr.tables);
+    const auto sv = gadget::survival_after_randomization(scan0, rr->vcfr.tables);
     min_survivors = std::min(min_survivors, sv.after);
     std::unordered_set<uint32_t> here;
     for (const auto& g : sv.surviving) here.insert(g.addr);

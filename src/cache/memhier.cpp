@@ -1,9 +1,12 @@
 #include "cache/memhier.hpp"
 
+#include "cache/shared_l2.hpp"
+
 namespace vcfr::cache {
 
-MemHier::MemHier(const MemHierConfig& config)
+MemHier::MemHier(const MemHierConfig& config, SharedL2Port* shared_port)
     : config_(config),
+      shared_(shared_port),
       il1_(config.il1),
       dl1_(config.dl1),
       l2_(config.l2),
@@ -18,6 +21,10 @@ AccessResult MemHier::l2_read(uint32_t addr, uint64_t now, L2Source source) {
     case L2Source::kDl1: ++pressure_.reads_from_dl1; break;
     case L2Source::kIl1Prefetch: ++pressure_.reads_from_il1_prefetch; break;
     case L2Source::kDrc: ++pressure_.reads_from_drc; break;
+  }
+  if (shared_) {
+    const uint32_t line = addr & ~(config_.l2.line_bytes - 1);
+    return shared_->read(line, asid_, now, source);
   }
   const CacheOutcome outcome = l2_.access(addr, /*write=*/false);
   AccessResult result;
@@ -34,6 +41,10 @@ AccessResult MemHier::l2_read(uint32_t addr, uint64_t now, L2Source source) {
 
 void MemHier::l2_writeback(uint32_t addr, uint64_t now) {
   // Dirty L1 eviction: write-allocate into L2 without stalling the core.
+  if (shared_) {
+    shared_->writeback(addr & ~(config_.l2.line_bytes - 1), asid_, now);
+    return;
+  }
   const CacheOutcome outcome = l2_.access(addr, /*write=*/true);
   if (!outcome.hit) {
     (void)dram_.read(addr, now);  // line fill before merging the victim

@@ -59,9 +59,20 @@ struct AccessResult {
   bool l2_hit = false;  // meaningful only when !l1_hit
 };
 
+class SharedL2Port;
+
 class MemHier {
  public:
-  explicit MemHier(const MemHierConfig& config);
+  /// With a null `shared_port` the hierarchy owns a private L2 + DRAM (the
+  /// single-process simulator). With a port, L2-level traffic is routed to
+  /// the fleet's shared L2 (cache/shared_l2.hpp) and the private L2/DRAM
+  /// stay unused.
+  explicit MemHier(const MemHierConfig& config,
+                   SharedL2Port* shared_port = nullptr);
+
+  /// Address-space id tagged onto shared-L2 traffic (the running process's
+  /// pid). Ignored in private-L2 mode.
+  void set_asid(uint32_t asid) { asid_ = asid; }
 
   /// Instruction fetch of the line containing `addr` (drives the next-line
   /// prefetcher).
@@ -94,6 +105,8 @@ class MemHier {
   void l2_writeback(uint32_t addr, uint64_t now);
 
   MemHierConfig config_;
+  SharedL2Port* shared_ = nullptr;
+  uint32_t asid_ = 0;
   Cache il1_;
   Cache dl1_;
   Cache l2_;

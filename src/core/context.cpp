@@ -1,5 +1,7 @@
 #include "core/context.hpp"
 
+#include "core/ret_bitmap.hpp"
+
 namespace vcfr::core {
 
 uint32_t ContextManager::switch_to(const ProcessContext& next) {
@@ -10,6 +12,7 @@ uint32_t ContextManager::switch_to(const ProcessContext& next) {
   ++stats_.switches;
   const uint32_t flushed = drc_.flush();
   stats_.entries_flushed += flushed;
+  if (bitmap_) stats_.bitmap_entries_flushed += bitmap_->flush();
   current_ = next;
   return flushed;
 }
@@ -21,6 +24,7 @@ uint32_t ContextManager::rerandomize_current(
   current_.tables = &new_tables;
   const uint32_t flushed = drc_.flush();
   stats_.entries_flushed += flushed;
+  if (bitmap_) stats_.bitmap_entries_flushed += bitmap_->flush();
   return flushed;
 }
 

@@ -38,17 +38,26 @@ struct ProcessContext {
 struct ContextStats {
   uint64_t switches = 0;
   uint64_t entries_flushed = 0;
+  uint64_t bitmap_entries_flushed = 0;
   uint64_t rerandomizations = 0;
 };
 
-/// Models the kernel's handling of the DRC across context switches.
+class RetBitmapCache;
+
+/// Models the kernel's handling of the per-process micro-architectural
+/// randomization state (DRC + return-bitmap cache) across context
+/// switches.
 class ContextManager {
  public:
   explicit ContextManager(Drc& drc) : drc_(drc) {}
 
-  /// Installs `next` as the running context. Flushes the DRC unless the
-  /// context is unchanged (same pid and epoch). Returns the number of
-  /// translations lost to the flush.
+  /// Also flush this return-bitmap cache on every switch/re-randomization
+  /// (its fragments describe the outgoing process's stack, §IV-C).
+  void attach_ret_bitmap(RetBitmapCache* bitmap) { bitmap_ = bitmap; }
+
+  /// Installs `next` as the running context. Flushes the DRC (and any
+  /// attached bitmap cache) unless the context is unchanged (same pid and
+  /// epoch). Returns the number of translations lost to the flush.
   uint32_t switch_to(const ProcessContext& next);
 
   /// Registers a re-randomization of the *current* process: new tables,
@@ -60,6 +69,7 @@ class ContextManager {
 
  private:
   Drc& drc_;
+  RetBitmapCache* bitmap_ = nullptr;
   ProcessContext current_;
   ContextStats stats_;
 };

@@ -34,4 +34,13 @@ uint32_t RetBitmapCache::access(uint32_t addr, uint64_t now) {
   return mem_.table_read(line, now).latency;
 }
 
+uint32_t RetBitmapCache::flush() {
+  uint32_t lost = 0;
+  for (auto& e : entries_) {
+    if (e.valid) ++lost;
+    e.valid = false;
+  }
+  return lost;
+}
+
 }  // namespace vcfr::core

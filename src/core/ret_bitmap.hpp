@@ -45,6 +45,10 @@ class RetBitmapCache {
   /// `now`; returns added latency (0 on hit, an L2 walk on miss).
   uint32_t access(uint32_t addr, uint64_t now);
 
+  /// Invalidates every cached fragment (context switch: the bitmap is
+  /// per-process state, §IV-C). Returns how many valid lines were lost.
+  uint32_t flush();
+
   [[nodiscard]] const RetBitmapStats& stats() const { return stats_; }
   [[nodiscard]] const RetBitmapConfig& config() const { return config_; }
 

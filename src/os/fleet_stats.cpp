@@ -1,0 +1,143 @@
+#include "os/fleet_stats.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vcfr::os {
+
+namespace {
+
+// %.6g keeps the rendering platform-stable and free of long fraction
+// tails; the JSON is compared byte-for-byte in the determinism test.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void cache_json(std::ostringstream& o, const cache::CacheStats& c) {
+  o << "{\"accesses\": " << c.accesses << ", \"misses\": " << c.misses
+    << ", \"miss_rate\": " << fmt_double(c.miss_rate()) << "}";
+}
+
+}  // namespace
+
+std::string FleetReport::to_json() const {
+  std::ostringstream o;
+  o << "{\n";
+  o << "  \"rounds\": " << rounds << ",\n";
+  o << "  \"context_switches\": " << context_switches << ",\n";
+  o << "  \"preemptions\": " << preemptions << ",\n";
+  o << "  \"drc_entries_flushed\": " << drc_entries_flushed << ",\n";
+  o << "  \"bitmap_entries_flushed\": " << bitmap_entries_flushed << ",\n";
+  o << "  \"rerandomizations\": " << rerandomizations << ",\n";
+  o << "  \"fleet_cycles\": " << fleet_cycles << ",\n";
+  o << "  \"fleet_instructions\": " << fleet_instructions << ",\n";
+  o << "  \"fleet_ipc\": " << fmt_double(fleet_ipc) << ",\n";
+
+  const auto& sl2 = shared_l2;
+  o << "  \"shared_l2\": {\"accesses\": " << sl2.l2.accesses
+    << ", \"misses\": " << sl2.l2.misses
+    << ", \"miss_rate\": " << fmt_double(sl2.l2.miss_rate())
+    << ", \"writebacks\": " << sl2.l2.writebacks
+    << ", \"queue_delay_cycles\": " << sl2.queue_delay_cycles
+    << ", \"pressure\": {\"il1\": " << sl2.pressure.reads_from_il1
+    << ", \"dl1\": " << sl2.pressure.reads_from_dl1
+    << ", \"il1_prefetch\": " << sl2.pressure.reads_from_il1_prefetch
+    << ", \"drc\": " << sl2.pressure.reads_from_drc << "}},\n";
+
+  o << "  \"l2_reads_by_pid\": {";
+  bool first = true;
+  for (const auto& [pid, reads] : l2_reads_by_pid) {
+    if (!first) o << ", ";
+    first = false;
+    o << "\"" << pid << "\": " << reads;
+  }
+  o << "},\n";
+
+  o << "  \"cores\": [\n";
+  for (size_t i = 0; i < cores.size(); ++i) {
+    const auto& c = cores[i];
+    o << "    {\"core\": " << c.core << ", \"cycles\": " << c.cycles
+      << ", \"instructions\": " << c.instructions
+      << ", \"ipc\": " << fmt_double(c.ipc) << ", \"il1\": ";
+    cache_json(o, c.il1);
+    o << ", \"dl1\": ";
+    cache_json(o, c.dl1);
+    o << ", \"l2_pressure\": {\"il1\": " << c.l2_pressure.reads_from_il1
+      << ", \"dl1\": " << c.l2_pressure.reads_from_dl1
+      << ", \"il1_prefetch\": " << c.l2_pressure.reads_from_il1_prefetch
+      << ", \"drc\": " << c.l2_pressure.reads_from_drc << "}"
+      << ", \"drc\": {\"lookups\": " << c.drc.lookups
+      << ", \"misses\": " << c.drc.misses
+      << ", \"miss_rate\": " << fmt_double(c.drc.miss_rate()) << "}}"
+      << (i + 1 < cores.size() ? "," : "") << "\n";
+  }
+  o << "  ],\n";
+
+  o << "  \"processes\": [\n";
+  for (size_t i = 0; i < processes.size(); ++i) {
+    const auto& p = processes[i];
+    o << "    {\"pid\": " << p.pid << ", \"workload\": \""
+      << escape(p.workload) << "\", \"seed\": " << p.seed
+      << ", \"core\": " << p.core
+      << ", \"instructions\": " << p.instructions
+      << ", \"slices\": " << p.slices
+      << ", \"context_switches\": " << p.context_switches
+      << ", \"drc_flush_losses\": " << p.drc_flush_losses
+      << ", \"bitmap_flush_losses\": " << p.bitmap_flush_losses
+      << ", \"rerandomizations\": " << p.rerandomizations
+      << ", \"rerandomizations_deferred\": " << p.rerandomizations_deferred
+      << ", \"epoch\": " << p.epoch
+      << ", \"halted\": " << (p.halted ? "true" : "false")
+      << ", \"error\": \"" << escape(p.error) << "\""
+      << ", \"arch_match\": " << (p.arch_match ? "true" : "false")
+      << ", \"finish_cycles\": " << p.finish_cycles
+      << ", \"isolated_cycles\": " << p.isolated_cycles
+      << ", \"slowdown\": " << fmt_double(p.slowdown) << "}"
+      << (i + 1 < processes.size() ? "," : "") << "\n";
+  }
+  o << "  ]\n";
+  o << "}\n";
+  return o.str();
+}
+
+std::string FleetReport::summary() const {
+  std::ostringstream o;
+  o << "fleet: " << processes.size() << " procs on " << cores.size()
+    << " cores, " << fleet_instructions << " instr in " << fleet_cycles
+    << " cycles (ipc " << fmt_double(fleet_ipc) << ")\n";
+  o << "sched: " << rounds << " rounds, " << context_switches
+    << " context switches, " << preemptions << " preemptions, "
+    << drc_entries_flushed << " DRC + " << bitmap_entries_flushed
+    << " bitmap entries flushed, " << rerandomizations
+    << " re-randomizations\n";
+  o << "shared L2: " << shared_l2.l2.accesses << " accesses, miss rate "
+    << fmt_double(shared_l2.l2.miss_rate()) << ", queue delay "
+    << shared_l2.queue_delay_cycles << " cycles\n";
+  for (const auto& p : processes) {
+    o << "  pid " << p.pid << " " << p.workload << " (core " << p.core
+      << "): " << p.instructions << " instr, " << p.slices << " slices, "
+      << p.context_switches << " switches, epoch " << p.epoch
+      << (p.halted ? ", halted" : "")
+      << (p.error.empty() ? "" : ", FAULT: " + p.error)
+      << (p.arch_match ? ", arch ok" : ", ARCH MISMATCH");
+    if (p.isolated_cycles != 0) {
+      o << ", slowdown " << fmt_double(p.slowdown) << "x";
+    }
+    o << "\n";
+  }
+  return o.str();
+}
+
+}  // namespace vcfr::os

@@ -1,0 +1,74 @@
+// Fleet-run reporting: per-process, per-core, and fleet-wide metrics with
+// a deterministic JSON rendering (fixed key order, no wall-clock values,
+// %.6g doubles) so two runs with the same seed produce byte-identical
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/memhier.hpp"
+#include "cache/shared_l2.hpp"
+#include "core/drc.hpp"
+
+namespace vcfr::os {
+
+struct ProcessReport {
+  uint32_t pid = 0;
+  std::string workload;
+  uint64_t seed = 0;
+  uint32_t core = 0;
+  uint64_t instructions = 0;
+  uint64_t slices = 0;
+  uint64_t context_switches = 0;
+  uint64_t drc_flush_losses = 0;
+  uint64_t bitmap_flush_losses = 0;
+  uint64_t rerandomizations = 0;
+  uint64_t rerandomizations_deferred = 0;
+  uint64_t epoch = 0;
+  bool halted = false;
+  std::string error;
+  /// Architectural result matches the process's isolated single-process
+  /// run (only meaningful when the kernel measured baselines).
+  bool arch_match = true;
+  uint64_t finish_cycles = 0;
+  uint64_t isolated_cycles = 0;
+  /// finish_cycles / isolated_cycles (0 when baselines were not measured).
+  double slowdown = 0.0;
+};
+
+struct CoreReport {
+  uint32_t core = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  double ipc = 0.0;
+  cache::CacheStats il1;
+  cache::CacheStats dl1;
+  cache::L2PressureStats l2_pressure;
+  core::DrcStats drc;
+};
+
+struct FleetReport {
+  uint64_t rounds = 0;
+  uint64_t context_switches = 0;
+  uint64_t preemptions = 0;
+  uint64_t drc_entries_flushed = 0;
+  uint64_t bitmap_entries_flushed = 0;
+  uint64_t rerandomizations = 0;
+  uint64_t fleet_cycles = 0;  // slowest core's clock
+  uint64_t fleet_instructions = 0;
+  double fleet_ipc = 0.0;
+  cache::SharedL2Stats shared_l2;
+  /// Demand L2 reads per process (shared-cache pressure by tenant).
+  std::map<uint32_t, uint64_t> l2_reads_by_pid;
+  std::vector<CoreReport> cores;
+  std::vector<ProcessReport> processes;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Short human-readable digest for the CLI.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace vcfr::os

@@ -1,0 +1,239 @@
+#include "os/kernel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "emu/emulator.hpp"
+#include "rewriter/randomizer.hpp"
+
+namespace vcfr::os {
+
+Kernel::Kernel(const KernelConfig& config)
+    : config_(config),
+      shared_(config.shared_l2, config.cores == 0 ? 1 : config.cores),
+      sched_(config.sched, config.cores == 0 ? 1 : config.cores) {
+  const uint32_t cores = shared_.cores();
+  for (uint32_t c = 0; c < cores; ++c) {
+    cores_.push_back(
+        std::make_unique<sim::CpuCore>(config_.cpu, &shared_.port(c)));
+    ctx_.push_back(std::make_unique<core::ContextManager>(cores_[c]->drc()));
+    ctx_[c]->attach_ret_bitmap(&cores_[c]->ret_bitmap_cache());
+    installed_.emplace_back(-1, -1);
+  }
+}
+
+uint32_t Kernel::spawn(const ProcessConfig& config) {
+  const uint32_t pid = static_cast<uint32_t>(procs_.size());
+  procs_.push_back(std::make_unique<Process>(pid, config));
+  const uint32_t core = sched_.admit(pid);
+  procs_[pid]->bind(core, cores_[core]->mem());
+  return pid;
+}
+
+void Kernel::dispatch(uint32_t core, Process& proc) {
+  auto& ctx = *ctx_[core];
+  const uint64_t switches_before = ctx.stats().switches;
+  const uint64_t drc_before = ctx.stats().entries_flushed;
+  const uint64_t bmp_before = ctx.stats().bitmap_entries_flushed;
+  ctx.switch_to(proc.context());
+  if (ctx.stats().switches != switches_before) {
+    // Real address-space change: the incoming process pays the switch
+    // overhead and inherits the cold DRC/bitmap (its own entries were the
+    // ones lost when it was last preempted — attribute the losses here,
+    // where the cold-start cost is felt).
+    proc.stats().context_switches += 1;
+    proc.stats().drc_entries_flushed +=
+        ctx.stats().entries_flushed - drc_before;
+    proc.stats().bitmap_entries_flushed +=
+        ctx.stats().bitmap_entries_flushed - bmp_before;
+    cores_[core]->stall(config_.context_switch_cycles);
+  }
+  const auto want = std::make_pair(static_cast<int64_t>(proc.pid()),
+                                   static_cast<int64_t>(proc.epoch()));
+  if (installed_[core] != want) {
+    cores_[core]->install(binary::Layout::kVcfr, proc.walker(), proc.pid());
+    installed_[core] = want;
+  }
+}
+
+FleetReport Kernel::run() {
+  const uint32_t cores = shared_.cores();
+  const uint64_t slice = sched_.config().slice_instructions;
+  std::vector<int> running(cores, -1);
+
+  while (sched_.any_runnable()) {
+    ++rounds_;
+    if (config_.max_rounds != 0 && rounds_ > config_.max_rounds) break;
+
+    // -- dispatch (serial: touches per-core context + clocks only) -------
+    for (uint32_t c = 0; c < cores; ++c) {
+      running[c] = sched_.pick(c);
+      if (running[c] < 0) continue;
+      Process& p = *procs_[running[c]];
+      if (p.remaining() == 0) {
+        // Budget exhausted exactly at a slice boundary.
+        p.finish(cores_[c]->cycles());
+        running[c] = -1;
+        continue;
+      }
+      dispatch(c, p);
+    }
+
+    // -- execute (parallel: cores only touch private state + the frozen
+    //    shared-L2 tags, logging requests per-port) ----------------------
+    auto run_slice = [&](uint32_t c) {
+      Process& p = *procs_[running[c]];
+      const uint64_t budget = std::min(slice, p.remaining());
+      const uint64_t ran = cores_[c]->run(p.emulator(), budget);
+      p.stats().instructions += ran;
+      p.stats().slices += 1;
+    };
+    std::vector<uint32_t> active;
+    for (uint32_t c = 0; c < cores; ++c) {
+      if (running[c] >= 0) active.push_back(c);
+    }
+    if (active.size() > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(active.size());
+      for (const uint32_t c : active) threads.emplace_back(run_slice, c);
+      for (auto& t : threads) t.join();
+    } else if (active.size() == 1) {
+      run_slice(active[0]);
+    }
+
+    // -- commit (serial: authoritative shared-L2/DRAM replay) ------------
+    const std::vector<uint64_t> penalties = shared_.commit_round();
+    for (uint32_t c = 0; c < cores; ++c) cores_[c]->stall(penalties[c]);
+
+    // -- bookkeeping -----------------------------------------------------
+    for (const uint32_t c : active) {
+      Process& p = *procs_[running[c]];
+      const auto& emu = p.emulator();
+      if (emu.halted() || !emu.error().empty() || p.remaining() == 0) {
+        p.finish(cores_[c]->cycles());
+        continue;
+      }
+      const uint32_t every = p.config().rerandomize.every_slices;
+      if (every != 0 && p.stats().slices % every == 0) {
+        if (p.try_rerandomize()) {
+          // Epoch bump: every cached translation of the old placement is
+          // dead (§V-C). ContextManager records the flush; the pipeline
+          // re-installs over the fresh walker at the next dispatch (the
+          // installed (pid, epoch) pair no longer matches).
+          const uint64_t drc_before = ctx_[c]->stats().entries_flushed;
+          const uint64_t bmp_before =
+              ctx_[c]->stats().bitmap_entries_flushed;
+          ctx_[c]->rerandomize_current(p.randomization().vcfr.tables);
+          p.stats().drc_entries_flushed +=
+              ctx_[c]->stats().entries_flushed - drc_before;
+          p.stats().bitmap_entries_flushed +=
+              ctx_[c]->stats().bitmap_entries_flushed - bmp_before;
+        }
+      }
+      sched_.requeue(c, p.pid());
+    }
+  }
+
+  // -- report -------------------------------------------------------------
+  FleetReport report;
+  report.rounds = rounds_;
+  report.preemptions = sched_.preemptions();
+  for (uint32_t c = 0; c < cores; ++c) {
+    const auto& cs = ctx_[c]->stats();
+    report.context_switches += cs.switches;
+    report.drc_entries_flushed += cs.entries_flushed;
+    report.bitmap_entries_flushed += cs.bitmap_entries_flushed;
+    report.rerandomizations += cs.rerandomizations;
+
+    CoreReport cr;
+    cr.core = c;
+    cr.cycles = cores_[c]->cycles();
+    cr.instructions = cores_[c]->retired();
+    cr.ipc = cr.cycles == 0 ? 0.0
+                            : static_cast<double>(cr.instructions) /
+                                  static_cast<double>(cr.cycles);
+    cr.il1 = cores_[c]->mem().il1().stats();
+    cr.dl1 = cores_[c]->mem().dl1().stats();
+    cr.l2_pressure = cores_[c]->mem().l2_pressure();
+    cr.drc = cores_[c]->drc().stats();
+    report.cores.push_back(cr);
+    report.fleet_cycles = std::max(report.fleet_cycles, cr.cycles);
+    report.fleet_instructions += cr.instructions;
+  }
+  report.fleet_ipc = report.fleet_cycles == 0
+                         ? 0.0
+                         : static_cast<double>(report.fleet_instructions) /
+                               static_cast<double>(report.fleet_cycles);
+  report.shared_l2 = shared_.stats();
+  report.l2_reads_by_pid = shared_.reads_by_asid();
+
+  for (const auto& proc : procs_) {
+    const Process& p = *proc;
+    ProcessReport pr;
+    pr.pid = p.pid();
+    pr.workload = p.config().workload;
+    pr.seed = p.config().seed;
+    pr.core = static_cast<uint32_t>(p.core());
+    pr.instructions = p.stats().instructions;
+    pr.slices = p.stats().slices;
+    pr.context_switches = p.stats().context_switches;
+    pr.drc_flush_losses = p.stats().drc_entries_flushed;
+    pr.bitmap_flush_losses = p.stats().bitmap_entries_flushed;
+    pr.rerandomizations = p.stats().rerandomizations;
+    pr.rerandomizations_deferred = p.stats().rerandomizations_deferred;
+    pr.epoch = p.epoch();
+    pr.halted = p.emulator().halted();
+    pr.error = p.emulator().error();
+    pr.finish_cycles = p.stats().finish_cycles;
+    if (config_.measure_isolated) {
+      measure_isolated(pr, p);
+    }
+    report.processes.push_back(pr);
+  }
+  return report;
+}
+
+void Kernel::measure_isolated(ProcessReport& report,
+                              const Process& proc) const {
+  // Re-derive the process's epoch-0 image from its config — the live
+  // process may have re-randomized past it.
+  rewriter::RandomizeOptions options;
+  options.seed = proc.config().seed;
+  const rewriter::RandomizeResult rr =
+      rewriter::randomize(proc.original(), options);
+
+  emu::RunLimits limits;
+  limits.max_instructions = proc.config().max_instructions;
+  limits.enforce_tags = proc.config().enforce_tags;
+  const emu::RunResult isolated = emu::run_image(rr.vcfr, limits);
+
+  report.arch_match =
+      proc.finished() && isolated.halted == proc.emulator().halted() &&
+      isolated.error == proc.emulator().error() &&
+      isolated.output == proc.emulator().output() &&
+      isolated.stats.instructions == proc.stats().instructions;
+  if (proc.epoch() == 0) {
+    // Memory images are only comparable when the process never swapped
+    // placements (re-randomization rewrites code bytes and tables).
+    report.arch_match = report.arch_match &&
+                        isolated.mem_checksum == proc.memory().checksum();
+  }
+
+  // Timing baseline: the same image alone on one core, with a private L2
+  // of the shared cache's geometry (so the slowdown isolates *contention
+  // and switching*, not capacity differences).
+  sim::CpuConfig solo = config_.cpu;
+  solo.mem.l2.size_bytes = config_.shared_l2.l2.size_bytes;
+  solo.mem.l2.assoc = config_.shared_l2.l2.assoc;
+  solo.mem.l2.line_bytes = config_.shared_l2.l2.line_bytes;
+  solo.mem.l2.hit_latency = config_.shared_l2.l2.hit_latency;
+  const sim::SimResult res =
+      sim::simulate(rr.vcfr, proc.config().max_instructions, solo);
+  report.isolated_cycles = res.cycles;
+  report.slowdown = res.cycles == 0
+                        ? 0.0
+                        : static_cast<double>(report.finish_cycles) /
+                              static_cast<double>(res.cycles);
+}
+
+}  // namespace vcfr::os

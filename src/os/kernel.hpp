@@ -1,0 +1,96 @@
+// The simulated OS kernel for a fleet of VCFR processes (§IV-B / §IV-D).
+//
+// Owns the process table, the per-core pipelines (sim::CpuCore) with their
+// private IL1/DL1/DRC/bitmap caches, the shared L2 + DRAM they contend on
+// (cache::SharedL2), and the round-robin scheduler. Each scheduler round:
+//
+//   1. dispatch: every core picks its queue head; if the address space
+//      changed (different pid or epoch), core::ContextManager flushes the
+//      DRC and return-bitmap cache and the core pays the context-switch
+//      overhead — the paper's per-process-secret invariant;
+//   2. execute (parallel across host threads when cores > 1): each active
+//      core runs one time slice, probing the frozen shared-L2 state;
+//   3. commit (serial): the shared L2 replays all logged requests in
+//      deterministic order and each core's clock absorbs its contention
+//      penalty;
+//   4. bookkeeping: finished processes leave the table, re-randomization
+//      policies fire (deferring at non-quiescent points), survivors are
+//      requeued.
+//
+// After the fleet drains, each process is optionally re-run in isolation
+// (same seed, fresh solo core) to verify the time-sliced architectural
+// results bit-match and to compute the multiprogramming slowdown.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/shared_l2.hpp"
+#include "core/context.hpp"
+#include "os/fleet_stats.hpp"
+#include "os/process.hpp"
+#include "os/scheduler.hpp"
+#include "sim/cpu.hpp"
+
+namespace vcfr::os {
+
+struct KernelConfig {
+  uint32_t cores = 1;
+  SchedulerConfig sched{};
+  sim::CpuConfig cpu{};  // per-core config (private L2 fields unused)
+  cache::SharedL2Config shared_l2{};
+  /// Pipeline cycles charged for a context switch (kernel entry, table
+  /// install, state save/restore) on top of the flush cold-misses.
+  uint64_t context_switch_cycles = 100;
+  /// Re-simulate each process alone after the fleet run (arch_match +
+  /// slowdown). Doubles the work; tests that only need scheduling
+  /// semantics turn it off.
+  bool measure_isolated = true;
+  /// Safety valve for driver loops; 0 = run until every process finishes.
+  uint64_t max_rounds = 0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config);
+
+  /// Creates a process, shards it onto its home core, and returns its pid
+  /// (pids are dense, starting at 0).
+  uint32_t spawn(const ProcessConfig& config);
+
+  /// Runs the fleet to completion and returns the report. Single-shot.
+  FleetReport run();
+
+  [[nodiscard]] size_t process_count() const { return procs_.size(); }
+  [[nodiscard]] const Process& process(uint32_t pid) const {
+    return *procs_[pid];
+  }
+  /// The pid's current randomization (tables, placement, images) — lets
+  /// diversity studies inspect the fleet without running it.
+  [[nodiscard]] const rewriter::RandomizeResult& randomization(
+      uint32_t pid) const {
+    return procs_[pid]->randomization();
+  }
+  [[nodiscard]] const cache::SharedL2& shared_l2() const { return shared_; }
+  [[nodiscard]] const KernelConfig& config() const { return config_; }
+
+ private:
+  /// Dispatches `pid` on `core`: context switch (flush + overhead) when
+  /// the address space changed, then pipeline install.
+  void dispatch(uint32_t core, Process& proc);
+  /// Isolated re-run of one finished process (arch_match + slowdown).
+  void measure_isolated(ProcessReport& report, const Process& proc) const;
+
+  KernelConfig config_;
+  cache::SharedL2 shared_;
+  Scheduler sched_;
+  std::vector<std::unique_ptr<sim::CpuCore>> cores_;
+  std::vector<std::unique_ptr<core::ContextManager>> ctx_;
+  /// (pid, epoch) currently installed in each core's pipeline, or -1.
+  std::vector<std::pair<int64_t, int64_t>> installed_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace vcfr::os

@@ -1,0 +1,81 @@
+#include "os/process.hpp"
+
+#include <stdexcept>
+
+#include "emu/rerandomize.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr::os {
+
+namespace {
+// Same golden-ratio mixer the examples use for per-instance seeds; here it
+// advances a process's seed across re-randomization epochs.
+constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+}  // namespace
+
+Process::Process(uint32_t pid, const ProcessConfig& config)
+    : pid_(pid),
+      config_(config),
+      base_(workloads::make(config.workload, config.scale)) {
+  rr_ = std::make_unique<rewriter::RandomizeResult>(
+      rewriter::randomize(base_, options_for_epoch(0)));
+  binary::load(rr_->vcfr, mem_);
+  emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
+  emu_->set_enforce_tags(config_.enforce_tags);
+}
+
+rewriter::RandomizeOptions Process::options_for_epoch(uint64_t epoch) const {
+  rewriter::RandomizeOptions options;
+  options.seed = config_.seed + kSeedMix * epoch;
+  return options;
+}
+
+void Process::bind(uint32_t core, cache::MemHier& mem) {
+  core_ = static_cast<int>(core);
+  bound_mem_ = &mem;
+  walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables, mem);
+}
+
+core::ProcessContext Process::context() const {
+  core::ProcessContext ctx;
+  ctx.pid = pid_;
+  ctx.name = config_.workload;
+  ctx.tables = &rr_->vcfr.tables;
+  ctx.epoch = epoch_;
+  return ctx;
+}
+
+bool Process::try_rerandomize() {
+  // Quiescence check (§V-C): the live swap re-translates the PC and every
+  // bitmap-marked stack slot, but a randomized code pointer sitting in a
+  // general-purpose register would silently go stale. A preemption point is
+  // an arbitrary instruction boundary, so defer until the registers are
+  // clean of randomized-space addresses.
+  for (const uint32_t reg : emu_->state().regs) {
+    if (rr_->vcfr.tables.is_randomized_addr(reg)) {
+      ++stats_.rerandomizations_deferred;
+      return false;
+    }
+  }
+  auto next = std::make_unique<rewriter::RandomizeResult>(
+      rewriter::randomize(base_, options_for_epoch(epoch_ + 1)));
+  emu_ = emu::rerandomize_live(*emu_, mem_, *rr_, *next);
+  emu_->set_enforce_tags(config_.enforce_tags);
+  rr_ = std::move(next);
+  ++epoch_;
+  ++stats_.rerandomizations;
+  if (bound_mem_ == nullptr) {
+    throw std::logic_error("rerandomize before bind()");
+  }
+  // The tables object was replaced — rebuild the walker over it.
+  walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
+                                                      *bound_mem_);
+  return true;
+}
+
+void Process::finish(uint64_t core_cycles) {
+  finished_ = true;
+  stats_.finish_cycles = core_cycles;
+}
+
+}  // namespace vcfr::os

@@ -1,0 +1,130 @@
+// A VCFR process as the simulated kernel sees it (§IV-B / §V-C).
+//
+// Each process owns an independently randomized image of its workload —
+// its own placement seed, translation tables, loaded memory, and
+// architectural state — exactly the per-process context the paper says the
+// kernel must carry ("the main impact is to extend application context to
+// include the de-randomization/randomization tables"). The scheduler
+// time-slices processes onto cores; on every slice boundary the kernel
+// decides whether the DRC/bitmap flush of a context switch is due and
+// whether the process's re-randomization policy fires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "binary/image.hpp"
+#include "binary/loader.hpp"
+#include "core/context.hpp"
+#include "core/translation.hpp"
+#include "emu/emulator.hpp"
+#include "rewriter/randomizer.hpp"
+
+namespace vcfr::os {
+
+/// When to re-image the process with a fresh seed (§V-C). 0 = never.
+struct RerandomizePolicy {
+  uint32_t every_slices = 0;
+};
+
+struct ProcessConfig {
+  std::string workload = "gcc";
+  int scale = 1;
+  uint64_t seed = 1;
+  /// Architectural instruction budget; the process parks as finished when
+  /// it halts, faults, or exhausts this.
+  uint64_t max_instructions = 200'000'000;
+  RerandomizePolicy rerandomize{};
+  /// Randomized-tag enforcement (§IV-A) — on, as a production kernel would
+  /// run it.
+  bool enforce_tags = true;
+};
+
+struct ProcessStats {
+  uint64_t slices = 0;
+  uint64_t instructions = 0;
+  /// Slice dispatches that required a real context switch (DRC + bitmap
+  /// flush) because another address space ran on the core in between.
+  uint64_t context_switches = 0;
+  /// Translations this process lost to those flushes (cold-start cost it
+  /// pays on re-entry).
+  uint64_t drc_entries_flushed = 0;
+  uint64_t bitmap_entries_flushed = 0;
+  uint64_t rerandomizations = 0;
+  /// Policy firings skipped because a register held a randomized-space
+  /// code pointer (not a quiescent point — retried next slice).
+  uint64_t rerandomizations_deferred = 0;
+  /// Core clock at the moment the process finished (for slowdown vs an
+  /// isolated run).
+  uint64_t finish_cycles = 0;
+};
+
+/// One spawned workload: image, tables, memory, and architectural state.
+/// The kernel owns Process objects; a process is bound to one core for its
+/// whole life (static shard) and `bind()` builds its table walker over
+/// that core's memory hierarchy.
+class Process {
+ public:
+  Process(uint32_t pid, const ProcessConfig& config);
+
+  /// (Re)creates the translation walker against the bound core's memory
+  /// hierarchy. Must be called before the first slice and is re-issued
+  /// internally after each successful re-randomization (the tables object
+  /// is replaced).
+  void bind(uint32_t core, cache::MemHier& mem);
+
+  /// The kernel-side context record handed to core::ContextManager.
+  [[nodiscard]] core::ProcessContext context() const;
+
+  /// Attempts the §V-C live re-randomization at the current point. Returns
+  /// false (and counts a deferral) when any general-purpose register holds
+  /// a randomized-space address — not a quiescent point. On success the
+  /// image, tables, walker, and emulator are swapped and the epoch bumps.
+  bool try_rerandomize();
+
+  /// Marks the process finished and records the core clock.
+  void finish(uint64_t core_cycles);
+
+  [[nodiscard]] uint32_t pid() const { return pid_; }
+  [[nodiscard]] int core() const { return core_; }
+  [[nodiscard]] const ProcessConfig& config() const { return config_; }
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  /// Instructions still within budget.
+  [[nodiscard]] uint64_t remaining() const {
+    return config_.max_instructions > stats_.instructions
+               ? config_.max_instructions - stats_.instructions
+               : 0;
+  }
+
+  [[nodiscard]] emu::Emulator& emulator() { return *emu_; }
+  [[nodiscard]] const emu::Emulator& emulator() const { return *emu_; }
+  [[nodiscard]] core::TranslationWalker* walker() { return walker_.get(); }
+  [[nodiscard]] const binary::Image& original() const { return base_; }
+  [[nodiscard]] const rewriter::RandomizeResult& randomization() const {
+    return *rr_;
+  }
+  [[nodiscard]] const binary::Memory& memory() const { return mem_; }
+  [[nodiscard]] ProcessStats& stats() { return stats_; }
+  [[nodiscard]] const ProcessStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] rewriter::RandomizeOptions options_for_epoch(
+      uint64_t epoch) const;
+
+  uint32_t pid_;
+  ProcessConfig config_;
+  binary::Image base_;  // original layout; every epoch randomizes this
+  std::unique_ptr<rewriter::RandomizeResult> rr_;
+  binary::Memory mem_;
+  std::unique_ptr<emu::Emulator> emu_;
+  std::unique_ptr<core::TranslationWalker> walker_;
+  cache::MemHier* bound_mem_ = nullptr;
+  int core_ = -1;
+  uint64_t epoch_ = 0;
+  bool finished_ = false;
+  ProcessStats stats_;
+};
+
+}  // namespace vcfr::os

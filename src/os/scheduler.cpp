@@ -1,0 +1,35 @@
+#include "os/scheduler.hpp"
+
+namespace vcfr::os {
+
+Scheduler::Scheduler(const SchedulerConfig& config, uint32_t cores)
+    : config_(config), queues_(cores == 0 ? 1 : cores) {}
+
+uint32_t Scheduler::admit(uint32_t pid) {
+  const uint32_t core = next_core_;
+  queues_[core].push_back(pid);
+  next_core_ = (next_core_ + 1) % static_cast<uint32_t>(queues_.size());
+  return core;
+}
+
+int Scheduler::pick(uint32_t core) {
+  auto& q = queues_[core];
+  if (q.empty()) return -1;
+  const uint32_t pid = q.front();
+  q.pop_front();
+  return static_cast<int>(pid);
+}
+
+void Scheduler::requeue(uint32_t core, uint32_t pid) {
+  queues_[core].push_back(pid);
+  ++preemptions_;
+}
+
+bool Scheduler::any_runnable() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace vcfr::os

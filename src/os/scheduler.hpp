@@ -1,0 +1,51 @@
+// Preemptive round-robin scheduler over per-core run queues.
+//
+// Processes are sharded statically at admission (round-robin across
+// cores) and then rotate on their core's queue: the kernel's timer
+// interrupt fires every `slice_instructions` retired instructions, the
+// running process goes to the back of its queue, and the head is
+// dispatched — triggering the DRC/bitmap flush in core::ContextManager
+// whenever the address space actually changes. Static sharding keeps the
+// parallel fleet deterministic (a process's requests always appear in its
+// own core's request log) and mirrors cache-affinity pinning.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace vcfr::os {
+
+struct SchedulerConfig {
+  /// Timer-interrupt period, in retired instructions (the simulator's
+  /// natural clock; a cycle-driven timer would preempt mid-instruction).
+  uint64_t slice_instructions = 50'000;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const SchedulerConfig& config, uint32_t cores);
+
+  /// Admits `pid`, assigning it a home core (round-robin shard). Returns
+  /// the core.
+  uint32_t admit(uint32_t pid);
+
+  /// Pops the next runnable pid for `core`; -1 when its queue is empty.
+  [[nodiscard]] int pick(uint32_t core);
+
+  /// Returns a preempted (still-runnable) process to the back of its
+  /// core's queue.
+  void requeue(uint32_t core, uint32_t pid);
+
+  [[nodiscard]] bool any_runnable() const;
+  [[nodiscard]] uint64_t preemptions() const { return preemptions_; }
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  SchedulerConfig config_;
+  std::vector<std::deque<uint32_t>> queues_;
+  uint32_t next_core_ = 0;
+  uint64_t preemptions_ = 0;
+};
+
+}  // namespace vcfr::os

@@ -1,8 +1,6 @@
 #include "sim/cpu.hpp"
 
 #include <algorithm>
-#include <memory>
-#include <vector>
 
 #include "binary/loader.hpp"
 #include "core/translation.hpp"
@@ -47,312 +45,346 @@ constexpr uint32_t kInvalidLine = 0xffffffffu;
 
 }  // namespace
 
-SimResult simulate(const binary::Image& image, uint64_t max_instructions,
-                   const CpuConfig& config) {
-  const bool vcfr = image.layout == Layout::kVcfr;
-  const bool naive = image.layout == Layout::kNaiveIlr;
-
-  binary::Memory memory;
-  binary::load(image, memory);
-  emu::Emulator emulator(image, memory);
-
-  cache::MemHier mem(config.mem);
-  core::Drc drc(config.drc);
+CpuCore::CpuCore(const CpuConfig& config, cache::SharedL2Port* shared_port)
+    : config_(config),
+      mem_(config.mem, shared_port),
+      drc_(config.drc),
+      bitmap_(config.bitmap, mem_),
+      gshare_(config.bpred),
+      btb_(config.bpred),
+      ras_(config.bpred),
+      cur_line_(kInvalidLine),
+      issue_ring_(config.iq_size, 0),
+      store_ring_(config.store_buffer, 0) {
   // Optional dedicated second-level DRC buffer (§IV-B's rejected
   // alternative, kept for the ablation study).
-  std::unique_ptr<core::Drc> drc_l2;
   if (config.drc.l2_entries > 0) {
-    drc_l2 = std::make_unique<core::Drc>(core::DrcConfig{
+    drc_l2_ = std::make_unique<core::Drc>(core::DrcConfig{
         .entries = config.drc.l2_entries,
         .assoc = config.drc.l2_assoc,
         .hit_latency = config.drc.l2_hit_latency});
   }
-  core::TranslationWalker walker(image.tables, mem);
-  core::RetBitmapCache bitmap(config.bitmap, mem);
-  Gshare gshare(config.bpred);
-  Btb btb(config.bpred);
-  Ras ras(config.bpred);
-  BpredStats bpstats;
+}
 
-  const uint32_t line_bytes = config.mem.il1.line_bytes;
-  const uint32_t line_mask = ~(line_bytes - 1);
+uint64_t CpuCore::now() const {
+  return std::max({last_done_, block_until_, fetch_ready_});
+}
 
-  // Pipeline timing state.
-  uint64_t fetch_ready = 0;   // earliest cycle the next fetch can start
-  uint64_t last_issue = 0;    // cycle of the most recent issue
-  uint32_t issued_in_cycle = 0;  // slots consumed at last_issue
-  uint64_t block_until = 0;   // blocking events (D-cache miss, divide, walk)
-  uint64_t last_done = 0;     // latest completion (final cycle count)
-  uint32_t cur_line = kInvalidLine;
+void CpuCore::install(Layout layout, core::TranslationWalker* walker,
+                      uint32_t asid) {
+  vcfr_ = layout == Layout::kVcfr;
+  naive_ = layout == Layout::kNaiveIlr;
+  walker_ = walker;
+  mem_.set_asid(asid);
+  // The pipeline drains across a switch: transient state re-anchors at the
+  // current clock; caches/predictors/DRC deliberately keep their contents.
+  const uint64_t t = now();
+  fetch_ready_ = t;
+  block_until_ = t;
+  last_issue_ = t;
+  issued_in_cycle_ = 0;
+  cur_line_ = kInvalidLine;
+  std::fill(issue_ring_.begin(), issue_ring_.end(), t);
+  std::fill(store_ring_.begin(), store_ring_.end(), t);
+  store_head_ = 0;
+}
 
-  // Fetch may run at most iq_size instructions ahead of issue.
-  std::vector<uint64_t> issue_ring(config.iq_size, 0);
-  // Store buffer occupancy: a store holds an entry until issue+2.
-  std::vector<uint64_t> store_ring(config.store_buffer, 0);
-  size_t store_head = 0;
+void CpuCore::stall(uint64_t cycles) {
+  if (cycles == 0) return;
+  fetch_ready_ += cycles;
+  block_until_ += cycles;
+  last_issue_ += cycles;
+  last_done_ += cycles;
+  for (auto& t : issue_ring_) t += cycles;
+  for (auto& t : store_ring_) t += cycles;
+}
 
-  // Instruction-mix counters for the power model.
-  uint64_t n_alu = 0, n_mul = 0, n_div = 0, n_mem = 0, n_branch = 0;
-  uint64_t n_ras_ops = 0, n_btb_ops = 0;
-
-  // Probes the DRC for a translation; on a miss, performs the table walk
-  // and fills the DRC. Returns the walk latency (0 on a hit). Whether that
-  // latency stalls the pipeline depends on the caller: translations on a
-  // correctly-predicted path verify off the critical path, while a
-  // mispredict redirect must wait for the walk (§IV-B).
-  auto drc_resolve = [&](uint32_t key, bool derand, uint64_t now) -> uint32_t {
-    const auto hit = drc.lookup(key, derand);
-    if (hit) return 0;
-    if (drc_l2) {
-      const auto l2_hit = drc_l2->lookup(key, derand);
-      if (l2_hit) {
-        drc.insert(key, derand, *l2_hit);
-        return config.drc.l2_hit_latency;
-      }
+// Probes the DRC for a translation; on a miss, performs the table walk
+// and fills the DRC. Returns the walk latency (0 on a hit). Whether that
+// latency stalls the pipeline depends on the caller: translations on a
+// correctly-predicted path verify off the critical path, while a
+// mispredict redirect must wait for the walk (§IV-B).
+uint32_t CpuCore::drc_resolve(uint32_t key, bool derand, uint64_t now) {
+  const auto hit = drc_.lookup(key, derand);
+  if (hit) return 0;
+  if (drc_l2_) {
+    const auto l2_hit = drc_l2_->lookup(key, derand);
+    if (l2_hit) {
+      drc_.insert(key, derand, *l2_hit);
+      return config_.drc.l2_hit_latency;
     }
-    const core::WalkResult wr = walker.walk(key, derand, now);
-    drc.insert(key, derand, wr.value);
-    if (drc_l2) drc_l2->insert(key, derand, wr.value);
-    return wr.latency;
-  };
+  }
+  ++table_walks_;
+  const core::WalkResult wr = walker_->walk(key, derand, now);
+  drc_.insert(key, derand, wr.value);
+  if (drc_l2_) drc_l2_->insert(key, derand, wr.value);
+  return wr.latency;
+}
 
+uint64_t CpuCore::run(emu::Emulator& emulator, uint64_t max_instructions) {
   StepInfo si;
-  uint64_t retired = 0;
-  while (retired < max_instructions && emulator.step(&si)) {
-    ++retired;
-
-    const uint32_t fetch_pc = naive ? si.rpc : si.upc;
-    const uint32_t next_fetch_pc = naive ? si.next_rpc : si.next_upc;
-    const uint32_t bpred_pc = fetch_pc;  // prediction in fetch space (§IV-D)
-
-    // ---- fetch -----------------------------------------------------------
-    uint64_t fetch_start =
-        std::max(fetch_ready, issue_ring[retired % config.iq_size]);
-    uint32_t fetch_lat = 0;
-    const uint32_t first_line = fetch_pc & line_mask;
-    const uint32_t last_line = (fetch_pc + si.instr.length - 1) & line_mask;
-    if (first_line != cur_line) {
-      const auto r = mem.ifetch(first_line, fetch_start);
-      fetch_lat += r.latency;
-      cur_line = first_line;
-      if (!r.l1_hit) {
-        // Non-blocking fetch miss: the next fetch may start once an MSHR
-        // frees, while this miss overlaps with IQ drain.
-        fetch_ready = fetch_start + config.ifetch_miss_initiation;
-      }
-    }
-    if (last_line != cur_line) {  // instruction straddles two lines
-      const auto r = mem.ifetch(last_line, fetch_start + fetch_lat);
-      fetch_lat += r.latency;
-      cur_line = last_line;
-      if (!r.l1_hit) {
-        fetch_ready = fetch_start + config.ifetch_miss_initiation;
-      }
-    }
-    const uint64_t fetch_done = fetch_start + fetch_lat;
-    // Pipelined initiation: a hit allows a new fetch next cycle.
-    fetch_ready = std::max(fetch_ready, fetch_start + (fetch_lat > 0 ? 1 : 0));
-
-    // ---- issue / execute ---------------------------------------------------
-    // W-wide in-order issue: up to issue_width instructions share a cycle.
-    const uint64_t width_floor =
-        issued_in_cycle >= config.issue_width ? last_issue + 1 : last_issue;
-    uint64_t issue = std::max(
-        {fetch_done + config.decode_latency, width_floor, block_until});
-    // Store-buffer back-pressure.
-    if (si.has_mem && si.mem_is_store) {
-      issue = std::max(issue, store_ring[store_head]);
-    }
-
-    uint64_t exec_lat = 1;
-    bool blocking = false;  // holds the in-order pipeline until completion
-    switch (exec_class(si.instr.op)) {
-      case ExecClass::kAlu:
-        ++n_alu;
-        break;
-      case ExecClass::kMul:
-        ++n_mul;
-        exec_lat = config.mul_latency;  // pipelined multiplier
-        break;
-      case ExecClass::kDiv:
-        ++n_div;
-        exec_lat = config.div_latency;
-        blocking = true;  // unpipelined divider
-        break;
-      case ExecClass::kLoad: {
-        ++n_mem;
-        const auto r = mem.dread(si.mem_addr, issue);
-        exec_lat = std::max<uint64_t>(1, r.latency);
-        if (!r.l1_hit) blocking = true;  // blocking D-cache miss
-        if (si.bitmap_load) {
-          // §IV-C automatic de-randomization: consult the bitmap cache.
-          const uint32_t extra = bitmap.access(si.mem_addr, issue);
-          exec_lat += extra;
-          if (extra > 0) blocking = true;
-        }
-        break;
-      }
-      case ExecClass::kStore: {
-        ++n_mem;
-        const auto r = mem.dwrite(si.mem_addr, issue);
-        exec_lat = std::max<uint64_t>(1, r.latency);
-        store_ring[store_head] = issue + 2;
-        store_head = (store_head + 1) % config.store_buffer;
-        break;
-      }
-    }
-
-    // Calls that push a randomized return address obtain it from a DRC
-    // rand-entry lookup (§IV-A option 2) and set the stack bitmap bit. The
-    // pushed value is not needed until the matching return (predicted by
-    // the RAS anyway), so the lookup, its walk, and the bitmap update all
-    // proceed off the critical path; only statistics and cache/L2 state
-    // are affected.
-    if (vcfr && si.needs_rand) {
-      (void)drc_resolve(si.rand_key, /*derand=*/false, issue);
-      (void)bitmap.access(si.mem_addr, issue);
-    }
-
-    uint64_t exec_done = issue + exec_lat;
-    if (blocking) block_until = exec_done;
-
-    // ---- control flow ------------------------------------------------------
-    const bool is_cond = si.instr.op == Op::kJcc;
-    const bool is_transfer = si.instr.is_control() && si.instr.op != Op::kHalt;
-    bool mispredict = false;
-    bool target_known = true;  // translation available without the DRC?
-
-    if (is_transfer) {
-      ++n_branch;
-      if (is_cond) {
-        ++bpstats.cond_predictions;
-        const bool pred_taken = gshare.predict(bpred_pc);
-        gshare.update(bpred_pc, si.is_taken_transfer);
-        if (pred_taken != si.is_taken_transfer) {
-          ++bpstats.cond_mispredicts;
-          mispredict = true;
-          target_known = !si.is_taken_transfer;  // taken needs translation
-        }
-      }
-      if (si.is_taken_transfer) {
-        if (si.instr.op == Op::kRet) {
-          ++bpstats.ras_pops;
-          ++n_ras_ops;
-          const auto pred = ras.pop();
-          const bool ok = pred && pred->rand == si.next_rpc &&
-                          pred->orig == next_fetch_pc;
-          if (ok) {
-            target_known = true;  // RAS pair carries the translation
-          } else {
-            ++bpstats.ras_mispredicts;
-            mispredict = true;
-            target_known = false;
-          }
-        } else {
-          ++bpstats.btb_lookups;
-          ++n_btb_ops;
-          const auto pred = btb.lookup(bpred_pc);
-          const bool ok = pred && pred->rand == si.next_rpc &&
-                          pred->orig == next_fetch_pc;
-          if (pred) ++bpstats.btb_hits;
-          if (ok) {
-            // Even on a direction mispredict, the BTB entry supplies the
-            // (randomized, original) target pair — no DRC walk needed to
-            // redirect (§IV-D).
-            target_known = true;
-          } else {
-            mispredict = true;
-            target_known = false;
-            btb.update(bpred_pc, {si.next_rpc, next_fetch_pc});
-          }
-        }
-      }
-      if (si.instr.is_call()) {
-        ++n_ras_ops;
-        const uint32_t ret_orig_space =
-            vcfr ? si.upc + si.instr.length : si.call_push_value;
-        ras.push({si.call_push_value, ret_orig_space});
-      }
-    }
-
-    // Every executed transfer whose target is expressed in the randomized
-    // space consults the DRC (this is Fig 14's lookup stream). On a
-    // correctly predicted path the translation only *verifies* the
-    // prediction and any walk completes off the critical path; on a
-    // mispredict, fetch cannot restart until the target is de-randomized.
-    uint32_t derand_walk = 0;
-    if (vcfr && si.needs_derand && si.is_taken_transfer) {
-      derand_walk = drc_resolve(si.derand_key, /*derand=*/true, exec_done);
-    }
-
-    if (mispredict) {
-      // The walk (when the translation was genuinely unavailable) overlaps
-      // the pipeline-refill bubble.
-      const uint64_t stall = std::max<uint64_t>(
-          config.redirect_penalty, target_known ? 0 : derand_walk);
-      fetch_ready = std::max(fetch_ready, exec_done + stall);
-      cur_line = kInvalidLine;  // byte queue flushed
-    }
-
-    issue_ring[retired % config.iq_size] = issue;
-    issued_in_cycle = issue == last_issue ? issued_in_cycle + 1 : 1;
-    last_issue = issue;
-    last_done = std::max(last_done, exec_done);
+  uint64_t ran = 0;
+  while (ran < max_instructions && emulator.step(&si)) {
+    ++ran;
+    retire(si);
     if (emulator.halted()) break;
   }
+  return ran;
+}
 
-  // ---- results --------------------------------------------------------------
+void CpuCore::retire(const StepInfo& si) {
+  ++retired_;
+
+  const uint32_t fetch_pc = naive_ ? si.rpc : si.upc;
+  const uint32_t next_fetch_pc = naive_ ? si.next_rpc : si.next_upc;
+  const uint32_t bpred_pc = fetch_pc;  // prediction in fetch space (§IV-D)
+
+  // ---- fetch -----------------------------------------------------------
+  const uint32_t line_bytes = config_.mem.il1.line_bytes;
+  const uint32_t line_mask = ~(line_bytes - 1);
+  uint64_t fetch_start =
+      std::max(fetch_ready_, issue_ring_[retired_ % config_.iq_size]);
+  uint32_t fetch_lat = 0;
+  const uint32_t first_line = fetch_pc & line_mask;
+  const uint32_t last_line = (fetch_pc + si.instr.length - 1) & line_mask;
+  if (first_line != cur_line_) {
+    const auto r = mem_.ifetch(first_line, fetch_start);
+    fetch_lat += r.latency;
+    cur_line_ = first_line;
+    if (!r.l1_hit) {
+      // Non-blocking fetch miss: the next fetch may start once an MSHR
+      // frees, while this miss overlaps with IQ drain.
+      fetch_ready_ = fetch_start + config_.ifetch_miss_initiation;
+    }
+  }
+  if (last_line != cur_line_) {  // instruction straddles two lines
+    const auto r = mem_.ifetch(last_line, fetch_start + fetch_lat);
+    fetch_lat += r.latency;
+    cur_line_ = last_line;
+    if (!r.l1_hit) {
+      fetch_ready_ = fetch_start + config_.ifetch_miss_initiation;
+    }
+  }
+  const uint64_t fetch_done = fetch_start + fetch_lat;
+  // Pipelined initiation: a hit allows a new fetch next cycle.
+  fetch_ready_ = std::max(fetch_ready_, fetch_start + (fetch_lat > 0 ? 1 : 0));
+
+  // ---- issue / execute ---------------------------------------------------
+  // W-wide in-order issue: up to issue_width instructions share a cycle.
+  const uint64_t width_floor =
+      issued_in_cycle_ >= config_.issue_width ? last_issue_ + 1 : last_issue_;
+  uint64_t issue = std::max(
+      {fetch_done + config_.decode_latency, width_floor, block_until_});
+  // Store-buffer back-pressure.
+  if (si.has_mem && si.mem_is_store) {
+    issue = std::max(issue, store_ring_[store_head_]);
+  }
+
+  uint64_t exec_lat = 1;
+  bool blocking = false;  // holds the in-order pipeline until completion
+  switch (exec_class(si.instr.op)) {
+    case ExecClass::kAlu:
+      ++n_alu_;
+      break;
+    case ExecClass::kMul:
+      ++n_mul_;
+      exec_lat = config_.mul_latency;  // pipelined multiplier
+      break;
+    case ExecClass::kDiv:
+      ++n_div_;
+      exec_lat = config_.div_latency;
+      blocking = true;  // unpipelined divider
+      break;
+    case ExecClass::kLoad: {
+      ++n_mem_;
+      const auto r = mem_.dread(si.mem_addr, issue);
+      exec_lat = std::max<uint64_t>(1, r.latency);
+      if (!r.l1_hit) blocking = true;  // blocking D-cache miss
+      if (si.bitmap_load) {
+        // §IV-C automatic de-randomization: consult the bitmap cache.
+        const uint32_t extra = bitmap_.access(si.mem_addr, issue);
+        exec_lat += extra;
+        if (extra > 0) blocking = true;
+      }
+      break;
+    }
+    case ExecClass::kStore: {
+      ++n_mem_;
+      const auto r = mem_.dwrite(si.mem_addr, issue);
+      exec_lat = std::max<uint64_t>(1, r.latency);
+      store_ring_[store_head_] = issue + 2;
+      store_head_ = (store_head_ + 1) % config_.store_buffer;
+      break;
+    }
+  }
+
+  // Calls that push a randomized return address obtain it from a DRC
+  // rand-entry lookup (§IV-A option 2) and set the stack bitmap bit. The
+  // pushed value is not needed until the matching return (predicted by
+  // the RAS anyway), so the lookup, its walk, and the bitmap update all
+  // proceed off the critical path; only statistics and cache/L2 state
+  // are affected.
+  if (vcfr_ && si.needs_rand) {
+    (void)drc_resolve(si.rand_key, /*derand=*/false, issue);
+    (void)bitmap_.access(si.mem_addr, issue);
+  }
+
+  uint64_t exec_done = issue + exec_lat;
+  if (blocking) block_until_ = exec_done;
+
+  // ---- control flow ------------------------------------------------------
+  const bool is_cond = si.instr.op == Op::kJcc;
+  const bool is_transfer = si.instr.is_control() && si.instr.op != Op::kHalt;
+  bool mispredict = false;
+  bool target_known = true;  // translation available without the DRC?
+
+  if (is_transfer) {
+    ++n_branch_;
+    if (is_cond) {
+      ++bpstats_.cond_predictions;
+      const bool pred_taken = gshare_.predict(bpred_pc);
+      gshare_.update(bpred_pc, si.is_taken_transfer);
+      if (pred_taken != si.is_taken_transfer) {
+        ++bpstats_.cond_mispredicts;
+        mispredict = true;
+        target_known = !si.is_taken_transfer;  // taken needs translation
+      }
+    }
+    if (si.is_taken_transfer) {
+      if (si.instr.op == Op::kRet) {
+        ++bpstats_.ras_pops;
+        ++n_ras_ops_;
+        const auto pred = ras_.pop();
+        const bool ok = pred && pred->rand == si.next_rpc &&
+                        pred->orig == next_fetch_pc;
+        if (ok) {
+          target_known = true;  // RAS pair carries the translation
+        } else {
+          ++bpstats_.ras_mispredicts;
+          mispredict = true;
+          target_known = false;
+        }
+      } else {
+        ++bpstats_.btb_lookups;
+        ++n_btb_ops_;
+        const auto pred = btb_.lookup(bpred_pc);
+        const bool ok = pred && pred->rand == si.next_rpc &&
+                        pred->orig == next_fetch_pc;
+        if (pred) ++bpstats_.btb_hits;
+        if (ok) {
+          // Even on a direction mispredict, the BTB entry supplies the
+          // (randomized, original) target pair — no DRC walk needed to
+          // redirect (§IV-D).
+          target_known = true;
+        } else {
+          mispredict = true;
+          target_known = false;
+          btb_.update(bpred_pc, {si.next_rpc, next_fetch_pc});
+        }
+      }
+    }
+    if (si.instr.is_call()) {
+      ++n_ras_ops_;
+      const uint32_t ret_orig_space =
+          vcfr_ ? si.upc + si.instr.length : si.call_push_value;
+      ras_.push({si.call_push_value, ret_orig_space});
+    }
+  }
+
+  // Every executed transfer whose target is expressed in the randomized
+  // space consults the DRC (this is Fig 14's lookup stream). On a
+  // correctly predicted path the translation only *verifies* the
+  // prediction and any walk completes off the critical path; on a
+  // mispredict, fetch cannot restart until the target is de-randomized.
+  uint32_t derand_walk = 0;
+  if (vcfr_ && si.needs_derand && si.is_taken_transfer) {
+    derand_walk = drc_resolve(si.derand_key, /*derand=*/true, exec_done);
+  }
+
+  if (mispredict) {
+    // The walk (when the translation was genuinely unavailable) overlaps
+    // the pipeline-refill bubble.
+    const uint64_t stall = std::max<uint64_t>(
+        config_.redirect_penalty, target_known ? 0 : derand_walk);
+    fetch_ready_ = std::max(fetch_ready_, exec_done + stall);
+    cur_line_ = kInvalidLine;  // byte queue flushed
+  }
+
+  issue_ring_[retired_ % config_.iq_size] = issue;
+  issued_in_cycle_ = issue == last_issue_ ? issued_in_cycle_ + 1 : 1;
+  last_issue_ = issue;
+  last_done_ = std::max(last_done_, exec_done);
+}
+
+SimResult CpuCore::harvest() const {
   SimResult res;
-  res.app = image.name;
-  res.layout = image.layout;
-  res.halted = emulator.halted();
-  res.error = emulator.error();
-  res.instructions = retired;
-  res.cycles = last_done + 1;
-  res.il1 = mem.il1().stats();
-  res.dl1 = mem.dl1().stats();
-  res.l2 = mem.l2().stats();
-  res.l2_pressure = mem.l2_pressure();
-  res.prefetches_issued = mem.prefetch_stats().issued;
-  res.itlb = mem.itlb().stats();
-  res.dtlb = mem.dtlb().stats();
-  res.dram = mem.dram().stats();
-  res.bpred = bpstats;
-  res.drc = drc.stats();
-  if (drc_l2) res.drc_l2 = drc_l2->stats();
-  res.drc_table_walks = walker.walks();
-  res.ret_bitmap = bitmap.stats();
+  res.instructions = retired_;
+  res.cycles = last_done_ + 1;
+  res.il1 = mem_.il1().stats();
+  res.dl1 = mem_.dl1().stats();
+  res.l2 = mem_.l2().stats();
+  res.l2_pressure = mem_.l2_pressure();
+  res.prefetches_issued = mem_.prefetch_stats().issued;
+  res.itlb = const_cast<cache::MemHier&>(mem_).itlb().stats();
+  res.dtlb = const_cast<cache::MemHier&>(mem_).dtlb().stats();
+  res.dram = mem_.dram().stats();
+  res.bpred = bpstats_;
+  res.drc = drc_.stats();
+  if (drc_l2_) res.drc_l2 = drc_l2_->stats();
+  res.drc_table_walks = table_walks_;
+  res.ret_bitmap = bitmap_.stats();
 
-  // ---- dynamic energy accounting (McPAT-style, §VI-A) -----------------------
-  const auto& ep = config.energy;
+  // ---- dynamic energy accounting (McPAT-style, §VI-A) ---------------------
+  const auto& ep = config_.energy;
   auto sram = [](const cache::CacheConfig& c) {
     return power::sram_access_pj(c.size_bytes, c.assoc);
   };
   power::PowerAccount& pw = res.power;
-  pw.core = static_cast<double>(retired) * ep.core_per_instr +
-            static_cast<double>(n_alu) * ep.alu_op +
-            static_cast<double>(n_mul) * ep.mul_op +
-            static_cast<double>(n_div) * ep.div_op +
-            static_cast<double>(n_mem) * ep.agen_op;
+  pw.core = static_cast<double>(retired_) * ep.core_per_instr +
+            static_cast<double>(n_alu_) * ep.alu_op +
+            static_cast<double>(n_mul_) * ep.mul_op +
+            static_cast<double>(n_div_) * ep.div_op +
+            static_cast<double>(n_mem_) * ep.agen_op;
   pw.il1 = static_cast<double>(res.il1.accesses + res.il1.prefetch_fills) *
-           sram(config.mem.il1);
-  pw.dl1 = static_cast<double>(res.dl1.accesses) * sram(config.mem.dl1);
-  pw.l2 = static_cast<double>(res.l2.accesses) * sram(config.mem.l2);
+           sram(config_.mem.il1);
+  pw.dl1 = static_cast<double>(res.dl1.accesses) * sram(config_.mem.dl1);
+  pw.l2 = static_cast<double>(res.l2.accesses) * sram(config_.mem.l2);
   pw.drc = static_cast<double>(res.drc.lookups) *
-           power::sram_access_pj(drc.size_bytes(), config.drc.assoc) *
+           power::sram_access_pj(drc_.size_bytes(), config_.drc.assoc) *
            ep.drc_array_factor;
-  if (drc_l2) {
+  if (drc_l2_) {
     pw.drc += static_cast<double>(res.drc_l2.lookups) *
-              power::sram_access_pj(drc_l2->size_bytes(), config.drc.l2_assoc) *
+              power::sram_access_pj(drc_l2_->size_bytes(),
+                                    config_.drc.l2_assoc) *
               ep.drc_array_factor;
   }
-  pw.bpred = static_cast<double>(bpstats.cond_predictions) * ep.bpred_access;
-  pw.btb = static_cast<double>(n_btb_ops) * ep.btb_access;
-  pw.ras = static_cast<double>(n_ras_ops) * ep.ras_access;
+  pw.bpred = static_cast<double>(bpstats_.cond_predictions) * ep.bpred_access;
+  pw.btb = static_cast<double>(n_btb_ops_) * ep.btb_access;
+  pw.ras = static_cast<double>(n_ras_ops_) * ep.ras_access;
   pw.tlb = static_cast<double>(res.itlb.accesses + res.dtlb.accesses) *
            ep.tlb_access;
   pw.dram = static_cast<double>(res.dram.reads + res.dram.writes) *
             ep.dram_access;
+  return res;
+}
+
+SimResult simulate(const binary::Image& image, uint64_t max_instructions,
+                   const CpuConfig& config) {
+  binary::Memory memory;
+  binary::load(image, memory);
+  emu::Emulator emulator(image, memory);
+
+  CpuCore core(config);
+  core::TranslationWalker walker(image.tables, core.mem());
+  core.install(image.layout, &walker, 0);
+  const uint64_t ran = core.run(emulator, max_instructions);
+
+  SimResult res = core.harvest();
+  res.app = image.name;
+  res.layout = image.layout;
+  res.halted = emulator.halted();
+  res.error = emulator.error();
+  res.instructions = ran;
   return res;
 }
 

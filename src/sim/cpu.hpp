@@ -21,14 +21,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "binary/image.hpp"
 #include "cache/memhier.hpp"
 #include "core/drc.hpp"
 #include "core/ret_bitmap.hpp"
+#include "emu/emulator.hpp"
 #include "power/energy.hpp"
 #include "sim/bpred.hpp"
+
+namespace vcfr::core {
+class TranslationWalker;
+}
 
 namespace vcfr::sim {
 
@@ -90,6 +97,91 @@ struct SimResult {
   uint64_t drc_table_walks = 0;
   core::RetBitmapStats ret_bitmap;
   power::PowerAccount power;
+};
+
+/// A resumable, stateful core: the pipeline/cache/predictor model that
+/// `simulate()` used to keep in loop locals, promoted to an object so the
+/// OS layer (src/os/) can time-slice several processes on one core. The
+/// structural state — caches, DRC, predictors, return-bitmap cache, and
+/// the cycle clock — persists across `install()` boundaries (pollution and
+/// flush costs are the point); only the transient pipeline state (fetch
+/// line, instruction-queue and store-buffer rings) is reset when a new
+/// process is installed.
+///
+/// Constructed with a SharedL2Port, the core's private L2/DRAM are
+/// bypassed and all L2-level traffic contends on the fleet's shared cache
+/// (see cache/shared_l2.hpp for the deterministic round protocol).
+class CpuCore {
+ public:
+  explicit CpuCore(const CpuConfig& config,
+                   cache::SharedL2Port* shared_port = nullptr);
+
+  /// Installs a process's execution context: layout semantics, the walker
+  /// over its kernel-owned tables, and its address-space id for shared-L2
+  /// tagging. Resets transient pipeline state anchored at `now()`. The DRC
+  /// flush itself is the kernel's job (core::ContextManager) — hardware
+  /// only provides the flush, policy lives above.
+  void install(binary::Layout layout, core::TranslationWalker* walker,
+               uint32_t asid);
+
+  /// Runs up to `max_instructions` steps of `emulator`, charging timing.
+  /// Returns the number of instructions retired (stops early on halt or
+  /// fault).
+  uint64_t run(emu::Emulator& emulator, uint64_t max_instructions);
+
+  /// Pushes every timing horizon back by `cycles` — used by the fleet
+  /// kernel for context-switch overhead and shared-L2 contention penalties
+  /// discovered at round commit.
+  void stall(uint64_t cycles);
+
+  /// The core's clock: no new work can start before this cycle.
+  [[nodiscard]] uint64_t now() const;
+
+  [[nodiscard]] uint64_t retired() const { return retired_; }
+  [[nodiscard]] uint64_t cycles() const { return last_done_ + 1; }
+  [[nodiscard]] cache::MemHier& mem() { return mem_; }
+  [[nodiscard]] core::Drc& drc() { return drc_; }
+  [[nodiscard]] core::RetBitmapCache& ret_bitmap_cache() { return bitmap_; }
+  [[nodiscard]] const BpredStats& bpred_stats() const { return bpstats_; }
+
+  /// Snapshot of every structural statistic plus the energy account, in
+  /// SimResult form (app/layout/halted/error left for the caller).
+  [[nodiscard]] SimResult harvest() const;
+
+ private:
+  void retire(const emu::StepInfo& si);
+  uint32_t drc_resolve(uint32_t key, bool derand, uint64_t now);
+
+  CpuConfig config_;
+  cache::MemHier mem_;
+  core::Drc drc_;
+  std::unique_ptr<core::Drc> drc_l2_;
+  core::RetBitmapCache bitmap_;
+  Gshare gshare_;
+  Btb btb_;
+  Ras ras_;
+  BpredStats bpstats_;
+  core::TranslationWalker* walker_ = nullptr;
+  bool vcfr_ = false;
+  bool naive_ = false;
+
+  // Pipeline timing state (absolute cycles).
+  uint64_t fetch_ready_ = 0;
+  uint64_t last_issue_ = 0;
+  uint32_t issued_in_cycle_ = 0;
+  uint64_t block_until_ = 0;
+  uint64_t last_done_ = 0;
+  uint32_t cur_line_;
+  std::vector<uint64_t> issue_ring_;
+  std::vector<uint64_t> store_ring_;
+  size_t store_head_ = 0;
+
+  uint64_t retired_ = 0;
+  uint64_t table_walks_ = 0;
+
+  // Instruction-mix counters for the power model.
+  uint64_t n_alu_ = 0, n_mul_ = 0, n_div_ = 0, n_mem_ = 0, n_branch_ = 0;
+  uint64_t n_ras_ops_ = 0, n_btb_ops_ = 0;
 };
 
 /// Simulates `image` for up to `max_instructions` dynamic instructions (or

@@ -26,3 +26,21 @@ string(FIND "${out}" "out: 36" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "expected output 36, got: ${out}")
 endif()
+
+# Fleet smoke: four workloads time-sliced on two cores, architectural
+# results verified against isolated runs (the command exits non-zero on
+# any mismatch or fault).
+execute_process(COMMAND ${VCFR_BIN} fleet --procs 4 --cores 2 --slice 2000
+                --scale 0 --seed 7
+                OUTPUT_VARIABLE fleet_out RESULT_VARIABLE rc5)
+if(NOT rc5 EQUAL 0)
+  message(FATAL_ERROR "fleet smoke failed (${rc5}): ${fleet_out}")
+endif()
+string(FIND "${fleet_out}" "\"context_switches\"" found_cs)
+if(found_cs EQUAL -1)
+  message(FATAL_ERROR "fleet report missing context_switches: ${fleet_out}")
+endif()
+string(FIND "${fleet_out}" "\"arch_match\": false" found_mismatch)
+if(NOT found_mismatch EQUAL -1)
+  message(FATAL_ERROR "fleet run diverged from isolated runs: ${fleet_out}")
+endif()

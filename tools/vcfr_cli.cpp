@@ -13,6 +13,9 @@
 //   vcfr trace <img.vxe> [--max-instr N] [--regs]    per-instruction trace
 //   vcfr cfg <img.vxe>                               Graphviz dot to stdout
 //   vcfr entropy <img.vxe> [--seed N] [--page-confined]   SV-C entropy report
+//   vcfr fleet [--procs N] [--cores N] [--slice N] [--rerand N]
+//       [--workloads a,b,c] [--scale S] [--seed N] [--json] [--no-baseline]
+//       time-slice N independently randomized workloads on shared L2+DRAM
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +32,7 @@
 #include "isa/assembler.hpp"
 #include "isa/disassembler.hpp"
 #include "isa/encoding.hpp"
+#include "os/kernel.hpp"
 #include "rewriter/cfg.hpp"
 #include "rewriter/entropy.hpp"
 #include "rewriter/randomizer.hpp"
@@ -51,6 +55,13 @@ struct Args {
   bool page_confined = false;
   bool enforce_tags = false;
   bool regs = false;
+  uint32_t procs = 4;
+  uint32_t cores = 2;
+  uint64_t slice = 50'000;
+  uint32_t rerand = 0;
+  std::string workload_list;
+  bool json = false;
+  bool no_baseline = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -81,6 +92,20 @@ Args parse_args(int argc, char** argv) {
       args.enforce_tags = true;
     } else if (a == "--regs") {
       args.regs = true;
+    } else if (a == "--procs") {
+      args.procs = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--cores") {
+      args.cores = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--slice") {
+      args.slice = std::stoull(value());
+    } else if (a == "--rerand") {
+      args.rerand = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--workloads") {
+      args.workload_list = value();
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--no-baseline") {
+      args.no_baseline = true;
     } else if (!a.empty() && a[0] == '-') {
       throw std::runtime_error("unknown flag: " + a);
     } else {
@@ -280,10 +305,57 @@ int cmd_entropy(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  os::KernelConfig kc;
+  kc.cores = args.cores;
+  kc.sched.slice_instructions = args.slice;
+  kc.cpu.drc.entries = args.drc;
+  kc.measure_isolated = !args.no_baseline;
+
+  // Workloads: explicit comma-separated list, or cycle the SPEC-like
+  // suite in the paper's order.
+  std::vector<std::string> names;
+  if (!args.workload_list.empty()) {
+    std::stringstream ss(args.workload_list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) names.push_back(item);
+    }
+  } else {
+    names = workloads::spec_names();
+  }
+  if (names.empty()) throw std::runtime_error("no workloads given");
+
+  os::Kernel kernel(kc);
+  for (uint32_t i = 0; i < args.procs; ++i) {
+    os::ProcessConfig pc;
+    pc.workload = names[i % names.size()];
+    pc.scale = args.scale;
+    // Distinct placement per process even under one fleet seed.
+    pc.seed = args.seed ^ (0x9e3779b97f4a7c15ull * (i + 1));
+    pc.max_instructions = args.max_instr;
+    pc.rerandomize.every_slices = args.rerand;
+    kernel.spawn(pc);
+  }
+
+  const os::FleetReport report = kernel.run();
+  if (args.json) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else {
+    std::fputs(report.summary().c_str(), stdout);
+    std::fputs(report.to_json().c_str(), stdout);
+  }
+  for (const auto& p : report.processes) {
+    if (!p.arch_match && kc.measure_isolated) return 1;
+    if (!p.error.empty()) return 1;
+  }
+  return 0;
+}
+
 void usage() {
   std::fputs(
       "usage: vcfr <asm|disasm|stats|randomize|run|sim|scan|workload|trace|"
-      "cfg|entropy> ...\n"
+      "cfg|entropy|fleet> ...\n"
       "see the header of tools/vcfr_cli.cpp for flags\n",
       stderr);
 }
@@ -309,6 +381,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "cfg") return cmd_cfg(args);
     if (cmd == "entropy") return cmd_entropy(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
