@@ -1,0 +1,74 @@
+// Machine-readable benchmark emitter: runs the reference fleet
+// configuration and writes BENCH_fleet.json — the first entry of a
+// BENCH_*.json family that CI and regression tooling can diff across
+// commits (the run is deterministic, so the bytes are too).
+//
+// Usage: emit_bench_json [out.json]     (default BENCH_fleet.json)
+//
+// The configuration is pinned (not bench_util env knobs): the file is
+// committed at the repo root and must mean the same thing on every
+// machine.
+#include <cstdio>
+#include <fstream>
+
+#include "os/kernel.hpp"
+#include "telemetry/json_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcfr;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+
+  // The reference fleet: the CI smoke configuration (4 workloads on 2
+  // cores, short slices, smoke scale, seed 7).
+  os::KernelConfig kc;
+  kc.cores = 2;
+  kc.sched.slice_instructions = 2000;
+  os::Kernel kernel(kc);
+  const char* mix[] = {"bzip2", "gcc", "mcf", "hmmer"};
+  for (uint32_t i = 0; i < 4; ++i) {
+    os::ProcessConfig pc;
+    pc.workload = mix[i];
+    pc.scale = 0;
+    pc.seed = 7ull ^ (0x9e3779b97f4a7c15ull * (i + 1));
+    kernel.spawn(pc);
+  }
+  const os::FleetReport r = kernel.run();
+
+  uint64_t drc_lookups = 0, drc_misses = 0;
+  for (const auto& c : r.cores) {
+    drc_lookups += c.drc.lookups;
+    drc_misses += c.drc.misses;
+  }
+  const double drc_miss_rate =
+      drc_lookups == 0
+          ? 0.0
+          : static_cast<double>(drc_misses) / static_cast<double>(drc_lookups);
+
+  telemetry::JsonWriter w;
+  w.begin_object(telemetry::JsonWriter::Style::kPretty);
+  w.key("bench").value("fleet");
+  w.key("config").begin_object();
+  w.key("procs").value(uint64_t{4});
+  w.key("cores").value(uint64_t{2});
+  w.key("slice").value(uint64_t{2000});
+  w.key("scale").value(uint64_t{0});
+  w.key("seed").value(uint64_t{7});
+  w.end_object();
+  w.key("fleet_ipc").raw_value(telemetry::json_double(r.fleet_ipc));
+  w.key("drc_miss_rate").raw_value(telemetry::json_double(drc_miss_rate));
+  w.key("fleet_cycles").value(r.fleet_cycles);
+  w.key("fleet_instructions").value(r.fleet_instructions);
+  w.key("drc_lookups").value(drc_lookups);
+  w.key("drc_misses").value(drc_misses);
+  w.end_object();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("fleet ipc %.6g, DRC miss rate %.6g -> %s\n", r.fleet_ipc,
+              drc_miss_rate, out_path);
+  return 0;
+}

@@ -101,4 +101,15 @@ CacheOutcome Cache::install(uint32_t addr, bool dirty, bool prefetched) {
   return out;
 }
 
+void Cache::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("accesses", &stats_.accesses);
+  scope.counter("hits", &stats_.hits);
+  scope.counter("misses", &stats_.misses);
+  scope.counter("writebacks", &stats_.writebacks);
+  scope.counter("prefetch_fills", &stats_.prefetch_fills);
+  scope.counter("prefetch_hits", &stats_.prefetch_hits);
+  scope.counter("prefetch_evicted_unused", &stats_.prefetch_evicted_unused);
+  scope.gauge("miss_rate", [this] { return stats_.miss_rate(); });
+}
+
 }  // namespace vcfr::cache

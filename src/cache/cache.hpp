@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/stat_registry.hpp"
+
 namespace vcfr::cache {
 
 struct CacheConfig {
@@ -67,6 +69,10 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] uint32_t num_sets() const { return num_sets_; }
   void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Binds this cache's live statistics into `scope` (telemetry naming:
+  /// accesses/hits/misses/writebacks/prefetch_* counters + miss_rate).
+  void register_stats(const telemetry::Scope& scope) const;
 
  private:
   struct Line {

@@ -122,4 +122,21 @@ AccessResult MemHier::table_read(uint32_t addr, uint64_t now) {
   return l2_read(addr & ~(config_.l2.line_bytes - 1), now, L2Source::kDrc);
 }
 
+void MemHier::register_stats(const telemetry::Scope& scope) const {
+  il1_.register_stats(scope.scope("il1"));
+  dl1_.register_stats(scope.scope("dl1"));
+  itlb_.register_stats(scope.scope("itlb"));
+  dtlb_.register_stats(scope.scope("dtlb"));
+  if (shared_ == nullptr) {
+    l2_.register_stats(scope.scope("l2"));
+    dram_.register_stats(scope.scope("dram"));
+  }
+  const telemetry::Scope pressure = scope.scope("l2_pressure");
+  pressure.counter("il1", &pressure_.reads_from_il1);
+  pressure.counter("dl1", &pressure_.reads_from_dl1);
+  pressure.counter("il1_prefetch", &pressure_.reads_from_il1_prefetch);
+  pressure.counter("drc", &pressure_.reads_from_drc);
+  scope.counter("prefetches_issued", &iprefetch_.stats().issued);
+}
+
 }  // namespace vcfr::cache

@@ -99,6 +99,12 @@ class MemHier {
   }
   [[nodiscard]] const MemHierConfig& config() const { return config_; }
 
+  /// Binds the whole hierarchy into `scope`: il1/dl1/itlb/dtlb sub-scopes
+  /// always; l2/dram only in private-L2 mode (in fleet mode that traffic
+  /// lives in the shared cache's own scope); plus the L2 pressure
+  /// breakdown and the prefetcher counter.
+  void register_stats(const telemetry::Scope& scope) const;
+
  private:
   /// Read through L2 (filling it), returning latency beyond the L2 probe.
   AccessResult l2_read(uint32_t addr, uint64_t now, L2Source source);

@@ -175,4 +175,20 @@ std::vector<uint64_t> SharedL2::commit_round() {
   return penalty;
 }
 
+void SharedL2::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("accesses", &stats_.l2.accesses);
+  scope.counter("hits", &stats_.l2.hits);
+  scope.counter("misses", &stats_.l2.misses);
+  scope.counter("writebacks", &stats_.l2.writebacks);
+  scope.counter("queue_delay_cycles", &stats_.queue_delay_cycles);
+  scope.counter("commits", &stats_.commits);
+  scope.gauge("miss_rate", [this] { return stats_.l2.miss_rate(); });
+  const telemetry::Scope pressure = scope.scope("pressure");
+  pressure.counter("il1", &stats_.pressure.reads_from_il1);
+  pressure.counter("dl1", &stats_.pressure.reads_from_dl1);
+  pressure.counter("il1_prefetch", &stats_.pressure.reads_from_il1_prefetch);
+  pressure.counter("drc", &stats_.pressure.reads_from_drc);
+  dram_.register_stats(scope.scope("dram"));
+}
+
 }  // namespace vcfr::cache

@@ -113,6 +113,9 @@ class SharedL2 {
     return reads_by_asid_;
   }
 
+  /// Binds the shared cache + its DRAM channel into `scope`.
+  void register_stats(const telemetry::Scope& scope) const;
+
  private:
   struct Line {
     bool valid = false;

@@ -40,4 +40,11 @@ bool Tlb::check_user_access(uint32_t addr) {
   return false;
 }
 
+void Tlb::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("accesses", &stats_.accesses);
+  scope.counter("misses", &stats_.misses);
+  scope.counter("visibility_faults", &stats_.visibility_faults);
+  scope.gauge("miss_rate", [this] { return stats_.miss_rate(); });
+}
+
 }  // namespace vcfr::cache

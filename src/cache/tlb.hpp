@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "telemetry/stat_registry.hpp"
+
 namespace vcfr::cache {
 
 struct TlbConfig {
@@ -52,6 +54,9 @@ class Tlb {
 
   [[nodiscard]] const TlbStats& stats() const { return stats_; }
   [[nodiscard]] const TlbConfig& config() const { return config_; }
+
+  /// Binds this TLB's live statistics into `scope`.
+  void register_stats(const telemetry::Scope& scope) const;
 
  private:
   struct Entry {

@@ -93,4 +93,16 @@ bool Drc::contains(uint32_t key, bool derand) const {
   return false;
 }
 
+void Drc::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("lookups", &stats_.lookups);
+  scope.counter("hits", &stats_.hits);
+  scope.counter("misses", &stats_.misses);
+  scope.counter("derand_lookups", &stats_.derand_lookups);
+  scope.counter("rand_lookups", &stats_.rand_lookups);
+  scope.gauge("miss_rate", [this] { return stats_.miss_rate(); });
+  scope.gauge("occupancy", [this] {
+    return static_cast<double>(valid_entries());
+  });
+}
+
 }  // namespace vcfr::core

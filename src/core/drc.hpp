@@ -19,6 +19,8 @@
 #include <optional>
 #include <vector>
 
+#include "telemetry/stat_registry.hpp"
+
 namespace vcfr::core {
 
 struct DrcConfig {
@@ -80,6 +82,10 @@ class Drc {
     return config_.entries * 8;  // 32-bit tag + 32-bit translation per entry
   }
   void reset_stats() { stats_ = DrcStats{}; }
+
+  /// Binds this DRC's live statistics into `scope` (plus an occupancy
+  /// gauge — valid entries at sample time).
+  void register_stats(const telemetry::Scope& scope) const;
 
  private:
   struct Entry {

@@ -43,4 +43,10 @@ uint32_t RetBitmapCache::flush() {
   return lost;
 }
 
+void RetBitmapCache::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("accesses", &stats_.accesses);
+  scope.counter("misses", &stats_.misses);
+  scope.gauge("miss_rate", [this] { return stats_.miss_rate(); });
+}
+
 }  // namespace vcfr::core

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/memhier.hpp"
+#include "telemetry/stat_registry.hpp"
 
 namespace vcfr::core {
 
@@ -51,6 +52,9 @@ class RetBitmapCache {
 
   [[nodiscard]] const RetBitmapStats& stats() const { return stats_; }
   [[nodiscard]] const RetBitmapConfig& config() const { return config_; }
+
+  /// Binds this bitmap cache's live statistics into `scope`.
+  void register_stats(const telemetry::Scope& scope) const;
 
  private:
   struct Entry {

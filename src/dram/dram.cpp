@@ -53,4 +53,13 @@ void Dram::write(uint32_t addr, uint64_t now) {
   (void)service(addr, now);  // posted; occupies the bank but nobody waits
 }
 
+void Dram::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("reads", &stats_.reads);
+  scope.counter("writes", &stats_.writes);
+  scope.counter("row_hits", &stats_.row_hits);
+  scope.counter("row_misses", &stats_.row_misses);
+  scope.counter("refresh_stalls", &stats_.refresh_stalls);
+  scope.gauge("row_hit_rate", [this] { return stats_.row_hit_rate(); });
+}
+
 }  // namespace vcfr::dram

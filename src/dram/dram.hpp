@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/stat_registry.hpp"
+
 namespace vcfr::dram {
 
 struct DramConfig {
@@ -53,6 +55,9 @@ class Dram {
 
   [[nodiscard]] const DramStats& stats() const { return stats_; }
   [[nodiscard]] const DramConfig& config() const { return config_; }
+
+  /// Binds this DRAM channel's live statistics into `scope`.
+  void register_stats(const telemetry::Scope& scope) const;
 
  private:
   struct Bank {

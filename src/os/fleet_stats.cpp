@@ -1,129 +1,134 @@
 #include "os/fleet_stats.hpp"
 
-#include <cstdio>
 #include <sstream>
+
+#include "telemetry/json_writer.hpp"
 
 namespace vcfr::os {
 
 namespace {
 
+using telemetry::JsonWriter;
+using telemetry::json_double;
+
+constexpr JsonWriter::Style kPretty = JsonWriter::Style::kPretty;
+
 // %.6g keeps the rendering platform-stable and free of long fraction
 // tails; the JSON is compared byte-for-byte in the determinism test.
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+// Doubles are pre-rendered through json_double and emitted raw so they
+// appear as numbers, matching the established report shape.
+void cache_json(JsonWriter& w, const cache::CacheStats& c) {
+  w.begin_object();
+  w.key("accesses").value(c.accesses);
+  w.key("misses").value(c.misses);
+  w.key("miss_rate").raw_value(json_double(c.miss_rate()));
+  w.end_object();
 }
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-void cache_json(std::ostringstream& o, const cache::CacheStats& c) {
-  o << "{\"accesses\": " << c.accesses << ", \"misses\": " << c.misses
-    << ", \"miss_rate\": " << fmt_double(c.miss_rate()) << "}";
+void pressure_json(JsonWriter& w, const cache::L2PressureStats& p) {
+  w.begin_object();
+  w.key("il1").value(p.reads_from_il1);
+  w.key("dl1").value(p.reads_from_dl1);
+  w.key("il1_prefetch").value(p.reads_from_il1_prefetch);
+  w.key("drc").value(p.reads_from_drc);
+  w.end_object();
 }
 
 }  // namespace
 
 std::string FleetReport::to_json() const {
-  std::ostringstream o;
-  o << "{\n";
-  o << "  \"rounds\": " << rounds << ",\n";
-  o << "  \"context_switches\": " << context_switches << ",\n";
-  o << "  \"preemptions\": " << preemptions << ",\n";
-  o << "  \"drc_entries_flushed\": " << drc_entries_flushed << ",\n";
-  o << "  \"bitmap_entries_flushed\": " << bitmap_entries_flushed << ",\n";
-  o << "  \"rerandomizations\": " << rerandomizations << ",\n";
-  o << "  \"fleet_cycles\": " << fleet_cycles << ",\n";
-  o << "  \"fleet_instructions\": " << fleet_instructions << ",\n";
-  o << "  \"fleet_ipc\": " << fmt_double(fleet_ipc) << ",\n";
+  JsonWriter w;
+  w.begin_object(kPretty);
+  w.key("rounds").value(rounds);
+  w.key("context_switches").value(context_switches);
+  w.key("preemptions").value(preemptions);
+  w.key("drc_entries_flushed").value(drc_entries_flushed);
+  w.key("bitmap_entries_flushed").value(bitmap_entries_flushed);
+  w.key("rerandomizations").value(rerandomizations);
+  w.key("fleet_cycles").value(fleet_cycles);
+  w.key("fleet_instructions").value(fleet_instructions);
+  w.key("fleet_ipc").raw_value(json_double(fleet_ipc));
 
   const auto& sl2 = shared_l2;
-  o << "  \"shared_l2\": {\"accesses\": " << sl2.l2.accesses
-    << ", \"misses\": " << sl2.l2.misses
-    << ", \"miss_rate\": " << fmt_double(sl2.l2.miss_rate())
-    << ", \"writebacks\": " << sl2.l2.writebacks
-    << ", \"queue_delay_cycles\": " << sl2.queue_delay_cycles
-    << ", \"pressure\": {\"il1\": " << sl2.pressure.reads_from_il1
-    << ", \"dl1\": " << sl2.pressure.reads_from_dl1
-    << ", \"il1_prefetch\": " << sl2.pressure.reads_from_il1_prefetch
-    << ", \"drc\": " << sl2.pressure.reads_from_drc << "}},\n";
+  w.key("shared_l2").begin_object();
+  w.key("accesses").value(sl2.l2.accesses);
+  w.key("misses").value(sl2.l2.misses);
+  w.key("miss_rate").raw_value(json_double(sl2.l2.miss_rate()));
+  w.key("writebacks").value(sl2.l2.writebacks);
+  w.key("queue_delay_cycles").value(sl2.queue_delay_cycles);
+  w.key("pressure");
+  pressure_json(w, sl2.pressure);
+  w.end_object();
 
-  o << "  \"l2_reads_by_pid\": {";
-  bool first = true;
+  w.key("l2_reads_by_pid").begin_object();
   for (const auto& [pid, reads] : l2_reads_by_pid) {
-    if (!first) o << ", ";
-    first = false;
-    o << "\"" << pid << "\": " << reads;
+    w.key(std::to_string(pid)).value(reads);
   }
-  o << "},\n";
+  w.end_object();
 
-  o << "  \"cores\": [\n";
-  for (size_t i = 0; i < cores.size(); ++i) {
-    const auto& c = cores[i];
-    o << "    {\"core\": " << c.core << ", \"cycles\": " << c.cycles
-      << ", \"instructions\": " << c.instructions
-      << ", \"ipc\": " << fmt_double(c.ipc) << ", \"il1\": ";
-    cache_json(o, c.il1);
-    o << ", \"dl1\": ";
-    cache_json(o, c.dl1);
-    o << ", \"l2_pressure\": {\"il1\": " << c.l2_pressure.reads_from_il1
-      << ", \"dl1\": " << c.l2_pressure.reads_from_dl1
-      << ", \"il1_prefetch\": " << c.l2_pressure.reads_from_il1_prefetch
-      << ", \"drc\": " << c.l2_pressure.reads_from_drc << "}"
-      << ", \"drc\": {\"lookups\": " << c.drc.lookups
-      << ", \"misses\": " << c.drc.misses
-      << ", \"miss_rate\": " << fmt_double(c.drc.miss_rate()) << "}}"
-      << (i + 1 < cores.size() ? "," : "") << "\n";
+  w.key("cores").begin_array(kPretty);
+  for (const auto& c : cores) {
+    w.begin_object();
+    w.key("core").value(c.core);
+    w.key("cycles").value(c.cycles);
+    w.key("instructions").value(c.instructions);
+    w.key("ipc").raw_value(json_double(c.ipc));
+    w.key("il1");
+    cache_json(w, c.il1);
+    w.key("dl1");
+    cache_json(w, c.dl1);
+    w.key("l2_pressure");
+    pressure_json(w, c.l2_pressure);
+    w.key("drc").begin_object();
+    w.key("lookups").value(c.drc.lookups);
+    w.key("misses").value(c.drc.misses);
+    w.key("miss_rate").raw_value(json_double(c.drc.miss_rate()));
+    w.end_object();
+    w.end_object();
   }
-  o << "  ],\n";
+  w.end_array();
 
-  o << "  \"processes\": [\n";
-  for (size_t i = 0; i < processes.size(); ++i) {
-    const auto& p = processes[i];
-    o << "    {\"pid\": " << p.pid << ", \"workload\": \""
-      << escape(p.workload) << "\", \"seed\": " << p.seed
-      << ", \"core\": " << p.core
-      << ", \"instructions\": " << p.instructions
-      << ", \"slices\": " << p.slices
-      << ", \"context_switches\": " << p.context_switches
-      << ", \"drc_flush_losses\": " << p.drc_flush_losses
-      << ", \"bitmap_flush_losses\": " << p.bitmap_flush_losses
-      << ", \"rerandomizations\": " << p.rerandomizations
-      << ", \"rerandomizations_deferred\": " << p.rerandomizations_deferred
-      << ", \"epoch\": " << p.epoch
-      << ", \"halted\": " << (p.halted ? "true" : "false")
-      << ", \"error\": \"" << escape(p.error) << "\""
-      << ", \"arch_match\": " << (p.arch_match ? "true" : "false")
-      << ", \"finish_cycles\": " << p.finish_cycles
-      << ", \"isolated_cycles\": " << p.isolated_cycles
-      << ", \"slowdown\": " << fmt_double(p.slowdown) << "}"
-      << (i + 1 < processes.size() ? "," : "") << "\n";
+  w.key("processes").begin_array(kPretty);
+  for (const auto& p : processes) {
+    w.begin_object();
+    w.key("pid").value(p.pid);
+    w.key("workload").value(p.workload);
+    w.key("seed").value(p.seed);
+    w.key("core").value(p.core);
+    w.key("instructions").value(p.instructions);
+    w.key("slices").value(p.slices);
+    w.key("context_switches").value(p.context_switches);
+    w.key("drc_flush_losses").value(p.drc_flush_losses);
+    w.key("bitmap_flush_losses").value(p.bitmap_flush_losses);
+    w.key("rerandomizations").value(p.rerandomizations);
+    w.key("rerandomizations_deferred").value(p.rerandomizations_deferred);
+    w.key("epoch").value(p.epoch);
+    w.key("halted").value(p.halted);
+    w.key("error").value(p.error);
+    w.key("arch_match").value(p.arch_match);
+    w.key("finish_cycles").value(p.finish_cycles);
+    w.key("isolated_cycles").value(p.isolated_cycles);
+    w.key("slowdown").raw_value(json_double(p.slowdown));
+    w.end_object();
   }
-  o << "  ]\n";
-  o << "}\n";
-  return o.str();
+  w.end_array();
+
+  w.end_object();
+  return w.str() + "\n";
 }
 
 std::string FleetReport::summary() const {
   std::ostringstream o;
   o << "fleet: " << processes.size() << " procs on " << cores.size()
     << " cores, " << fleet_instructions << " instr in " << fleet_cycles
-    << " cycles (ipc " << fmt_double(fleet_ipc) << ")\n";
+    << " cycles (ipc " << json_double(fleet_ipc) << ")\n";
   o << "sched: " << rounds << " rounds, " << context_switches
     << " context switches, " << preemptions << " preemptions, "
     << drc_entries_flushed << " DRC + " << bitmap_entries_flushed
     << " bitmap entries flushed, " << rerandomizations
     << " re-randomizations\n";
   o << "shared L2: " << shared_l2.l2.accesses << " accesses, miss rate "
-    << fmt_double(shared_l2.l2.miss_rate()) << ", queue delay "
+    << json_double(shared_l2.l2.miss_rate()) << ", queue delay "
     << shared_l2.queue_delay_cycles << " cycles\n";
   for (const auto& p : processes) {
     o << "  pid " << p.pid << " " << p.workload << " (core " << p.core
@@ -133,7 +138,7 @@ std::string FleetReport::summary() const {
       << (p.error.empty() ? "" : ", FAULT: " + p.error)
       << (p.arch_match ? ", arch ok" : ", ARCH MISMATCH");
     if (p.isolated_cycles != 0) {
-      o << ", slowdown " << fmt_double(p.slowdown) << "x";
+      o << ", slowdown " << json_double(p.slowdown) << "x";
     }
     o << "\n";
   }

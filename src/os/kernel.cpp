@@ -46,6 +46,12 @@ void Kernel::dispatch(uint32_t core, Process& proc) {
         ctx.stats().entries_flushed - drc_before;
     proc.stats().bitmap_entries_flushed +=
         ctx.stats().bitmap_entries_flushed - bmp_before;
+    if (!lanes_.empty() && lanes_[core] != nullptr) {
+      lanes_[core]->span(telemetry::TraceEventType::kContextSwitch,
+                         proc.pid(), cores_[core]->now(),
+                         config_.context_switch_cycles,
+                         ctx.stats().entries_flushed - drc_before);
+    }
     cores_[core]->stall(config_.context_switch_cycles);
   }
   const auto want = std::make_pair(static_cast<int64_t>(proc.pid()),
@@ -56,10 +62,95 @@ void Kernel::dispatch(uint32_t core, Process& proc) {
   }
 }
 
+uint64_t Kernel::fleet_now() const {
+  uint64_t now = 0;
+  for (const auto& core : cores_) now = std::max(now, core->now());
+  return now;
+}
+
+void Kernel::setup_telemetry() {
+  if (telemetry_ == nullptr) return;
+  const uint32_t cores = shared_.cores();
+  const telemetry::Scope fleet = telemetry_->root().scope("fleet");
+
+  fleet.counter("rounds", &rounds_);
+  fleet.counter_fn("instructions", [this] {
+    uint64_t total = 0;
+    for (const auto& core : cores_) total += core->retired();
+    return total;
+  });
+  fleet.counter_fn("cycles", [this] { return fleet_now(); });
+  fleet.gauge("ipc", [this] {
+    const uint64_t cycles = fleet_now();
+    uint64_t instr = 0;
+    for (const auto& core : cores_) instr += core->retired();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instr) /
+                             static_cast<double>(cycles);
+  });
+  fleet.gauge("drc_miss_rate", [this] {
+    uint64_t lookups = 0, misses = 0;
+    for (const auto& core : cores_) {
+      lookups += core->drc().stats().lookups;
+      misses += core->drc().stats().misses;
+    }
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(misses) /
+                              static_cast<double>(lookups);
+  });
+
+  sched_.register_stats(fleet.scope("sched"));
+  shared_.register_stats(fleet.scope("shared_l2"));
+
+  lanes_.assign(cores, nullptr);
+  telemetry::Tracer* tracer = telemetry_->tracer();
+  for (uint32_t c = 0; c < cores; ++c) {
+    const std::string id = std::to_string(c);
+    const telemetry::Scope scope = fleet.scope("core" + id);
+    cores_[c]->register_stats(scope);
+    const telemetry::Scope ctx = scope.scope("ctx");
+    ctx.counter("switches", &ctx_[c]->stats().switches);
+    ctx.counter("entries_flushed", &ctx_[c]->stats().entries_flushed);
+    ctx.counter("bitmap_entries_flushed",
+                &ctx_[c]->stats().bitmap_entries_flushed);
+    ctx.counter("rerandomizations", &ctx_[c]->stats().rerandomizations);
+    lanes_[c] = telemetry_->lane(c);
+    cores_[c]->attach_trace(lanes_[c]);
+    if (tracer != nullptr) tracer->name_lane(c, "core " + id);
+  }
+  kernel_lane_ = telemetry_->lane(cores);
+  if (tracer != nullptr) {
+    tracer->name_lane(cores, "kernel");
+    tracer->name_asid(cores, 0, "scheduler");
+  }
+
+  for (const auto& proc : procs_) {
+    const Process& p = *proc;
+    const telemetry::Scope scope =
+        fleet.scope("proc" + std::to_string(p.pid()));
+    scope.counter("instructions", &p.stats().instructions);
+    scope.counter("slices", &p.stats().slices);
+    scope.counter("context_switches", &p.stats().context_switches);
+    scope.counter("drc_entries_flushed", &p.stats().drc_entries_flushed);
+    scope.counter("bitmap_entries_flushed",
+                  &p.stats().bitmap_entries_flushed);
+    scope.counter("rerandomizations", &p.stats().rerandomizations);
+    scope.counter("rerandomizations_deferred",
+                  &p.stats().rerandomizations_deferred);
+    scope.counter_fn("epoch", [&p] { return p.epoch(); });
+    if (tracer != nullptr) {
+      tracer->name_asid(static_cast<uint32_t>(p.core()), p.pid(),
+                        "pid " + std::to_string(p.pid()) + " " +
+                            p.config().workload);
+    }
+  }
+}
+
 FleetReport Kernel::run() {
   const uint32_t cores = shared_.cores();
   const uint64_t slice = sched_.config().slice_instructions;
   std::vector<int> running(cores, -1);
+  setup_telemetry();
 
   while (sched_.any_runnable()) {
     ++rounds_;
@@ -84,9 +175,16 @@ FleetReport Kernel::run() {
     auto run_slice = [&](uint32_t c) {
       Process& p = *procs_[running[c]];
       const uint64_t budget = std::min(slice, p.remaining());
+      const uint64_t start = cores_[c]->now();
       const uint64_t ran = cores_[c]->run(p.emulator(), budget);
       p.stats().instructions += ran;
       p.stats().slices += 1;
+      // The lane is this core's own ring, so recording from the worker
+      // thread is race-free.
+      if (!lanes_.empty() && lanes_[c] != nullptr) {
+        lanes_[c]->span(telemetry::TraceEventType::kSlice, p.pid(), start,
+                        cores_[c]->now() - start, ran);
+      }
     };
     std::vector<uint32_t> active;
     for (uint32_t c = 0; c < cores; ++c) {
@@ -104,6 +202,11 @@ FleetReport Kernel::run() {
     // -- commit (serial: authoritative shared-L2/DRAM replay) ------------
     const std::vector<uint64_t> penalties = shared_.commit_round();
     for (uint32_t c = 0; c < cores; ++c) cores_[c]->stall(penalties[c]);
+    if (kernel_lane_ != nullptr) {
+      kernel_lane_->instant(telemetry::TraceEventType::kRoundCommit, 0,
+                            fleet_now(), rounds_);
+    }
+    if (telemetry_ != nullptr) telemetry_->sampler().poll(fleet_now());
 
     // -- bookkeeping -----------------------------------------------------
     for (const uint32_t c : active) {
@@ -128,6 +231,10 @@ FleetReport Kernel::run() {
               ctx_[c]->stats().entries_flushed - drc_before;
           p.stats().bitmap_entries_flushed +=
               ctx_[c]->stats().bitmap_entries_flushed - bmp_before;
+          if (!lanes_.empty() && lanes_[c] != nullptr) {
+            lanes_[c]->instant(telemetry::TraceEventType::kRerandEpoch,
+                               p.pid(), cores_[c]->cycles(), p.epoch());
+          }
         }
       }
       sched_.requeue(c, p.pid());
@@ -190,6 +297,9 @@ FleetReport Kernel::run() {
     }
     report.processes.push_back(pr);
   }
+  // run() is single-shot: freeze the registry so exports stay valid even
+  // if the caller destroys the kernel before writing files.
+  if (telemetry_ != nullptr) telemetry_->registry().freeze();
   return report;
 }
 

@@ -32,6 +32,7 @@
 #include "os/process.hpp"
 #include "os/scheduler.hpp"
 #include "sim/cpu.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vcfr::os {
 
@@ -59,6 +60,16 @@ class Kernel {
   /// (pids are dense, starting at 0).
   uint32_t spawn(const ProcessConfig& config);
 
+  /// Attaches a telemetry session. Must be called before `run()` (every
+  /// process spawned so far and later is registered when the run
+  /// starts). The session must outlive the kernel's run. Registry scope
+  /// layout: fleet.coreN.*, fleet.procN.*, fleet.shared_l2.*,
+  /// fleet.sched.*; trace lanes: one per core plus a kernel lane; the
+  /// sampler is polled once per scheduler round at the fleet clock.
+  void attach_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Runs the fleet to completion and returns the report. Single-shot.
   FleetReport run();
 
@@ -81,6 +92,11 @@ class Kernel {
   void dispatch(uint32_t core, Process& proc);
   /// Isolated re-run of one finished process (arch_match + slowdown).
   void measure_isolated(ProcessReport& report, const Process& proc) const;
+  /// Registers every core/process/shared structure with the attached
+  /// telemetry session and creates the trace lanes (run() entry).
+  void setup_telemetry();
+  /// The fleet-wide clock: the slowest core's cycle horizon.
+  [[nodiscard]] uint64_t fleet_now() const;
 
   KernelConfig config_;
   cache::SharedL2 shared_;
@@ -91,6 +107,11 @@ class Kernel {
   std::vector<std::pair<int64_t, int64_t>> installed_;
   std::vector<std::unique_ptr<Process>> procs_;
   uint64_t rounds_ = 0;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  /// Per-core trace lanes plus one kernel lane (null when tracing is off).
+  std::vector<telemetry::TraceLane*> lanes_;
+  telemetry::TraceLane* kernel_lane_ = nullptr;
 };
 
 }  // namespace vcfr::os

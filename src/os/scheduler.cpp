@@ -32,4 +32,13 @@ bool Scheduler::any_runnable() const {
   return false;
 }
 
+void Scheduler::register_stats(const telemetry::Scope& scope) const {
+  scope.counter("preemptions", &preemptions_);
+  scope.gauge("runnable", [this] {
+    size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return static_cast<double>(n);
+  });
+}
+
 }  // namespace vcfr::os

@@ -14,6 +14,8 @@
 #include <deque>
 #include <vector>
 
+#include "telemetry/stat_registry.hpp"
+
 namespace vcfr::os {
 
 struct SchedulerConfig {
@@ -40,6 +42,10 @@ class Scheduler {
   [[nodiscard]] bool any_runnable() const;
   [[nodiscard]] uint64_t preemptions() const { return preemptions_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+  /// Binds scheduler counters into `scope` (preemptions + a live gauge
+  /// of runnable processes across all queues).
+  void register_stats(const telemetry::Scope& scope) const;
 
  private:
   SchedulerConfig config_;

@@ -75,6 +75,7 @@ void CpuCore::install(Layout layout, core::TranslationWalker* walker,
   vcfr_ = layout == Layout::kVcfr;
   naive_ = layout == Layout::kNaiveIlr;
   walker_ = walker;
+  asid_ = asid;
   mem_.set_asid(asid);
   // The pipeline drains across a switch: transient state re-anchors at the
   // current clock; caches/predictors/DRC deliberately keep their contents.
@@ -118,6 +119,12 @@ uint32_t CpuCore::drc_resolve(uint32_t key, bool derand, uint64_t now) {
   const core::WalkResult wr = walker_->walk(key, derand, now);
   drc_.insert(key, derand, wr.value);
   if (drc_l2_) drc_l2_->insert(key, derand, wr.value);
+  if (lane_ != nullptr) {
+    lane_->instant(telemetry::TraceEventType::kDrcMiss, asid_, now, key);
+    lane_->span(telemetry::TraceEventType::kTableWalk, asid_, now, wr.latency,
+                key);
+  }
+  if (walk_hist_ != nullptr) walk_hist_->record(wr.latency);
   return wr.latency;
 }
 
@@ -127,6 +134,7 @@ uint64_t CpuCore::run(emu::Emulator& emulator, uint64_t max_instructions) {
   while (ran < max_instructions && emulator.step(&si)) {
     ++ran;
     retire(si);
+    if (sampler_ != nullptr) sampler_->poll(last_done_);
     if (emulator.halted()) break;
   }
   return ran;
@@ -155,6 +163,11 @@ void CpuCore::retire(const StepInfo& si) {
       // Non-blocking fetch miss: the next fetch may start once an MSHR
       // frees, while this miss overlaps with IQ drain.
       fetch_ready_ = fetch_start + config_.ifetch_miss_initiation;
+      if (lane_ != nullptr) {
+        lane_->span(telemetry::TraceEventType::kFetchStall, asid_,
+                    fetch_start, r.latency, fetch_pc);
+      }
+      if (fetch_stall_hist_ != nullptr) fetch_stall_hist_->record(r.latency);
     }
   }
   if (last_line != cur_line_) {  // instruction straddles two lines
@@ -163,6 +176,11 @@ void CpuCore::retire(const StepInfo& si) {
     cur_line_ = last_line;
     if (!r.l1_hit) {
       fetch_ready_ = fetch_start + config_.ifetch_miss_initiation;
+      if (lane_ != nullptr) {
+        lane_->span(telemetry::TraceEventType::kFetchStall, asid_,
+                    fetch_start, r.latency, fetch_pc);
+      }
+      if (fetch_stall_hist_ != nullptr) fetch_stall_hist_->record(r.latency);
     }
   }
   const uint64_t fetch_done = fetch_start + fetch_lat;
@@ -204,7 +222,13 @@ void CpuCore::retire(const StepInfo& si) {
         // §IV-C automatic de-randomization: consult the bitmap cache.
         const uint32_t extra = bitmap_.access(si.mem_addr, issue);
         exec_lat += extra;
-        if (extra > 0) blocking = true;
+        if (extra > 0) {
+          blocking = true;
+          if (lane_ != nullptr) {
+            lane_->span(telemetry::TraceEventType::kBitmapMiss, asid_, issue,
+                        extra, si.mem_addr);
+          }
+        }
       }
       break;
     }
@@ -368,13 +392,57 @@ SimResult CpuCore::harvest() const {
   return res;
 }
 
+void CpuCore::register_stats(const telemetry::Scope& scope) {
+  scope.counter("instructions", &retired_);
+  scope.counter_fn("cycles", [this] { return last_done_ + 1; });
+  scope.counter("table_walks", &table_walks_);
+  scope.gauge("ipc", [this] {
+    return last_done_ + 1 == 0 ? 0.0
+                               : static_cast<double>(retired_) /
+                                     static_cast<double>(last_done_ + 1);
+  });
+
+  const telemetry::Scope mix = scope.scope("mix");
+  mix.counter("alu", &n_alu_);
+  mix.counter("mul", &n_mul_);
+  mix.counter("div", &n_div_);
+  mix.counter("mem", &n_mem_);
+  mix.counter("branch", &n_branch_);
+
+  const telemetry::Scope bpred = scope.scope("bpred");
+  bpred.counter("cond_predictions", &bpstats_.cond_predictions);
+  bpred.counter("cond_mispredicts", &bpstats_.cond_mispredicts);
+  bpred.counter("btb_lookups", &bpstats_.btb_lookups);
+  bpred.counter("btb_hits", &bpstats_.btb_hits);
+  bpred.counter("ras_pops", &bpstats_.ras_pops);
+  bpred.counter("ras_mispredicts", &bpstats_.ras_mispredicts);
+  bpred.gauge("cond_accuracy", [this] { return bpstats_.cond_accuracy(); });
+
+  mem_.register_stats(scope);
+  drc_.register_stats(scope.scope("drc"));
+  if (drc_l2_) drc_l2_->register_stats(scope.scope("drc_l2"));
+  bitmap_.register_stats(scope.scope("ret_bitmap"));
+
+  walk_hist_ = scope.histogram("drc.walk_cycles");
+  fetch_stall_hist_ = scope.histogram("fetch.stall_cycles");
+}
+
 SimResult simulate(const binary::Image& image, uint64_t max_instructions,
-                   const CpuConfig& config) {
+                   const CpuConfig& config, telemetry::Telemetry* telemetry) {
   binary::Memory memory;
   binary::load(image, memory);
   emu::Emulator emulator(image, memory);
 
   CpuCore core(config);
+  if (telemetry != nullptr) {
+    core.register_stats(telemetry->root().scope("core0"));
+    core.attach_trace(telemetry->lane(0));
+    core.attach_sampler(&telemetry->sampler());
+    if (telemetry->tracer() != nullptr) {
+      telemetry->tracer()->name_lane(0, "core 0");
+      telemetry->tracer()->name_asid(0, 0, "asid 0 " + image.name);
+    }
+  }
   core::TranslationWalker walker(image.tables, core.mem());
   core.install(image.layout, &walker, 0);
   const uint64_t ran = core.run(emulator, max_instructions);
@@ -385,6 +453,9 @@ SimResult simulate(const binary::Image& image, uint64_t max_instructions,
   res.halted = emulator.halted();
   res.error = emulator.error();
   res.instructions = ran;
+  // The core (and everything registered through it) dies with this
+  // frame; pin the registry to final values so the caller can export.
+  if (telemetry != nullptr) telemetry->registry().freeze();
   return res;
 }
 

@@ -32,6 +32,7 @@
 #include "emu/emulator.hpp"
 #include "power/energy.hpp"
 #include "sim/bpred.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vcfr::core {
 class TranslationWalker;
@@ -148,6 +149,19 @@ class CpuCore {
   /// SimResult form (app/layout/halted/error left for the caller).
   [[nodiscard]] SimResult harvest() const;
 
+  // ---- telemetry (all optional; disabled = a null-pointer test) --------
+  /// Binds every structural statistic into `scope` (pipeline counters,
+  /// the whole memory hierarchy, DRC, predictors, return bitmap) and
+  /// creates this core's latency histograms.
+  void register_stats(const telemetry::Scope& scope);
+  /// Events (fetch stalls, DRC misses, table walks, bitmap misses) go to
+  /// `lane`; pass nullptr to stop tracing.
+  void attach_trace(telemetry::TraceLane* lane) { lane_ = lane; }
+  /// The sampler is polled once per retired instruction — only attach in
+  /// single-threaded use (the fleet kernel samples at round boundaries
+  /// instead, since cores execute on parallel host threads).
+  void attach_sampler(telemetry::Sampler* sampler) { sampler_ = sampler; }
+
  private:
   void retire(const emu::StepInfo& si);
   uint32_t drc_resolve(uint32_t key, bool derand, uint64_t now);
@@ -164,6 +178,13 @@ class CpuCore {
   core::TranslationWalker* walker_ = nullptr;
   bool vcfr_ = false;
   bool naive_ = false;
+  uint32_t asid_ = 0;
+
+  // Telemetry attachment points (null = disabled).
+  telemetry::TraceLane* lane_ = nullptr;
+  telemetry::Sampler* sampler_ = nullptr;
+  telemetry::Histogram* walk_hist_ = nullptr;
+  telemetry::Histogram* fetch_stall_hist_ = nullptr;
 
   // Pipeline timing state (absolute cycles).
   uint64_t fetch_ready_ = 0;
@@ -185,9 +206,12 @@ class CpuCore {
 };
 
 /// Simulates `image` for up to `max_instructions` dynamic instructions (or
-/// to completion). The image is loaded into a fresh memory.
+/// to completion). The image is loaded into a fresh memory. With a
+/// `telemetry` session the core registers its stats under scope "core0",
+/// traces to lane 0, and drives the sampler from its cycle clock.
 [[nodiscard]] SimResult simulate(const binary::Image& image,
                                  uint64_t max_instructions,
-                                 const CpuConfig& config = {});
+                                 const CpuConfig& config = {},
+                                 telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace vcfr::sim

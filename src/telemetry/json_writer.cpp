@@ -1,0 +1,150 @@
+#include "telemetry/json_writer.hpp"
+
+#include <cstdio>
+
+namespace vcfr::telemetry {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonWriter::indent() const {
+  return std::string(2 * levels_.size(), ' ');
+}
+
+void JsonWriter::next_member() {
+  if (key_pending_) {
+    // Value completing a key: the separator was emitted with the key.
+    key_pending_ = false;
+    return;
+  }
+  if (levels_.empty()) return;  // root value
+  Level& level = levels_.back();
+  if (level.members > 0) {
+    out_ << (level.style == Style::kPretty ? ",\n" + indent() : ", ");
+  } else if (level.style == Style::kPretty) {
+    out_ << "\n" << indent();
+  }
+  ++level.members;
+}
+
+void JsonWriter::open(char c, Style style) {
+  next_member();
+  out_ << c;
+  levels_.push_back({style, 0});
+}
+
+void JsonWriter::close(char c) {
+  const Level level = levels_.back();
+  levels_.pop_back();
+  if (level.style == Style::kPretty && level.members > 0) {
+    out_ << "\n" << indent();
+  }
+  out_ << c;
+}
+
+JsonWriter& JsonWriter::begin_object(Style style) {
+  open('{', style);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(Style style) {
+  open('[', style);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  next_member();
+  out_ << '"' << json_escape(k) << "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  next_member();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  next_member();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  next_member();
+  out_ << json_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  next_member();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  next_member();
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  next_member();
+  out_ << json;
+  return *this;
+}
+
+}  // namespace vcfr::telemetry

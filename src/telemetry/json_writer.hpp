@@ -1,0 +1,79 @@
+// Shared deterministic JSON rendering for every telemetry/report export.
+//
+// All JSON the system emits (fleet reports, --stats-json snapshots,
+// Chrome trace files, BENCH_*.json) is compared byte-for-byte across
+// same-seed runs, so rendering must be platform-stable: fixed key order
+// is the caller's job, number formatting is pinned here (%.6g doubles,
+// plain integers), and strings are escaped per RFC 8259 (quote,
+// backslash, and all control characters — printable ASCII passes
+// through unchanged).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vcfr::telemetry {
+
+/// Escapes `s` for inclusion in a JSON string literal. Uses the short
+/// escapes JSON defines (\n, \t, ...) and \u00XX for the remaining
+/// control characters.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Platform-stable double rendering: %.6g (no long fraction tails, same
+/// text on every libc we build against).
+[[nodiscard]] std::string json_double(double v);
+
+/// Structural writer with comma management and two container styles:
+///
+///   * kCompact — members on one line, separated by ", ";
+///   * kPretty  — one member per line, indented two spaces per depth.
+///
+/// The mix reproduces the established report shape: a pretty top level
+/// for readability, compact leaf objects so arrays of records stay one
+/// record per line.
+class JsonWriter {
+ public:
+  enum class Style { kCompact, kPretty };
+
+  JsonWriter& begin_object(Style style = Style::kCompact);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(Style style = Style::kCompact);
+  JsonWriter& end_array();
+
+  /// Emits `"k": ` (with any separator/indent due first).
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint32_t v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  /// Emits pre-rendered JSON as a member (separator/indent still managed).
+  JsonWriter& raw_value(const std::string& json);
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  struct Level {
+    Style style;
+    uint64_t members = 0;
+  };
+
+  /// Separator/indent due before the next member of the current level.
+  void next_member();
+  void open(char c, Style style);
+  void close(char c);
+  [[nodiscard]] std::string indent() const;
+
+  std::ostringstream out_;
+  std::vector<Level> levels_;
+  bool key_pending_ = false;
+};
+
+}  // namespace vcfr::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/sampler.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/json_writer.hpp"
+
+namespace vcfr::telemetry {
+
+void Sampler::capture_columns() {
+  for (const auto& [name, stat] : registry_->stats()) {
+    if (stat.kind == StatKind::kHistogram) continue;
+    columns_.push_back(name);
+    sources_.push_back(&stat);
+  }
+}
+
+void Sampler::take(uint64_t cycle) {
+  if (columns_.empty()) capture_columns();
+  cycles_.push_back(cycle);
+  std::vector<double> row;
+  row.reserve(sources_.size());
+  for (const StatRegistry::Stat* stat : sources_) {
+    row.push_back(stat->value());
+  }
+  values_.push_back(std::move(row));
+  if (interval_ != 0) {
+    next_ = cycle - cycle % interval_ + interval_;
+  }
+}
+
+std::string Sampler::render(size_t row, size_t col) const {
+  const double v = values_[row][col];
+  if (sources_[col]->kind == StatKind::kCounter) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, static_cast<uint64_t>(v));
+    return buf;
+  }
+  return json_double(v);
+}
+
+std::string Sampler::to_csv() const {
+  std::ostringstream o;
+  o << "cycle";
+  for (const auto& c : columns_) o << "," << c;
+  o << "\n";
+  for (size_t r = 0; r < cycles_.size(); ++r) {
+    o << cycles_[r];
+    for (size_t c = 0; c < columns_.size(); ++c) o << "," << render(r, c);
+    o << "\n";
+  }
+  return o.str();
+}
+
+std::string Sampler::to_json() const {
+  JsonWriter w;
+  w.begin_object(JsonWriter::Style::kPretty);
+  w.key("interval").value(interval_);
+  w.key("columns").begin_array();
+  w.value("cycle");
+  for (const auto& c : columns_) w.value(c);
+  w.end_array();
+  w.key("samples").begin_array(JsonWriter::Style::kPretty);
+  for (size_t r = 0; r < cycles_.size(); ++r) {
+    w.begin_array();
+    w.value(cycles_[r]);
+    for (size_t c = 0; c < columns_.size(); ++c) w.raw_value(render(r, c));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace vcfr::telemetry

@@ -1,0 +1,68 @@
+// Time-series sampler: snapshots every numeric stat in a StatRegistry
+// each time the simulated clock crosses an interval boundary, producing
+// the data behind "overhead over time" curves (IPC, DRC miss rate and
+// L1-I/L2 miss rates across re-randomization epochs, shared-L2
+// contention across scheduler rounds, ...).
+//
+// Rows are cycle-stamped with the *actual* sampled cycle (the clock
+// advances unevenly, so boundaries are crossed, not hit); columns are
+// the registry's counters and gauges in sorted-name order, captured at
+// the first sample. Counters render as integers, gauges as %.6g —
+// everything deterministic for same-seed runs.
+//
+// `poll()` is the hot-path entry: two compares when sampling is off or
+// not yet due, so leaving a sampler attached costs nothing measurable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/stat_registry.hpp"
+
+namespace vcfr::telemetry {
+
+class Sampler {
+ public:
+  explicit Sampler(const StatRegistry* registry) : registry_(registry) {}
+
+  /// 0 disables sampling (the default).
+  void set_interval(uint64_t cycles) {
+    interval_ = cycles;
+    next_ = cycles;
+  }
+  [[nodiscard]] uint64_t interval() const { return interval_; }
+
+  void poll(uint64_t cycle) {
+    if (interval_ == 0 || cycle < next_) return;
+    take(cycle);
+  }
+
+  /// Unconditional snapshot at `cycle` (also re-arms the next boundary).
+  void take(uint64_t cycle);
+
+  [[nodiscard]] size_t rows() const { return cycles_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+
+  /// "cycle,<col>,<col>,..." header plus one row per sample.
+  [[nodiscard]] std::string to_csv() const;
+  /// {"interval": N, "columns": [...], "samples": [[cycle, ...], ...]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  void capture_columns();
+  [[nodiscard]] std::string render(size_t row, size_t col) const;
+
+  const StatRegistry* registry_;
+  uint64_t interval_ = 0;
+  uint64_t next_ = 0;
+
+  std::vector<std::string> columns_;
+  std::vector<const StatRegistry::Stat*> sources_;
+  std::vector<uint64_t> cycles_;
+  std::vector<std::vector<double>> values_;  // one row per sample
+};
+
+}  // namespace vcfr::telemetry

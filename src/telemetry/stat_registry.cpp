@@ -1,0 +1,137 @@
+#include "telemetry/stat_registry.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "telemetry/json_writer.hpp"
+
+namespace vcfr::telemetry {
+
+uint32_t Histogram::bucket_of(uint64_t value) {
+  return static_cast<uint32_t>(std::bit_width(value));
+}
+
+void Histogram::record(uint64_t value) {
+  const uint32_t bucket = std::min<uint32_t>(
+      bucket_of(value), static_cast<uint32_t>(buckets_.size()) - 1);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+  if (value > max_) max_ = value;
+}
+
+double StatRegistry::Stat::value() const {
+  switch (kind) {
+    case StatKind::kCounter:
+      return static_cast<double>(count_value());
+    case StatKind::kGauge:
+      return fn();
+    case StatKind::kHistogram:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+Scope Scope::scope(const std::string& name) const {
+  return Scope(registry_, path_.empty() ? name : path_ + "." + name);
+}
+
+void Scope::counter(const std::string& name, const uint64_t* cell) const {
+  if (registry_ == nullptr) return;
+  StatRegistry::Stat s;
+  s.kind = StatKind::kCounter;
+  s.cell = cell;
+  registry_->add(scope(name).path_, std::move(s));
+}
+
+void Scope::counter_fn(const std::string& name,
+                       std::function<uint64_t()> fn) const {
+  if (registry_ == nullptr) return;
+  StatRegistry::Stat s;
+  s.kind = StatKind::kCounter;
+  s.fn_u64 = std::move(fn);
+  registry_->add(scope(name).path_, std::move(s));
+}
+
+void Scope::gauge(const std::string& name, std::function<double()> fn) const {
+  if (registry_ == nullptr) return;
+  StatRegistry::Stat s;
+  s.kind = StatKind::kGauge;
+  s.fn = std::move(fn);
+  registry_->add(scope(name).path_, std::move(s));
+}
+
+Histogram* Scope::histogram(const std::string& name, uint32_t buckets) const {
+  if (registry_ == nullptr) return nullptr;
+  StatRegistry::Stat s;
+  s.kind = StatKind::kHistogram;
+  s.hist = std::make_unique<Histogram>(buckets);
+  Histogram* out = s.hist.get();
+  registry_->add(scope(name).path_, std::move(s));
+  return out;
+}
+
+void StatRegistry::add(const std::string& name, Stat stat) {
+  const auto [it, inserted] = stats_.emplace(name, std::move(stat));
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("telemetry: duplicate stat name: " + name);
+  }
+}
+
+void StatRegistry::freeze() {
+  for (auto& [name, stat] : stats_) {
+    if (stat.kind == StatKind::kCounter) {
+      const uint64_t v = stat.count_value();
+      stat.cell = nullptr;
+      stat.fn_u64 = [v] { return v; };
+    } else if (stat.kind == StatKind::kGauge) {
+      const double v = stat.fn();
+      stat.fn = [v] { return v; };
+    }
+  }
+}
+
+std::string StatRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object(JsonWriter::Style::kPretty);
+
+  w.key("counters").begin_object(JsonWriter::Style::kPretty);
+  for (const auto& [name, stat] : stats_) {
+    if (stat.kind != StatKind::kCounter) continue;
+    w.key(name).value(stat.count_value());
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object(JsonWriter::Style::kPretty);
+  for (const auto& [name, stat] : stats_) {
+    if (stat.kind != StatKind::kGauge) continue;
+    w.key(name).value(stat.fn());
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object(JsonWriter::Style::kPretty);
+  for (const auto& [name, stat] : stats_) {
+    if (stat.kind != StatKind::kHistogram) continue;
+    const Histogram& h = *stat.hist;
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("max").value(h.max());
+    w.key("mean").value(h.mean());
+    // Trailing zero buckets are dropped so the rendering is compact and
+    // independent of the configured bucket count.
+    size_t last = h.buckets().size();
+    while (last > 0 && h.buckets()[last - 1] == 0) --last;
+    w.key("buckets").begin_array();
+    for (size_t i = 0; i < last; ++i) w.value(h.buckets()[i]);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace vcfr::telemetry

@@ -1,0 +1,143 @@
+// Hierarchical statistic registry — the single naming and export layer
+// for every counter the model keeps.
+//
+// Components own their statistic storage exactly as before (the
+// `*Stats` structs stay the architectural source of truth and their
+// accessors keep working); what the registry adds is an enumerable,
+// dot-separated namespace over that storage:
+//
+//   fleet.core0.il1.accesses        (counter — bound to a live uint64)
+//   fleet.core0.ipc                 (gauge   — computed on read)
+//   fleet.core0.drc.walk_cycles     (histogram — log2 buckets)
+//
+// Each simulated structure registers itself via `register_stats(Scope)`;
+// the Scope names the position in the hierarchy and the component binds
+// its fields. Reads happen only at snapshot/sample time, so registration
+// costs nothing on the simulation hot path.
+//
+// Exports are deterministic: names are kept sorted, counters render as
+// integers, gauges as %.6g, and nothing wall-clock-derived is ever
+// registered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcfr::telemetry {
+
+/// Power-of-two bucketed histogram: bucket 0 counts zeros, bucket i>=1
+/// counts values in [2^(i-1), 2^i). The last bucket absorbs overflow.
+class Histogram {
+ public:
+  explicit Histogram(uint32_t buckets = 32) : buckets_(buckets, 0) {}
+
+  /// Unclamped bucket index for `value` (== bit width of the value).
+  [[nodiscard]] static uint32_t bucket_of(uint64_t value);
+
+  void record(uint64_t value);
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] uint64_t sum() const { return sum_; }
+  [[nodiscard]] uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+enum class StatKind { kCounter, kGauge, kHistogram };
+
+class StatRegistry;
+
+/// Cheap handle naming one node of the registry hierarchy. Components
+/// take a Scope in `register_stats()` and bind fields / open sub-scopes.
+class Scope {
+ public:
+  Scope() = default;
+
+  [[nodiscard]] Scope scope(const std::string& name) const;
+
+  /// Binds a live counter cell. The component keeps writing the field;
+  /// the registry reads it at export time. The cell must outlive the
+  /// registry's exports.
+  void counter(const std::string& name, const uint64_t* cell) const;
+
+  /// Derived integer counter (e.g. a clock exposed only through an
+  /// accessor). Rendered as an integer, unlike a gauge.
+  void counter_fn(const std::string& name, std::function<uint64_t()> fn) const;
+
+  /// Registers a computed (derived) value, e.g. a miss rate or IPC.
+  void gauge(const std::string& name, std::function<double()> fn) const;
+
+  /// Creates a registry-owned histogram and returns it for the component
+  /// to record into (pointer stays valid for the registry's lifetime).
+  Histogram* histogram(const std::string& name, uint32_t buckets = 32) const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class StatRegistry;
+  Scope(StatRegistry* registry, std::string path)
+      : registry_(registry), path_(std::move(path)) {}
+
+  StatRegistry* registry_ = nullptr;
+  std::string path_;
+};
+
+class StatRegistry {
+ public:
+  struct Stat {
+    StatKind kind = StatKind::kCounter;
+    const uint64_t* cell = nullptr;        // kCounter (bound)
+    std::function<uint64_t()> fn_u64;      // kCounter (derived)
+    std::function<double()> fn;            // kGauge
+    std::unique_ptr<Histogram> hist;       // kHistogram
+
+    [[nodiscard]] uint64_t count_value() const {
+      return cell != nullptr ? *cell : fn_u64();
+    }
+    /// Numeric read (counters and gauges; histograms read 0).
+    [[nodiscard]] double value() const;
+  };
+
+  [[nodiscard]] Scope root() { return Scope(this, ""); }
+
+  /// All stats, sorted by full dotted name.
+  [[nodiscard]] const std::map<std::string, Stat>& stats() const {
+    return stats_;
+  }
+
+  /// Deterministic snapshot: counters, gauges, and histograms as one
+  /// JSON document (sorted flat names).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Replaces every live binding (cell pointer, derived function) with
+  /// its current value. Drivers whose components die before the registry
+  /// is exported (e.g. `sim::simulate()`'s stack-local core) call this
+  /// as the run ends, so later exports and samples read captured values
+  /// instead of dangling pointers. Histograms are registry-owned and
+  /// unaffected.
+  void freeze();
+
+ private:
+  friend class Scope;
+  void add(const std::string& name, Stat stat);
+
+  std::map<std::string, Stat> stats_;
+};
+
+}  // namespace vcfr::telemetry

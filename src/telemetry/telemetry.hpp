@@ -1,0 +1,69 @@
+// One telemetry session: the stat registry, the event tracer, and the
+// time-series sampler, bundled so drivers (the CLI, the kernel, tests)
+// configure observability in one place and components attach with a
+// couple of pointers.
+//
+// Cost model: everything here is opt-in and cheap to leave out. A
+// component holds a nullable TraceLane* / Sampler* — the disabled path
+// is a single pointer test per would-be event — and stat registration
+// binds pointers once, reading them only at export time. With no
+// Telemetry attached the simulation runs exactly as before.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "telemetry/sampler.hpp"
+#include "telemetry/stat_registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace vcfr::telemetry {
+
+struct TelemetryConfig {
+  /// Master switch for event tracing; lanes are created only when on.
+  bool trace = false;
+  /// Ring capacity per lane (events); oldest events drop when exceeded.
+  size_t trace_lane_capacity = 1 << 16;
+  /// Registry snapshot period in simulated cycles; 0 disables sampling.
+  uint64_t sample_interval = 0;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryConfig& config = {})
+      : config_(config), sampler_(&registry_) {
+    if (config.trace) {
+      tracer_ = std::make_unique<Tracer>(config.trace_lane_capacity);
+    }
+    sampler_.set_interval(config.sample_interval);
+  }
+
+  // Self-referential (the sampler points at our registry) and handed out
+  // by address to every component — pin the object.
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+  [[nodiscard]] StatRegistry& registry() { return registry_; }
+  [[nodiscard]] const StatRegistry& registry() const { return registry_; }
+  [[nodiscard]] Scope root() { return registry_.root(); }
+
+  /// Null when tracing is disabled — callers hand the (possibly null)
+  /// lane straight to components.
+  [[nodiscard]] TraceLane* lane(uint32_t id) {
+    return tracer_ ? tracer_->lane(id) : nullptr;
+  }
+  [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+
+  [[nodiscard]] Sampler& sampler() { return sampler_; }
+  [[nodiscard]] const Sampler& sampler() const { return sampler_; }
+
+ private:
+  TelemetryConfig config_;
+  StatRegistry registry_;
+  std::unique_ptr<Tracer> tracer_;
+  Sampler sampler_;
+};
+
+}  // namespace vcfr::telemetry

@@ -1,0 +1,174 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "telemetry/json_writer.hpp"
+
+namespace vcfr::telemetry {
+
+const char* trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFetchStall:
+      return "fetch_stall";
+    case TraceEventType::kDrcMiss:
+      return "drc_miss";
+    case TraceEventType::kTableWalk:
+      return "table_walk";
+    case TraceEventType::kBitmapMiss:
+      return "bitmap_miss";
+    case TraceEventType::kSlice:
+      return "slice";
+    case TraceEventType::kContextSwitch:
+      return "context_switch";
+    case TraceEventType::kRerandEpoch:
+      return "rerand_epoch";
+    case TraceEventType::kRoundCommit:
+      return "round_commit";
+    case TraceEventType::kDerand:
+      return "derand";
+    case TraceEventType::kRand:
+      return "rand";
+    case TraceEventType::kBitmapLoad:
+      return "bitmap_load";
+  }
+  return "?";
+}
+
+const char* trace_event_category(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFetchStall:
+    case TraceEventType::kBitmapMiss:
+      return "mem";
+    case TraceEventType::kDrcMiss:
+    case TraceEventType::kTableWalk:
+      return "drc";
+    case TraceEventType::kSlice:
+    case TraceEventType::kContextSwitch:
+    case TraceEventType::kRerandEpoch:
+    case TraceEventType::kRoundCommit:
+      return "os";
+    case TraceEventType::kDerand:
+    case TraceEventType::kRand:
+    case TraceEventType::kBitmapLoad:
+      return "emu";
+  }
+  return "?";
+}
+
+TraceLane::TraceLane(uint32_t lane_id, size_t capacity)
+    : lane_id_(lane_id), ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceLane::push(const TraceEvent& event) {
+  if (count_ == ring_.size()) ++dropped_;
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+std::vector<TraceEvent> TraceLane::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest event sits at `next_` once the ring has wrapped.
+  const size_t start = count_ == ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TraceLane* Tracer::lane(uint32_t id) {
+  auto it = lanes_.find(id);
+  if (it == lanes_.end()) {
+    it = lanes_.emplace(id, std::make_unique<TraceLane>(id, lane_capacity_))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Tracer::name_lane(uint32_t lane, const std::string& name) {
+  lane_names_[lane] = name;
+}
+
+void Tracer::name_asid(uint32_t lane, uint32_t asid, const std::string& name) {
+  asid_names_[{lane, asid}] = name;
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t total = 0;
+  for (const auto& [id, lane] : lanes_) total += lane->dropped();
+  return total;
+}
+
+std::string Tracer::to_chrome_json() const {
+  JsonWriter w;
+  w.begin_object(JsonWriter::Style::kPretty);
+  // Cycles are not microseconds; this only affects Perfetto's ruler
+  // label, never the (integer) timestamps themselves.
+  w.key("displayTimeUnit").value("ns");
+  w.key("meta_dropped_events").value(dropped());
+  w.key("traceEvents").begin_array(JsonWriter::Style::kPretty);
+
+  for (const auto& [lane, name] : lane_names_) {
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(lane);
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  }
+  for (const auto& [key, name] : asid_names_) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(key.first);
+    w.key("tid").value(key.second);
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  }
+
+  // Deterministic merge: (cycle, lane, intra-lane order). Intra-lane
+  // order is the recording order, which same-seed runs reproduce.
+  struct Keyed {
+    TraceEvent event;
+    uint32_t lane;
+    size_t seq;
+  };
+  std::vector<Keyed> merged;
+  for (const auto& [id, lane] : lanes_) {
+    const auto events = lane->events();
+    for (size_t i = 0; i < events.size(); ++i) {
+      merged.push_back({events[i], id, i});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.event.cycle, a.lane, a.seq) <
+           std::tie(b.event.cycle, b.lane, b.seq);
+  });
+
+  for (const Keyed& k : merged) {
+    const TraceEvent& e = k.event;
+    w.begin_object();
+    w.key("name").value(trace_event_name(e.type));
+    w.key("cat").value(trace_event_category(e.type));
+    if (e.dur > 0) {
+      w.key("ph").value("X");
+      w.key("ts").value(e.cycle);
+      w.key("dur").value(e.dur);
+    } else {
+      w.key("ph").value("i");
+      w.key("ts").value(e.cycle);
+      w.key("s").value("t");
+    }
+    w.key("pid").value(k.lane);
+    w.key("tid").value(e.asid);
+    w.key("args").begin_object().key("v").value(e.arg).end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace vcfr::telemetry

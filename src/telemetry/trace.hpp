@@ -1,0 +1,112 @@
+// Cycle-stamped event tracing with bounded ring buffers and a Chrome
+// trace-event JSON export (load the file at https://ui.perfetto.dev).
+//
+// One TraceLane per event producer that may run on its own host thread
+// (each sim::CpuCore, plus one lane for the kernel), so the fleet's
+// parallel execute phase records without locks: a lane is only ever
+// written by its owning core's thread, and the kernel writes to core
+// lanes only during the serial dispatch/commit phases.
+//
+// Every event carries the simulated cycle (never wallclock), the lane
+// (rendered as the Chrome `pid` — one Perfetto track group per core)
+// and the owning process's address-space id (rendered as the Chrome
+// `tid` — one lane per process inside the core's track group). The
+// merged export is sorted by (cycle, lane, intra-lane order), making it
+// byte-identical across same-seed runs even when host threading
+// interleaves differently.
+//
+// Lanes are bounded rings: when full, the oldest events are overwritten
+// and counted as dropped (the export keeps the most recent window).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcfr::telemetry {
+
+enum class TraceEventType : uint8_t {
+  kFetchStall,     // IL1 instruction-fetch miss; dur = added latency
+  kDrcMiss,        // DRC lookup missed (instant; arg = key)
+  kTableWalk,      // translation-table walk; dur = walk latency
+  kBitmapMiss,     // return-bitmap cache miss; dur = refill latency
+  kSlice,          // scheduler time slice; dur = slice cycles, arg = instrs
+  kContextSwitch,  // address-space change; dur = switch overhead
+  kRerandEpoch,    // live re-randomization epoch bump (arg = new epoch)
+  kRoundCommit,    // shared-L2 round commit (arg = round number)
+  // Golden-model (functional emulator) events; the "cycle" is the
+  // instruction index, which is still deterministic and monotonic.
+  kDerand,         // target de-randomization (instant; arg = derand key)
+  kRand,           // return-address randomization (instant; arg = rand key)
+  kBitmapLoad,     // auto-de-randomized load of a marked slot (arg = addr)
+};
+
+[[nodiscard]] const char* trace_event_name(TraceEventType type);
+[[nodiscard]] const char* trace_event_category(TraceEventType type);
+
+struct TraceEvent {
+  uint64_t cycle = 0;  // start, in the owning core's simulated cycles
+  uint64_t dur = 0;    // 0 = instant
+  uint32_t asid = 0;   // owning process (Chrome tid)
+  uint64_t arg = 0;    // event-specific detail (key/epoch/round/...)
+  TraceEventType type = TraceEventType::kFetchStall;
+};
+
+class TraceLane {
+ public:
+  TraceLane(uint32_t lane_id, size_t capacity);
+
+  void span(TraceEventType type, uint32_t asid, uint64_t cycle, uint64_t dur,
+            uint64_t arg = 0) {
+    push({cycle, dur, asid, arg, type});
+  }
+  void instant(TraceEventType type, uint32_t asid, uint64_t cycle,
+               uint64_t arg = 0) {
+    push({cycle, 0, asid, arg, type});
+  }
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] uint32_t lane_id() const { return lane_id_; }
+
+ private:
+  void push(const TraceEvent& event);
+
+  uint32_t lane_id_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;    // slot the next event lands in
+  size_t count_ = 0;   // valid events (<= capacity)
+  uint64_t dropped_ = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t lane_capacity = 1 << 16)
+      : lane_capacity_(lane_capacity) {}
+
+  /// Returns lane `id`, creating it on first use. Creation is not
+  /// thread-safe: create every lane before parallel recording starts.
+  [[nodiscard]] TraceLane* lane(uint32_t id);
+
+  /// Perfetto display names for the track group (`pid`, our lane) and
+  /// the per-process rows (`tid`, our asid) inside it.
+  void name_lane(uint32_t lane, const std::string& name);
+  void name_asid(uint32_t lane, uint32_t asid, const std::string& name);
+
+  [[nodiscard]] uint64_t dropped() const;
+
+  /// Chrome trace-event JSON: metadata first, then all lanes' events
+  /// merged in deterministic (cycle, lane, intra-lane order) order.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  size_t lane_capacity_;
+  std::map<uint32_t, std::unique_ptr<TraceLane>> lanes_;
+  std::map<uint32_t, std::string> lane_names_;
+  std::map<std::pair<uint32_t, uint32_t>, std::string> asid_names_;
+};
+
+}  // namespace vcfr::telemetry

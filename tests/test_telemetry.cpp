@@ -1,0 +1,270 @@
+// Tests for the telemetry subsystem (src/telemetry/): JSON writer
+// escaping and layout, registry scoping and duplicate detection,
+// histogram bucket edges, tracer ring wraparound and deterministic
+// export, sampler interval semantics, and byte-identical telemetry
+// across two same-seed fleet runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/stat_registry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace vcfr::telemetry {
+namespace {
+
+// ---- json_writer ----
+
+TEST(JsonWriterTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriterTest, CompactAndPrettyContainers) {
+  JsonWriter w;
+  w.begin_object(JsonWriter::Style::kPretty);
+  w.key("a").value(uint64_t{1});
+  w.key("b").begin_object();
+  w.key("x").value(2);
+  w.key("y").value(true);
+  w.end_object();
+  w.key("c").begin_array();
+  w.value(uint64_t{1});
+  w.value(uint64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"a\": 1,\n"
+            "  \"b\": {\"x\": 2, \"y\": true},\n"
+            "  \"c\": [1, 2]\n"
+            "}");
+}
+
+TEST(JsonWriterTest, DoubleRenderingIsStable) {
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(0.105398), "0.105398");
+  EXPECT_EQ(json_double(1.0 / 3.0), "0.333333");
+}
+
+// ---- stat registry ----
+
+TEST(StatRegistryTest, ScopesComposeDottedNames) {
+  StatRegistry reg;
+  uint64_t hits = 7;
+  const Scope l1 = reg.root().scope("fleet").scope("core0").scope("il1");
+  l1.counter("hits", &hits);
+  reg.root().scope("fleet").gauge("ipc", [] { return 0.5; });
+
+  ASSERT_EQ(reg.stats().size(), 2u);
+  const auto& stats = reg.stats();
+  ASSERT_TRUE(stats.count("fleet.core0.il1.hits"));
+  ASSERT_TRUE(stats.count("fleet.ipc"));
+  EXPECT_EQ(stats.at("fleet.core0.il1.hits").count_value(), 7u);
+  hits = 8;
+  EXPECT_EQ(stats.at("fleet.core0.il1.hits").count_value(), 8u)
+      << "counters are live bindings, not snapshots";
+  EXPECT_DOUBLE_EQ(stats.at("fleet.ipc").value(), 0.5);
+}
+
+TEST(StatRegistryTest, DuplicateNamesThrow) {
+  StatRegistry reg;
+  uint64_t cell = 0;
+  reg.root().counter("x", &cell);
+  EXPECT_THROW(reg.root().counter("x", &cell), std::logic_error);
+  EXPECT_THROW(reg.root().gauge("x", [] { return 0.0; }), std::logic_error);
+}
+
+TEST(StatRegistryTest, UnattachedScopeIsInert) {
+  Scope scope;  // no registry behind it
+  uint64_t cell = 0;
+  EXPECT_FALSE(scope.attached());
+  scope.counter("x", &cell);                     // must not crash
+  scope.counter_fn("y", [] { return 1ull; });    // must not crash
+  scope.gauge("z", [] { return 1.0; });          // must not crash
+  EXPECT_EQ(scope.histogram("h"), nullptr);
+}
+
+TEST(StatRegistryTest, FreezeCapturesValuesFromDyingComponents) {
+  StatRegistry reg;
+  {
+    uint64_t cell = 41;
+    reg.root().counter("c", &cell);
+    reg.root().gauge("g", [&cell] { return static_cast<double>(cell) / 2; });
+    cell = 42;
+    reg.freeze();
+  }  // cell is gone; reads must use the captured values
+  EXPECT_EQ(reg.stats().at("c").count_value(), 42u);
+  EXPECT_DOUBLE_EQ(reg.stats().at("g").value(), 21.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreLog2) {
+  // Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of((1ull << 33) - 1), 33u);
+
+  Histogram h(4);  // tiny: overflow clamps into the last bucket
+  h.record(0);
+  h.record(1);
+  h.record(100);  // bucket_of = 7, clamped to 3
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 101u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+// ---- tracer ----
+
+TEST(TracerTest, RingWrapsKeepingMostRecentEvents) {
+  TraceLane lane(0, 4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    lane.instant(TraceEventType::kDrcMiss, 0, /*cycle=*/i, /*arg=*/i);
+  }
+  EXPECT_EQ(lane.dropped(), 2u);
+  const auto events = lane.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (cycles 0, 1) were overwritten.
+  EXPECT_EQ(events.front().cycle, 2u);
+  EXPECT_EQ(events.back().cycle, 5u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].cycle, events[i].cycle) << "oldest-first order";
+  }
+}
+
+TEST(TracerTest, ChromeExportMergesLanesDeterministically) {
+  Tracer tracer(8);
+  tracer.name_lane(0, "core 0");
+  tracer.name_asid(0, 3, "pid 3");
+  tracer.lane(1)->span(TraceEventType::kSlice, 1, /*cycle=*/10, /*dur=*/5);
+  tracer.lane(0)->instant(TraceEventType::kDrcMiss, 3, /*cycle=*/10);
+  tracer.lane(0)->span(TraceEventType::kTableWalk, 3, /*cycle=*/2, /*dur=*/7);
+
+  const std::string json = tracer.to_chrome_json();
+  // Metadata first, then events sorted by (cycle, lane).
+  const size_t meta = json.find("process_name");
+  const size_t walk = json.find("table_walk");
+  const size_t miss = json.find("drc_miss");
+  const size_t slice = json.find("\"slice\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(walk, std::string::npos);
+  ASSERT_NE(miss, std::string::npos);
+  ASSERT_NE(slice, std::string::npos);
+  EXPECT_LT(meta, walk);
+  EXPECT_LT(walk, miss) << "cycle 2 sorts before cycle 10";
+  EXPECT_LT(miss, slice) << "same cycle: lane 0 sorts before lane 1";
+  // Spans are complete events, instants are marked as thread-scoped.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+// ---- sampler ----
+
+TEST(SamplerTest, PollsOnIntervalBoundaries) {
+  StatRegistry reg;
+  uint64_t cell = 0;
+  reg.root().counter("c", &cell);
+  Sampler sampler(&reg);
+  sampler.set_interval(100);
+
+  sampler.poll(50);  // before the first boundary: no row
+  EXPECT_EQ(sampler.rows(), 0u);
+  cell = 1;
+  sampler.poll(120);  // crossed 100
+  cell = 2;
+  sampler.poll(130);  // same window: no new row
+  cell = 3;
+  sampler.poll(460);  // crossed (several) boundaries: one row
+  ASSERT_EQ(sampler.rows(), 2u);
+
+  const std::string csv = sampler.to_csv();
+  EXPECT_EQ(csv,
+            "cycle,c\n"
+            "120,1\n"
+            "460,3\n");
+}
+
+TEST(SamplerTest, DisabledSamplerNeverRecords) {
+  StatRegistry reg;
+  uint64_t cell = 0;
+  reg.root().counter("c", &cell);
+  Sampler sampler(&reg);
+  for (uint64_t c = 0; c < 1000; c += 10) sampler.poll(c);
+  EXPECT_EQ(sampler.rows(), 0u);
+}
+
+// ---- end-to-end determinism ----
+
+os::KernelConfig fleet_config() {
+  os::KernelConfig kc;
+  kc.cores = 2;
+  kc.sched.slice_instructions = 1000;
+  kc.measure_isolated = false;
+  return kc;
+}
+
+struct FleetTelemetry {
+  std::string stats;
+  std::string trace;
+  std::string samples;
+};
+
+FleetTelemetry run_fleet_with_telemetry(uint64_t seed) {
+  TelemetryConfig tc;
+  tc.trace = true;
+  tc.sample_interval = 2000;
+  Telemetry tel(tc);
+
+  os::Kernel kernel(fleet_config());
+  kernel.attach_telemetry(&tel);
+  const char* names[] = {"bzip2", "libquantum", "sjeng"};
+  for (int i = 0; i < 3; ++i) {
+    os::ProcessConfig pc;
+    pc.workload = names[i];
+    pc.scale = 0;
+    pc.seed = seed ^ (0x9e3779b97f4a7c15ull * (i + 1));
+    kernel.spawn(pc);
+  }
+  (void)kernel.run();
+  return {tel.registry().to_json(), tel.tracer()->to_chrome_json(),
+          tel.sampler().to_csv()};
+}
+
+TEST(TelemetryDeterminismTest, SameSeedFleetsExportIdenticalBytes) {
+  const FleetTelemetry a = run_fleet_with_telemetry(7);
+  const FleetTelemetry b = run_fleet_with_telemetry(7);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.samples, b.samples);
+
+  // The exports carry real content, not just identical emptiness.
+  EXPECT_NE(a.stats.find("fleet.core0.il1.accesses"), std::string::npos);
+  EXPECT_NE(a.stats.find("fleet.proc2.instructions"), std::string::npos);
+  EXPECT_NE(a.trace.find("context_switch"), std::string::npos);
+  EXPECT_NE(a.trace.find("round_commit"), std::string::npos);
+  EXPECT_NE(a.samples.find("fleet.shared_l2.accesses"), std::string::npos);
+  EXPECT_GT(a.samples.size(), a.samples.find('\n') + 1)
+      << "at least one sample row";
+
+  const FleetTelemetry c = run_fleet_with_telemetry(8);
+  EXPECT_NE(a.trace, c.trace) << "different seed changes the trace";
+}
+
+}  // namespace
+}  // namespace vcfr::telemetry

@@ -1,25 +1,19 @@
 // vcfr — command-line driver for the whole pipeline.
 //
-//   vcfr asm <src.vx> -o <out.vxe>          assemble VX source
-//   vcfr disasm <img.vxe>                    list instructions
-//   vcfr stats <img.vxe>                     static control-flow analysis
-//   vcfr randomize <img.vxe> -o <out.vxe>    ILR-randomize
-//       [--seed N] [--naive] [--software-returns] [--page-confined]
-//       (default output is the VCFR image; --naive emits the relocated one)
-//   vcfr run <img.vxe> [--enforce-tags] [--max-instr N]   golden-model run
-//   vcfr sim <img.vxe> [--drc N] [--max-instr N]          cycle simulation
-//   vcfr scan <img.vxe>                      gadget scan + payload attempt
-//   vcfr workload <name> [--scale S] -o <out.vxe>   emit a suite program
-//   vcfr trace <img.vxe> [--max-instr N] [--regs]    per-instruction trace
-//   vcfr cfg <img.vxe>                               Graphviz dot to stdout
-//   vcfr entropy <img.vxe> [--seed N] [--page-confined]   SV-C entropy report
-//   vcfr fleet [--procs N] [--cores N] [--slice N] [--rerand N]
-//       [--workloads a,b,c] [--scale S] [--seed N] [--json] [--no-baseline]
-//       time-slice N independently randomized workloads on shared L2+DRAM
+// Run `vcfr` with no arguments for the full per-subcommand flag listing
+// (kept in usage() below). Flags accept both `--flag value` and
+// `--flag=value` spellings, and every subcommand rejects flags it does
+// not understand.
+//
+// The telemetry flags (--stats-json, --trace-out, --sample-interval,
+// --sample-out) are shared by run/sim/workload/fleet and are documented
+// in docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +31,7 @@
 #include "rewriter/entropy.hpp"
 #include "rewriter/randomizer.hpp"
 #include "sim/cpu.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -62,16 +57,40 @@ struct Args {
   std::string workload_list;
   bool json = false;
   bool no_baseline = false;
+  // Telemetry outputs (docs/OBSERVABILITY.md).
+  std::string stats_json;
+  std::string trace_out;
+  std::string sample_out;
+  uint64_t sample_interval = 0;
+  /// Canonical names of every flag given, for per-subcommand validation.
+  std::vector<std::string> seen;
 };
 
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::optional<std::string> inline_value;
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+      const size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a = a.substr(0, eq);
+      }
+    }
     auto value = [&]() -> std::string {
+      if (inline_value) return *inline_value;
       if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
       return argv[++i];
     };
+    auto boolean = [&]() {
+      if (inline_value) throw std::runtime_error(a + " does not take a value");
+      return true;
+    };
+    if (!a.empty() && a[0] == '-') {
+      args.seen.push_back(a == "-o" ? "--output" : a);
+    }
     if (a == "-o" || a == "--output") {
       args.output = value();
     } else if (a == "--seed") {
@@ -83,15 +102,15 @@ Args parse_args(int argc, char** argv) {
     } else if (a == "--scale") {
       args.scale = std::stoi(value());
     } else if (a == "--naive") {
-      args.naive = true;
+      args.naive = boolean();
     } else if (a == "--software-returns") {
-      args.software_returns = true;
+      args.software_returns = boolean();
     } else if (a == "--page-confined") {
-      args.page_confined = true;
+      args.page_confined = boolean();
     } else if (a == "--enforce-tags") {
-      args.enforce_tags = true;
+      args.enforce_tags = boolean();
     } else if (a == "--regs") {
-      args.regs = true;
+      args.regs = boolean();
     } else if (a == "--procs") {
       args.procs = static_cast<uint32_t>(std::stoul(value()));
     } else if (a == "--cores") {
@@ -103,16 +122,111 @@ Args parse_args(int argc, char** argv) {
     } else if (a == "--workloads") {
       args.workload_list = value();
     } else if (a == "--json") {
-      args.json = true;
+      args.json = boolean();
     } else if (a == "--no-baseline") {
-      args.no_baseline = true;
+      args.no_baseline = boolean();
+    } else if (a == "--stats-json") {
+      args.stats_json = value();
+    } else if (a == "--trace-out") {
+      args.trace_out = value();
+    } else if (a == "--sample-interval") {
+      args.sample_interval = std::stoull(value());
+    } else if (a == "--sample-out") {
+      args.sample_out = value();
     } else if (!a.empty() && a[0] == '-') {
       throw std::runtime_error("unknown flag: " + a);
     } else {
       args.positional.push_back(a);
     }
   }
+  if (args.sample_interval > 0 && args.sample_out.empty()) {
+    throw std::runtime_error("--sample-interval requires --sample-out");
+  }
+  if (args.sample_interval == 0 && !args.sample_out.empty()) {
+    throw std::runtime_error("--sample-out requires --sample-interval");
+  }
   return args;
+}
+
+/// Per-subcommand flag whitelist: a flag the global parser knows but the
+/// subcommand does not use is an error, not a silent no-op.
+void validate_flags(const std::string& cmd, const Args& args) {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"asm", {"--output"}},
+      {"disasm", {}},
+      {"stats", {}},
+      {"randomize",
+       {"--output", "--seed", "--naive", "--software-returns",
+        "--page-confined"}},
+      {"run",
+       {"--enforce-tags", "--max-instr", "--stats-json", "--trace-out",
+        "--sample-interval", "--sample-out"}},
+      {"sim",
+       {"--drc", "--max-instr", "--stats-json", "--trace-out",
+        "--sample-interval", "--sample-out"}},
+      {"scan", {}},
+      {"workload",
+       {"--output", "--scale", "--stats-json", "--trace-out",
+        "--sample-interval", "--sample-out"}},
+      {"trace", {"--max-instr", "--regs"}},
+      {"cfg", {}},
+      {"entropy", {"--seed", "--page-confined"}},
+      {"fleet",
+       {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
+        "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
+        "--stats-json", "--trace-out", "--sample-interval", "--sample-out"}},
+  };
+  const auto it = kAllowed.find(cmd);
+  if (it == kAllowed.end()) return;  // unknown command: usage() handles it
+  for (const std::string& flag : args.seen) {
+    if (it->second.count(flag) == 0) {
+      throw std::runtime_error("flag " + flag + " is not accepted by '" +
+                               cmd + "' (run vcfr with no arguments for "
+                               "per-command flags)");
+    }
+  }
+}
+
+// ---- telemetry plumbing (shared by run/sim/workload/fleet) ----
+
+bool telemetry_requested(const Args& args) {
+  return !args.stats_json.empty() || !args.trace_out.empty() ||
+         args.sample_interval > 0;
+}
+
+telemetry::TelemetryConfig telemetry_config(const Args& args) {
+  telemetry::TelemetryConfig tc;
+  tc.trace = !args.trace_out.empty();
+  tc.sample_interval = args.sample_interval;
+  return tc;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+void export_telemetry(const Args& args, telemetry::Telemetry& tel) {
+  if (!args.stats_json.empty()) {
+    write_file(args.stats_json, tel.registry().to_json());
+    std::fprintf(stderr, "stats: %s\n", args.stats_json.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    write_file(args.trace_out, tel.tracer()->to_chrome_json());
+    std::fprintf(stderr, "trace: %s (%llu events dropped)\n",
+                 args.trace_out.c_str(),
+                 static_cast<unsigned long long>(tel.tracer()->dropped()));
+  }
+  if (args.sample_interval > 0) {
+    const bool as_json =
+        args.sample_out.size() >= 5 &&
+        args.sample_out.compare(args.sample_out.size() - 5, 5, ".json") == 0;
+    write_file(args.sample_out, as_json ? tel.sampler().to_json()
+                                        : tel.sampler().to_csv());
+    std::fprintf(stderr, "samples: %s (%zu rows)\n", args.sample_out.c_str(),
+                 tel.sampler().rows());
+  }
 }
 
 std::string require_input(const Args& args) {
@@ -203,24 +317,84 @@ int cmd_randomize(const Args& args) {
 
 int cmd_run(const Args& args) {
   const auto image = binary::load_file(require_input(args));
-  emu::RunLimits limits;
-  limits.max_instructions = args.max_instr;
-  limits.enforce_tags = args.enforce_tags;
-  const auto r = emu::run_image(image, limits);
-  for (uint32_t v : r.output) std::printf("out: %u (0x%x)\n", v, v);
+  if (!telemetry_requested(args)) {
+    emu::RunLimits limits;
+    limits.max_instructions = args.max_instr;
+    limits.enforce_tags = args.enforce_tags;
+    const auto r = emu::run_image(image, limits);
+    for (uint32_t v : r.output) std::printf("out: %u (0x%x)\n", v, v);
+    std::printf("%s after %llu instructions",
+                r.halted ? "halted" : (r.error.empty() ? "limit" : "FAULT"),
+                static_cast<unsigned long long>(r.stats.instructions));
+    if (!r.error.empty()) std::printf(": %s", r.error.c_str());
+    std::printf("\n");
+    return r.halted ? 0 : 1;
+  }
+
+  // Telemetry path: step the golden model by hand so each instruction's
+  // translation events are visible. The functional model has no clock;
+  // events and samples are stamped with the instruction index, which is
+  // just as deterministic.
+  telemetry::Telemetry tel(telemetry_config(args));
+  binary::Memory mem;
+  binary::load(image, mem);
+  emu::Emulator emulator(image, mem);
+  if (args.enforce_tags) emulator.set_enforce_tags(true);
+  const emu::EmuStats& st = emulator.stats();
+  telemetry::Scope scope = tel.root().scope("emu");
+  scope.counter("instructions", &st.instructions);
+  scope.counter("calls", &st.calls);
+  scope.counter("returns", &st.returns);
+  scope.counter("indirect_transfers", &st.indirect_transfers);
+  scope.counter("derand_events", &st.derand_events);
+  scope.counter("rand_events", &st.rand_events);
+  scope.counter("bitmap_autoderand_loads", &st.bitmap_autoderand_loads);
+  scope.counter("tag_violations", &st.tag_violations);
+  telemetry::TraceLane* lane = tel.lane(0);
+  if (tel.tracer() != nullptr) {
+    tel.tracer()->name_lane(0, "emulator");
+    tel.tracer()->name_asid(0, 0, image.name.empty() ? "golden model"
+                                                     : image.name);
+  }
+  emu::StepInfo info;
+  while (st.instructions < args.max_instr) {
+    if (!emulator.step(&info)) break;
+    const uint64_t n = st.instructions;  // index of the retired instruction
+    if (lane != nullptr) {
+      if (info.needs_derand) {
+        lane->instant(telemetry::TraceEventType::kDerand, 0, n,
+                      info.derand_key);
+      }
+      if (info.needs_rand) {
+        lane->instant(telemetry::TraceEventType::kRand, 0, n, info.rand_key);
+      }
+      if (info.bitmap_load) {
+        lane->instant(telemetry::TraceEventType::kBitmapLoad, 0, n,
+                      info.mem_addr);
+      }
+    }
+    tel.sampler().poll(n);
+    if (emulator.halted()) break;
+  }
+  for (uint32_t v : emulator.output()) std::printf("out: %u (0x%x)\n", v, v);
+  const std::string& err = emulator.error();
   std::printf("%s after %llu instructions",
-              r.halted ? "halted" : (r.error.empty() ? "limit" : "FAULT"),
-              static_cast<unsigned long long>(r.stats.instructions));
-  if (!r.error.empty()) std::printf(": %s", r.error.c_str());
+              emulator.halted() ? "halted" : (err.empty() ? "limit" : "FAULT"),
+              static_cast<unsigned long long>(st.instructions));
+  if (!err.empty()) std::printf(": %s", err.c_str());
   std::printf("\n");
-  return r.halted ? 0 : 1;
+  export_telemetry(args, tel);
+  return emulator.halted() ? 0 : 1;
 }
 
 int cmd_sim(const Args& args) {
   const auto image = binary::load_file(require_input(args));
   sim::CpuConfig config;
   config.drc.entries = args.drc;
-  const auto r = sim::simulate(image, args.max_instr, config);
+  std::optional<telemetry::Telemetry> tel;
+  if (telemetry_requested(args)) tel.emplace(telemetry_config(args));
+  const auto r = sim::simulate(image, args.max_instr, config,
+                               tel ? &*tel : nullptr);
   std::printf("instructions: %llu\ncycles:       %llu\nIPC:          %.3f\n",
               static_cast<unsigned long long>(r.instructions),
               static_cast<unsigned long long>(r.cycles), r.ipc());
@@ -232,6 +406,7 @@ int cmd_sim(const Args& args) {
               static_cast<unsigned long long>(r.drc.lookups),
               100 * r.drc.miss_rate());
   std::printf("power:        %s\n", r.power.report().c_str());
+  if (tel) export_telemetry(args, *tel);
   return 0;
 }
 
@@ -266,6 +441,24 @@ int cmd_workload(const Args& args) {
   binary::save(image, out);
   std::printf("%s (scale %d): %zu code bytes -> %s\n", name.c_str(),
               args.scale, image.code.size(), out.c_str());
+  if (telemetry_requested(args)) {
+    // Static stats only: there is no execution here, so the trace and
+    // sample outputs are valid but empty.
+    telemetry::Telemetry tel(telemetry_config(args));
+    telemetry::Scope scope = tel.root().scope("workload");
+    const auto cfg = rewriter::build_cfg(image);
+    const auto s = rewriter::static_stats(image, cfg);
+    const uint64_t code_bytes = image.code.size();
+    const uint64_t data_bytes = image.data.size();
+    scope.counter_fn("code_bytes", [code_bytes] { return code_bytes; });
+    scope.counter_fn("data_bytes", [data_bytes] { return data_bytes; });
+    scope.counter_fn("instructions", [s] { return s.instructions; });
+    scope.counter_fn("direct_transfers", [s] { return s.direct_transfers; });
+    scope.counter_fn("indirect_transfers",
+                     [s] { return s.indirect_transfers; });
+    scope.counter_fn("returns", [s] { return s.returns; });
+    export_telemetry(args, tel);
+  }
   return 0;
 }
 
@@ -327,6 +520,11 @@ int cmd_fleet(const Args& args) {
   if (names.empty()) throw std::runtime_error("no workloads given");
 
   os::Kernel kernel(kc);
+  std::optional<telemetry::Telemetry> tel;
+  if (telemetry_requested(args)) {
+    tel.emplace(telemetry_config(args));
+    kernel.attach_telemetry(&*tel);
+  }
   for (uint32_t i = 0; i < args.procs; ++i) {
     os::ProcessConfig pc;
     pc.workload = names[i % names.size()];
@@ -339,6 +537,7 @@ int cmd_fleet(const Args& args) {
   }
 
   const os::FleetReport report = kernel.run();
+  if (tel) export_telemetry(args, *tel);
   if (args.json) {
     std::fputs(report.to_json().c_str(), stdout);
   } else {
@@ -354,9 +553,51 @@ int cmd_fleet(const Args& args) {
 
 void usage() {
   std::fputs(
-      "usage: vcfr <asm|disasm|stats|randomize|run|sim|scan|workload|trace|"
-      "cfg|entropy|fleet> ...\n"
-      "see the header of tools/vcfr_cli.cpp for flags\n",
+      "usage: vcfr <command> [flags]\n"
+      "\n"
+      "All flags accept both `--flag value` and `--flag=value`. Each\n"
+      "command rejects flags it does not use.\n"
+      "\n"
+      "commands:\n"
+      "  asm <src.vx> [-o out.vxe]\n"
+      "      assemble VX source\n"
+      "  disasm <img.vxe>\n"
+      "      list instructions (handles naive-ILR sparse images)\n"
+      "  stats <img.vxe>\n"
+      "      static control-flow analysis\n"
+      "  randomize <img.vxe> [-o out.vxe] [--seed N] [--naive]\n"
+      "      [--software-returns] [--page-confined]\n"
+      "      ILR-randomize; default output is the VCFR image, --naive the\n"
+      "      relocated one\n"
+      "  run <img.vxe> [--enforce-tags] [--max-instr N] [telemetry flags]\n"
+      "      golden-model (functional) run; telemetry stamps events with\n"
+      "      the instruction index\n"
+      "  sim <img.vxe> [--drc N] [--max-instr N] [telemetry flags]\n"
+      "      cycle simulation on one core\n"
+      "  scan <img.vxe>\n"
+      "      gadget scan + payload compilation attempt\n"
+      "  workload <name> [--scale S] [-o out.vxe] [telemetry flags]\n"
+      "      emit a suite program; --stats-json reports static stats\n"
+      "  trace <img.vxe> [--max-instr N] [--regs]\n"
+      "      per-instruction architectural trace\n"
+      "  cfg <img.vxe>\n"
+      "      Graphviz dot to stdout\n"
+      "  entropy <img.vxe> [--seed N] [--page-confined]\n"
+      "      SV-C entropy report\n"
+      "  fleet [--procs N] [--cores N] [--slice N] [--rerand N]\n"
+      "      [--workloads a,b,c] [--scale S] [--seed N] [--drc N]\n"
+      "      [--max-instr N] [--json] [--no-baseline] [telemetry flags]\n"
+      "      time-slice N independently randomized workloads on a shared\n"
+      "      L2+DRAM hierarchy\n"
+      "\n"
+      "telemetry flags (run|sim|workload|fleet — docs/OBSERVABILITY.md):\n"
+      "  --stats-json PATH       write the stat-registry snapshot as JSON\n"
+      "  --trace-out PATH        write a Chrome trace-event JSON (open at\n"
+      "                          https://ui.perfetto.dev)\n"
+      "  --sample-interval N     snapshot the registry every N cycles\n"
+      "  --sample-out PATH       time-series destination; .json for JSON,\n"
+      "                          anything else for CSV (requires\n"
+      "                          --sample-interval)\n",
       stderr);
 }
 
@@ -370,6 +611,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args = parse_args(argc, argv);
+    validate_flags(cmd, args);
     if (cmd == "asm") return cmd_asm(args);
     if (cmd == "disasm") return cmd_disasm(args);
     if (cmd == "stats") return cmd_stats(args);
