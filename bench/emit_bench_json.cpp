@@ -1,25 +1,79 @@
 // Machine-readable benchmark emitter: runs the reference fleet
-// configuration and writes BENCH_fleet.json — the first entry of a
-// BENCH_*.json family that CI and regression tooling can diff across
-// commits (the run is deterministic, so the bytes are too).
+// configuration and the hot-path microbenchmark, writing the BENCH_*.json
+// family that CI and regression tooling diff across commits.
 //
-// Usage: emit_bench_json [out.json]     (default BENCH_fleet.json)
+// Usage: emit_bench_json [fleet.json [hotpath.json]]
+//        (defaults BENCH_fleet.json and BENCH_hotpath.json)
 //
-// The configuration is pinned (not bench_util env knobs): the file is
+// BENCH_fleet.json is fully deterministic and diffed byte-for-byte.
+// BENCH_hotpath.json has two sections:
+//   * "simulated" — deterministic (instruction counts, decode-cache
+//     hit/miss/invalidation counters, cache-on/off equivalence, pool
+//     dispatch counts); CI diffs it with the host section stripped;
+//   * "host" — wall-clock throughput (MIPS, ns/instr, cache-off speedup).
+//     Informational only: it depends on the machine and build type.
+//
+// The configurations are pinned (not bench_util env knobs): the files are
 // committed at the repo root and must mean the same thing on every
 // machine.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
+#include "emu/emulator.hpp"
 #include "os/kernel.hpp"
+#include "rewriter/randomizer.hpp"
 #include "telemetry/json_writer.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace vcfr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One emulator run of `image` with the decode cache toggled; returns the
+/// result and (out-params) the cache counters of this run.
+emu::RunResult run_once(const binary::Image& image, bool cache_on,
+                        emu::DecodeCacheStats* cache_stats = nullptr) {
+  binary::Memory mem;
+  binary::load(image, mem);
+  emu::Emulator emulator(image, mem);
+  emulator.set_decode_cache(cache_on);
+  emu::RunResult result = emulator.run();
+  if (cache_stats != nullptr) *cache_stats = emulator.decode_cache_stats();
+  return result;
+}
+
+bool results_match(const emu::RunResult& a, const emu::RunResult& b) {
+  return a.halted == b.halted && a.error == b.error && a.output == b.output &&
+         a.mem_checksum == b.mem_checksum &&
+         a.stats.instructions == b.stats.instructions &&
+         a.final_state.pc == b.final_state.pc &&
+         a.final_state.regs == b.final_state.regs;
+}
+
+/// Wall-clock of `reps` fresh load+run passes; returns MIPS.
+double measure_mips(const binary::Image& image, bool cache_on, int reps,
+                    uint64_t instr_per_run) {
+  const auto start = Clock::now();
+  for (int i = 0; i < reps; ++i) run_once(image, cache_on);
+  const double secs = seconds_since(start);
+  return secs <= 0.0 ? 0.0
+                     : static_cast<double>(instr_per_run) * reps / secs / 1e6;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace vcfr;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const char* fleet_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const char* hotpath_path = argc > 2 ? argv[2] : "BENCH_hotpath.json";
 
-  // The reference fleet: the CI smoke configuration (4 workloads on 2
-  // cores, short slices, smoke scale, seed 7).
+  // ---- reference fleet: the CI smoke configuration (4 workloads on 2
+  // cores, short slices, smoke scale, seed 7) ------------------------------
   os::KernelConfig kc;
   kc.cores = 2;
   kc.sched.slice_instructions = 2000;
@@ -32,7 +86,9 @@ int main(int argc, char** argv) {
     pc.seed = 7ull ^ (0x9e3779b97f4a7c15ull * (i + 1));
     kernel.spawn(pc);
   }
+  const auto fleet_start = Clock::now();
   const os::FleetReport r = kernel.run();
+  const double fleet_wall_ms = seconds_since(fleet_start) * 1e3;
 
   uint64_t drc_lookups = 0, drc_misses = 0;
   for (const auto& c : r.cores) {
@@ -62,13 +118,86 @@ int main(int argc, char** argv) {
   w.key("drc_misses").value(drc_misses);
   w.end_object();
 
-  std::ofstream out(out_path, std::ios::binary);
+  {
+    std::ofstream out(fleet_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", fleet_path);
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+  std::printf("fleet ipc %.6g, DRC miss rate %.6g -> %s\n", r.fleet_ipc,
+              drc_miss_rate, fleet_path);
+
+  // ---- hot-path microbenchmark: the VCFR image of gcc at bench scale
+  // (the suite's largest code footprint — the decode cache's steady state
+  // dominates and per-run load cost is amortized over ~500k instructions) --
+  const binary::Image original = workloads::make("gcc", 1);
+  rewriter::RandomizeOptions ro;
+  ro.seed = 7;
+  const binary::Image vcfr_image = rewriter::randomize(original, ro).vcfr;
+
+  emu::DecodeCacheStats cache_stats;
+  const emu::RunResult on = run_once(vcfr_image, true, &cache_stats);
+  const emu::RunResult off = run_once(vcfr_image, false);
+  const bool match = results_match(on, off);
+  const uint64_t instr = on.stats.instructions;
+
+  // Size the timing loops to ~40M instructions per variant.
+  const int reps =
+      instr == 0 ? 1 : static_cast<int>(40'000'000 / instr) + 1;
+  const double mips_on = measure_mips(vcfr_image, true, reps, instr);
+  const double mips_off = measure_mips(vcfr_image, false, reps, instr);
+
+  telemetry::JsonWriter h;
+  h.begin_object(telemetry::JsonWriter::Style::kPretty);
+  h.key("bench").value("hotpath");
+  h.key("simulated").begin_object();
+  h.key("emu").begin_object();
+  h.key("workload").value("gcc");
+  h.key("scale").value(uint64_t{1});
+  h.key("layout").value("vcfr");
+  h.key("seed").value(uint64_t{7});
+  h.key("instructions").value(instr);
+  h.key("decode_cache_hits").value(cache_stats.hits);
+  h.key("decode_cache_misses").value(cache_stats.misses);
+  h.key("decode_cache_invalidations").value(cache_stats.invalidations);
+  h.key("cache_off_match").value(match);
+  h.end_object();
+  h.key("fleet").begin_object();
+  h.key("rounds").value(r.rounds);
+  h.key("pool_rounds").value(kernel.pool_rounds());
+  h.key("pool_workers").value(uint64_t{kernel.pool_workers()});
+  h.end_object();
+  h.end_object();
+  h.key("host").begin_object();
+  h.key("emu").begin_object();
+  h.key("reps").value(static_cast<uint64_t>(reps));
+  h.key("mips_cache_on").raw_value(telemetry::json_double(mips_on));
+  h.key("mips_cache_off").raw_value(telemetry::json_double(mips_off));
+  h.key("ns_per_instr_cache_on")
+      .raw_value(telemetry::json_double(mips_on <= 0 ? 0 : 1e3 / mips_on));
+  h.key("ns_per_instr_cache_off")
+      .raw_value(telemetry::json_double(mips_off <= 0 ? 0 : 1e3 / mips_off));
+  h.key("speedup").raw_value(
+      telemetry::json_double(mips_off <= 0 ? 0 : mips_on / mips_off));
+  h.end_object();
+  h.key("fleet").begin_object();
+  h.key("wall_ms").raw_value(telemetry::json_double(fleet_wall_ms));
+  h.end_object();
+  h.end_object();
+  h.end_object();
+
+  std::ofstream out(hotpath_path, std::ios::binary);
   if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
+    std::fprintf(stderr, "cannot write %s\n", hotpath_path);
     return 1;
   }
-  out << w.str() << "\n";
-  std::printf("fleet ipc %.6g, DRC miss rate %.6g -> %s\n", r.fleet_ipc,
-              drc_miss_rate, out_path);
+  out << h.str() << "\n";
+  std::printf(
+      "hotpath: %.1f MIPS cached / %.1f MIPS uncached (%.2fx), match=%d -> "
+      "%s\n",
+      mips_on, mips_off, mips_off <= 0 ? 0.0 : mips_on / mips_off, match,
+      hotpath_path);
   return 0;
 }

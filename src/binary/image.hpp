@@ -5,8 +5,9 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
+
+#include "binary/flat_map.hpp"
 
 namespace vcfr::binary {
 
@@ -40,16 +41,21 @@ struct FunctionSymbol {
 /// Randomization / de-randomization tables emitted by the rewriter for
 /// kVcfr images. The paper stores these in kernel-protected pages; the
 /// simulated layout (for DRC miss cost) is described by table_base/bytes.
+///
+/// The maps are open-addressing flat tables (binary/flat_map.hpp): they
+/// are probed on the emulator's per-instruction hot path, and their
+/// deterministic iteration order pins the serialized in-memory form that
+/// DRC table walks read (store_tables in loader.cpp).
 struct TranslationTables {
   /// randomized address -> original address (the paper's "derand" entries).
-  std::unordered_map<uint32_t, uint32_t> derand;
+  FlatMap32 derand;
   /// original address -> randomized address ("rand" entries; used when a
   /// call must push the randomized return address).
-  std::unordered_map<uint32_t, uint32_t> rand;
+  FlatMap32 rand;
   /// Original addresses left un-randomized as the failover set for
   /// unresolved indirect transfers. Their entries have the randomized tag
   /// cleared; they are the only residual ROP surface (§IV-A, §V-B).
-  std::unordered_set<uint32_t> unrandomized;
+  FlatSet32 unrandomized;
   /// Simulated physical placement of the tables (walked through L2 on DRC
   /// misses).
   uint32_t table_base = 0;
@@ -57,14 +63,14 @@ struct TranslationTables {
 
   /// De-randomizes an address: identity for un-randomized addresses.
   [[nodiscard]] uint32_t to_original(uint32_t addr) const {
-    auto it = derand.find(addr);
-    return it == derand.end() ? addr : it->second;
+    const uint32_t* v = derand.lookup(addr);
+    return v == nullptr ? addr : *v;
   }
 
   /// Randomizes an original address: identity when no mapping exists.
   [[nodiscard]] uint32_t to_randomized(uint32_t addr) const {
-    auto it = rand.find(addr);
-    return it == rand.end() ? addr : it->second;
+    const uint32_t* v = rand.lookup(addr);
+    return v == nullptr ? addr : *v;
   }
 
   [[nodiscard]] bool is_randomized_addr(uint32_t addr) const {
@@ -96,8 +102,9 @@ struct Image {
   std::unordered_map<uint32_t, std::vector<uint8_t>> sparse_code;
   /// randomized address -> randomized address of the sequential successor.
   /// The paper's straightforward hardware ILR resolves this mapping at zero
-  /// cost; only the fetch-locality penalty is modelled.
-  std::unordered_map<uint32_t, uint32_t> fallthrough;
+  /// cost; only the fetch-locality penalty is modelled. Flat table: probed
+  /// on every naive-ILR instruction.
+  FlatMap32 fallthrough;
 
   // --- kVcfr only ----------------------------------------------------------
   TranslationTables tables;

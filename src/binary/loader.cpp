@@ -1,20 +1,9 @@
 #include "binary/loader.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace vcfr::binary {
-
-namespace {
-
-/// 32-bit mix (xorshift-multiply) used to spread table keys over buckets.
-uint32_t mix32(uint32_t x) {
-  x ^= x >> 16;
-  x *= 0x7feb352du;
-  x ^= x >> 15;
-  x *= 0x846ca68bu;
-  x ^= x >> 16;
-  return x;
-}
-
-}  // namespace
 
 const Memory::Page* Memory::find_page(uint32_t addr) const {
   auto it = pages_.find(addr >> kPageBits);
@@ -27,19 +16,51 @@ Memory::Page& Memory::touch_page(uint32_t addr) {
   return *slot;
 }
 
-uint8_t Memory::read8(uint32_t addr) const {
+const Memory::Page* Memory::data_page(uint32_t addr) const {
+  const uint32_t no = addr >> kPageBits;
+  if (no == data_memo_no_) return data_memo_;
   const Page* page = find_page(addr);
+  if (page != nullptr) {
+    data_memo_no_ = no;
+    data_memo_ = page;
+  }
+  return page;
+}
+
+const Memory::Page* Memory::fetch_page(uint32_t addr) const {
+  const uint32_t no = addr >> kPageBits;
+  if (no == fetch_memo_no_) return fetch_memo_;
+  const Page* page = find_page(addr);
+  if (page != nullptr) {
+    fetch_memo_no_ = no;
+    fetch_memo_ = page;
+  }
+  return page;
+}
+
+Memory::Page& Memory::write_page(uint32_t addr) {
+  const uint32_t no = addr >> kPageBits;
+  if (no == write_memo_no_) return *write_memo_;
+  Page& page = touch_page(addr);
+  write_memo_no_ = no;
+  write_memo_ = &page;
+  return page;
+}
+
+uint8_t Memory::read8(uint32_t addr) const {
+  const Page* page = data_page(addr);
   return page ? (*page)[addr & (kPageSize - 1)] : 0;
 }
 
 void Memory::write8(uint32_t addr, uint8_t value) {
-  touch_page(addr)[addr & (kPageSize - 1)] = value;
+  if (!watched_.empty()) note_write(addr, 1);
+  write_page(addr)[addr & (kPageSize - 1)] = value;
 }
 
 uint32_t Memory::read32(uint32_t addr) const {
   // Fast path when the word does not straddle a page boundary.
   if ((addr & (kPageSize - 1)) <= kPageSize - 4) {
-    const Page* page = find_page(addr);
+    const Page* page = data_page(addr);
     if (!page) return 0;
     const uint32_t off = addr & (kPageSize - 1);
     return static_cast<uint32_t>((*page)[off]) |
@@ -54,6 +75,16 @@ uint32_t Memory::read32(uint32_t addr) const {
 }
 
 void Memory::write32(uint32_t addr, uint32_t value) {
+  if ((addr & (kPageSize - 1)) <= kPageSize - 4) {
+    if (!watched_.empty()) note_write(addr, 4);
+    Page& page = write_page(addr);
+    const uint32_t off = addr & (kPageSize - 1);
+    page[off] = static_cast<uint8_t>(value);
+    page[off + 1] = static_cast<uint8_t>(value >> 8);
+    page[off + 2] = static_cast<uint8_t>(value >> 16);
+    page[off + 3] = static_cast<uint8_t>(value >> 24);
+    return;
+  }
   write8(addr, static_cast<uint8_t>(value));
   write8(addr + 1, static_cast<uint8_t>(value >> 8));
   write8(addr + 2, static_cast<uint8_t>(value >> 16));
@@ -61,7 +92,19 @@ void Memory::write32(uint32_t addr, uint32_t value) {
 }
 
 void Memory::read_block(uint32_t addr, uint8_t* out, uint32_t n) const {
-  for (uint32_t i = 0; i < n; ++i) out[i] = read8(addr + i);
+  while (n > 0) {
+    const uint32_t off = addr & (kPageSize - 1);
+    const uint32_t chunk = std::min(n, kPageSize - off);
+    const Page* page = fetch_page(addr);
+    if (page != nullptr) {
+      std::memcpy(out, page->data() + off, chunk);
+    } else {
+      std::memset(out, 0, chunk);
+    }
+    addr += chunk;
+    out += chunk;
+    n -= chunk;
+  }
 }
 
 uint64_t Memory::checksum() const {
@@ -77,6 +120,15 @@ uint64_t Memory::checksum() const {
     sum ^= h;
   }
   return sum;
+}
+
+void Memory::watch_code(uint32_t base, uint32_t size) {
+  if (size == 0) return;
+  const auto range = std::make_pair(base, base + size);
+  for (const auto& r : watched_) {
+    if (r == range) return;
+  }
+  watched_.push_back(range);
 }
 
 uint32_t table_entry_addr(const TranslationTables& tables, uint32_t addr) {
@@ -110,7 +162,8 @@ void store_tables(const TranslationTables& tables, Memory& mem) {
   // Serialize (key, translation) pairs so the tables occupy real cacheable
   // memory. Bucket collisions overwrite; functional translation always
   // uses the exact in-image maps, the serialized form exists to give DRC
-  // misses a concrete line to fetch.
+  // misses a concrete line to fetch. The flat tables iterate in slot
+  // order, so the bytes are deterministic across platforms.
   auto store = [&](uint32_t key, uint32_t value) {
     const uint32_t entry = table_entry_addr(tables, key);
     mem.write32(entry, key);
@@ -118,6 +171,7 @@ void store_tables(const TranslationTables& tables, Memory& mem) {
   };
   for (const auto& [r, o] : tables.derand) store(r, o);
   for (const auto& [o, r] : tables.rand) store(o, r);
+  mem.bump_code_version();
 }
 
 }  // namespace vcfr::binary

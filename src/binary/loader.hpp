@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "binary/image.hpp"
 
@@ -12,6 +13,17 @@ namespace vcfr::binary {
 
 /// Flat 32-bit byte-addressable memory, backed by 4 KiB pages allocated on
 /// first touch. Unwritten bytes read as zero.
+///
+/// Host-side fast paths (architecturally invisible):
+///  * the last-touched page is memoized per access stream (instruction
+///    fetch, data reads, writes), so sequential fetch and stack traffic
+///    skip the page hash — a Memory is therefore confined to one host
+///    thread at a time (the fleet kernel guarantees this: each process's
+///    memory is only touched by the worker running its core's slice);
+///  * writes landing in a range registered via watch_code() bump
+///    code_version(), which the emulator's decoded-instruction cache
+///    compares against its fill generation — self-modifying code and
+///    table refreshes invalidate cached decodes instead of going stale.
 class Memory {
  public:
   static constexpr uint32_t kPageBits = 12;
@@ -33,12 +45,53 @@ class Memory {
   /// Used by equivalence tests to compare final memory states.
   [[nodiscard]] uint64_t checksum() const;
 
+  /// Registers [base, base+size) as code: any write overlapping a watched
+  /// range bumps code_version(). Duplicate registrations are folded.
+  void watch_code(uint32_t base, uint32_t size);
+
+  /// Generation counter for cached decodings of code bytes.
+  [[nodiscard]] uint64_t code_version() const { return code_version_; }
+
+  /// Explicit invalidation for writers that bypass the watched ranges'
+  /// semantics (store_tables refreshing the kernel tables on live
+  /// re-randomization).
+  void bump_code_version() { ++code_version_; }
+
  private:
   using Page = std::array<uint8_t, kPageSize>;
   [[nodiscard]] const Page* find_page(uint32_t addr) const;
   Page& touch_page(uint32_t addr);
 
+  /// Memoized page lookups. Pages are never freed and never move (the map
+  /// owns them through unique_ptr), so a memoized pointer stays valid for
+  /// the Memory's lifetime; only non-null results are memoized so pages
+  /// allocated later are picked up on the next probe.
+  [[nodiscard]] const Page* data_page(uint32_t addr) const;
+  [[nodiscard]] const Page* fetch_page(uint32_t addr) const;
+  Page& write_page(uint32_t addr);
+
+  void note_write(uint32_t addr, uint32_t bytes) {
+    for (const auto& r : watched_) {
+      if (addr < r.second && addr + bytes > r.first) {
+        ++code_version_;
+        break;
+      }
+    }
+  }
+
   std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+
+  static constexpr uint32_t kNoPage = 0xffffffffu;
+  mutable uint32_t data_memo_no_ = kNoPage;
+  mutable const Page* data_memo_ = nullptr;
+  mutable uint32_t fetch_memo_no_ = kNoPage;
+  mutable const Page* fetch_memo_ = nullptr;
+  uint32_t write_memo_no_ = kNoPage;
+  Page* write_memo_ = nullptr;
+
+  /// Watched [base, end) ranges; normally one (the image's code section).
+  std::vector<std::pair<uint32_t, uint32_t>> watched_;
+  uint64_t code_version_ = 0;
 };
 
 /// Loads an image's sections into memory:
@@ -51,6 +104,8 @@ void load(const Image& image, Memory& mem);
 /// Writes (only) the serialized translation tables into memory at
 /// tables.table_base — used by load() and by live re-randomization, which
 /// must refresh the tables without touching the program's evolved data.
+/// Bumps the memory's code_version (a table refresh means the placement
+/// changed, so cached decodings of the old epoch must die).
 void store_tables(const TranslationTables& tables, Memory& mem);
 
 /// Serialized translation-table entry layout: 8 bytes per entry

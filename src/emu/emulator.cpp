@@ -22,7 +22,7 @@ std::string hex(uint32_t v) {
 }  // namespace
 
 Emulator::Emulator(const binary::Image& image, binary::Memory& mem)
-    : image_(image), mem_(mem) {
+    : image_(image), mem_(mem), dcache_(1u << kDecodeCacheBits) {
   state_.pc = image.entry;
   if (image.layout == Layout::kNaiveIlr || image.layout == Layout::kVcfr) {
     // Entry point expressed in the randomized space when it was randomized.
@@ -34,6 +34,13 @@ Emulator::Emulator(const binary::Image& image, binary::Memory& mem)
     }
   }
   state_.regs[isa::kSp] = binary::kDefaultStackTop;
+  // Any write into the fetched-from region must invalidate cached decodes.
+  if (image.layout == Layout::kNaiveIlr) {
+    mem_.watch_code(image.rand_base, image.rand_size);
+  } else {
+    mem_.watch_code(image.code_base,
+                    static_cast<uint32_t>(image.code.size()));
+  }
 }
 
 void Emulator::fault(const std::string& msg) {
@@ -109,16 +116,52 @@ bool Emulator::step(StepInfo* info) {
   if (halted_ || !error_.empty()) return false;
 
   const uint32_t rpc = state_.pc;
-  const uint32_t upc = to_upc(rpc);
+  uint32_t upc;
+  Instr in;
+  uint32_t next;
 
-  uint8_t buf[isa::kMaxInstrLength];
-  mem_.read_block(upc, buf, sizeof buf);
-  const auto decoded = isa::decode(std::span<const uint8_t>(buf, sizeof buf));
-  if (!decoded) {
-    fault("invalid opcode " + hex(buf[0]));
-    return false;
+  // Decoded-instruction cache: the fetch/decode/translate front half of a
+  // step is a pure function of (rpc, code bytes, tables). The image and
+  // its tables are immutable for this emulator's lifetime, so a cached
+  // entry is valid exactly while the memory's code generation is
+  // unchanged since fill.
+  DecodedEntry* slot = nullptr;
+  const uint64_t gen = mem_.code_version();
+  if (dcache_on_) {
+    const uint32_t idx =
+        (rpc * 0x9e3779b9u) >> (32 - kDecodeCacheBits);
+    slot = &dcache_[idx];
+    if (slot->rpc == rpc && slot->gen == gen && rpc != 0xffffffffu) {
+      ++dcache_stats_.hits;
+    } else {
+      if (slot->rpc != 0xffffffffu && slot->gen != gen) {
+        ++dcache_stats_.invalidations;
+      }
+      ++dcache_stats_.misses;
+      slot->rpc = 0xffffffffu;  // re-filled below on a clean decode
+    }
   }
-  const Instr in = *decoded;
+
+  if (slot != nullptr && slot->rpc == rpc) {
+    upc = slot->upc;
+    in = slot->instr;
+    next = slot->seq_next;
+  } else {
+    upc = to_upc(rpc);
+    uint8_t buf[isa::kMaxInstrLength];
+    mem_.read_block(upc, buf, sizeof buf);
+    const auto decoded =
+        isa::decode(std::span<const uint8_t>(buf, sizeof buf));
+    if (!decoded) {
+      fault("invalid opcode " + hex(buf[0]));
+      return false;
+    }
+    in = *decoded;
+    next = sequential_next(rpc, upc, in.length);
+    if (slot != nullptr && rpc != 0xffffffffu) {
+      *slot = DecodedEntry{rpc, upc, next, gen, in};
+    }
+  }
 
   StepInfo local;
   StepInfo& si = info ? *info : local;
@@ -131,7 +174,6 @@ bool Emulator::step(StepInfo* info) {
   auto& tables = image_.tables;
   auto& regs = state_.regs;
 
-  uint32_t next = sequential_next(rpc, upc, in.length);
   if (image_.layout == Layout::kNaiveIlr && next == 0 && in.has_fallthrough()) {
     fault("missing fall-through successor");
     return false;

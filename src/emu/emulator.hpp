@@ -82,6 +82,20 @@ struct RunLimits {
   bool enforce_tags = false;  // see Emulator::set_enforce_tags
 };
 
+/// Host-side decoded-instruction cache counters. These are *not*
+/// architectural statistics: the cache only skips redundant host work
+/// (fetch, decode, translation-map probes) and can never change a
+/// simulated result. Deterministic for a deterministic run, so they are
+/// safe to register with the stat registry.
+struct DecodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Fills evicted because the memory's code generation moved (self-
+  /// modifying code, live re-randomization refreshing code bytes or
+  /// tables). Tag-conflict evictions count as plain misses.
+  uint64_t invalidations = 0;
+};
+
 struct RunResult {
   bool halted = false;          // reached halt/sys-exit
   std::string error;            // non-empty on fault (bad opcode, div0, ...)
@@ -102,6 +116,16 @@ class Emulator {
   /// executing. Off by default so compatibility studies can count
   /// would-be violations without dying.
   void set_enforce_tags(bool on) { enforce_tags_ = on; }
+
+  /// Toggles the host-side decoded-instruction cache (on by default).
+  /// Steady-state step() then skips fetch, decode, and both translation-
+  /// map probes for instructions whose (rpc, code-generation) pair is
+  /// cached. Architectural results are bit-identical either way — the
+  /// differential tests in tests/test_hotpath.cpp pin this.
+  void set_decode_cache(bool on) { dcache_on_ = on; }
+  [[nodiscard]] const DecodeCacheStats& decode_cache_stats() const {
+    return dcache_stats_;
+  }
 
   /// Executes one instruction. Returns false when execution has ended
   /// (halted or faulted) and no instruction was executed. When `info` is
@@ -136,6 +160,17 @@ class Emulator {
   }
 
  private:
+  /// One direct-mapped decoded-instruction cache line: everything the
+  /// fetch/decode/translate front half of step() produces for an rpc.
+  struct DecodedEntry {
+    uint32_t rpc = 0xffffffffu;  // tag; 0xffffffff = empty
+    uint32_t upc = 0;
+    uint32_t seq_next = 0;  // sequential_next() result for this rpc
+    uint64_t gen = 0;       // Memory::code_version() at fill time
+    isa::Instr instr{};
+  };
+  static constexpr uint32_t kDecodeCacheBits = 12;  // 4096 entries
+
   void fault(const std::string& msg);
   [[nodiscard]] uint32_t to_upc(uint32_t rpc) const;
   [[nodiscard]] uint32_t sequential_next(uint32_t rpc, uint32_t upc,
@@ -158,6 +193,10 @@ class Emulator {
   bool enforce_tags_ = false;
   std::string error_;
   size_t max_output_ = 1u << 20;
+
+  std::vector<DecodedEntry> dcache_;
+  bool dcache_on_ = true;
+  DecodeCacheStats dcache_stats_;
 };
 
 /// Convenience: load + run an image on a fresh memory.

@@ -1,7 +1,7 @@
 #include "os/kernel.hpp"
 
 #include <algorithm>
-#include <thread>
+#include <functional>
 
 #include "emu/emulator.hpp"
 #include "rewriter/randomizer.hpp"
@@ -102,6 +102,14 @@ void Kernel::setup_telemetry() {
   sched_.register_stats(fleet.scope("sched"));
   shared_.register_stats(fleet.scope("shared_l2"));
 
+  // Host-execution counters (deterministic for a given config, but about
+  // how the host ran the fleet, not what the fleet computed — hence their
+  // own top-level scope instead of fleet.*).
+  const telemetry::Scope pool = telemetry_->root().scope("kernel").scope("pool");
+  pool.counter_fn("rounds", [this] { return pool_rounds(); });
+  pool.counter_fn("workers",
+                  [this] { return static_cast<uint64_t>(pool_workers()); });
+
   lanes_.assign(cores, nullptr);
   telemetry::Tracer* tracer = telemetry_->tracer();
   for (uint32_t c = 0; c < cores; ++c) {
@@ -152,6 +160,28 @@ FleetReport Kernel::run() {
   std::vector<int> running(cores, -1);
   setup_telemetry();
 
+  // Per-round state, hoisted: the round loop runs tens of thousands of
+  // times at smoke scale and must not allocate on its steady path.
+  auto run_slice = [&](uint32_t c) {
+    Process& p = *procs_[running[c]];
+    const uint64_t budget = std::min(slice, p.remaining());
+    const uint64_t start = cores_[c]->now();
+    const uint64_t ran = cores_[c]->run(p.emulator(), budget);
+    p.stats().instructions += ran;
+    p.stats().slices += 1;
+    // The lane is this core's own ring, so recording from the worker
+    // thread is race-free.
+    if (!lanes_.empty() && lanes_[c] != nullptr) {
+      lanes_[c]->span(telemetry::TraceEventType::kSlice, p.pid(), start,
+                      cores_[c]->now() - start, ran);
+    }
+  };
+  std::vector<uint32_t> active;
+  active.reserve(cores);
+  const std::function<void(uint32_t)> run_active = [&](uint32_t i) {
+    run_slice(active[i]);
+  };
+
   while (sched_.any_runnable()) {
     ++rounds_;
     if (config_.max_rounds != 0 && rounds_ > config_.max_rounds) break;
@@ -172,29 +202,17 @@ FleetReport Kernel::run() {
 
     // -- execute (parallel: cores only touch private state + the frozen
     //    shared-L2 tags, logging requests per-port) ----------------------
-    auto run_slice = [&](uint32_t c) {
-      Process& p = *procs_[running[c]];
-      const uint64_t budget = std::min(slice, p.remaining());
-      const uint64_t start = cores_[c]->now();
-      const uint64_t ran = cores_[c]->run(p.emulator(), budget);
-      p.stats().instructions += ran;
-      p.stats().slices += 1;
-      // The lane is this core's own ring, so recording from the worker
-      // thread is race-free.
-      if (!lanes_.empty() && lanes_[c] != nullptr) {
-        lanes_[c]->span(telemetry::TraceEventType::kSlice, p.pid(), start,
-                        cores_[c]->now() - start, ran);
-      }
-    };
-    std::vector<uint32_t> active;
+    active.clear();
     for (uint32_t c = 0; c < cores; ++c) {
       if (running[c] >= 0) active.push_back(c);
     }
     if (active.size() > 1) {
-      std::vector<std::thread> threads;
-      threads.reserve(active.size());
-      for (const uint32_t c : active) threads.emplace_back(run_slice, c);
-      for (auto& t : threads) t.join();
+      // First multi-core round: bring up the persistent workers. Worker w
+      // drives task w+1 and the kernel thread drives task 0, so each
+      // simulated core keeps exactly one host thread per round — the same
+      // layout the old per-round spawn/join produced, minus the spawns.
+      if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(cores - 1);
+      pool_->run(static_cast<uint32_t>(active.size()), run_active);
     } else if (active.size() == 1) {
       run_slice(active[0]);
     }

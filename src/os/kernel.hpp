@@ -31,6 +31,7 @@
 #include "os/fleet_stats.hpp"
 #include "os/process.hpp"
 #include "os/scheduler.hpp"
+#include "os/worker_pool.hpp"
 #include "sim/cpu.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -86,6 +87,16 @@ class Kernel {
   [[nodiscard]] const cache::SharedL2& shared_l2() const { return shared_; }
   [[nodiscard]] const KernelConfig& config() const { return config_; }
 
+  /// Rounds dispatched through the persistent worker pool (0 when the run
+  /// never had more than one active core — everything ran inline).
+  [[nodiscard]] uint64_t pool_rounds() const {
+    return pool_ == nullptr ? 0 : pool_->rounds();
+  }
+  /// Host threads the pool owns (0 until run() first needs it).
+  [[nodiscard]] uint32_t pool_workers() const {
+    return pool_ == nullptr ? 0 : pool_->workers();
+  }
+
  private:
   /// Dispatches `pid` on `core`: context switch (flush + overhead) when
   /// the address space changed, then pipeline install.
@@ -107,6 +118,10 @@ class Kernel {
   std::vector<std::pair<int64_t, int64_t>> installed_;
   std::vector<std::unique_ptr<Process>> procs_;
   uint64_t rounds_ = 0;
+  /// Persistent execute-phase workers, created lazily on the first round
+  /// that has two or more active cores. Replaces per-round thread
+  /// spawn/join; see os/worker_pool.hpp for the determinism argument.
+  std::unique_ptr<WorkerPool> pool_;
 
   telemetry::Telemetry* telemetry_ = nullptr;
   /// Per-core trace lanes plus one kernel lane (null when tracing is off).

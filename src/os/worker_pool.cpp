@@ -1,0 +1,69 @@
+#include "os/worker_pool.hpp"
+
+namespace vcfr::os {
+
+WorkerPool::WorkerPool(uint32_t workers) {
+  threads_.reserve(workers);
+  for (uint32_t id = 0; id < workers; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(uint32_t tasks, const std::function<void(uint32_t)>& fn) {
+  if (tasks == 0) return;
+  if (tasks == 1 || threads_.empty()) {
+    // Nothing to parallelize (or nobody to hand it to) — run inline.
+    for (uint32_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    pending_ = tasks - 1;  // workers 0..tasks-2 participate
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+  ++rounds_;
+}
+
+void WorkerPool::worker_loop(uint32_t id) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(uint32_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      // Static assignment: this worker owns task id+1 of the current
+      // dispatch. pending_ counts only participating workers, so anyone
+      // beyond the task count sits the round out without touching it.
+      if (id + 1 >= tasks_) continue;
+      fn = fn_;
+    }
+    (*fn)(id + 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ != 0) continue;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace vcfr::os

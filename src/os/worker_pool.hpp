@@ -1,0 +1,64 @@
+// Persistent worker pool for the fleet kernel's execute phase.
+//
+// The kernel used to spawn and join a fresh std::thread per active core
+// every scheduler round — at smoke-scale slice lengths the spawn/join cost
+// rivals the simulation work itself. This pool creates the host threads
+// once and dispatches rounds through a condition variable.
+//
+// Task assignment is static: task i of a dispatch runs on worker i-1 and
+// task 0 on the calling thread, mirroring the former thread-per-core
+// layout. There is no work stealing, so within a round each simulated
+// core is driven by exactly one host thread and the per-lane tracing
+// contract (one writer per ring) is preserved; determinism is untouched
+// because workers only mutate their own core's private state and the
+// shared-L2 replay stays serial at round commit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcfr::os {
+
+class WorkerPool {
+ public:
+  /// Creates `workers` host threads, idle until the first run().
+  explicit WorkerPool(uint32_t workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(0) .. fn(tasks-1), fn(0) on the calling thread, and returns
+  /// when every task has completed. Requires tasks <= workers() + 1.
+  /// A single task (or an empty pool) runs inline without waking anyone.
+  void run(uint32_t tasks, const std::function<void(uint32_t)>& fn);
+
+  [[nodiscard]] uint32_t workers() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+  /// Dispatches that actually woke workers (tasks > 1) — exported as the
+  /// kernel.pool.rounds counter.
+  [[nodiscard]] uint64_t rounds() const { return rounds_; }
+
+ private:
+  void worker_loop(uint32_t id);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Dispatch state, all guarded by mutex_.
+  const std::function<void(uint32_t)>* fn_ = nullptr;
+  uint32_t tasks_ = 0;
+  uint32_t pending_ = 0;  // participating workers still running this epoch
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  uint64_t rounds_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vcfr::os

@@ -39,7 +39,8 @@ struct StaticStats {
 struct AnalysisResult {
   /// Instruction starts that must keep their original addresses (tag
   /// cleared): unproven indirect targets + the computed-dispatch windows.
-  std::unordered_set<uint32_t> unrandomized;
+  /// Flat set: copied verbatim into TranslationTables::unrandomized.
+  binary::FlatSet32 unrandomized;
   /// Return-site addresses (instruction after a call) that must not be
   /// randomized: indirect-call returns always; returns into unsafe callees
   /// under the conservative policy.

@@ -1,0 +1,369 @@
+// Hot-path safety net: the decoded-instruction cache, the flat translation
+// tables, the Memory fast paths, and the kernel's persistent worker pool
+// are host-side optimizations — every architectural result must be
+// bit-identical with them exercised or bypassed. These tests pin that.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "binary/flat_map.hpp"
+#include "emu/emulator.hpp"
+#include "emu/rerandomize.hpp"
+#include "isa/assembler.hpp"
+#include "os/kernel.hpp"
+#include "os/worker_pool.hpp"
+#include "rewriter/randomizer.hpp"
+#include "workloads/suite.hpp"
+
+namespace vcfr {
+namespace {
+
+emu::RunResult run_with_cache(const binary::Image& image, bool cache_on,
+                              emu::DecodeCacheStats* stats = nullptr) {
+  binary::Memory mem;
+  binary::load(image, mem);
+  emu::Emulator emulator(image, mem);
+  emulator.set_decode_cache(cache_on);
+  emu::RunResult r = emulator.run();
+  if (stats != nullptr) *stats = emulator.decode_cache_stats();
+  return r;
+}
+
+void expect_identical(const emu::RunResult& on, const emu::RunResult& off,
+                      const std::string& what) {
+  EXPECT_EQ(on.halted, off.halted) << what;
+  EXPECT_EQ(on.error, off.error) << what;
+  EXPECT_EQ(on.output, off.output) << what;
+  EXPECT_EQ(on.mem_checksum, off.mem_checksum) << what;
+  EXPECT_EQ(on.stats.instructions, off.stats.instructions) << what;
+  EXPECT_EQ(on.stats.derand_events, off.stats.derand_events) << what;
+  EXPECT_EQ(on.stats.rand_events, off.stats.rand_events) << what;
+  EXPECT_EQ(on.final_state.pc, off.final_state.pc) << what;
+  EXPECT_EQ(on.final_state.regs, off.final_state.regs) << what;
+  EXPECT_EQ(on.final_state.zf, off.final_state.zf) << what;
+  EXPECT_EQ(on.final_state.nf, off.final_state.nf) << what;
+  EXPECT_EQ(on.final_state.cf, off.final_state.cf) << what;
+  EXPECT_EQ(on.final_state.vf, off.final_state.vf) << what;
+}
+
+// Every suite workload, all three layouts: cached and uncached runs must
+// produce the same outputs, final register file, and memory image.
+TEST(DecodeCacheTest, DifferentialAcrossSuiteAndLayouts) {
+  for (const std::string& name : workloads::spec_names()) {
+    const binary::Image original = workloads::make(name, 0);
+    rewriter::RandomizeOptions opts;
+    opts.seed = 0x9000 + original.code.size();
+    const rewriter::RandomizeResult rr = rewriter::randomize(original, opts);
+
+    for (const binary::Image* image : {&original, &rr.naive, &rr.vcfr}) {
+      emu::DecodeCacheStats stats;
+      const emu::RunResult on = run_with_cache(*image, true, &stats);
+      const emu::RunResult off = run_with_cache(*image, false);
+      const std::string what =
+          name + " layout " + std::to_string(static_cast<int>(image->layout));
+      expect_identical(on, off, what);
+      ASSERT_TRUE(on.halted) << what << ": " << on.error;
+      // A real run hits the cache almost always (loops), and hits + misses
+      // must account for every instruction executed.
+      EXPECT_EQ(stats.hits + stats.misses, on.stats.instructions) << what;
+      EXPECT_GT(stats.hits, stats.misses) << what;
+    }
+  }
+}
+
+constexpr const char* kFactorial = R"(
+  .name victim
+  .entry main
+  .func main
+  main:
+    mov r1, 8
+    call fact
+    out r2
+    mov r1, 6
+    call fact
+    out r2
+    halt
+  .func fact
+  fact:
+    cmp r1, 1
+    jgt rec
+    mov r2, 1
+    ret
+  rec:
+    push r1
+    sub r1, 1
+    call fact
+    pop r1
+    mul r2, r1
+    ret
+)";
+
+// Live re-randomization mid-recursion: the swap rewrites code bytes and
+// tables under a *new* emulator; cached and uncached sessions must agree.
+TEST(DecodeCacheTest, LiveRerandomizeDifferential) {
+  const auto golden = emu::run_image(isa::assemble(kFactorial));
+  ASSERT_TRUE(golden.halted);
+
+  for (const bool cache_on : {true, false}) {
+    binary::Memory mem;
+    rewriter::RandomizeOptions opts;
+    opts.seed = 11;
+    // Every epoch's RandomizeResult must outlive the emulator running on
+    // it (the emulator references the image in place).
+    std::vector<rewriter::RandomizeResult> epochs;
+    epochs.reserve(4);
+    epochs.push_back(rewriter::randomize(isa::assemble(kFactorial), opts));
+    binary::load(epochs.back().vcfr, mem);
+    auto emu_ptr = std::make_unique<emu::Emulator>(epochs.back().vcfr, mem);
+    emu_ptr->set_decode_cache(cache_on);
+
+    // Three epochs, swapping every 15 instructions.
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      for (int i = 0; i < 15; ++i) ASSERT_TRUE(emu_ptr->step());
+      rewriter::RandomizeOptions fresh;
+      fresh.seed = 0xabc0 + epoch;
+      epochs.push_back(rewriter::randomize(isa::assemble(kFactorial), fresh));
+      emu_ptr = emu::rerandomize_live(*emu_ptr, mem,
+                                      epochs[epochs.size() - 2],
+                                      epochs.back(), nullptr);
+      emu_ptr->set_decode_cache(cache_on);
+    }
+    emu::RunLimits limits;
+    limits.max_instructions = 100000;
+    const auto r = emu_ptr->run(limits);
+    EXPECT_TRUE(r.halted) << r.error;
+    EXPECT_EQ(r.output, golden.output)
+        << "cache " << (cache_on ? "on" : "off");
+  }
+}
+
+// Self-modifying code: a write landing in the watched code range must
+// invalidate the cached decode, not execute the stale instruction.
+TEST(DecodeCacheTest, CodeWriteInvalidatesCachedDecode) {
+  // Two variants of the same program; the only difference is the constant
+  // in the loop body. Patching the bytes of variant A into variant B's
+  // image mid-run must change the second loop iteration's output.
+  const auto make_src = [](int value) {
+    return std::string(".entry main\n"
+                       "main:\n"
+                       "  mov r3, 2\n"
+                       "loop:\n"
+                       "  mov r2, ") +
+           std::to_string(value) +
+           "\n"
+           "  out r2\n"
+           "  sub r3, 1\n"
+           "  cmp r3, 0\n"
+           "  jgt loop\n"
+           "  halt\n";
+  };
+  const binary::Image before = isa::assemble(make_src(5));
+  const binary::Image after = isa::assemble(make_src(9));
+  ASSERT_EQ(before.code.size(), after.code.size());
+
+  binary::Memory mem;
+  binary::load(before, mem);
+  emu::Emulator emulator(before, mem);
+
+  // First iteration: runs the unpatched body (out 5).
+  while (emulator.output().empty()) ASSERT_TRUE(emulator.step());
+  const uint64_t gen_before = mem.code_version();
+
+  // Patch every differing code byte in place (what a store to the code
+  // segment does, without needing an ISA-level store-to-code idiom).
+  for (size_t i = 0; i < before.code.size(); ++i) {
+    if (before.code[i] != after.code[i]) {
+      mem.write8(before.code_base + static_cast<uint32_t>(i), after.code[i]);
+    }
+  }
+  EXPECT_GT(mem.code_version(), gen_before)
+      << "code writes must bump the generation";
+
+  const auto r = emulator.run();
+  ASSERT_TRUE(r.halted) << r.error;
+  EXPECT_EQ(r.output, (std::vector<uint32_t>{5, 9}));
+  EXPECT_GT(emulator.decode_cache_stats().invalidations, 0u)
+      << "the patched loop body was cached and must have been re-decoded";
+}
+
+TEST(MemoryTest, ReadBlockCrossesPageBoundary) {
+  binary::Memory mem;
+  const uint32_t page = binary::Memory::kPageSize;
+  const uint32_t start = 3 * page - 3;  // 3 bytes before a boundary
+  for (uint32_t i = 0; i < 8; ++i) {
+    mem.write8(start + i, static_cast<uint8_t>(0xa0 + i));
+  }
+  uint8_t buf[8] = {};
+  mem.read_block(start, buf, 8);
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf[i], 0xa0 + i) << i;
+  }
+
+  // A block overlapping an unallocated page reads zeros there.
+  uint8_t buf2[16] = {};
+  mem.read_block(start, buf2, 16);
+  for (uint32_t i = 8; i < 16; ++i) EXPECT_EQ(buf2[i], 0u) << i;
+
+  // Straddling 32-bit accesses agree with byte-wise assembly.
+  mem.write32(4 * page - 2, 0xdeadbeef);
+  EXPECT_EQ(mem.read32(4 * page - 2), 0xdeadbeefu);
+  EXPECT_EQ(mem.read8(4 * page - 2), 0xefu);
+  EXPECT_EQ(mem.read8(4 * page + 1), 0xdeu);
+}
+
+TEST(MemoryTest, PageMemoSurvivesInterleavedStreams) {
+  // Alternate between two pages and between reads/writes: the per-stream
+  // memos must never serve bytes from the wrong page.
+  binary::Memory mem;
+  const uint32_t a = 0x1000, b = 0x200000;
+  for (int i = 0; i < 64; ++i) {
+    mem.write8(a + i, static_cast<uint8_t>(i));
+    mem.write8(b + i, static_cast<uint8_t>(0x80 + i));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(mem.read8(a + i), i);
+    EXPECT_EQ(mem.read8(b + i), 0x80 + i);
+  }
+}
+
+TEST(FlatMapTest, BasicOpsGrowthAndIteration) {
+  binary::FlatMap32 m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.lookup(42), nullptr);
+
+  // Push well past the initial capacity to force several rehashes.
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(m.emplace(i * 7919, i));
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const uint32_t* v = m.lookup(i * 7919);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  // emplace does not overwrite (unordered_map semantics).
+  EXPECT_FALSE(m.emplace(0, 999));
+  EXPECT_EQ(*m.lookup(0), 0u);
+  // operator[] does.
+  m[7919] = 555;
+  EXPECT_EQ(*m.lookup(7919), 555u);
+
+  // Iteration visits every live entry exactly once.
+  size_t seen = 0;
+  uint64_t key_sum = 0;
+  for (const auto& [k, v] : m) {
+    ++seen;
+    key_sum += k;
+  }
+  EXPECT_EQ(seen, m.size());
+  uint64_t expect_sum = 0;
+  for (uint32_t i = 0; i < 1000; ++i) expect_sum += i * 7919;
+  EXPECT_EQ(key_sum, expect_sum);
+
+  // find/end and equality.
+  EXPECT_NE(m.find(7919), m.end());
+  EXPECT_EQ(m.find(123456789), m.end());
+  binary::FlatMap32 m2 = m;
+  EXPECT_EQ(m, m2);
+  m2[7919] = 556;
+  EXPECT_FALSE(m == m2);
+}
+
+TEST(FlatMapTest, CollidingKeysProbeCorrectly) {
+  // Saturate a small table with keys, then verify misses terminate and
+  // hits resolve even under heavy probing.
+  binary::FlatMap32 m;
+  for (uint32_t i = 0; i < 24; ++i) m.emplace(i, i + 100);
+  for (uint32_t i = 0; i < 24; ++i) {
+    ASSERT_NE(m.lookup(i), nullptr);
+    EXPECT_EQ(*m.lookup(i), i + 100);
+  }
+  for (uint32_t i = 24; i < 200; ++i) EXPECT_EQ(m.lookup(i), nullptr);
+}
+
+TEST(FlatSetTest, InsertContains) {
+  binary::FlatSet32 s;
+  for (uint32_t i = 0; i < 500; ++i) EXPECT_TRUE(s.insert(i * 31 + 7));
+  EXPECT_FALSE(s.insert(7));
+  EXPECT_EQ(s.size(), 500u);
+  for (uint32_t i = 0; i < 500; ++i) EXPECT_TRUE(s.contains(i * 31 + 7));
+  EXPECT_FALSE(s.contains(8));
+}
+
+TEST(WorkerPoolTest, PersistentThreadsRunEveryTask) {
+  os::WorkerPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+
+  std::vector<std::thread::id> first_round(4);
+  std::atomic<uint64_t> runs{0};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::thread::id> ids(4);
+    pool.run(4, [&](uint32_t task) {
+      ids[task] = std::this_thread::get_id();
+      runs.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ids[0], std::this_thread::get_id()) << "caller runs task 0";
+    if (round == 0) {
+      first_round = ids;
+    } else {
+      // Persistent pool: the same host thread drives the same task slot
+      // every round (static assignment, no respawn).
+      EXPECT_EQ(ids, first_round) << "round " << round;
+    }
+  }
+  EXPECT_EQ(runs.load(), 4u * 200u);
+  EXPECT_EQ(pool.rounds(), 200u);
+
+  // Single-task dispatches run inline and are not pool rounds.
+  pool.run(1, [&](uint32_t task) {
+    EXPECT_EQ(task, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), std::this_thread::get_id());
+  });
+  EXPECT_EQ(pool.rounds(), 200u);
+}
+
+TEST(WorkerPoolTest, FewerTasksThanWorkers) {
+  os::WorkerPool pool(7);
+  std::atomic<uint64_t> runs{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run(3, [&](uint32_t) { runs.fetch_add(1); });
+  }
+  EXPECT_EQ(runs.load(), 150u);
+}
+
+TEST(WorkerPoolTest, KernelUsesPoolOnlyWhenMultiCore) {
+  os::KernelConfig kc;
+  kc.sched.slice_instructions = 500;
+  kc.measure_isolated = false;
+
+  kc.cores = 2;
+  os::Kernel multi(kc);
+  for (uint32_t i = 0; i < 3; ++i) {
+    os::ProcessConfig pc;
+    pc.workload = i == 0 ? "bzip2" : (i == 1 ? "mcf" : "hmmer");
+    pc.scale = 0;
+    pc.seed = 40 + i;
+    multi.spawn(pc);
+  }
+  (void)multi.run();
+  EXPECT_GT(multi.pool_rounds(), 0u)
+      << "multi-core rounds must dispatch through the pool";
+  EXPECT_EQ(multi.pool_workers(), 1u);
+
+  kc.cores = 1;
+  os::Kernel solo(kc);
+  for (uint32_t i = 0; i < 2; ++i) {
+    os::ProcessConfig pc;
+    pc.workload = i == 0 ? "bzip2" : "hmmer";
+    pc.scale = 0;
+    pc.seed = 50 + i;
+    solo.spawn(pc);
+  }
+  (void)solo.run();
+  EXPECT_EQ(solo.pool_rounds(), 0u) << "single-core runs never need workers";
+  EXPECT_EQ(solo.pool_workers(), 0u);
+}
+
+}  // namespace
+}  // namespace vcfr

@@ -350,6 +350,13 @@ int cmd_run(const Args& args) {
   scope.counter("rand_events", &st.rand_events);
   scope.counter("bitmap_autoderand_loads", &st.bitmap_autoderand_loads);
   scope.counter("tag_violations", &st.tag_violations);
+  // Host-side decoded-instruction cache (deterministic for a given run,
+  // but about how the host executed the model, not what the model did).
+  const emu::DecodeCacheStats& dc = emulator.decode_cache_stats();
+  const telemetry::Scope dcache = scope.scope("decode_cache");
+  dcache.counter("hits", &dc.hits);
+  dcache.counter("misses", &dc.misses);
+  dcache.counter("invalidations", &dc.invalidations);
   telemetry::TraceLane* lane = tel.lane(0);
   if (tel.tracer() != nullptr) {
     tel.tracer()->name_lane(0, "emulator");
