@@ -11,6 +11,21 @@ namespace {
 
 constexpr char kMagic[4] = {'V', 'X', 'E', '1'};
 
+/// Hard bound on every count field (relocs, functions, table entries, …).
+/// Far above anything the toolchain emits, low enough that a corrupted
+/// count can never drive reserve() into bad_alloc/length_error.
+constexpr uint32_t kMaxEntries = 1u << 24;
+
+/// A corrupted count field must fail as a typed parse error before it
+/// reaches a container reserve.
+uint32_t checked_count(uint32_t n, const char* what) {
+  if (n > kMaxEntries) {
+    throw FormatError(FormatFault::kImplausible,
+                      std::string("vxe: implausible ") + what + " count");
+  }
+  return n;
+}
+
 void put8(std::ostream& out, uint8_t v) {
   out.put(static_cast<char>(v));
 }
@@ -36,7 +51,7 @@ void put_string(std::ostream& out, const std::string& s) {
 
 uint8_t get8(std::istream& in) {
   const int c = in.get();
-  if (c == EOF) throw std::runtime_error("vxe: truncated file");
+  if (c == EOF) throw FormatError(FormatFault::kTruncated, "vxe: truncated file");
   return static_cast<uint8_t>(c);
 }
 
@@ -54,27 +69,38 @@ uint64_t get64(std::istream& in) {
 
 std::vector<uint8_t> get_bytes(std::istream& in) {
   const uint32_t n = get32(in);
-  if (n > (1u << 28)) throw std::runtime_error("vxe: implausible section size");
+  if (n > (1u << 28)) throw FormatError(FormatFault::kImplausible, "vxe: implausible section size");
   std::vector<uint8_t> bytes(n);
   in.read(reinterpret_cast<char*>(bytes.data()), n);
   if (static_cast<uint32_t>(in.gcount()) != n) {
-    throw std::runtime_error("vxe: truncated section");
+    throw FormatError(FormatFault::kTruncated, "vxe: truncated section");
   }
   return bytes;
 }
 
 std::string get_string(std::istream& in) {
   const uint32_t n = get32(in);
-  if (n > (1u << 20)) throw std::runtime_error("vxe: implausible string size");
+  if (n > (1u << 20)) throw FormatError(FormatFault::kImplausible, "vxe: implausible string size");
   std::string s(n, '\0');
   in.read(s.data(), n);
   if (static_cast<uint32_t>(in.gcount()) != n) {
-    throw std::runtime_error("vxe: truncated string");
+    throw FormatError(FormatFault::kTruncated, "vxe: truncated string");
   }
   return s;
 }
 
 }  // namespace
+
+std::string_view format_fault_name(FormatFault fault) {
+  switch (fault) {
+    case FormatFault::kIo: return "io";
+    case FormatFault::kBadMagic: return "bad_magic";
+    case FormatFault::kBadLayout: return "bad_layout";
+    case FormatFault::kTruncated: return "truncated";
+    case FormatFault::kImplausible: return "implausible";
+  }
+  return "unknown";
+}
 
 void save(const Image& image, std::ostream& out) {
   out.write(kMagic, 4);
@@ -126,19 +152,19 @@ void save(const Image& image, std::ostream& out) {
   put32(out, t.table_base);
   put32(out, t.table_bytes);
 
-  if (!out) throw std::runtime_error("vxe: write failed");
+  if (!out) throw FormatError(FormatFault::kIo, "vxe: write failed");
 }
 
 Image load_file(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("vxe: bad magic (not a VXE image)");
+    throw FormatError(FormatFault::kBadMagic, "vxe: bad magic (not a VXE image)");
   }
   Image image;
   const uint8_t layout = get8(in);
   if (layout > static_cast<uint8_t>(Layout::kVcfr)) {
-    throw std::runtime_error("vxe: unknown layout");
+    throw FormatError(FormatFault::kBadLayout, "vxe: unknown layout");
   }
   image.layout = static_cast<Layout>(layout);
   image.seed = get64(in);
@@ -149,11 +175,11 @@ Image load_file(std::istream& in) {
   image.data = get_bytes(in);
   image.entry = get32(in);
 
-  const uint32_t n_relocs = get32(in);
+  const uint32_t n_relocs = checked_count(get32(in), "reloc");
   image.relocs.reserve(n_relocs);
   for (uint32_t i = 0; i < n_relocs; ++i) image.relocs.push_back({get32(in)});
 
-  const uint32_t n_funcs = get32(in);
+  const uint32_t n_funcs = checked_count(get32(in), "function");
   image.functions.reserve(n_funcs);
   for (uint32_t i = 0; i < n_funcs; ++i) {
     FunctionSymbol f;
@@ -165,13 +191,13 @@ Image load_file(std::istream& in) {
   image.rand_base = get32(in);
   image.rand_size = get32(in);
 
-  const uint32_t n_sparse = get32(in);
+  const uint32_t n_sparse = checked_count(get32(in), "sparse-code");
   image.sparse_code.reserve(n_sparse);
   for (uint32_t i = 0; i < n_sparse; ++i) {
     const uint32_t addr = get32(in);
     image.sparse_code.emplace(addr, get_bytes(in));
   }
-  const uint32_t n_fall = get32(in);
+  const uint32_t n_fall = checked_count(get32(in), "fallthrough");
   image.fallthrough.reserve(n_fall);
   for (uint32_t i = 0; i < n_fall; ++i) {
     const uint32_t from = get32(in);
@@ -180,19 +206,19 @@ Image load_file(std::istream& in) {
   }
 
   auto& t = image.tables;
-  const uint32_t n_derand = get32(in);
+  const uint32_t n_derand = checked_count(get32(in), "derand");
   t.derand.reserve(n_derand);
   for (uint32_t i = 0; i < n_derand; ++i) {
     const uint32_t k = get32(in);
     t.derand.emplace(k, get32(in));
   }
-  const uint32_t n_rand = get32(in);
+  const uint32_t n_rand = checked_count(get32(in), "rand");
   t.rand.reserve(n_rand);
   for (uint32_t i = 0; i < n_rand; ++i) {
     const uint32_t k = get32(in);
     t.rand.emplace(k, get32(in));
   }
-  const uint32_t n_unrand = get32(in);
+  const uint32_t n_unrand = checked_count(get32(in), "unrandomized");
   t.unrandomized.reserve(n_unrand);
   for (uint32_t i = 0; i < n_unrand; ++i) t.unrandomized.insert(get32(in));
   t.table_base = get32(in);
@@ -202,13 +228,13 @@ Image load_file(std::istream& in) {
 
 void save(const Image& image, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("vxe: cannot open for writing: " + path);
+  if (!out) throw FormatError(FormatFault::kIo, "vxe: cannot open for writing: " + path);
   save(image, out);
 }
 
 Image load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("vxe: cannot open: " + path);
+  if (!in) throw FormatError(FormatFault::kIo, "vxe: cannot open: " + path);
   return load_file(in);
 }
 

@@ -1,7 +1,5 @@
 #include "emu/emulator.hpp"
 
-#include <cstdio>
-
 #include "isa/encoding.hpp"
 
 namespace vcfr::emu {
@@ -10,16 +8,6 @@ using binary::Layout;
 using isa::Cond;
 using isa::Instr;
 using isa::Op;
-
-namespace {
-
-std::string hex(uint32_t v) {
-  char buf[16];
-  std::snprintf(buf, sizeof buf, "0x%x", v);
-  return buf;
-}
-
-}  // namespace
 
 Emulator::Emulator(const binary::Image& image, binary::Memory& mem)
     : image_(image), mem_(mem), dcache_(1u << kDecodeCacheBits) {
@@ -43,8 +31,12 @@ Emulator::Emulator(const binary::Image& image, binary::Memory& mem)
   }
 }
 
-void Emulator::fault(const std::string& msg) {
-  error_ = msg + " (pc=" + hex(state_.pc) + ")";
+void Emulator::raise(fault::FaultKind kind, uint32_t detail) {
+  trap_.kind = kind;
+  trap_.pc = state_.pc;
+  trap_.detail = detail;
+  trap_.instruction = stats_.instructions;
+  error_ = trap_.describe();
 }
 
 uint32_t Emulator::to_upc(uint32_t rpc) const {
@@ -113,7 +105,7 @@ uint32_t Emulator::pop32() {
 }
 
 bool Emulator::step(StepInfo* info) {
-  if (halted_ || !error_.empty()) return false;
+  if (halted_ || !trap_.ok()) return false;
 
   const uint32_t rpc = state_.pc;
   uint32_t upc;
@@ -153,7 +145,7 @@ bool Emulator::step(StepInfo* info) {
     const auto decoded =
         isa::decode(std::span<const uint8_t>(buf, sizeof buf));
     if (!decoded) {
-      fault("invalid opcode " + hex(buf[0]));
+      raise(fault::FaultKind::kBadOpcode, buf[0]);
       return false;
     }
     in = *decoded;
@@ -175,7 +167,7 @@ bool Emulator::step(StepInfo* info) {
   auto& regs = state_.regs;
 
   if (image_.layout == Layout::kNaiveIlr && next == 0 && in.has_fallthrough()) {
-    fault("missing fall-through successor");
+    raise(fault::FaultKind::kUnmappedFetch, rpc);
     return false;
   }
 
@@ -217,7 +209,7 @@ bool Emulator::step(StepInfo* info) {
       } else if (in.imm == 1) {
         if (output_.size() < max_output_) output_.push_back(regs[0]);
       } else {
-        fault("unknown sys function " + std::to_string(in.imm));
+        raise(fault::FaultKind::kBadSyscall, in.imm);
         return false;
       }
       break;
@@ -312,7 +304,7 @@ bool Emulator::step(StepInfo* info) {
       break;
     case Op::kDivRR:
       if (regs[in.rs] == 0) {
-        fault("division by zero");
+        raise(fault::FaultKind::kDivideByZero, 0);
         return false;
       }
       regs[in.rd] /= regs[in.rs];
@@ -406,12 +398,12 @@ bool Emulator::step(StepInfo* info) {
 
   ++stats_.instructions;
   if (tag_fault) {
-    fault("randomized-tag violation: transfer to " + hex(next));
+    raise(fault::FaultKind::kTranslationMismatch, next);
     si.next_rpc = next;
     si.next_upc = next;
     return true;  // the faulting instruction itself did execute
   }
-  if (!halted_ && error_.empty()) {
+  if (!halted_ && trap_.ok()) {
     state_.pc = next;
   }
   si.next_rpc = next;
@@ -428,6 +420,7 @@ RunResult Emulator::run(const RunLimits& limits) {
   }
   RunResult result;
   result.halted = halted_;
+  result.trap = trap_;
   result.error = error_;
   result.stats = stats_;
   result.output = output_;

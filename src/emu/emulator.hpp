@@ -25,6 +25,7 @@
 
 #include "binary/image.hpp"
 #include "binary/loader.hpp"
+#include "fault/fault.hpp"
 #include "isa/isa.hpp"
 
 namespace vcfr::emu {
@@ -98,7 +99,11 @@ struct DecodeCacheStats {
 
 struct RunResult {
   bool halted = false;          // reached halt/sys-exit
-  std::string error;            // non-empty on fault (bad opcode, div0, ...)
+  /// Typed fault record; trap.kind == kNone when the run did not fault.
+  fault::Trap trap;
+  /// Rendered trap (trap.describe()); kept for callers that print or
+  /// byte-compare the legacy string form.
+  std::string error;
   EmuStats stats;
   std::vector<uint32_t> output;
   uint64_t mem_checksum = 0;
@@ -136,6 +141,10 @@ class Emulator {
   RunResult run(const RunLimits& limits = {});
 
   [[nodiscard]] bool halted() const { return halted_; }
+  /// True when execution ended on a typed fault.
+  [[nodiscard]] bool faulted() const { return !trap_.ok(); }
+  /// The typed fault record (kind == kNone while execution is clean).
+  [[nodiscard]] const fault::Trap& trap() const { return trap_; }
   [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] const ArchState& state() const { return state_; }
   [[nodiscard]] ArchState& state() { return state_; }
@@ -159,6 +168,25 @@ class Emulator {
     output_ = std::move(output);
   }
 
+  // ---- fault-injection hooks (src/fault/) --------------------------------
+  /// Flips the architectural ret-bitmap state of `addr`: a marked slot
+  /// loses its mark (its randomized return address will no longer be
+  /// auto-de-randomized), an unmarked slot gains one. Returns true when
+  /// the slot was marked before the flip. This models a bit flip in the
+  /// hardware bitmap storage and is only meaningful for kVcfr images.
+  bool corrupt_ret_bitmap(uint32_t addr) {
+    if (ret_bitmap_.erase(addr) != 0) return true;
+    ret_bitmap_.insert(addr);
+    return false;
+  }
+
+  /// Raises an externally-decided fault (kernel watchdog kill, injected
+  /// kill). Execution refuses further steps exactly as for an
+  /// architectural fault.
+  void raise_external(fault::FaultKind kind, uint32_t detail = 0) {
+    raise(kind, detail);
+  }
+
  private:
   /// One direct-mapped decoded-instruction cache line: everything the
   /// fetch/decode/translate front half of step() produces for an rpc.
@@ -171,7 +199,7 @@ class Emulator {
   };
   static constexpr uint32_t kDecodeCacheBits = 12;  // 4096 entries
 
-  void fault(const std::string& msg);
+  void raise(fault::FaultKind kind, uint32_t detail);
   [[nodiscard]] uint32_t to_upc(uint32_t rpc) const;
   [[nodiscard]] uint32_t sequential_next(uint32_t rpc, uint32_t upc,
                                          uint8_t len) const;
@@ -191,6 +219,9 @@ class Emulator {
   std::unordered_set<uint32_t> ret_bitmap_;
   bool halted_ = false;
   bool enforce_tags_ = false;
+  /// Typed fault state; error_ caches trap_.describe() so error() can
+  /// keep returning a reference.
+  fault::Trap trap_;
   std::string error_;
   size_t max_output_ = 1u << 20;
 

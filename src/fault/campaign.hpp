@@ -1,0 +1,142 @@
+// Dependability campaign (§V, §VI): sweep seeded corruptions over
+// workloads × layouts × fault sites and classify every trial.
+//
+// Each trial replays a workload to a seeded injection point, applies one
+// corruption (FaultInjector), runs to completion under an instruction
+// budget, and compares against the uninjected reference run:
+//
+//   detected  — a typed trap fired (detection latency = instructions from
+//               injection to trap);
+//   silent    — the run halted "cleanly" but produced wrong output: the
+//               corruption was consumed without any fault (the paper's
+//               silent-hijack case);
+//   benign    — halted with bit-identical output (corruption masked);
+//   hung      — neither halted nor trapped within the budget (a watchdog
+//               would kill it — livelock / runaway chain).
+//
+// The report is deterministic for a fixed config: detection / silent /
+// containment rates per layout and a log2 detection-latency histogram,
+// reproducing the paper's dependability argument quantitatively (VCFR
+// turns corruption into fast detected crashes; native lets it run).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binary/image.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
+#include "telemetry/stat_registry.hpp"
+
+namespace vcfr::fault {
+
+struct CampaignConfig {
+  std::vector<std::string> workloads = {"bzip2", "libquantum"};
+  int scale = 0;
+  std::vector<binary::Layout> layouts = {binary::Layout::kOriginal,
+                                         binary::Layout::kNaiveIlr,
+                                         binary::Layout::kVcfr};
+  std::vector<FaultSite> sites = {
+      FaultSite::kCodeByte, FaultSite::kTranslationEntry,
+      FaultSite::kRetSlot, FaultSite::kRetBitmap, FaultSite::kPayload};
+  /// Injections per (workload, layout, site) cell.
+  uint32_t trials = 4;
+  uint64_t seed = 1;
+  /// Per-trial instruction budget; exceeding it classifies as hung.
+  uint64_t max_instructions = 5'000'000;
+  /// Keep every per-trial record in the report (summaries are always
+  /// kept).
+  bool keep_trials = true;
+};
+
+/// Report name for a layout: "native" | "naive_ilr" | "vcfr".
+[[nodiscard]] std::string_view layout_name(binary::Layout layout);
+
+enum class TrialOutcome : uint8_t {
+  kNotApplied = 0,  // the site had no target (e.g. tables on native)
+  kDetected = 1,
+  kSilent = 2,
+  kBenign = 3,
+  kHung = 4,
+};
+
+[[nodiscard]] std::string_view outcome_name(TrialOutcome outcome);
+
+struct TrialRecord {
+  std::string workload;
+  std::string layout;
+  FaultSite site = FaultSite::kCodeByte;
+  uint32_t trial = 0;
+  uint64_t injected_at = 0;
+  bool applied = false;
+  TrialOutcome outcome = TrialOutcome::kNotApplied;
+  /// Trap kind for detected trials (kWatchdog for hung ones).
+  FaultKind kind = FaultKind::kNone;
+  /// Instructions from injection to trap (detected trials only).
+  uint64_t latency = 0;
+  std::string note;
+};
+
+struct OutcomeCounts {
+  uint64_t trials = 0;
+  uint64_t applied = 0;
+  uint64_t detected = 0;
+  uint64_t silent = 0;
+  uint64_t benign = 0;
+  uint64_t hung = 0;
+
+  [[nodiscard]] double detection_rate() const {
+    return applied == 0 ? 0.0
+                        : static_cast<double>(detected) /
+                              static_cast<double>(applied);
+  }
+  [[nodiscard]] double silent_rate() const {
+    return applied == 0 ? 0.0
+                        : static_cast<double>(silent) /
+                              static_cast<double>(applied);
+  }
+  /// Fraction of applied corruptions that did NOT end as silent wrong
+  /// output — detected, masked, or stopped by the budget.
+  [[nodiscard]] double containment_rate() const {
+    return applied == 0 ? 0.0 : 1.0 - silent_rate();
+  }
+};
+
+struct CampaignReport {
+  CampaignConfig config;
+  OutcomeCounts total;
+  /// Aggregates in config order (layout / site names as report strings).
+  std::vector<std::pair<std::string, OutcomeCounts>> by_layout;
+  std::vector<std::pair<std::string, OutcomeCounts>> by_site;
+  /// Detected-trap kinds, name -> count (sorted by name in the JSON).
+  std::vector<std::pair<std::string, uint64_t>> by_kind;
+  /// Log2 detection-latency histogram (telemetry::Histogram bucketing:
+  /// bucket 0 = zero latency, bucket i >= 1 = [2^(i-1), 2^i)).
+  std::vector<uint64_t> latency_buckets;
+  uint64_t latency_count = 0;
+  uint64_t latency_sum = 0;
+  uint64_t latency_max = 0;
+  /// (workload, layout) cells skipped because the reference run did not
+  /// halt within the budget.
+  std::vector<std::string> skipped;
+  std::vector<TrialRecord> trials;
+
+  [[nodiscard]] const OutcomeCounts* layout_counts(
+      std::string_view name) const;
+
+  /// Deterministic JSON (fixed key order, %.6g doubles, no wall-clock).
+  [[nodiscard]] std::string to_json() const;
+  /// Short human digest for the CLI.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the sweep. When `registry` is non-null the campaign registers
+/// fault.injected.<site>, fault.trials/detected/silent/benign/hung
+/// counters and the fault.detect_latency histogram (see
+/// docs/OBSERVABILITY.md).
+[[nodiscard]] CampaignReport run_campaign(
+    const CampaignConfig& config,
+    telemetry::StatRegistry* registry = nullptr);
+
+}  // namespace vcfr::fault

@@ -1,0 +1,74 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+
+namespace vcfr::fault {
+
+namespace {
+
+std::string hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kBadOpcode: return "bad_opcode";
+    case FaultKind::kUnmappedFetch: return "unmapped_fetch";
+    case FaultKind::kTranslationMismatch: return "translation_mismatch";
+    case FaultKind::kDivideByZero: return "div0";
+    case FaultKind::kBadSyscall: return "bad_syscall";
+    case FaultKind::kWatchdog: return "watchdog";
+    case FaultKind::kRerandFailure: return "rerand_failure";
+  }
+  return "unknown";
+}
+
+std::string Trap::describe() const {
+  // The phrasings predate the typed model (tests and the CLI match on
+  // them); keep them byte-stable.
+  std::string msg;
+  switch (kind) {
+    case FaultKind::kNone:
+      return "";
+    case FaultKind::kBadOpcode:
+      msg = "invalid opcode " + hex(detail);
+      break;
+    case FaultKind::kUnmappedFetch:
+      msg = "missing fall-through successor";
+      break;
+    case FaultKind::kTranslationMismatch:
+      msg = "randomized-tag violation: transfer to " + hex(detail);
+      break;
+    case FaultKind::kDivideByZero:
+      msg = "division by zero";
+      break;
+    case FaultKind::kBadSyscall:
+      msg = "unknown sys function " + std::to_string(detail);
+      break;
+    case FaultKind::kWatchdog:
+      msg = "watchdog: instruction budget exceeded";
+      break;
+    case FaultKind::kRerandFailure:
+      msg = "rerandomize before bind()";
+      break;
+  }
+  return msg + " (pc=" + hex(pc) + ")";
+}
+
+std::string_view exit_name(ExitCode code) {
+  switch (code) {
+    case ExitCode::kRunning: return "running";
+    case ExitCode::kHalted: return "halted";
+    case ExitCode::kFaulted: return "faulted";
+    case ExitCode::kWatchdogKill: return "watchdog_kill";
+    case ExitCode::kBudget: return "budget";
+  }
+  return "unknown";
+}
+
+}  // namespace vcfr::fault

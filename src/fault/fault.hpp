@@ -1,0 +1,90 @@
+// Typed fault model — the dependability vocabulary shared by the
+// emulator, the OS kernel, and the fault-injection campaign.
+//
+// The paper's core dependability claim (§V, §VI) is that instruction-
+// granularity randomization turns control-flow corruption into *fast,
+// detectable crashes* instead of silent hijacks. Measuring that requires
+// a typed notion of "crash": every way the machine can stop is a
+// FaultKind, every fault carries its architectural context in a Trap, and
+// every process exit is an ExitStatus the kernel can act on (contain,
+// restart with a fresh seed, or report). Free-form error strings are a
+// rendering of this model, never the model itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vcfr::fault {
+
+/// Every architectural way execution can stop abnormally. Values are
+/// stable (serialized into campaign JSON); append, never renumber.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// Fetched bytes do not decode to an instruction (jump into data,
+  /// unmapped memory, or mid-instruction after corruption).
+  kBadOpcode = 1,
+  /// Naive-ILR fetch with no fall-through successor mapping.
+  kUnmappedFetch = 2,
+  /// VCFR randomized-tag violation (§IV-A): a control transfer targeted
+  /// an original-space address that was randomized away. This is the
+  /// hardware's attack/corruption detector.
+  kTranslationMismatch = 3,
+  kDivideByZero = 4,
+  /// `sys` with an unknown function byte.
+  kBadSyscall = 5,
+  /// Kernel watchdog: the process exceeded its instruction budget without
+  /// halting (livelocked / runaway, e.g. a looping ROP chain).
+  kWatchdog = 6,
+  /// Live re-randomization attempted against a process that was never
+  /// bound to a core (kernel misuse, surfaced as a typed fault instead of
+  /// a bare exception).
+  kRerandFailure = 7,
+};
+
+[[nodiscard]] std::string_view kind_name(FaultKind kind);
+
+/// One architectural fault event. `detail` is kind-specific: the opcode
+/// byte for kBadOpcode, the offending target address for
+/// kTranslationMismatch/kUnmappedFetch, the function byte for
+/// kBadSyscall, 0 otherwise.
+struct Trap {
+  FaultKind kind = FaultKind::kNone;
+  uint32_t pc = 0;      // architectural PC of the faulting instruction
+  uint32_t detail = 0;  // kind-specific operand (see above)
+  /// Instruction index at which the trap fired (instructions retired
+  /// before the fault) — the campaign's detection-latency clock.
+  uint64_t instruction = 0;
+
+  [[nodiscard]] bool ok() const { return kind == FaultKind::kNone; }
+
+  /// Human-readable rendering, e.g.
+  ///   "invalid opcode 0x7f (pc=0x4000123)"
+  /// Deterministic; the CLI and reports print this, and legacy callers
+  /// that still compare error strings keep working.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// How a process left the fleet (§IV-B containment model).
+enum class ExitCode : uint8_t {
+  kRunning = 0,       // still scheduled
+  kHalted = 1,        // clean architectural halt
+  kFaulted = 2,       // typed trap (see ExitStatus::trap)
+  kWatchdogKill = 3,  // kernel killed it for exceeding the watchdog budget
+  kBudget = 4,        // parked: per-process max_instructions exhausted
+};
+
+[[nodiscard]] std::string_view exit_name(ExitCode code);
+
+/// The kernel-visible exit record: a typed code plus the trap that caused
+/// it (trap.kind == kNone for clean exits).
+struct ExitStatus {
+  ExitCode code = ExitCode::kRunning;
+  Trap trap;
+
+  [[nodiscard]] bool crashed() const {
+    return code == ExitCode::kFaulted || code == ExitCode::kWatchdogKill;
+  }
+};
+
+}  // namespace vcfr::fault

@@ -45,6 +45,9 @@ std::string FleetReport::to_json() const {
   w.key("drc_entries_flushed").value(drc_entries_flushed);
   w.key("bitmap_entries_flushed").value(bitmap_entries_flushed);
   w.key("rerandomizations").value(rerandomizations);
+  w.key("restarts").value(restarts);
+  w.key("watchdog_kills").value(watchdog_kills);
+  w.key("injected_faults").value(injected_faults);
   w.key("fleet_cycles").value(fleet_cycles);
   w.key("fleet_instructions").value(fleet_instructions);
   w.key("fleet_ipc").raw_value(json_double(fleet_ipc));
@@ -105,6 +108,11 @@ std::string FleetReport::to_json() const {
     w.key("epoch").value(p.epoch);
     w.key("halted").value(p.halted);
     w.key("error").value(p.error);
+    w.key("exit").value(p.exit);
+    w.key("fault_kind").value(p.fault_kind);
+    w.key("trap_pc").value(p.trap_pc);
+    w.key("restarts").value(p.restarts);
+    w.key("injected").value(p.injected);
     w.key("arch_match").value(p.arch_match);
     w.key("finish_cycles").value(p.finish_cycles);
     w.key("isolated_cycles").value(p.isolated_cycles);
@@ -127,15 +135,22 @@ std::string FleetReport::summary() const {
     << drc_entries_flushed << " DRC + " << bitmap_entries_flushed
     << " bitmap entries flushed, " << rerandomizations
     << " re-randomizations\n";
+  if (restarts != 0 || watchdog_kills != 0 || injected_faults != 0) {
+    o << "faults: " << injected_faults << " injected, " << watchdog_kills
+      << " watchdog kills, " << restarts << " restarts\n";
+  }
   o << "shared L2: " << shared_l2.l2.accesses << " accesses, miss rate "
     << json_double(shared_l2.l2.miss_rate()) << ", queue delay "
     << shared_l2.queue_delay_cycles << " cycles\n";
   for (const auto& p : processes) {
     o << "  pid " << p.pid << " " << p.workload << " (core " << p.core
       << "): " << p.instructions << " instr, " << p.slices << " slices, "
-      << p.context_switches << " switches, epoch " << p.epoch
-      << (p.halted ? ", halted" : "")
-      << (p.error.empty() ? "" : ", FAULT: " + p.error)
+      << p.context_switches << " switches, epoch " << p.epoch << ", "
+      << p.exit << (p.error.empty() ? "" : " [" + p.error + "]")
+      << (p.injected ? ", injected" : "")
+      << (p.restarts != 0
+              ? ", " + std::to_string(p.restarts) + " restart(s)"
+              : "")
       << (p.arch_match ? ", arch ok" : ", ARCH MISMATCH");
     if (p.isolated_cycles != 0) {
       o << ", slowdown " << json_double(p.slowdown) << "x";

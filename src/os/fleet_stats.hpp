@@ -30,6 +30,16 @@ struct ProcessReport {
   uint64_t epoch = 0;
   bool halted = false;
   std::string error;
+  /// Typed exit (fault::exit_name): halted | faulted | watchdog_kill |
+  /// budget ("running" only if the round cap cut the run short).
+  std::string exit = "running";
+  /// Trap kind for crashed exits (fault::kind_name; "none" otherwise).
+  std::string fault_kind = "none";
+  uint32_t trap_pc = 0;
+  /// Re-randomize-on-crash firings this process consumed.
+  uint32_t restarts = 0;
+  /// An armed fault injection took effect during the run.
+  bool injected = false;
   /// Architectural result matches the process's isolated single-process
   /// run (only meaningful when the kernel measured baselines).
   bool arch_match = true;
@@ -57,6 +67,11 @@ struct FleetReport {
   uint64_t drc_entries_flushed = 0;
   uint64_t bitmap_entries_flushed = 0;
   uint64_t rerandomizations = 0;
+  /// Containment activity (src/fault/): processes restarted with a fresh
+  /// seed, watchdog kills, and injected corruptions that took effect.
+  uint64_t restarts = 0;
+  uint64_t watchdog_kills = 0;
+  uint64_t injected_faults = 0;
   uint64_t fleet_cycles = 0;  // slowest core's clock
   uint64_t fleet_instructions = 0;
   double fleet_ipc = 0.0;

@@ -62,6 +62,38 @@ void Kernel::dispatch(uint32_t core, Process& proc) {
   }
 }
 
+void Kernel::consider_restart(const Process& proc) {
+  const RestartPolicy& policy = proc.config().restart;
+  const bool eligible =
+      policy.mode == RestartPolicy::Mode::kAlways ||
+      (policy.mode == RestartPolicy::Mode::kOnFault &&
+       proc.exit_status().crashed());
+  if (!eligible || proc.restarts() >= policy.max_restarts) return;
+  // Exponential backoff in scheduler rounds, capped well below overflow.
+  const uint32_t shift = std::min<uint32_t>(proc.restarts(), 32);
+  const uint64_t delay = policy.backoff_rounds << shift;
+  pending_restarts_.push_back(PendingRestart{proc.pid(), rounds_ + delay});
+}
+
+void Kernel::service_restarts() {
+  for (auto it = pending_restarts_.begin(); it != pending_restarts_.end();) {
+    if (it->due_round > rounds_) {
+      ++it;
+      continue;
+    }
+    Process& p = *procs_[it->pid];
+    p.restart();
+    ++restarts_;
+    sched_.requeue(static_cast<uint32_t>(p.core()), p.pid());
+    const uint32_t core = static_cast<uint32_t>(p.core());
+    if (!lanes_.empty() && lanes_[core] != nullptr) {
+      lanes_[core]->instant(telemetry::TraceEventType::kRestart, p.pid(),
+                            cores_[core]->cycles(), p.restarts());
+    }
+    it = pending_restarts_.erase(it);
+  }
+}
+
 uint64_t Kernel::fleet_now() const {
   uint64_t now = 0;
   for (const auto& core : cores_) now = std::max(now, core->now());
@@ -105,10 +137,46 @@ void Kernel::setup_telemetry() {
   // Host-execution counters (deterministic for a given config, but about
   // how the host ran the fleet, not what the fleet computed — hence their
   // own top-level scope instead of fleet.*).
-  const telemetry::Scope pool = telemetry_->root().scope("kernel").scope("pool");
+  const telemetry::Scope kernel = telemetry_->root().scope("kernel");
+  const telemetry::Scope pool = kernel.scope("pool");
   pool.counter_fn("rounds", [this] { return pool_rounds(); });
   pool.counter_fn("workers",
                   [this] { return static_cast<uint64_t>(pool_workers()); });
+  kernel.counter("restarts", &restarts_);
+  kernel.counter("watchdog_kills", &watchdog_kills_);
+
+  // Fault-injection observability (docs/OBSERVABILITY.md): per-site
+  // applied-injection counts plus the injection→trap latency histogram.
+  const telemetry::Scope fault_scope = telemetry_->root().scope("fault");
+  bool any_armed = false;
+  for (const fault::FaultSite site :
+       {fault::FaultSite::kCodeByte, fault::FaultSite::kTranslationEntry,
+        fault::FaultSite::kRetSlot, fault::FaultSite::kRetBitmap,
+        fault::FaultSite::kPayload}) {
+    bool armed = false;
+    for (const auto& proc : procs_) {
+      if (proc->config().inject_enabled && proc->config().inject.site == site) {
+        armed = true;
+        any_armed = true;
+      }
+    }
+    if (!armed) continue;
+    fault_scope.counter_fn(
+        "injected." + std::string(fault::site_name(site)), [this, site] {
+          uint64_t n = 0;
+          for (const auto& proc : procs_) {
+            const fault::FaultInjector* inj = proc->injector();
+            if (inj != nullptr && inj->applied() &&
+                inj->plan().site == site) {
+              ++n;
+            }
+          }
+          return n;
+        });
+  }
+  if (any_armed) {
+    detect_latency_hist_ = fault_scope.histogram("detect_latency");
+  }
 
   lanes_.assign(cores, nullptr);
   telemetry::Tracer* tracer = telemetry_->tracer();
@@ -164,7 +232,10 @@ FleetReport Kernel::run() {
   // times at smoke scale and must not allocate on its steady path.
   auto run_slice = [&](uint32_t c) {
     Process& p = *procs_[running[c]];
-    const uint64_t budget = std::min(slice, p.remaining());
+    // The slice stops exactly on an armed injection's instruction boundary
+    // (the corruption itself lands in serial bookkeeping — race-free).
+    const uint64_t budget =
+        std::min(std::min(slice, p.remaining()), p.injection_gap());
     const uint64_t start = cores_[c]->now();
     const uint64_t ran = cores_[c]->run(p.emulator(), budget);
     p.stats().instructions += ran;
@@ -182,18 +253,20 @@ FleetReport Kernel::run() {
     run_slice(active[i]);
   };
 
-  while (sched_.any_runnable()) {
+  while (sched_.any_runnable() || !pending_restarts_.empty()) {
     ++rounds_;
     if (config_.max_rounds != 0 && rounds_ > config_.max_rounds) break;
+    if (!pending_restarts_.empty()) service_restarts();
 
     // -- dispatch (serial: touches per-core context + clocks only) -------
     for (uint32_t c = 0; c < cores; ++c) {
       running[c] = sched_.pick(c);
       if (running[c] < 0) continue;
       Process& p = *procs_[running[c]];
-      if (p.remaining() == 0) {
+      if (p.remaining() == 0 && !p.injection_due()) {
         // Budget exhausted exactly at a slice boundary.
-        p.finish(cores_[c]->cycles());
+        p.finish(cores_[c]->cycles(),
+                 fault::ExitStatus{fault::ExitCode::kBudget, {}});
         running[c] = -1;
         continue;
       }
@@ -229,9 +302,44 @@ FleetReport Kernel::run() {
     // -- bookkeeping -----------------------------------------------------
     for (const uint32_t c : active) {
       Process& p = *procs_[running[c]];
+      // Armed corruption fires here: serial phase, process-private state,
+      // and the slice budget already stopped the victim on the boundary.
+      if (p.injection_due() && p.apply_injection()) {
+        ++injected_faults_;
+        if (!lanes_.empty() && lanes_[c] != nullptr) {
+          lanes_[c]->instant(telemetry::TraceEventType::kFaultInject,
+                             p.pid(), cores_[c]->cycles(),
+                             p.injector()->record().address);
+        }
+      }
       const auto& emu = p.emulator();
-      if (emu.halted() || !emu.error().empty() || p.remaining() == 0) {
-        p.finish(cores_[c]->cycles());
+      fault::ExitStatus exit;
+      if (emu.faulted()) {
+        // Typed trap: contain — the process leaves, the fleet keeps going.
+        exit.code = fault::ExitCode::kFaulted;
+        exit.trap = emu.trap();
+        const fault::FaultInjector* inj = p.injector();
+        if (detect_latency_hist_ != nullptr && inj != nullptr &&
+            inj->applied() &&
+            exit.trap.instruction >= inj->record().at_instruction) {
+          detect_latency_hist_->record(exit.trap.instruction -
+                                       inj->record().at_instruction);
+        }
+      } else if (emu.halted()) {
+        exit.code = fault::ExitCode::kHalted;
+      } else if (p.config().watchdog_instructions != 0 &&
+                 p.life_instructions() >= p.config().watchdog_instructions) {
+        // Livelocked / runaway (e.g. a looping ROP chain): kill it.
+        p.emulator().raise_external(fault::FaultKind::kWatchdog);
+        exit.code = fault::ExitCode::kWatchdogKill;
+        exit.trap = p.emulator().trap();
+        ++watchdog_kills_;
+      } else if (p.remaining() == 0) {
+        exit.code = fault::ExitCode::kBudget;
+      }
+      if (exit.code != fault::ExitCode::kRunning) {
+        p.finish(cores_[c]->cycles(), exit);
+        consider_restart(p);
         continue;
       }
       const uint32_t every = p.config().rerandomize.every_slices;
@@ -263,6 +371,9 @@ FleetReport Kernel::run() {
   FleetReport report;
   report.rounds = rounds_;
   report.preemptions = sched_.preemptions();
+  report.restarts = restarts_;
+  report.watchdog_kills = watchdog_kills_;
+  report.injected_faults = injected_faults_;
   for (uint32_t c = 0; c < cores; ++c) {
     const auto& cs = ctx_[c]->stats();
     report.context_switches += cs.switches;
@@ -309,8 +420,18 @@ FleetReport Kernel::run() {
     pr.epoch = p.epoch();
     pr.halted = p.emulator().halted();
     pr.error = p.emulator().error();
+    pr.exit = std::string(fault::exit_name(p.exit_status().code));
+    pr.fault_kind = std::string(fault::kind_name(p.exit_status().trap.kind));
+    pr.trap_pc = p.exit_status().trap.pc;
+    pr.restarts = p.restarts();
+    pr.injected = p.injector() != nullptr && p.injector()->applied();
     pr.finish_cycles = p.stats().finish_cycles;
-    if (config_.measure_isolated) {
+    // A perturbed process (injected, watchdogged, or restarted onto a new
+    // lineage) has no meaningful clean baseline to compare against.
+    const bool perturbed = pr.injected || pr.restarts != 0 ||
+                           p.exit_status().code ==
+                               fault::ExitCode::kWatchdogKill;
+    if (config_.measure_isolated && !perturbed) {
       measure_isolated(pr, p);
     }
     report.processes.push_back(pr);
@@ -337,7 +458,8 @@ void Kernel::measure_isolated(ProcessReport& report,
 
   report.arch_match =
       proc.finished() && isolated.halted == proc.emulator().halted() &&
-      isolated.error == proc.emulator().error() &&
+      isolated.trap.kind == proc.emulator().trap().kind &&
+      isolated.trap.pc == proc.emulator().trap().pc &&
       isolated.output == proc.emulator().output() &&
       isolated.stats.instructions == proc.stats().instructions;
   if (proc.epoch() == 0) {

@@ -97,10 +97,28 @@ class Kernel {
     return pool_ == nullptr ? 0 : pool_->workers();
   }
 
+  /// Processes the kernel restarted (re-randomize-on-crash firings).
+  [[nodiscard]] uint64_t restarts() const { return restarts_; }
+  /// Processes killed for exceeding their watchdog instruction budget.
+  [[nodiscard]] uint64_t watchdog_kills() const { return watchdog_kills_; }
+
  private:
+  /// A crashed (or, under kAlways, halted) process waiting out its
+  /// exponential backoff before the kernel re-images it.
+  struct PendingRestart {
+    uint32_t pid = 0;
+    uint64_t due_round = 0;
+  };
+
   /// Dispatches `pid` on `core`: context switch (flush + overhead) when
   /// the address space changed, then pipeline install.
   void dispatch(uint32_t core, Process& proc);
+  /// Containment decision for a finished process: queue a restart when its
+  /// policy says so and the cap allows (backoff doubles per restart).
+  void consider_restart(const Process& proc);
+  /// Restarts every queued process whose backoff elapsed and requeues it
+  /// on its home core.
+  void service_restarts();
   /// Isolated re-run of one finished process (arch_match + slowdown).
   void measure_isolated(ProcessReport& report, const Process& proc) const;
   /// Registers every core/process/shared structure with the attached
@@ -118,6 +136,14 @@ class Kernel {
   std::vector<std::pair<int64_t, int64_t>> installed_;
   std::vector<std::unique_ptr<Process>> procs_;
   uint64_t rounds_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t watchdog_kills_ = 0;
+  /// Injections that took effect (fault.injected.* counts by site).
+  uint64_t injected_faults_ = 0;
+  std::vector<PendingRestart> pending_restarts_;
+  /// fault.detect_latency (injection → trap, in instructions); null when
+  /// telemetry is not attached.
+  telemetry::Histogram* detect_latency_hist_ = nullptr;
   /// Persistent execute-phase workers, created lazily on the first round
   /// that has two or more active cores. Replaces per-round thread
   /// spawn/join; see os/worker_pool.hpp for the determinism argument.

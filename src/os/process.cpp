@@ -1,7 +1,5 @@
 #include "os/process.hpp"
 
-#include <stdexcept>
-
 #include "emu/rerandomize.hpp"
 #include "workloads/suite.hpp"
 
@@ -22,11 +20,14 @@ Process::Process(uint32_t pid, const ProcessConfig& config)
   binary::load(rr_->vcfr, mem_);
   emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
   emu_->set_enforce_tags(config_.enforce_tags);
+  if (config_.inject_enabled) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.inject);
+  }
 }
 
 rewriter::RandomizeOptions Process::options_for_epoch(uint64_t epoch) const {
   rewriter::RandomizeOptions options;
-  options.seed = config_.seed + kSeedMix * epoch;
+  options.seed = config_.seed + kSeedMix * epoch + reseed_;
   return options;
 }
 
@@ -46,6 +47,15 @@ core::ProcessContext Process::context() const {
 }
 
 bool Process::try_rerandomize() {
+  if (bound_mem_ == nullptr) {
+    // Kernel misuse (rerandomize before bind()) used to throw a bare
+    // logic_error through the scheduler; surface it as a typed fault the
+    // containment machinery handles like any other crash.
+    emu_->raise_external(fault::FaultKind::kRerandFailure);
+    exit_status_.code = fault::ExitCode::kFaulted;
+    exit_status_.trap = emu_->trap();
+    return false;
+  }
   // Quiescence check (§V-C): the live swap re-translates the PC and every
   // bitmap-marked stack slot, but a randomized code pointer sitting in a
   // general-purpose register would silently go stale. A preemption point is
@@ -64,18 +74,51 @@ bool Process::try_rerandomize() {
   rr_ = std::move(next);
   ++epoch_;
   ++stats_.rerandomizations;
-  if (bound_mem_ == nullptr) {
-    throw std::logic_error("rerandomize before bind()");
-  }
   // The tables object was replaced — rebuild the walker over it.
   walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
                                                       *bound_mem_);
   return true;
 }
 
-void Process::finish(uint64_t core_cycles) {
+void Process::finish(uint64_t core_cycles, fault::ExitStatus status) {
   finished_ = true;
+  exit_status_ = status;
   stats_.finish_cycles = core_cycles;
+}
+
+void Process::restart() {
+  ++restarts_;
+  // Fresh placement lineage: the salt shifts every future epoch seed away
+  // from anything the crashed lineage used (or would have re-randomized
+  // into), so a layout leak from the old life says nothing about the new.
+  reseed_ = kSeedMix * (0xbadc0ffeull + restarts_);
+  ++epoch_;
+  rr_ = std::make_unique<rewriter::RandomizeResult>(
+      rewriter::randomize(base_, options_for_epoch(epoch_)));
+  mem_ = binary::Memory();
+  binary::load(rr_->vcfr, mem_);
+  emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
+  emu_->set_enforce_tags(config_.enforce_tags);
+  if (bound_mem_ != nullptr) {
+    walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
+                                                        *bound_mem_);
+  }
+  finished_ = false;
+  exit_status_ = fault::ExitStatus{};
+  life_base_ = stats_.instructions;
+  // An already-fired injection stays consumed: the replacement runs clean.
+}
+
+uint64_t Process::injection_gap() const {
+  if (injector_ == nullptr || injector_->attempted()) return UINT64_MAX;
+  const uint64_t life = life_instructions();
+  const uint64_t at = injector_->plan().at_instruction;
+  return at > life ? at - life : 0;
+}
+
+bool Process::apply_injection() {
+  if (injector_ == nullptr) return false;
+  return injector_->apply(rr_->vcfr, mem_, *emu_, &base_);
 }
 
 }  // namespace vcfr::os

@@ -19,6 +19,8 @@
 #include "core/context.hpp"
 #include "core/translation.hpp"
 #include "emu/emulator.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "rewriter/randomizer.hpp"
 
 namespace vcfr::os {
@@ -28,17 +30,44 @@ struct RerandomizePolicy {
   uint32_t every_slices = 0;
 };
 
+/// What the kernel does when a process leaves the fleet (MARDU-style
+/// re-randomize-on-crash): a restarted process re-images from scratch
+/// with a *fresh* placement seed, so the attacker's knowledge of the
+/// crashed layout is worthless against the replacement.
+struct RestartPolicy {
+  enum class Mode : uint8_t {
+    kNever = 0,    // crashed processes stay down (default)
+    kOnFault = 1,  // restart after a typed fault or watchdog kill
+    kAlways = 2,   // also restart clean halts (a resident service)
+  };
+  Mode mode = Mode::kNever;
+  /// Lifetime cap on restarts per process.
+  uint32_t max_restarts = 3;
+  /// Scheduler rounds before the first restart; doubles per restart
+  /// (exponential backoff). 0 = restart on the next round.
+  uint64_t backoff_rounds = 8;
+};
+
 struct ProcessConfig {
   std::string workload = "gcc";
   int scale = 1;
   uint64_t seed = 1;
-  /// Architectural instruction budget; the process parks as finished when
-  /// it halts, faults, or exhausts this.
+  /// Architectural instruction budget *per life*; the process parks as
+  /// finished when it halts, faults, or exhausts this.
   uint64_t max_instructions = 200'000'000;
   RerandomizePolicy rerandomize{};
   /// Randomized-tag enforcement (§IV-A) — on, as a production kernel would
   /// run it.
   bool enforce_tags = true;
+  RestartPolicy restart{};
+  /// Kernel watchdog: kill (typed kWatchdog) once a life retires this many
+  /// instructions without halting. 0 = off. Must be < max_instructions to
+  /// ever fire before the budget parks the process.
+  uint64_t watchdog_instructions = 0;
+  /// Armed fault injection (fires once, at inject.at_instruction retired
+  /// instructions of the first life).
+  fault::FaultPlan inject{};
+  bool inject_enabled = false;
 };
 
 struct ProcessStats {
@@ -81,22 +110,57 @@ class Process {
   /// false (and counts a deferral) when any general-purpose register holds
   /// a randomized-space address — not a quiescent point. On success the
   /// image, tables, walker, and emulator are swapped and the epoch bumps.
+  /// Calling this before bind() is kernel misuse and surfaces as a typed
+  /// kRerandFailure fault on the process (never an exception).
   bool try_rerandomize();
 
-  /// Marks the process finished and records the core clock.
-  void finish(uint64_t core_cycles);
+  /// Marks the process finished with a typed exit and records the core
+  /// clock.
+  void finish(uint64_t core_cycles, fault::ExitStatus status);
+
+  /// Re-images the process from scratch with a fresh placement seed
+  /// (restart-with-rerandomize): new randomization, memory, and emulator;
+  /// the epoch bumps so every cached translation of the dead layout is
+  /// flushed at the next dispatch. Cumulative stats survive; the
+  /// per-life instruction budget and watchdog clock reset.
+  void restart();
 
   [[nodiscard]] uint32_t pid() const { return pid_; }
   [[nodiscard]] int core() const { return core_; }
   [[nodiscard]] const ProcessConfig& config() const { return config_; }
   [[nodiscard]] uint64_t epoch() const { return epoch_; }
   [[nodiscard]] bool finished() const { return finished_; }
-  /// Instructions still within budget.
-  [[nodiscard]] uint64_t remaining() const {
-    return config_.max_instructions > stats_.instructions
-               ? config_.max_instructions - stats_.instructions
-               : 0;
+  [[nodiscard]] const fault::ExitStatus& exit_status() const {
+    return exit_status_;
   }
+  [[nodiscard]] uint32_t restarts() const { return restarts_; }
+  /// Instructions retired by the current life (restart resets it; the
+  /// watchdog and the per-life budget run on this clock).
+  [[nodiscard]] uint64_t life_instructions() const {
+    return stats_.instructions - life_base_;
+  }
+  /// Instructions still within the current life's budget.
+  [[nodiscard]] uint64_t remaining() const {
+    const uint64_t life = life_instructions();
+    return config_.max_instructions > life ? config_.max_instructions - life
+                                           : 0;
+  }
+
+  // ---- fault injection (config.inject) -----------------------------------
+  [[nodiscard]] const fault::FaultInjector* injector() const {
+    return injector_.get();
+  }
+  /// True when the armed plan should fire now (bookkeeping applies it).
+  [[nodiscard]] bool injection_due() const {
+    return injector_ != nullptr && injector_->due(life_instructions());
+  }
+  /// Instructions until the armed plan fires — the kernel truncates the
+  /// slice budget with this so the corruption lands on the exact boundary.
+  /// UINT64_MAX when nothing is pending.
+  [[nodiscard]] uint64_t injection_gap() const;
+  /// Applies the armed corruption against the live image/memory/emulator.
+  /// Returns whether it took effect (idempotent).
+  bool apply_injection();
 
   [[nodiscard]] emu::Emulator& emulator() { return *emu_; }
   [[nodiscard]] const emu::Emulator& emulator() const { return *emu_; }
@@ -124,6 +188,14 @@ class Process {
   int core_ = -1;
   uint64_t epoch_ = 0;
   bool finished_ = false;
+  fault::ExitStatus exit_status_;
+  uint32_t restarts_ = 0;
+  /// stats_.instructions at the start of the current life.
+  uint64_t life_base_ = 0;
+  /// Restart salt mixed into options_for_epoch — a restarted process must
+  /// not land on any placement of the crashed lineage.
+  uint64_t reseed_ = 0;
+  std::unique_ptr<fault::FaultInjector> injector_;
   ProcessStats stats_;
 };
 

@@ -25,6 +25,10 @@ const char* trace_event_name(TraceEventType type) {
       return "rerand_epoch";
     case TraceEventType::kRoundCommit:
       return "round_commit";
+    case TraceEventType::kFaultInject:
+      return "fault_inject";
+    case TraceEventType::kRestart:
+      return "restart";
     case TraceEventType::kDerand:
       return "derand";
     case TraceEventType::kRand:
@@ -47,6 +51,8 @@ const char* trace_event_category(TraceEventType type) {
     case TraceEventType::kContextSwitch:
     case TraceEventType::kRerandEpoch:
     case TraceEventType::kRoundCommit:
+    case TraceEventType::kFaultInject:
+    case TraceEventType::kRestart:
       return "os";
     case TraceEventType::kDerand:
     case TraceEventType::kRand:

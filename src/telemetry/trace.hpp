@@ -36,6 +36,8 @@ enum class TraceEventType : uint8_t {
   kContextSwitch,  // address-space change; dur = switch overhead
   kRerandEpoch,    // live re-randomization epoch bump (arg = new epoch)
   kRoundCommit,    // shared-L2 round commit (arg = round number)
+  kFaultInject,    // injected corruption landed (instant; arg = address)
+  kRestart,        // kernel restarted a process (arg = restart count)
   // Golden-model (functional emulator) events; the "cycle" is the
   // instruction index, which is still deterministic and monotonic.
   kDerand,         // target de-randomization (instant; arg = derand key)

@@ -116,6 +116,64 @@ TEST(SerializeTest, RejectsUnknownLayoutByte) {
   EXPECT_THROW((void)load_file(bad), std::runtime_error);
 }
 
+TEST(SerializeTest, MutationFuzzOnlyEverThrowsFormatError) {
+  // Loader-hardening contract: no byte-level mutation or truncation of a
+  // valid VXE stream may escape load_file as anything but a typed
+  // FormatError (and absolutely not as a crash or a std::bad_alloc from a
+  // corrupted count field). A mutation that happens to keep the format
+  // valid may still load — that is fine; only the failure *type* is pinned.
+  const Image base = sample_image();
+  rewriter::RandomizeOptions opts;
+  opts.seed = 4242;
+  const auto rr = rewriter::randomize(base, opts);
+
+  uint64_t state = 0x5eed;
+  auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+
+  size_t loaded = 0, rejected = 0;
+  for (const Image* img : {&base, &rr.naive, &rr.vcfr}) {
+    std::stringstream ss;
+    save(*img, ss);
+    const std::string bytes = ss.str();
+    for (int round = 0; round < 200; ++round) {
+      std::string mutated = bytes;
+      switch (next() % 3) {
+        case 0:  // single bit flip
+          mutated[next() % mutated.size()] ^=
+              static_cast<char>(1u << (next() % 8));
+          break;
+        case 1:  // truncation
+          mutated.resize(next() % mutated.size());
+          break;
+        default:  // burst: four byte overwrites
+          for (int i = 0; i < 4; ++i) {
+            mutated[next() % mutated.size()] = static_cast<char>(next());
+          }
+          break;
+      }
+      std::stringstream in(mutated);
+      try {
+        const Image back = load_file(in);
+        (void)back;
+        ++loaded;
+      } catch (const FormatError& e) {
+        EXPECT_FALSE(format_fault_name(e.fault()).empty());
+        ++rejected;
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "non-FormatError escaped load_file: " << e.what();
+      }
+    }
+  }
+  EXPECT_EQ(loaded + rejected, 600u);
+  EXPECT_GT(rejected, 0u) << "the fuzzer never hit a framing field";
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   const Image image = sample_image();
   const std::string path = testing::TempDir() + "/vcfr_serialize_test.vxe";

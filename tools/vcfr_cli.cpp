@@ -21,6 +21,9 @@
 #include "binary/serialize.hpp"
 #include "emu/emulator.hpp"
 #include "emu/trace.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "gadget/payload.hpp"
 #include "gadget/scanner.hpp"
 #include "isa/assembler.hpp"
@@ -57,6 +60,15 @@ struct Args {
   std::string workload_list;
   bool json = false;
   bool no_baseline = false;
+  // Fault containment (fleet) and campaign (faultcamp) controls.
+  std::string restart;       // never | on-fault | always
+  uint32_t max_restarts = 3;
+  uint64_t backoff = 8;
+  uint64_t watchdog = 0;
+  std::string inject;        // pid:site:instr[:seed]
+  std::string layout_list;   // native,naive,vcfr
+  std::string site_list;     // code_byte,translation_entry,...
+  uint32_t trials = 4;
   // Telemetry outputs (docs/OBSERVABILITY.md).
   std::string stats_json;
   std::string trace_out;
@@ -121,6 +133,22 @@ Args parse_args(int argc, char** argv) {
       args.rerand = static_cast<uint32_t>(std::stoul(value()));
     } else if (a == "--workloads") {
       args.workload_list = value();
+    } else if (a == "--restart") {
+      args.restart = value();
+    } else if (a == "--max-restarts") {
+      args.max_restarts = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--backoff") {
+      args.backoff = std::stoull(value());
+    } else if (a == "--watchdog") {
+      args.watchdog = std::stoull(value());
+    } else if (a == "--inject") {
+      args.inject = value();
+    } else if (a == "--layouts") {
+      args.layout_list = value();
+    } else if (a == "--sites") {
+      args.site_list = value();
+    } else if (a == "--trials") {
+      args.trials = static_cast<uint32_t>(std::stoul(value()));
     } else if (a == "--json") {
       args.json = boolean();
     } else if (a == "--no-baseline") {
@@ -174,7 +202,11 @@ void validate_flags(const std::string& cmd, const Args& args) {
       {"fleet",
        {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
         "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
+        "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
         "--stats-json", "--trace-out", "--sample-interval", "--sample-out"}},
+      {"faultcamp",
+       {"--workloads", "--scale", "--seed", "--trials", "--max-instr",
+        "--layouts", "--sites", "--json", "--output", "--stats-json"}},
   };
   const auto it = kAllowed.find(cmd);
   if (it == kAllowed.end()) return;  // unknown command: usage() handles it
@@ -505,6 +537,56 @@ int cmd_entropy(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+os::RestartPolicy::Mode parse_restart_mode(const std::string& name) {
+  if (name == "never") return os::RestartPolicy::Mode::kNever;
+  if (name == "on-fault") return os::RestartPolicy::Mode::kOnFault;
+  if (name == "always") return os::RestartPolicy::Mode::kAlways;
+  throw std::runtime_error("--restart expects never|on-fault|always, got '" +
+                           name + "'");
+}
+
+/// --inject pid:site:instr[:seed] — arm one corruption in one process.
+struct InjectSpec {
+  uint32_t pid = 0;
+  fault::FaultPlan plan;
+};
+
+InjectSpec parse_inject(const std::string& spec) {
+  const std::vector<std::string> parts = split_list([&] {
+    std::string s = spec;
+    for (char& c : s) {
+      if (c == ':') c = ',';
+    }
+    return s;
+  }());
+  if (parts.size() < 3 || parts.size() > 4) {
+    throw std::runtime_error(
+        "--inject expects pid:site:instr[:seed], got '" + spec + "'");
+  }
+  InjectSpec out;
+  out.pid = static_cast<uint32_t>(std::stoul(parts[0]));
+  const auto site = fault::parse_site(parts[1]);
+  if (!site) {
+    throw std::runtime_error("--inject: unknown fault site '" + parts[1] +
+                             "' (code_byte|translation_entry|ret_slot|"
+                             "ret_bitmap|payload)");
+  }
+  out.plan.site = *site;
+  out.plan.at_instruction = std::stoull(parts[2]);
+  out.plan.seed = parts.size() == 4 ? std::stoull(parts[3]) : 1;
+  return out;
+}
+
 int cmd_fleet(const Args& args) {
   os::KernelConfig kc;
   kc.cores = args.cores;
@@ -514,17 +596,17 @@ int cmd_fleet(const Args& args) {
 
   // Workloads: explicit comma-separated list, or cycle the SPEC-like
   // suite in the paper's order.
-  std::vector<std::string> names;
-  if (!args.workload_list.empty()) {
-    std::stringstream ss(args.workload_list);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      if (!item.empty()) names.push_back(item);
-    }
-  } else {
-    names = workloads::spec_names();
-  }
+  std::vector<std::string> names = !args.workload_list.empty()
+                                       ? split_list(args.workload_list)
+                                       : workloads::spec_names();
   if (names.empty()) throw std::runtime_error("no workloads given");
+
+  os::RestartPolicy restart;
+  if (!args.restart.empty()) restart.mode = parse_restart_mode(args.restart);
+  restart.max_restarts = args.max_restarts;
+  restart.backoff_rounds = args.backoff;
+  std::optional<InjectSpec> inject;
+  if (!args.inject.empty()) inject = parse_inject(args.inject);
 
   os::Kernel kernel(kc);
   std::optional<telemetry::Telemetry> tel;
@@ -540,7 +622,17 @@ int cmd_fleet(const Args& args) {
     pc.seed = args.seed ^ (0x9e3779b97f4a7c15ull * (i + 1));
     pc.max_instructions = args.max_instr;
     pc.rerandomize.every_slices = args.rerand;
+    pc.restart = restart;
+    pc.watchdog_instructions = args.watchdog;
+    if (inject && inject->pid == i) {
+      pc.inject = inject->plan;
+      pc.inject_enabled = true;
+    }
     kernel.spawn(pc);
+  }
+  if (inject && inject->pid >= args.procs) {
+    throw std::runtime_error("--inject pid out of range (procs=" +
+                             std::to_string(args.procs) + ")");
   }
 
   const os::FleetReport report = kernel.run();
@@ -551,9 +643,74 @@ int cmd_fleet(const Args& args) {
     std::fputs(report.summary().c_str(), stdout);
     std::fputs(report.to_json().c_str(), stdout);
   }
+  // Exit status reflects the fleet's final state: a crash that the
+  // restart policy recovered from (process came back and halted) is a
+  // success; an unrecovered fault or watchdog kill is not.
   for (const auto& p : report.processes) {
     if (!p.arch_match && kc.measure_isolated) return 1;
-    if (!p.error.empty()) return 1;
+    if (p.exit == fault::exit_name(fault::ExitCode::kFaulted) ||
+        p.exit == fault::exit_name(fault::ExitCode::kWatchdogKill)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_faultcamp(const Args& args) {
+  fault::CampaignConfig cc;
+  if (!args.workload_list.empty()) cc.workloads = split_list(args.workload_list);
+  cc.scale = args.scale;
+  cc.trials = args.trials;
+  cc.seed = args.seed;
+  // The global default budget (100M) is sized for full workloads; a hung
+  // campaign trial should cost far less. Keep an explicit flag override.
+  cc.max_instructions = args.max_instr == 100'000'000 ? 2'000'000
+                                                      : args.max_instr;
+  if (!args.layout_list.empty()) {
+    cc.layouts.clear();
+    for (const std::string& name : split_list(args.layout_list)) {
+      if (name == "native" || name == "original") {
+        cc.layouts.push_back(binary::Layout::kOriginal);
+      } else if (name == "naive" || name == "naive_ilr") {
+        cc.layouts.push_back(binary::Layout::kNaiveIlr);
+      } else if (name == "vcfr") {
+        cc.layouts.push_back(binary::Layout::kVcfr);
+      } else {
+        throw std::runtime_error("--layouts: unknown layout '" + name +
+                                 "' (native|naive|vcfr)");
+      }
+    }
+  }
+  if (!args.site_list.empty()) {
+    cc.sites.clear();
+    for (const std::string& name : split_list(args.site_list)) {
+      const auto site = fault::parse_site(name);
+      if (!site) {
+        throw std::runtime_error("--sites: unknown fault site '" + name +
+                                 "' (code_byte|translation_entry|ret_slot|"
+                                 "ret_bitmap|payload)");
+      }
+      cc.sites.push_back(*site);
+    }
+  }
+
+  std::optional<telemetry::StatRegistry> registry;
+  if (!args.stats_json.empty()) registry.emplace();
+  const fault::CampaignReport report =
+      fault::run_campaign(cc, registry ? &*registry : nullptr);
+  if (registry) {
+    write_file(args.stats_json, registry->to_json());
+    std::fprintf(stderr, "stats: %s\n", args.stats_json.c_str());
+  }
+  if (!args.output.empty()) {
+    write_file(args.output, report.to_json());
+    std::fputs(report.summary().c_str(), stdout);
+    std::fprintf(stderr, "report: %s\n", args.output.c_str());
+  } else if (args.json) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else {
+    std::fputs(report.summary().c_str(), stdout);
+    std::fputs(report.to_json().c_str(), stdout);
   }
   return 0;
 }
@@ -593,9 +750,20 @@ void usage() {
       "      SV-C entropy report\n"
       "  fleet [--procs N] [--cores N] [--slice N] [--rerand N]\n"
       "      [--workloads a,b,c] [--scale S] [--seed N] [--drc N]\n"
-      "      [--max-instr N] [--json] [--no-baseline] [telemetry flags]\n"
+      "      [--max-instr N] [--json] [--no-baseline]\n"
+      "      [--restart never|on-fault|always] [--max-restarts N]\n"
+      "      [--backoff ROUNDS] [--watchdog INSTR]\n"
+      "      [--inject pid:site:instr[:seed]] [telemetry flags]\n"
       "      time-slice N independently randomized workloads on a shared\n"
-      "      L2+DRAM hierarchy\n"
+      "      L2+DRAM hierarchy; --inject arms one seeded corruption,\n"
+      "      --restart re-randomizes and restarts crashed processes\n"
+      "      (docs/DEPENDABILITY.md)\n"
+      "  faultcamp [--workloads a,b,c] [--scale S] [--seed N] [--trials N]\n"
+      "      [--max-instr N] [--layouts native,naive,vcfr]\n"
+      "      [--sites code_byte,translation_entry,ret_slot,ret_bitmap,\n"
+      "      payload] [--json] [-o report.json] [--stats-json PATH]\n"
+      "      dependability campaign: sweep seeded faults over workloads x\n"
+      "      layouts x sites; deterministic detection/containment report\n"
       "\n"
       "telemetry flags (run|sim|workload|fleet — docs/OBSERVABILITY.md):\n"
       "  --stats-json PATH       write the stat-registry snapshot as JSON\n"
@@ -631,6 +799,7 @@ int main(int argc, char** argv) {
     if (cmd == "cfg") return cmd_cfg(args);
     if (cmd == "entropy") return cmd_entropy(args);
     if (cmd == "fleet") return cmd_fleet(args);
+    if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
