@@ -123,8 +123,13 @@ uint32_t SharedL2::apply(const L2Request& request, uint64_t start) {
   return config_.l2.hit_latency + dram_latency;
 }
 
-std::vector<uint64_t> SharedL2::commit_round() {
+std::vector<uint64_t> SharedL2::commit_round(
+    std::vector<std::map<uint32_t, uint64_t>>* blame) {
   std::vector<uint64_t> penalty(ports_.size(), 0);
+  if (blame != nullptr) {
+    blame->clear();
+    blame->resize(ports_.size());
+  }
 
   // Deterministic global order: request cycle, then core id, then the
   // core-local sequence implied by log position (std::sort would lose it,
@@ -152,11 +157,16 @@ std::vector<uint64_t> SharedL2::commit_round() {
   // across rounds would make a lagging core queue behind the leading
   // core's *past* — a positive feedback that runs the clocks away.
   uint64_t port_free = 0;
+  // The asid whose request last claimed the port: whoever queues behind
+  // the busy port queues behind *this* tenant.
+  uint32_t port_owner_asid = 0;
   for (const Ref& ref : order) {
     const L2Request& request = ports_[ref.core].log_[ref.seq];
     const uint64_t start = std::max(request.now, port_free);
     const uint64_t queued = start - request.now;
+    const uint32_t blocker_asid = port_owner_asid;
     port_free = start + config_.service_cycles;
+    port_owner_asid = request.asid;
     // The DRAM model tracks absolute bank-busy horizons, so it must see a
     // monotonic clock even though core clocks drift between rounds; the
     // clamp never reaches the penalty arithmetic.
@@ -166,8 +176,14 @@ std::vector<uint64_t> SharedL2::commit_round() {
     if (is_demand_read(request)) {
       stats_.queue_delay_cycles += queued;
       penalty[ref.core] += queued;
+      if (blame != nullptr && queued > 0) {
+        (*blame)[ref.core][blocker_asid] += queued;
+      }
       if (actual > request.est_latency) {
         penalty[ref.core] += actual - request.est_latency;
+        if (blame != nullptr) {
+          (*blame)[ref.core][request.asid] += actual - request.est_latency;
+        }
       }
     }
   }

@@ -100,7 +100,15 @@ class SharedL2 {
   /// Commit phase: replays every port's log in deterministic merged order,
   /// clears the logs, and returns the penalty cycles each core must add to
   /// its clock (queue delay + under-estimated miss latency).
-  std::vector<uint64_t> commit_round();
+  ///
+  /// With `blame` non-null it is resized to one map per core and filled
+  /// with the same penalty cycles keyed by the address space responsible:
+  /// queueing delay is blamed on the asid whose request holds the port,
+  /// under-estimated miss latency on the requester itself (its own miss
+  /// cost, merely discovered late). Each map's values sum exactly to the
+  /// core's penalty — the fleet profiler's contention attribution.
+  std::vector<uint64_t> commit_round(
+      std::vector<std::map<uint32_t, uint64_t>>* blame = nullptr);
 
   /// Read-only probe against the committed state (execute phase).
   [[nodiscard]] bool probe(uint32_t asid, uint32_t line) const;

@@ -1,6 +1,7 @@
 #include "emu/emulator.hpp"
 
 #include "isa/encoding.hpp"
+#include "profile/profiler.hpp"
 
 namespace vcfr::emu {
 
@@ -401,6 +402,11 @@ bool Emulator::step(StepInfo* info) {
     raise(fault::FaultKind::kTranslationMismatch, next);
     si.next_rpc = next;
     si.next_upc = next;
+    if (prof_ != nullptr) {
+      profile::RetireCosts costs;
+      costs.delta = 1;
+      prof_->on_retire(si, costs);
+    }
     return true;  // the faulting instruction itself did execute
   }
   if (!halted_ && trap_.ok()) {
@@ -408,6 +414,11 @@ bool Emulator::step(StepInfo* info) {
   }
   si.next_rpc = next;
   si.next_upc = to_upc(next);
+  if (prof_ != nullptr) {
+    profile::RetireCosts costs;
+    costs.delta = 1;
+    prof_->on_retire(si, costs);
+  }
   return true;
 }
 

@@ -28,6 +28,10 @@
 #include "fault/fault.hpp"
 #include "isa/isa.hpp"
 
+namespace vcfr::profile {
+class Profiler;
+}  // namespace vcfr::profile
+
 namespace vcfr::emu {
 
 /// Architectural register/flag state.
@@ -132,6 +136,13 @@ class Emulator {
     return dcache_stats_;
   }
 
+  /// Attaches (or detaches, with nullptr) a guest profiler. The functional
+  /// model has no clock, so each retired instruction is reported as one
+  /// cycle of issue time; cycle-level attribution comes from sim::CpuCore.
+  /// Costs one pointer test per step when detached; the decode-cache fast
+  /// path is unaffected.
+  void set_profiler(profile::Profiler* profiler) { prof_ = profiler; }
+
   /// Executes one instruction. Returns false when execution has ended
   /// (halted or faulted) and no instruction was executed. When `info` is
   /// non-null it receives the step's trace record.
@@ -228,6 +239,7 @@ class Emulator {
   std::vector<DecodedEntry> dcache_;
   bool dcache_on_ = true;
   DecodeCacheStats dcache_stats_;
+  profile::Profiler* prof_ = nullptr;
 };
 
 /// Convenience: load + run an image on a fresh memory.

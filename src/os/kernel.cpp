@@ -53,12 +53,23 @@ void Kernel::dispatch(uint32_t core, Process& proc) {
                          ctx.stats().entries_flushed - drc_before);
     }
     cores_[core]->stall(config_.context_switch_cycles);
+    if (profiling_) {
+      profilers_[proc.pid()]->add_external(profile::Cause::kContextSwitch,
+                                           config_.context_switch_cycles);
+    }
   }
   const auto want = std::make_pair(static_cast<int64_t>(proc.pid()),
                                    static_cast<int64_t>(proc.epoch()));
   if (installed_[core] != want) {
     cores_[core]->install(binary::Layout::kVcfr, proc.walker(), proc.pid());
     installed_[core] = want;
+  }
+  // (Re-)anchor the tenant's profiler every dispatch: stall cycles since
+  // the core's last retire (switch overhead above, the previous round's
+  // commit penalty) were attributed explicitly and must not reappear in
+  // the next retire's clock advance.
+  if (profiling_) {
+    cores_[core]->attach_profiler(profilers_[proc.pid()].get());
   }
 }
 
@@ -227,6 +238,17 @@ FleetReport Kernel::run() {
   const uint64_t slice = sched_.config().slice_instructions;
   std::vector<int> running(cores, -1);
   setup_telemetry();
+  if (profiling_) {
+    // One profiler per tenant, keyed off the original image (stable across
+    // re-randomization epochs and restarts — symbols and code bytes are
+    // original-space for the process's whole lineage).
+    profilers_.clear();
+    for (const auto& proc : procs_) {
+      profilers_.push_back(
+          std::make_unique<profile::Profiler>(proc->original()));
+    }
+  }
+  std::vector<std::map<uint32_t, uint64_t>> blame;
 
   // Per-round state, hoisted: the round loop runs tens of thousands of
   // times at smoke scale and must not allocate on its steady path.
@@ -291,8 +313,18 @@ FleetReport Kernel::run() {
     }
 
     // -- commit (serial: authoritative shared-L2/DRAM replay) ------------
-    const std::vector<uint64_t> penalties = shared_.commit_round();
+    const std::vector<uint64_t> penalties =
+        shared_.commit_round(profiling_ ? &blame : nullptr);
     for (uint32_t c = 0; c < cores; ++c) cores_[c]->stall(penalties[c]);
+    if (profiling_) {
+      // The penalty stalls the core; charge it to the tenant whose slice
+      // logged the requests, broken down by the interfering address space.
+      for (const uint32_t c : active) {
+        for (const auto& [asid, cyc] : blame[c]) {
+          profilers_[running[c]]->add_l2_contention(asid, cyc);
+        }
+      }
+    }
     if (kernel_lane_ != nullptr) {
       kernel_lane_->instant(telemetry::TraceEventType::kRoundCommit, 0,
                             fleet_now(), rounds_);

@@ -32,6 +32,7 @@
 #include "os/process.hpp"
 #include "os/scheduler.hpp"
 #include "os/worker_pool.hpp"
+#include "profile/profiler.hpp"
 #include "sim/cpu.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -69,6 +70,18 @@ class Kernel {
   /// sampler is polled once per scheduler round at the fleet clock.
   void attach_telemetry(telemetry::Telemetry* telemetry) {
     telemetry_ = telemetry;
+  }
+
+  /// Enables per-tenant guest profiling. Must be called before `run()`:
+  /// one Profiler per process is created at run start and fed by whatever
+  /// core the process is dispatched on. Kernel-caused cycles are
+  /// attributed explicitly — context-switch overhead as an external cost
+  /// and shared-L2 commit penalties per interfering asid — so each core's
+  /// tenant profiles sum exactly to that core's cycle count.
+  void enable_profiling() { profiling_ = true; }
+  /// The pid's profile after `run()`; null when profiling was not enabled.
+  [[nodiscard]] const profile::Profiler* profiler(uint32_t pid) const {
+    return pid < profilers_.size() ? profilers_[pid].get() : nullptr;
   }
 
   /// Runs the fleet to completion and returns the report. Single-shot.
@@ -153,6 +166,10 @@ class Kernel {
   /// Per-core trace lanes plus one kernel lane (null when tracing is off).
   std::vector<telemetry::TraceLane*> lanes_;
   telemetry::TraceLane* kernel_lane_ = nullptr;
+
+  /// Per-tenant profilers, indexed by pid (empty unless enable_profiling).
+  bool profiling_ = false;
+  std::vector<std::unique_ptr<profile::Profiler>> profilers_;
 };
 
 }  // namespace vcfr::os

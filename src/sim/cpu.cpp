@@ -5,6 +5,7 @@
 #include "binary/loader.hpp"
 #include "core/translation.hpp"
 #include "emu/emulator.hpp"
+#include "profile/profiler.hpp"
 
 namespace vcfr::sim {
 
@@ -106,17 +107,21 @@ void CpuCore::stall(uint64_t cycles) {
 // correctly-predicted path verify off the critical path, while a
 // mispredict redirect must wait for the walk (§IV-B).
 uint32_t CpuCore::drc_resolve(uint32_t key, bool derand, uint64_t now) {
+  resolve_walk_ = 0;
+  resolve_backing_ = 0;
   const auto hit = drc_.lookup(key, derand);
   if (hit) return 0;
   if (drc_l2_) {
     const auto l2_hit = drc_l2_->lookup(key, derand);
     if (l2_hit) {
       drc_.insert(key, derand, *l2_hit);
+      resolve_backing_ = config_.drc.l2_hit_latency;
       return config_.drc.l2_hit_latency;
     }
   }
   ++table_walks_;
   const core::WalkResult wr = walker_->walk(key, derand, now);
+  resolve_walk_ = wr.latency;
   drc_.insert(key, derand, wr.value);
   if (drc_l2_) drc_l2_->insert(key, derand, wr.value);
   if (lane_ != nullptr) {
@@ -153,6 +158,10 @@ void CpuCore::retire(const StepInfo& si) {
   uint64_t fetch_start =
       std::max(fetch_ready_, issue_ring_[retired_ % config_.iq_size]);
   uint32_t fetch_lat = 0;
+  // Profiler cost components for this retire (dead stores when detached).
+  uint32_t prof_il1 = 0;
+  uint32_t prof_dmem = 0;
+  uint32_t prof_bitmap = 0;
   const uint32_t first_line = fetch_pc & line_mask;
   const uint32_t last_line = (fetch_pc + si.instr.length - 1) & line_mask;
   if (first_line != cur_line_) {
@@ -163,6 +172,7 @@ void CpuCore::retire(const StepInfo& si) {
       // Non-blocking fetch miss: the next fetch may start once an MSHR
       // frees, while this miss overlaps with IQ drain.
       fetch_ready_ = fetch_start + config_.ifetch_miss_initiation;
+      prof_il1 += r.latency;
       if (lane_ != nullptr) {
         lane_->span(telemetry::TraceEventType::kFetchStall, asid_,
                     fetch_start, r.latency, fetch_pc);
@@ -176,6 +186,7 @@ void CpuCore::retire(const StepInfo& si) {
     cur_line_ = last_line;
     if (!r.l1_hit) {
       fetch_ready_ = fetch_start + config_.ifetch_miss_initiation;
+      prof_il1 += r.latency;
       if (lane_ != nullptr) {
         lane_->span(telemetry::TraceEventType::kFetchStall, asid_,
                     fetch_start, r.latency, fetch_pc);
@@ -217,13 +228,17 @@ void CpuCore::retire(const StepInfo& si) {
       ++n_mem_;
       const auto r = mem_.dread(si.mem_addr, issue);
       exec_lat = std::max<uint64_t>(1, r.latency);
-      if (!r.l1_hit) blocking = true;  // blocking D-cache miss
+      if (!r.l1_hit) {
+        blocking = true;  // blocking D-cache miss
+        prof_dmem = r.latency;
+      }
       if (si.bitmap_load) {
         // §IV-C automatic de-randomization: consult the bitmap cache.
         const uint32_t extra = bitmap_.access(si.mem_addr, issue);
         exec_lat += extra;
         if (extra > 0) {
           blocking = true;
+          prof_bitmap = extra;
           if (lane_ != nullptr) {
             lane_->span(telemetry::TraceEventType::kBitmapMiss, asid_, issue,
                         extra, si.mem_addr);
@@ -338,6 +353,29 @@ void CpuCore::retire(const StepInfo& si) {
   issued_in_cycle_ = issue == last_issue_ ? issued_in_cycle_ + 1 : 1;
   last_issue_ = issue;
   last_done_ = std::max(last_done_, exec_done);
+
+  if (prof_ != nullptr) {
+    profile::RetireCosts costs;
+    costs.delta = last_done_ + 1 - prof_seen_;
+    prof_seen_ = last_done_ + 1;
+    costs.il1 = prof_il1;
+    costs.dmem = prof_dmem;
+    costs.bitmap = prof_bitmap;
+    // Costs carried over from the previous retire's mispredict: its bubble
+    // delayed *this* instruction's fetch, so they live in this delta.
+    costs.redirect = prof_pend_redirect_;
+    costs.walk = prof_pend_walk_;
+    costs.drc_backing = prof_pend_backing_;
+    prof_pend_redirect_ = prof_pend_walk_ = prof_pend_backing_ = 0;
+    if (mispredict) {
+      prof_pend_redirect_ = config_.redirect_penalty;
+      if (!target_known && derand_walk > 0) {
+        prof_pend_walk_ = resolve_walk_;
+        prof_pend_backing_ = resolve_backing_;
+      }
+    }
+    prof_->on_retire(si, costs);
+  }
 }
 
 SimResult CpuCore::harvest() const {
@@ -428,12 +466,14 @@ void CpuCore::register_stats(const telemetry::Scope& scope) {
 }
 
 SimResult simulate(const binary::Image& image, uint64_t max_instructions,
-                   const CpuConfig& config, telemetry::Telemetry* telemetry) {
+                   const CpuConfig& config, telemetry::Telemetry* telemetry,
+                   profile::Profiler* profiler) {
   binary::Memory memory;
   binary::load(image, memory);
   emu::Emulator emulator(image, memory);
 
   CpuCore core(config);
+  if (profiler != nullptr) core.attach_profiler(profiler);
   if (telemetry != nullptr) {
     core.register_stats(telemetry->root().scope("core0"));
     core.attach_trace(telemetry->lane(0));

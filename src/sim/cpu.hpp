@@ -38,6 +38,10 @@ namespace vcfr::core {
 class TranslationWalker;
 }
 
+namespace vcfr::profile {
+class Profiler;
+}  // namespace vcfr::profile
+
 namespace vcfr::sim {
 
 struct CpuConfig {
@@ -161,6 +165,18 @@ class CpuCore {
   /// single-threaded use (the fleet kernel samples at round boundaries
   /// instead, since cores execute on parallel host threads).
   void attach_sampler(telemetry::Sampler* sampler) { sampler_ = sampler; }
+  /// Attaches a guest profiler (nullptr detaches). Subsequent retires
+  /// report their clock advance and cost components to it. Attribution is
+  /// anchored at the *current* clock: cycles that passed before attachment
+  /// (earlier tenants, kernel stalls) are not re-attributed, so the fleet
+  /// kernel can re-attach each slice after charging its own overhead
+  /// explicitly via Profiler::add_external. On a virgin core the anchor
+  /// excludes the base cycle so attributed cycles total cycles() exactly.
+  void attach_profiler(profile::Profiler* profiler) {
+    prof_ = profiler;
+    prof_seen_ = retired_ == 0 ? last_done_ : last_done_ + 1;
+    prof_pend_redirect_ = prof_pend_walk_ = prof_pend_backing_ = 0;
+  }
 
  private:
   void retire(const emu::StepInfo& si);
@@ -185,6 +201,21 @@ class CpuCore {
   telemetry::Sampler* sampler_ = nullptr;
   telemetry::Histogram* walk_hist_ = nullptr;
   telemetry::Histogram* fetch_stall_hist_ = nullptr;
+
+  // Guest profiler attachment (null = disabled). prof_seen_ is the clock
+  // value already attributed; each retire reports the advance since then.
+  profile::Profiler* prof_ = nullptr;
+  uint64_t prof_seen_ = 0;
+  // Critical-path components of the last drc_resolve call (for the
+  // profiler's cause split between table walks and L2-buffer fills).
+  uint32_t resolve_walk_ = 0;
+  uint32_t resolve_backing_ = 0;
+  // A mispredict's refill bubble (and any critical-path walk under it)
+  // delays the *next* fetch, so its cycles surface in the next retire's
+  // clock advance — carried here and reported with that retire.
+  uint32_t prof_pend_redirect_ = 0;
+  uint32_t prof_pend_walk_ = 0;
+  uint32_t prof_pend_backing_ = 0;
 
   // Pipeline timing state (absolute cycles).
   uint64_t fetch_ready_ = 0;
@@ -212,6 +243,7 @@ class CpuCore {
 [[nodiscard]] SimResult simulate(const binary::Image& image,
                                  uint64_t max_instructions,
                                  const CpuConfig& config = {},
-                                 telemetry::Telemetry* telemetry = nullptr);
+                                 telemetry::Telemetry* telemetry = nullptr,
+                                 profile::Profiler* profiler = nullptr);
 
 }  // namespace vcfr::sim

@@ -8,20 +8,31 @@
 
 namespace vcfr::telemetry {
 
-void Sampler::capture_columns() {
+void Sampler::capture_epoch() {
+  Epoch epoch;
+  epoch.registry_size = registry_->stats().size();
   for (const auto& [name, stat] : registry_->stats()) {
     if (stat.kind == StatKind::kHistogram) continue;
-    columns_.push_back(name);
-    sources_.push_back(&stat);
+    epoch.columns.push_back(name);
+    epoch.sources.push_back(&stat);
   }
+  epochs_.push_back(std::move(epoch));
 }
 
 void Sampler::take(uint64_t cycle) {
-  if (columns_.empty()) capture_columns();
+  // stats() is a node-based map: Stat pointers stay valid as it grows, so
+  // earlier epochs' sources never dangle. Size is a sufficient trigger —
+  // registration is add-only.
+  if (epochs_.empty() ||
+      registry_->stats().size() != epochs_.back().registry_size) {
+    capture_epoch();
+  }
+  const Epoch& epoch = epochs_.back();
+  row_epoch_.push_back(static_cast<uint32_t>(epochs_.size() - 1));
   cycles_.push_back(cycle);
   std::vector<double> row;
-  row.reserve(sources_.size());
-  for (const StatRegistry::Stat* stat : sources_) {
+  row.reserve(epoch.sources.size());
+  for (const StatRegistry::Stat* stat : epoch.sources) {
     row.push_back(stat->value());
   }
   values_.push_back(std::move(row));
@@ -31,8 +42,9 @@ void Sampler::take(uint64_t cycle) {
 }
 
 std::string Sampler::render(size_t row, size_t col) const {
+  const Epoch& epoch = epochs_[row_epoch_[row]];
   const double v = values_[row][col];
-  if (sources_[col]->kind == StatKind::kCounter) {
+  if (epoch.sources[col]->kind == StatKind::kCounter) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRIu64, static_cast<uint64_t>(v));
     return buf;
@@ -41,31 +53,53 @@ std::string Sampler::render(size_t row, size_t col) const {
 }
 
 std::string Sampler::to_csv() const {
+  const std::vector<std::string>& cols = columns();
   std::ostringstream o;
   o << "cycle";
-  for (const auto& c : columns_) o << "," << c;
+  for (const auto& c : cols) o << "," << c;
   o << "\n";
   for (size_t r = 0; r < cycles_.size(); ++r) {
     o << cycles_[r];
-    for (size_t c = 0; c < columns_.size(); ++c) o << "," << render(r, c);
+    // The row's epoch columns are a sorted subsequence of the union:
+    // merge-walk, zero-filling columns the row never observed.
+    const Epoch& epoch = epochs_[row_epoch_[r]];
+    size_t ec = 0;
+    for (const std::string& name : cols) {
+      if (ec < epoch.columns.size() && epoch.columns[ec] == name) {
+        o << "," << render(r, ec);
+        ++ec;
+      } else {
+        o << ",0";
+      }
+    }
     o << "\n";
   }
   return o.str();
 }
 
 std::string Sampler::to_json() const {
+  const std::vector<std::string>& cols = columns();
   JsonWriter w;
   w.begin_object(JsonWriter::Style::kPretty);
   w.key("interval").value(interval_);
   w.key("columns").begin_array();
   w.value("cycle");
-  for (const auto& c : columns_) w.value(c);
+  for (const auto& c : cols) w.value(c);
   w.end_array();
   w.key("samples").begin_array(JsonWriter::Style::kPretty);
   for (size_t r = 0; r < cycles_.size(); ++r) {
     w.begin_array();
     w.value(cycles_[r]);
-    for (size_t c = 0; c < columns_.size(); ++c) w.raw_value(render(r, c));
+    const Epoch& epoch = epochs_[row_epoch_[r]];
+    size_t ec = 0;
+    for (const std::string& name : cols) {
+      if (ec < epoch.columns.size() && epoch.columns[ec] == name) {
+        w.raw_value(render(r, ec));
+        ++ec;
+      } else {
+        w.raw_value("0");
+      }
+    }
     w.end_array();
   }
   w.end_array();

@@ -6,9 +6,14 @@
 //
 // Rows are cycle-stamped with the *actual* sampled cycle (the clock
 // advances unevenly, so boundaries are crossed, not hit); columns are
-// the registry's counters and gauges in sorted-name order, captured at
-// the first sample. Counters render as integers, gauges as %.6g —
-// everything deterministic for same-seed runs.
+// the registry's counters and gauges in sorted-name order. Registries
+// grow while a run warms up (a core registers lazily, a process spawns
+// mid-fleet), so each sample is recorded against the column set in
+// force at that instant — an "epoch" — and the exported table uses the
+// union of all epochs' columns (the registry is add-only, so that is
+// the final epoch's set), zero-filling cells a row never observed.
+// Counters render as integers, gauges as %.6g — everything
+// deterministic for same-seed runs.
 //
 // `poll()` is the hot-path entry: two compares when sampling is off or
 // not yet due, so leaving a sampler attached costs nothing measurable.
@@ -42,8 +47,10 @@ class Sampler {
   void take(uint64_t cycle);
 
   [[nodiscard]] size_t rows() const { return cycles_.size(); }
+  /// The exported column set: the latest epoch's columns, which is the
+  /// union across the whole run (registries only grow).
   [[nodiscard]] const std::vector<std::string>& columns() const {
-    return columns_;
+    return epochs_.empty() ? empty_columns_ : epochs_.back().columns;
   }
 
   /// "cycle,<col>,<col>,..." header plus one row per sample.
@@ -52,15 +59,27 @@ class Sampler {
   [[nodiscard]] std::string to_json() const;
 
  private:
-  void capture_columns();
+  /// The column set in force for a span of rows. A new epoch is captured
+  /// whenever the registry grew since the previous sample; counters
+  /// registered between snapshots therefore appear in the union with
+  /// earlier rows zero-filled instead of silently dropping out.
+  struct Epoch {
+    std::vector<std::string> columns;
+    std::vector<const StatRegistry::Stat*> sources;
+    size_t registry_size = 0;  // recapture trigger
+  };
+
+  void capture_epoch();
+  /// Renders row's value for a column of its *own* epoch.
   [[nodiscard]] std::string render(size_t row, size_t col) const;
 
   const StatRegistry* registry_;
   uint64_t interval_ = 0;
   uint64_t next_ = 0;
 
-  std::vector<std::string> columns_;
-  std::vector<const StatRegistry::Stat*> sources_;
+  std::vector<Epoch> epochs_;
+  std::vector<std::string> empty_columns_;
+  std::vector<uint32_t> row_epoch_;
   std::vector<uint64_t> cycles_;
   std::vector<std::vector<double>> values_;  // one row per sample
 };

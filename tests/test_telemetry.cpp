@@ -130,6 +130,42 @@ TEST(HistogramTest, BucketEdgesAreLog2) {
   EXPECT_EQ(h.max(), 100u);
 }
 
+TEST(HistogramTest, ZeroAndSaturatingValueEdges) {
+  // The unclamped bucket index is the bit width: 0 maps to the dedicated
+  // zero bucket, UINT64_MAX to index 64, clamped into the last bucket.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(UINT64_MAX), 64u);
+  EXPECT_EQ(Histogram::bucket_of(UINT64_MAX >> 1), 63u);
+
+  Histogram h;  // default 32 buckets
+  h.record(0);
+  h.record(UINT64_MAX);
+  EXPECT_EQ(h.buckets()[0], 1u) << "zero lands in the zero bucket";
+  EXPECT_EQ(h.buckets()[31], 1u) << "UINT64_MAX clamps into the last bucket";
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), UINT64_MAX);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST(HistogramTest, EdgeValuesRenderDeterministicallyInJson) {
+  StatRegistry reg;
+  Histogram* h = reg.root().histogram("h");
+  h->record(0);
+  h->record(UINT64_MAX);
+
+  // Bucket 0 and bucket 31 are occupied; the 30 in between render as
+  // explicit zeros (only *trailing* zero buckets are dropped).
+  std::string buckets = "\"buckets\": [1";
+  for (int i = 0; i < 30; ++i) buckets += ", 0";
+  buckets += ", 1]";
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find(buckets), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 18446744073709551615"), std::string::npos)
+      << "sum must not be rendered through a double";
+  EXPECT_NE(json.find("\"max\": 18446744073709551615"), std::string::npos);
+}
+
 // ---- tracer ----
 
 TEST(TracerTest, RingWrapsKeepingMostRecentEvents) {
@@ -198,6 +234,35 @@ TEST(SamplerTest, PollsOnIntervalBoundaries) {
             "cycle,c\n"
             "120,1\n"
             "460,3\n");
+}
+
+TEST(SamplerTest, LateRegisteredCountersJoinTheColumnUnion) {
+  StatRegistry reg;
+  uint64_t a = 1;
+  reg.root().counter("a", &a);
+  Sampler sampler(&reg);
+  sampler.take(10);  // first epoch: only "a" exists
+
+  // Components registered after the first snapshot (a lazily-constructed
+  // core, a process spawned mid-run) must still appear in the export,
+  // with the earlier rows zero-filled — not silently dropped.
+  uint64_t m = 5;
+  uint64_t z = 7;
+  reg.root().counter("m", &m);
+  reg.root().counter("z", &z);
+  reg.root().gauge("g", [] { return 2.5; });
+  a = 2;
+  sampler.take(20);
+
+  EXPECT_EQ(sampler.columns(),
+            (std::vector<std::string>{"a", "g", "m", "z"}));
+  EXPECT_EQ(sampler.to_csv(),
+            "cycle,a,g,m,z\n"
+            "10,1,0,0,0\n"
+            "20,2,2.5,5,7\n");
+  const std::string json = sampler.to_json();
+  EXPECT_NE(json.find("[10, 1, 0, 0, 0]"), std::string::npos) << json;
+  EXPECT_NE(json.find("[20, 2, 2.5, 5, 7]"), std::string::npos) << json;
 }
 
 TEST(SamplerTest, DisabledSamplerNeverRecords) {

@@ -8,6 +8,7 @@
 // The telemetry flags (--stats-json, --trace-out, --sample-interval,
 // --sample-out) are shared by run/sim/workload/fleet and are documented
 // in docs/OBSERVABILITY.md.
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,16 +31,31 @@
 #include "isa/disassembler.hpp"
 #include "isa/encoding.hpp"
 #include "os/kernel.hpp"
+#include "profile/profiler.hpp"
 #include "rewriter/cfg.hpp"
 #include "rewriter/entropy.hpp"
 #include "rewriter/randomizer.hpp"
 #include "sim/cpu.hpp"
+#include "telemetry/json_writer.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
 
 using namespace vcfr;
+
+/// Destination for human-readable reports. Normally stdout; flipped to
+/// stderr when any output flag streams its payload to stdout via `-`, so
+/// pipelines receive only the requested payload.
+FILE* g_report = stdout;
+
+__attribute__((format(printf, 1, 2))) int rprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vfprintf(g_report, fmt, ap);
+  va_end(ap);
+  return n;
+}
 
 struct Args {
   std::vector<std::string> positional;
@@ -74,6 +90,10 @@ struct Args {
   std::string trace_out;
   std::string sample_out;
   uint64_t sample_interval = 0;
+  // Guest profiler outputs (run|sim|fleet|prof).
+  std::string profile_out;
+  std::string flame_out;
+  uint32_t top = 10;
   /// Canonical names of every flag given, for per-subcommand validation.
   std::vector<std::string> seen;
 };
@@ -161,6 +181,12 @@ Args parse_args(int argc, char** argv) {
       args.sample_interval = std::stoull(value());
     } else if (a == "--sample-out") {
       args.sample_out = value();
+    } else if (a == "--profile-out") {
+      args.profile_out = value();
+    } else if (a == "--flame-out") {
+      args.flame_out = value();
+    } else if (a == "--top") {
+      args.top = static_cast<uint32_t>(std::stoul(value()));
     } else if (!a.empty() && a[0] == '-') {
       throw std::runtime_error("unknown flag: " + a);
     } else {
@@ -188,10 +214,12 @@ void validate_flags(const std::string& cmd, const Args& args) {
         "--page-confined"}},
       {"run",
        {"--enforce-tags", "--max-instr", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out"}},
+        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
+        "--top"}},
       {"sim",
        {"--drc", "--max-instr", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out"}},
+        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
+        "--top"}},
       {"scan", {}},
       {"workload",
        {"--output", "--scale", "--stats-json", "--trace-out",
@@ -203,7 +231,11 @@ void validate_flags(const std::string& cmd, const Args& args) {
        {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
         "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
         "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
-        "--stats-json", "--trace-out", "--sample-interval", "--sample-out"}},
+        "--stats-json", "--trace-out", "--sample-interval", "--sample-out",
+        "--profile-out", "--top"}},
+      {"prof",
+       {"--seed", "--drc", "--max-instr", "--top", "--profile-out",
+        "--flame-out"}},
       {"faultcamp",
        {"--workloads", "--scale", "--seed", "--trials", "--max-instr",
         "--layouts", "--sites", "--json", "--output", "--stats-json"}},
@@ -234,6 +266,13 @@ telemetry::TelemetryConfig telemetry_config(const Args& args) {
 }
 
 void write_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    // Scripting convention: `-` streams to stdout instead of creating a
+    // file literally named "-". Progress messages all go to stderr, so
+    // the payload stays clean for pipelines.
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return;
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot write " + path);
   out << content;
@@ -266,6 +305,44 @@ std::string require_input(const Args& args) {
   return args.positional.front();
 }
 
+// ---- guest-profiler plumbing (run/sim/fleet/prof) ----
+
+profile::ProfileMeta profile_meta(const binary::Image& image,
+                                  uint64_t expected_cycles) {
+  profile::ProfileMeta meta;
+  meta.app = image.name;
+  meta.layout = std::string(profile::layout_name(image.layout));
+  meta.seed = image.seed;
+  meta.expected_cycles = expected_cycles;
+  return meta;
+}
+
+void export_profile(const Args& args, const profile::Profiler& prof,
+                    const profile::ProfileMeta& meta) {
+  if (!args.profile_out.empty()) {
+    write_file(args.profile_out, prof.to_json(meta, args.top) + "\n");
+    if (args.profile_out != "-") {
+      std::fprintf(stderr, "profile: %s\n", args.profile_out.c_str());
+    }
+  }
+  if (!args.flame_out.empty()) {
+    write_file(args.flame_out, prof.to_collapsed());
+    if (args.flame_out != "-") {
+      std::fprintf(stderr, "flamegraph: %s\n", args.flame_out.c_str());
+    }
+  }
+}
+
+/// Per-tenant output path for fleet profiles: "x.json" -> "x.pid3.json";
+/// "-" stays "-" (tenant profiles concatenate on stdout in pid order).
+std::string per_pid_path(const std::string& path, uint32_t pid) {
+  if (path == "-") return path;
+  const std::string tag = ".pid" + std::to_string(pid);
+  const size_t dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
 int cmd_asm(const Args& args) {
   const std::string path = require_input(args);
   std::ifstream in(path);
@@ -276,7 +353,7 @@ int cmd_asm(const Args& args) {
   if (image.name.empty()) image.name = path;
   const std::string out = args.output.empty() ? path + ".vxe" : args.output;
   binary::save(image, out);
-  std::printf("assembled %zu code bytes, %zu data bytes -> %s\n",
+  rprintf("assembled %zu code bytes, %zu data bytes -> %s\n",
               image.code.size(), image.data.size(), out.c_str());
   return 0;
 }
@@ -284,11 +361,11 @@ int cmd_asm(const Args& args) {
 int cmd_disasm(const Args& args) {
   const auto image = binary::load_file(require_input(args));
   if (image.layout == binary::Layout::kNaiveIlr) {
-    std::printf("; naive-ILR image: %zu relocated instructions\n",
+    rprintf("; naive-ILR image: %zu relocated instructions\n",
                 image.sparse_code.size());
     for (const auto& [addr, bytes] : image.sparse_code) {
       const auto d = isa::decode(bytes);
-      if (d) std::printf("%08x: %s\n", addr, isa::format_instr(*d).c_str());
+      if (d) rprintf("%08x: %s\n", addr, isa::format_instr(*d).c_str());
     }
     return 0;
   }
@@ -300,19 +377,19 @@ int cmd_stats(const Args& args) {
   const auto image = binary::load_file(require_input(args));
   const auto cfg = rewriter::build_cfg(image);
   const auto s = rewriter::static_stats(image, cfg);
-  std::printf("name:                %s\n", image.name.c_str());
-  std::printf("instructions:        %llu\n",
+  rprintf("name:                %s\n", image.name.c_str());
+  rprintf("instructions:        %llu\n",
               static_cast<unsigned long long>(s.instructions));
-  std::printf("direct transfers:    %llu\n",
+  rprintf("direct transfers:    %llu\n",
               static_cast<unsigned long long>(s.direct_transfers));
-  std::printf("indirect transfers:  %llu\n",
+  rprintf("indirect transfers:  %llu\n",
               static_cast<unsigned long long>(s.indirect_transfers));
-  std::printf("function calls:      %llu (indirect: %llu)\n",
+  rprintf("function calls:      %llu (indirect: %llu)\n",
               static_cast<unsigned long long>(s.function_calls),
               static_cast<unsigned long long>(s.indirect_calls));
-  std::printf("returns:             %llu\n",
+  rprintf("returns:             %llu\n",
               static_cast<unsigned long long>(s.returns));
-  std::printf("functions with ret:  %llu, without: %llu\n",
+  rprintf("functions with ret:  %llu, without: %llu\n",
               static_cast<unsigned long long>(s.functions_with_ret),
               static_cast<unsigned long long>(s.functions_without_ret));
   return 0;
@@ -334,13 +411,13 @@ int cmd_randomize(const Args& args) {
       args.output.empty() ? image.name + (args.naive ? ".naive.vxe" : ".vcfr.vxe")
                           : args.output;
   binary::save(out_image, out);
-  std::printf("relocated %zu instructions (seed %llu); failover set: %zu; "
+  rprintf("relocated %zu instructions (seed %llu); failover set: %zu; "
               "-> %s\n",
               rr.placement.size(),
               static_cast<unsigned long long>(args.seed),
               rr.analysis.unrandomized.size(), out.c_str());
   if (args.software_returns) {
-    std::printf("software return rewrite: %u calls, +%.1f%% code\n",
+    rprintf("software return rewrite: %u calls, +%.1f%% code\n",
                 rr.sw_stats.calls_rewritten,
                 rr.sw_stats.expansion_percent());
   }
@@ -349,17 +426,17 @@ int cmd_randomize(const Args& args) {
 
 int cmd_run(const Args& args) {
   const auto image = binary::load_file(require_input(args));
-  if (!telemetry_requested(args)) {
+  if (!telemetry_requested(args) && args.profile_out.empty()) {
     emu::RunLimits limits;
     limits.max_instructions = args.max_instr;
     limits.enforce_tags = args.enforce_tags;
     const auto r = emu::run_image(image, limits);
-    for (uint32_t v : r.output) std::printf("out: %u (0x%x)\n", v, v);
-    std::printf("%s after %llu instructions",
+    for (uint32_t v : r.output) rprintf("out: %u (0x%x)\n", v, v);
+    rprintf("%s after %llu instructions",
                 r.halted ? "halted" : (r.error.empty() ? "limit" : "FAULT"),
                 static_cast<unsigned long long>(r.stats.instructions));
-    if (!r.error.empty()) std::printf(": %s", r.error.c_str());
-    std::printf("\n");
+    if (!r.error.empty()) rprintf(": %s", r.error.c_str());
+    rprintf("\n");
     return r.halted ? 0 : 1;
   }
 
@@ -372,6 +449,11 @@ int cmd_run(const Args& args) {
   binary::load(image, mem);
   emu::Emulator emulator(image, mem);
   if (args.enforce_tags) emulator.set_enforce_tags(true);
+  std::optional<profile::Profiler> prof;
+  if (!args.profile_out.empty()) {
+    prof.emplace(image);
+    emulator.set_profiler(&*prof);
+  }
   const emu::EmuStats& st = emulator.stats();
   telemetry::Scope scope = tel.root().scope("emu");
   scope.counter("instructions", &st.instructions);
@@ -415,14 +497,19 @@ int cmd_run(const Args& args) {
     tel.sampler().poll(n);
     if (emulator.halted()) break;
   }
-  for (uint32_t v : emulator.output()) std::printf("out: %u (0x%x)\n", v, v);
+  for (uint32_t v : emulator.output()) rprintf("out: %u (0x%x)\n", v, v);
   const std::string& err = emulator.error();
-  std::printf("%s after %llu instructions",
+  rprintf("%s after %llu instructions",
               emulator.halted() ? "halted" : (err.empty() ? "limit" : "FAULT"),
               static_cast<unsigned long long>(st.instructions));
-  if (!err.empty()) std::printf(": %s", err.c_str());
-  std::printf("\n");
+  if (!err.empty()) rprintf(": %s", err.c_str());
+  rprintf("\n");
   export_telemetry(args, tel);
+  if (prof) {
+    // Functional model: one cycle per instruction, so the expected total
+    // is the profiler's own count and "conserved" pins the delta stream.
+    export_profile(args, *prof, profile_meta(image, prof->attributed_cycles()));
+  }
   return emulator.halted() ? 0 : 1;
 }
 
@@ -432,27 +519,31 @@ int cmd_sim(const Args& args) {
   config.drc.entries = args.drc;
   std::optional<telemetry::Telemetry> tel;
   if (telemetry_requested(args)) tel.emplace(telemetry_config(args));
+  std::optional<profile::Profiler> prof;
+  if (!args.profile_out.empty()) prof.emplace(image);
   const auto r = sim::simulate(image, args.max_instr, config,
-                               tel ? &*tel : nullptr);
-  std::printf("instructions: %llu\ncycles:       %llu\nIPC:          %.3f\n",
+                               tel ? &*tel : nullptr,
+                               prof ? &*prof : nullptr);
+  rprintf("instructions: %llu\ncycles:       %llu\nIPC:          %.3f\n",
               static_cast<unsigned long long>(r.instructions),
               static_cast<unsigned long long>(r.cycles), r.ipc());
-  std::printf("IL1 miss:     %.3f%%   DL1 miss: %.3f%%   L2 miss: %.3f%%\n",
+  rprintf("IL1 miss:     %.3f%%   DL1 miss: %.3f%%   L2 miss: %.3f%%\n",
               100 * r.il1.miss_rate(), 100 * r.dl1.miss_rate(),
               100 * r.l2.miss_rate());
-  std::printf("branch acc:   %.2f%%   DRC: %llu lookups, %.1f%% miss\n",
+  rprintf("branch acc:   %.2f%%   DRC: %llu lookups, %.1f%% miss\n",
               100 * r.bpred.cond_accuracy(),
               static_cast<unsigned long long>(r.drc.lookups),
               100 * r.drc.miss_rate());
-  std::printf("power:        %s\n", r.power.report().c_str());
+  rprintf("power:        %s\n", r.power.report().c_str());
   if (tel) export_telemetry(args, *tel);
+  if (prof) export_profile(args, *prof, profile_meta(image, r.cycles));
   return 0;
 }
 
 int cmd_scan(const Args& args) {
   const auto image = binary::load_file(require_input(args));
   const auto result = gadget::scan(image);
-  std::printf("%zu gadgets (%llu aligned, %llu unaligned) in %llu bytes\n",
+  rprintf("%zu gadgets (%llu aligned, %llu unaligned) in %llu bytes\n",
               result.gadgets.size(),
               static_cast<unsigned long long>(result.aligned_count),
               static_cast<unsigned long long>(result.unaligned_count),
@@ -462,12 +553,12 @@ int cmd_scan(const Args& args) {
         gadget::GadgetKind::kArith, gadget::GadgetKind::kLoad,
         gadget::GadgetKind::kStore, gadget::GadgetKind::kSys,
         gadget::GadgetKind::kOther}) {
-    std::printf("  %-8s %zu\n", std::string(gadget::kind_name(kind)).c_str(),
+    rprintf("  %-8s %zu\n", std::string(gadget::kind_name(kind)).c_str(),
                 result.count(kind));
   }
   const auto payloads = gadget::compile_payloads(result.gadgets);
   for (const auto& p : payloads) {
-    std::printf("payload '%s': %s\n", p.name.c_str(),
+    rprintf("payload '%s': %s\n", p.name.c_str(),
                 p.assembled ? "ASSEMBLED" : "failed");
   }
   return 0;
@@ -478,7 +569,7 @@ int cmd_workload(const Args& args) {
   const auto image = workloads::make(name, args.scale);
   const std::string out = args.output.empty() ? name + ".vxe" : args.output;
   binary::save(image, out);
-  std::printf("%s (scale %d): %zu code bytes -> %s\n", name.c_str(),
+  rprintf("%s (scale %d): %zu code bytes -> %s\n", name.c_str(),
               args.scale, image.code.size(), out.c_str());
   if (telemetry_requested(args)) {
     // Static stats only: there is no execution here, so the trace and
@@ -526,14 +617,14 @@ int cmd_entropy(const Args& args) {
   }
   const auto rr = rewriter::randomize(image, opts);
   const auto report = rewriter::analyze_entropy(rr, opts);
-  std::printf("randomized instructions: %zu\n", report.randomized_instructions);
-  std::printf("failover instructions:   %zu (zero entropy)\n",
+  rprintf("randomized instructions: %zu\n", report.randomized_instructions);
+  rprintf("failover instructions:   %zu (zero entropy)\n",
               report.failover_instructions);
-  std::printf("entropy coverage:        %.2f%%\n", 100 * report.coverage());
-  std::printf("bits per instruction:    %.1f\n", report.bits_per_instruction);
-  std::printf("single-guess hit prob:   %.3g\n",
+  rprintf("entropy coverage:        %.2f%%\n", 100 * report.coverage());
+  rprintf("bits per instruction:    %.1f\n", report.bits_per_instruction);
+  rprintf("single-guess hit prob:   %.3g\n",
               report.single_guess_probability);
-  std::printf("expected crash attempts: %.3g\n", report.expected_attempts);
+  rprintf("expected crash attempts: %.3g\n", report.expected_attempts);
   return 0;
 }
 
@@ -609,6 +700,7 @@ int cmd_fleet(const Args& args) {
   if (!args.inject.empty()) inject = parse_inject(args.inject);
 
   os::Kernel kernel(kc);
+  if (!args.profile_out.empty()) kernel.enable_profiling();
   std::optional<telemetry::Telemetry> tel;
   if (telemetry_requested(args)) {
     tel.emplace(telemetry_config(args));
@@ -637,11 +729,27 @@ int cmd_fleet(const Args& args) {
 
   const os::FleetReport report = kernel.run();
   if (tel) export_telemetry(args, *tel);
+  if (!args.profile_out.empty()) {
+    // One profile per tenant; shared-L2 contention appears in each
+    // tenant's l2_contention_by_asid keyed by the interfering asid
+    // (asid == pid in the fleet).
+    for (uint32_t pid = 0; pid < kernel.process_count(); ++pid) {
+      const profile::Profiler* prof = kernel.profiler(pid);
+      profile::ProfileMeta meta;
+      meta.app = kernel.process(pid).config().workload;
+      meta.layout = "vcfr";
+      meta.seed = kernel.process(pid).config().seed;
+      meta.expected_cycles = prof->attributed_cycles();
+      const std::string path = per_pid_path(args.profile_out, pid);
+      write_file(path, prof->to_json(meta, args.top) + "\n");
+      if (path != "-") std::fprintf(stderr, "profile: %s\n", path.c_str());
+    }
+  }
   if (args.json) {
     std::fputs(report.to_json().c_str(), stdout);
   } else {
-    std::fputs(report.summary().c_str(), stdout);
-    std::fputs(report.to_json().c_str(), stdout);
+    std::fputs(report.summary().c_str(), g_report);
+    std::fputs(report.to_json().c_str(), g_report);
   }
   // Exit status reflects the fleet's final state: a crash that the
   // restart policy recovered from (process came back and halted) is a
@@ -651,6 +759,158 @@ int cmd_fleet(const Args& args) {
     if (p.exit == fault::exit_name(fault::ExitCode::kFaulted) ||
         p.exit == fault::exit_name(fault::ExitCode::kWatchdogKill)) {
       return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_prof(const Args& args) {
+  const auto image = binary::load_file(require_input(args));
+  if (image.layout == binary::Layout::kNaiveIlr) {
+    throw std::runtime_error(
+        "prof: naive-ILR images have no original-space mapping to fold "
+        "samples onto (profile the original or VCFR image instead)");
+  }
+  sim::CpuConfig config;
+  config.drc.entries = args.drc;
+
+  const auto print_causes = [](const char* label,
+                               const profile::Profiler& prof) {
+    rprintf("%s%scause breakdown (cycles):\n", label,
+                label[0] == '\0' ? "" : " ");
+    for (size_t c = 0; c < profile::kNumCauses; ++c) {
+      const auto cause = static_cast<profile::Cause>(c);
+      const uint64_t cycles = prof.cause_cycles(cause);
+      if (cycles == 0) continue;
+      rprintf("  %-16s %llu\n",
+                  std::string(profile::cause_name(cause)).c_str(),
+                  static_cast<unsigned long long>(cycles));
+    }
+  };
+
+  if (image.layout == binary::Layout::kVcfr) {
+    // Already-randomized input: one attributed profile.
+    profile::Profiler prof(image);
+    const auto res =
+        sim::simulate(image, args.max_instr, config, nullptr, &prof);
+    const profile::ProfileMeta meta = profile_meta(image, res.cycles);
+    rprintf("guest profile: %s (%s, seed %llu)\n", meta.app.c_str(),
+                meta.layout.c_str(),
+                static_cast<unsigned long long>(meta.seed));
+    rprintf("instructions: %llu  cycles: %llu  resolved: %.1f%%\n",
+                static_cast<unsigned long long>(prof.instructions()),
+                static_cast<unsigned long long>(prof.attributed_cycles()),
+                100 * prof.resolved_fraction());
+    print_causes("", prof);
+    rprintf("\nfunctions (cycles desc):\n");
+    for (const auto& f : prof.functions()) {
+      rprintf("  %-24s %12llu cycles %12llu instr\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.cycles),
+                  static_cast<unsigned long long>(f.instructions));
+    }
+    rprintf("\n%s", prof.to_hot_blocks(meta, args.top).c_str());
+    export_profile(args, prof, meta);
+    return 0;
+  }
+
+  // Original input: profile it natively AND as its seed-randomized VCFR
+  // sibling, then report per-function overhead (the paper's Figs. 13-14
+  // view: where VCFR's extra cycles land in the guest).
+  rewriter::RandomizeOptions opts;
+  opts.seed = args.seed;
+  const auto rr = rewriter::randomize(image, opts);
+  profile::Profiler native_prof(image);
+  profile::Profiler vcfr_prof(rr.vcfr);
+  const auto native_res =
+      sim::simulate(image, args.max_instr, config, nullptr, &native_prof);
+  const auto vcfr_res =
+      sim::simulate(rr.vcfr, args.max_instr, config, nullptr, &vcfr_prof);
+  const profile::ProfileMeta native_meta =
+      profile_meta(image, native_res.cycles);
+  const profile::ProfileMeta vcfr_meta = profile_meta(rr.vcfr, vcfr_res.cycles);
+
+  // Per-function comparison matched by name; a function with no samples on
+  // one side reports 0 cycles there. VCFR-hot functions first.
+  struct CmpRow {
+    std::string name;
+    uint64_t native = 0;
+    uint64_t vcfr = 0;
+  };
+  const auto nf = native_prof.functions();
+  const auto vf = vcfr_prof.functions();
+  std::map<std::string, uint64_t> native_left;
+  for (const auto& f : nf) native_left[f.name] = f.cycles;
+  std::vector<CmpRow> rows;
+  for (const auto& f : vf) {
+    CmpRow row{f.name, 0, f.cycles};
+    const auto it = native_left.find(f.name);
+    if (it != native_left.end()) {
+      row.native = it->second;
+      native_left.erase(it);
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const auto& f : nf) {
+    if (native_left.count(f.name) != 0) rows.push_back({f.name, f.cycles, 0});
+  }
+
+  const double overhead =
+      native_res.cycles == 0 ? 0.0
+                             : static_cast<double>(vcfr_res.cycles) /
+                                   static_cast<double>(native_res.cycles);
+  rprintf("guest profile: %s (seed %llu), VCFR vs native\n",
+              image.name.c_str(),
+              static_cast<unsigned long long>(args.seed));
+  rprintf("total: native %llu cycles, vcfr %llu cycles (%.3fx)\n",
+              static_cast<unsigned long long>(native_res.cycles),
+              static_cast<unsigned long long>(vcfr_res.cycles), overhead);
+  rprintf("%-24s %14s %14s %8s\n", "function", "native", "vcfr", "ratio");
+  for (const CmpRow& row : rows) {
+    if (row.native == 0) {
+      rprintf("%-24s %14llu %14llu %8s\n", row.name.c_str(),
+                  static_cast<unsigned long long>(row.native),
+                  static_cast<unsigned long long>(row.vcfr), "-");
+    } else {
+      rprintf("%-24s %14llu %14llu %7.3fx\n", row.name.c_str(),
+                  static_cast<unsigned long long>(row.native),
+                  static_cast<unsigned long long>(row.vcfr),
+                  static_cast<double>(row.vcfr) /
+                      static_cast<double>(row.native));
+    }
+  }
+  rprintf("\n");
+  print_causes("vcfr", vcfr_prof);
+  rprintf("\n%s", vcfr_prof.to_hot_blocks(vcfr_meta, args.top).c_str());
+
+  if (!args.profile_out.empty()) {
+    telemetry::JsonWriter w;
+    w.begin_object(telemetry::JsonWriter::Style::kPretty);
+    w.key("native").raw_value(native_prof.to_json(native_meta, args.top));
+    w.key("vcfr").raw_value(vcfr_prof.to_json(vcfr_meta, args.top));
+    w.key("comparison").begin_array(telemetry::JsonWriter::Style::kPretty);
+    for (const CmpRow& row : rows) {
+      w.begin_object(telemetry::JsonWriter::Style::kCompact);
+      w.key("name").value(row.name);
+      w.key("native_cycles").value(row.native);
+      w.key("vcfr_cycles").value(row.vcfr);
+      w.key("overhead")
+          .raw_value(telemetry::json_double(
+              row.native == 0 ? 0.0
+                              : static_cast<double>(row.vcfr) /
+                                    static_cast<double>(row.native)));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_file(args.profile_out, w.str() + "\n");
+    if (args.profile_out != "-") {
+      std::fprintf(stderr, "profile: %s\n", args.profile_out.c_str());
+    }
+  }
+  if (!args.flame_out.empty()) {
+    write_file(args.flame_out, vcfr_prof.to_collapsed());
+    if (args.flame_out != "-") {
+      std::fprintf(stderr, "flamegraph: %s\n", args.flame_out.c_str());
     }
   }
   return 0;
@@ -704,13 +964,13 @@ int cmd_faultcamp(const Args& args) {
   }
   if (!args.output.empty()) {
     write_file(args.output, report.to_json());
-    std::fputs(report.summary().c_str(), stdout);
+    std::fputs(report.summary().c_str(), g_report);
     std::fprintf(stderr, "report: %s\n", args.output.c_str());
   } else if (args.json) {
     std::fputs(report.to_json().c_str(), stdout);
   } else {
-    std::fputs(report.summary().c_str(), stdout);
-    std::fputs(report.to_json().c_str(), stdout);
+    std::fputs(report.summary().c_str(), g_report);
+    std::fputs(report.to_json().c_str(), g_report);
   }
   return 0;
 }
@@ -734,9 +994,11 @@ void usage() {
       "      ILR-randomize; default output is the VCFR image, --naive the\n"
       "      relocated one\n"
       "  run <img.vxe> [--enforce-tags] [--max-instr N] [telemetry flags]\n"
+      "      [profile flags]\n"
       "      golden-model (functional) run; telemetry stamps events with\n"
       "      the instruction index\n"
       "  sim <img.vxe> [--drc N] [--max-instr N] [telemetry flags]\n"
+      "      [profile flags]\n"
       "      cycle simulation on one core\n"
       "  scan <img.vxe>\n"
       "      gadget scan + payload compilation attempt\n"
@@ -754,10 +1016,18 @@ void usage() {
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
       "      [--backoff ROUNDS] [--watchdog INSTR]\n"
       "      [--inject pid:site:instr[:seed]] [telemetry flags]\n"
+      "      [--profile-out PATH] [--top N]\n"
       "      time-slice N independently randomized workloads on a shared\n"
       "      L2+DRAM hierarchy; --inject arms one seeded corruption,\n"
       "      --restart re-randomizes and restarts crashed processes\n"
-      "      (docs/DEPENDABILITY.md)\n"
+      "      (docs/DEPENDABILITY.md); --profile-out writes one guest\n"
+      "      profile per tenant (PATH.pidN.json)\n"
+      "  prof <img.vxe> [--seed N] [--drc N] [--max-instr N] [--top N]\n"
+      "      [--profile-out PATH] [--flame-out PATH]\n"
+      "      guest-level cycle-attribution profile (docs/OBSERVABILITY.md);\n"
+      "      an original image is also randomized (--seed) and simulated as\n"
+      "      VCFR for a per-function overhead comparison; a VCFR image is\n"
+      "      profiled as-is\n"
       "  faultcamp [--workloads a,b,c] [--scale S] [--seed N] [--trials N]\n"
       "      [--max-instr N] [--layouts native,naive,vcfr]\n"
       "      [--sites code_byte,translation_entry,ret_slot,ret_bitmap,\n"
@@ -772,7 +1042,15 @@ void usage() {
       "  --sample-interval N     snapshot the registry every N cycles\n"
       "  --sample-out PATH       time-series destination; .json for JSON,\n"
       "                          anything else for CSV (requires\n"
-      "                          --sample-interval)\n",
+      "                          --sample-interval)\n"
+      "\n"
+      "profile flags (run|sim|prof, plus fleet's --profile-out/--top):\n"
+      "  --profile-out PATH      write the deterministic JSON profile\n"
+      "  --flame-out PATH        write a collapsed-stack flamegraph file\n"
+      "                          (feed to flamegraph.pl / speedscope)\n"
+      "  --top N                 hot blocks listed in reports (default 10)\n"
+      "\n"
+      "Any output PATH above may be `-` to stream to stdout.\n",
       stderr);
 }
 
@@ -787,6 +1065,13 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     validate_flags(cmd, args);
+    // With a payload streaming to stdout, human-readable reports move to
+    // stderr so pipelines stay clean.
+    for (const std::string* out :
+         {&args.stats_json, &args.trace_out, &args.sample_out,
+          &args.profile_out, &args.flame_out}) {
+      if (*out == "-") g_report = stderr;
+    }
     if (cmd == "asm") return cmd_asm(args);
     if (cmd == "disasm") return cmd_disasm(args);
     if (cmd == "stats") return cmd_stats(args);
@@ -799,6 +1084,7 @@ int main(int argc, char** argv) {
     if (cmd == "cfg") return cmd_cfg(args);
     if (cmd == "entropy") return cmd_entropy(args);
     if (cmd == "fleet") return cmd_fleet(args);
+    if (cmd == "prof") return cmd_prof(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage();
     return 2;
