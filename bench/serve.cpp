@@ -1,0 +1,83 @@
+// Request-serving latency snapshot: drives a pinned 8-tenant mix (the
+// §V-A server handler interleaved with four SPEC-like programs) through
+// the event-driven serve subsystem, writing BENCH_serve.json for CI to
+// diff across commits.
+//
+// Usage: serve [serve.json]   (default BENCH_serve.json)
+//
+// Two sections, matching the BENCH_hotpath.json pattern:
+//   * "simulated" — deterministic: rounds, fleet cycles, request
+//     accounting, throughput, and per-tenant latency percentiles in
+//     fleet-clock cycles. CI diffs this byte-for-byte.
+//   * "host" — wall-clock of the run. Informational only.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "serve/server.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_serve.json";
+
+  vcfr::serve::ServeConfig sc;
+  sc.tenants = 8;
+  sc.cores = 4;
+  sc.duration = 300'000;
+  sc.model = vcfr::serve::ArrivalModel::kOpen;
+  sc.dist = vcfr::serve::Distribution::kExponential;
+  sc.mean_interarrival = 15'000;
+  sc.workloads = {"server", "bzip2", "server", "mcf",
+                  "server", "hmmer", "server", "libquantum"};
+  sc.scale = 0;
+  sc.seed = 7;
+  sc.slice_instructions = 2'000;
+
+  const auto start = Clock::now();
+  const vcfr::serve::ServeReport report = vcfr::serve::run_serve(sc);
+  const double wall_ms =
+      std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
+
+  using vcfr::telemetry::JsonWriter;
+  JsonWriter w;
+  w.begin_object(JsonWriter::Style::kPretty);
+  w.key("bench").value("serve");
+  w.key("config").begin_object();
+  w.key("tenants").value(sc.tenants);
+  w.key("cores").value(sc.cores);
+  w.key("duration").value(sc.duration);
+  w.key("arrival").value("open");
+  w.key("dist").value("exp");
+  w.key("interarrival").value(sc.mean_interarrival);
+  w.key("scale").value(static_cast<uint64_t>(sc.scale));
+  w.key("seed").value(sc.seed);
+  w.key("slice").value(sc.slice_instructions);
+  w.end_object();
+  w.key("simulated").raw_value(
+      // to_json already renders the full deterministic report (pretty,
+      // trailing newline stripped to nest cleanly).
+      [&] {
+        std::string j = report.to_json();
+        while (!j.empty() && j.back() == '\n') j.pop_back();
+        return j;
+      }());
+  w.key("host").begin_object();
+  w.key("wall_ms").raw_value(vcfr::telemetry::json_double(wall_ms));
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(path);
+  out << w.str() << "\n";
+  out.close();
+  std::printf("serve bench: %llu/%llu requests in %llu cycles -> %s\n",
+              static_cast<unsigned long long>(report.completed),
+              static_cast<unsigned long long>(report.generated),
+              static_cast<unsigned long long>(report.fleet_cycles), path);
+  return 0;
+}

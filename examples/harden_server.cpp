@@ -1,10 +1,12 @@
 // End-to-end ROP attack-and-defense demo (the paper's §V-A scenario: a
 // remote attacker subverts a service by sending malicious data).
 //
-// The "server" is a VX program with a classic stack-smash: its request
-// handler copies a client-controlled number of bytes into a 64-byte stack
-// buffer. The attacker (this file) plays by the paper's threat model —
-// they know the *distributed* binary but cannot see the randomized image:
+// The "server" is the shared vulnerable request handler from
+// workloads/wl_server.hpp (the same program the serving subsystem in
+// src/serve/ drives under load): its handler copies a client-controlled
+// number of bytes into a 64-byte stack buffer. The attacker (this file)
+// plays by the paper's threat model — they know the *distributed* binary
+// but cannot see the randomized image:
 //
 //   1. scan the distributed binary for gadgets (our ROPgadget);
 //   2. build a request whose overflow overwrites the return address with a
@@ -21,79 +23,13 @@
 #include "binary/loader.hpp"
 #include "emu/emulator.hpp"
 #include "gadget/scanner.hpp"
-#include "isa/assembler.hpp"
 #include "rewriter/randomizer.hpp"
+#include "workloads/wl_server.hpp"
 
 namespace {
 
-constexpr uint32_t kRequestBase = 0x10000000;
-constexpr uint32_t kMarker = 0xdead;
-
-// The vulnerable service. `handle_request` copies request[1..n] into a
-// 64-byte stack buffer where n = request[0] — no bounds check. The
-// program's statically linked runtime provides the gadget material
-// (an argument-restore helper and a write() syscall stub).
-constexpr const char* kServer = R"(
-  .name vulnerable-server
-  .entry main
-  .data 0x10000000
-  request:
-    .space 128
-  .text
-  .func main
-  main:
-    call handle_request
-    mov r0, 1
-    out r0             ; "request served" status
-    halt
-  .func handle_request
-  handle_request:
-    sub sp, 64         ; char buf[64]
-    mov r1, @request
-    ldb r2, [r1]       ; n = request[0]  (attacker controlled!)
-    mov r3, 0
-  copy:
-    cmp r3, r2
-    jae done
-    add r1, 1
-    ldb r4, [r1]
-    mov r5, sp
-    add r5, r3
-    stb r4, [r5]       ; buf[i] = request[1+i]  -- no bounds check
-    add r3, 1
-    jmp copy
-  done:
-    add sp, 64
-    ret
-  .func rt_restore     ; varargs/argument restore helper: pop r0; ret
-  rt_restore:
-    pop r0
-    ret
-  .func rt_write       ; write() syscall stub: sys 1; ret
-  rt_write:
-    sys 1
-    ret
-)";
-
-/// Builds the malicious request: 64 filler bytes, then the ROP chain that
-/// replaces the saved return address.
-std::vector<uint8_t> build_exploit(uint32_t pop_gadget, uint32_t sys_gadget) {
-  std::vector<uint8_t> req;
-  const auto push32 = [&](uint32_t v) {
-    req.push_back(static_cast<uint8_t>(v));
-    req.push_back(static_cast<uint8_t>(v >> 8));
-    req.push_back(static_cast<uint8_t>(v >> 16));
-    req.push_back(static_cast<uint8_t>(v >> 24));
-  };
-  for (int i = 0; i < 64; ++i) req.push_back('A');
-  push32(pop_gadget);  // overwrites the saved return address
-  push32(kMarker);     // popped into r0 by the first gadget
-  push32(sys_gadget);  // sys 1 emits r0: the "shell"
-  std::vector<uint8_t> framed;
-  framed.push_back(static_cast<uint8_t>(req.size()));
-  framed.insert(framed.end(), req.begin(), req.end());
-  return framed;
-}
+using vcfr::workloads::kServerMarker;
+using vcfr::workloads::kServerRequestBase;
 
 struct ServeResult {
   bool served = false;   // normal completion
@@ -106,7 +42,7 @@ ServeResult serve(const vcfr::binary::Image& image,
   vcfr::binary::Memory mem;
   vcfr::binary::load(image, mem);
   for (size_t i = 0; i < request.size(); ++i) {
-    mem.write8(kRequestBase + static_cast<uint32_t>(i), request[i]);
+    mem.write8(kServerRequestBase + static_cast<uint32_t>(i), request[i]);
   }
   vcfr::emu::Emulator emulator(image, mem);
   emulator.set_enforce_tags(enforce_tags);
@@ -117,7 +53,7 @@ ServeResult serve(const vcfr::binary::Image& image,
   out.served = r.halted;
   out.fault = r.error;
   for (uint32_t v : r.output) {
-    if (v == kMarker) out.pwned = true;
+    if (v == kServerMarker) out.pwned = true;
   }
   return out;
 }
@@ -125,7 +61,7 @@ ServeResult serve(const vcfr::binary::Image& image,
 void report(const char* label, const ServeResult& r) {
   if (r.pwned) {
     std::printf("  %-22s ATTACKER SHELL (marker 0x%x emitted)\n", label,
-                kMarker);
+                kServerMarker);
   } else if (!r.fault.empty()) {
     std::printf("  %-22s attack stopped: %s\n", label, r.fault.c_str());
   } else if (r.served) {
@@ -140,7 +76,7 @@ void report(const char* label, const ServeResult& r) {
 int main() {
   using namespace vcfr;
 
-  const binary::Image server = isa::assemble(kServer);
+  const binary::Image server = workloads::make_server();
 
   // --- the attacker studies the distributed binary ------------------------
   const auto pool = gadget::scan(server);
@@ -161,8 +97,9 @@ int main() {
     return 1;
   }
 
-  const auto exploit = build_exploit(pop_gadget, sys_gadget);
-  std::vector<uint8_t> benign = {5, 'h', 'e', 'l', 'l', 'o'};
+  const auto exploit = workloads::build_exploit_request(pop_gadget, sys_gadget);
+  const auto benign =
+      workloads::frame_request({'h', 'e', 'l', 'l', 'o'});
 
   // --- deploy three server variants ----------------------------------------
   rewriter::RandomizeOptions opts;

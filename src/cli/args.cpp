@@ -1,0 +1,271 @@
+#include "cli/args.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+namespace vcfr::cli {
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::optional<std::string> inline_value;
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+      const size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a = a.substr(0, eq);
+      }
+    }
+    auto value = [&]() -> std::string {
+      if (inline_value) return *inline_value;
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      return argv[++i];
+    };
+    auto boolean = [&]() {
+      if (inline_value) throw std::runtime_error(a + " does not take a value");
+      return true;
+    };
+    if (!a.empty() && a[0] == '-') {
+      args.seen.push_back(a == "-o" ? "--output" : a);
+    }
+    if (a == "-o" || a == "--output") {
+      args.output = value();
+    } else if (a == "--seed") {
+      args.seed = std::stoull(value());
+    } else if (a == "--max-instr") {
+      args.max_instr = std::stoull(value());
+    } else if (a == "--drc") {
+      args.drc = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--scale") {
+      args.scale = std::stoi(value());
+    } else if (a == "--naive") {
+      args.naive = boolean();
+    } else if (a == "--software-returns") {
+      args.software_returns = boolean();
+    } else if (a == "--page-confined") {
+      args.page_confined = boolean();
+    } else if (a == "--enforce-tags") {
+      args.enforce_tags = boolean();
+    } else if (a == "--regs") {
+      args.regs = boolean();
+    } else if (a == "--procs") {
+      args.procs = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--cores") {
+      args.cores = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--slice") {
+      args.slice = std::stoull(value());
+    } else if (a == "--rerand") {
+      args.rerand = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--workloads") {
+      args.workload_list = value();
+    } else if (a == "--restart") {
+      args.restart = value();
+    } else if (a == "--max-restarts") {
+      args.max_restarts = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--backoff") {
+      args.backoff = std::stoull(value());
+    } else if (a == "--watchdog") {
+      args.watchdog = std::stoull(value());
+    } else if (a == "--inject") {
+      args.inject = value();
+    } else if (a == "--layouts") {
+      args.layout_list = value();
+    } else if (a == "--sites") {
+      args.site_list = value();
+    } else if (a == "--trials") {
+      args.trials = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--tenants") {
+      args.tenants = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--duration") {
+      args.duration = std::stoull(value());
+    } else if (a == "--arrival") {
+      args.arrival = value();
+    } else if (a == "--dist") {
+      args.dist = value();
+    } else if (a == "--interarrival") {
+      args.interarrival = std::stoull(value());
+    } else if (a == "--latency-out") {
+      args.latency_out = value();
+    } else if (a == "--json") {
+      args.json = boolean();
+    } else if (a == "--no-baseline") {
+      args.no_baseline = boolean();
+    } else if (a == "--stats-json") {
+      args.stats_json = value();
+    } else if (a == "--trace-out") {
+      args.trace_out = value();
+    } else if (a == "--sample-interval") {
+      args.sample_interval = std::stoull(value());
+    } else if (a == "--sample-out") {
+      args.sample_out = value();
+    } else if (a == "--profile-out") {
+      args.profile_out = value();
+    } else if (a == "--flame-out") {
+      args.flame_out = value();
+    } else if (a == "--top") {
+      args.top = static_cast<uint32_t>(std::stoul(value()));
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::runtime_error("unknown flag: " + a);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  if (args.sample_interval > 0 && args.sample_out.empty()) {
+    throw std::runtime_error("--sample-interval requires --sample-out");
+  }
+  if (args.sample_interval == 0 && !args.sample_out.empty()) {
+    throw std::runtime_error("--sample-out requires --sample-interval");
+  }
+  return args;
+}
+
+void validate_flags(const std::string& cmd, const Args& args) {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"asm", {"--output"}},
+      {"disasm", {}},
+      {"stats", {}},
+      {"randomize",
+       {"--output", "--seed", "--naive", "--software-returns",
+        "--page-confined"}},
+      {"run",
+       {"--enforce-tags", "--max-instr", "--stats-json", "--trace-out",
+        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
+        "--top"}},
+      {"sim",
+       {"--drc", "--max-instr", "--stats-json", "--trace-out",
+        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
+        "--top"}},
+      {"scan", {}},
+      {"workload",
+       {"--output", "--scale", "--stats-json", "--trace-out",
+        "--sample-interval", "--sample-out"}},
+      {"trace", {"--max-instr", "--regs"}},
+      {"cfg", {}},
+      {"entropy", {"--seed", "--page-confined"}},
+      {"fleet",
+       {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
+        "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
+        "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
+        "--stats-json", "--trace-out", "--sample-interval", "--sample-out",
+        "--profile-out", "--top"}},
+      {"prof",
+       {"--seed", "--drc", "--max-instr", "--top", "--profile-out",
+        "--flame-out"}},
+      {"faultcamp",
+       {"--workloads", "--scale", "--seed", "--trials", "--max-instr",
+        "--layouts", "--sites", "--json", "--output", "--stats-json"}},
+      {"serve",
+       {"--tenants", "--cores", "--duration", "--arrival", "--interarrival",
+        "--dist", "--workloads", "--scale", "--seed", "--slice", "--drc",
+        "--max-instr", "--restart", "--max-restarts", "--backoff",
+        "--watchdog", "--inject", "--json", "--latency-out", "--stats-json",
+        "--trace-out", "--sample-interval", "--sample-out"}},
+  };
+  const auto it = kAllowed.find(cmd);
+  if (it == kAllowed.end()) return;  // unknown command: usage() handles it
+  for (const std::string& flag : args.seen) {
+    if (it->second.count(flag) == 0) {
+      throw std::runtime_error("flag " + flag + " is not accepted by '" +
+                               cmd + "' (run vcfr with no arguments for "
+                               "per-command flags)");
+    }
+  }
+}
+
+const char* usage_text() {
+  return
+      "usage: vcfr <command> [flags]\n"
+      "\n"
+      "All flags accept both `--flag value` and `--flag=value`. Each\n"
+      "command rejects flags it does not use.\n"
+      "\n"
+      "commands:\n"
+      "  asm <src.vx> [-o out.vxe]\n"
+      "      assemble VX source\n"
+      "  disasm <img.vxe>\n"
+      "      list instructions (handles naive-ILR sparse images)\n"
+      "  stats <img.vxe>\n"
+      "      static control-flow analysis\n"
+      "  randomize <img.vxe> [-o out.vxe] [--seed N] [--naive]\n"
+      "      [--software-returns] [--page-confined]\n"
+      "      ILR-randomize; default output is the VCFR image, --naive the\n"
+      "      relocated one\n"
+      "  run <img.vxe> [--enforce-tags] [--max-instr N] [telemetry flags]\n"
+      "      [profile flags]\n"
+      "      golden-model (functional) run; telemetry stamps events with\n"
+      "      the instruction index\n"
+      "  sim <img.vxe> [--drc N] [--max-instr N] [telemetry flags]\n"
+      "      [profile flags]\n"
+      "      cycle simulation on one core\n"
+      "  scan <img.vxe>\n"
+      "      gadget scan + payload compilation attempt\n"
+      "  workload <name> [--scale S] [-o out.vxe] [telemetry flags]\n"
+      "      emit a suite program; --stats-json reports static stats\n"
+      "  trace <img.vxe> [--max-instr N] [--regs]\n"
+      "      per-instruction architectural trace\n"
+      "  cfg <img.vxe>\n"
+      "      Graphviz dot to stdout\n"
+      "  entropy <img.vxe> [--seed N] [--page-confined]\n"
+      "      SV-C entropy report\n"
+      "  fleet [--procs N] [--cores N] [--slice N] [--rerand N]\n"
+      "      [--workloads a,b,c] [--scale S] [--seed N] [--drc N]\n"
+      "      [--max-instr N] [--json] [--no-baseline]\n"
+      "      [--restart never|on-fault|always] [--max-restarts N]\n"
+      "      [--backoff ROUNDS] [--watchdog INSTR]\n"
+      "      [--inject pid:site:instr[:seed]] [telemetry flags]\n"
+      "      [--profile-out PATH] [--top N]\n"
+      "      time-slice N independently randomized workloads on a shared\n"
+      "      L2+DRAM hierarchy; --inject arms one seeded corruption,\n"
+      "      --restart re-randomizes and restarts crashed processes\n"
+      "      (docs/DEPENDABILITY.md); --profile-out writes one guest\n"
+      "      profile per tenant (PATH.pidN.json)\n"
+      "  serve [--tenants N] [--cores N] [--duration CYCLES]\n"
+      "      [--arrival open|closed] [--interarrival CYCLES]\n"
+      "      [--dist fixed|uniform|exp] [--workloads a,b,c] [--scale S]\n"
+      "      [--seed N] [--slice N] [--drc N] [--max-instr N]\n"
+      "      [--restart never|on-fault|always] [--max-restarts N]\n"
+      "      [--backoff ROUNDS] [--watchdog INSTR]\n"
+      "      [--inject pid:site:instr[:seed]] [--json]\n"
+      "      [--latency-out PATH] [telemetry flags]\n"
+      "      request-serving latency bench (docs/ARCHITECTURE.md sec 12):\n"
+      "      seeded per-tenant request streams dispatched event-driven on\n"
+      "      the fleet kernel; reports per-tenant p50/p99/p999 in cycles;\n"
+      "      --latency-out writes the per-request lifecycle CSV;\n"
+      "      --max-instr is the per-request instruction budget\n"
+      "  prof <img.vxe> [--seed N] [--drc N] [--max-instr N] [--top N]\n"
+      "      [--profile-out PATH] [--flame-out PATH]\n"
+      "      guest-level cycle-attribution profile (docs/OBSERVABILITY.md);\n"
+      "      an original image is also randomized (--seed) and simulated as\n"
+      "      VCFR for a per-function overhead comparison; a VCFR image is\n"
+      "      profiled as-is\n"
+      "  faultcamp [--workloads a,b,c] [--scale S] [--seed N] [--trials N]\n"
+      "      [--max-instr N] [--layouts native,naive,vcfr]\n"
+      "      [--sites code_byte,translation_entry,ret_slot,ret_bitmap,\n"
+      "      payload] [--json] [-o report.json] [--stats-json PATH]\n"
+      "      dependability campaign: sweep seeded faults over workloads x\n"
+      "      layouts x sites; deterministic detection/containment report\n"
+      "\n"
+      "telemetry flags (run|sim|workload|fleet|serve —\n"
+      "docs/OBSERVABILITY.md):\n"
+      "  --stats-json PATH       write the stat-registry snapshot as JSON\n"
+      "  --trace-out PATH        write a Chrome trace-event JSON (open at\n"
+      "                          https://ui.perfetto.dev)\n"
+      "  --sample-interval N     snapshot the registry every N cycles\n"
+      "  --sample-out PATH       time-series destination; .json for JSON,\n"
+      "                          anything else for CSV (requires\n"
+      "                          --sample-interval)\n"
+      "\n"
+      "profile flags (run|sim|prof, plus fleet's --profile-out/--top):\n"
+      "  --profile-out PATH      write the deterministic JSON profile\n"
+      "  --flame-out PATH        write a collapsed-stack flamegraph file\n"
+      "                          (feed to flamegraph.pl / speedscope)\n"
+      "  --top N                 hot blocks listed in reports (default 10)\n"
+      "\n"
+      "Any output PATH above may be `-` to stream to stdout.\n";
+}
+
+}  // namespace vcfr::cli

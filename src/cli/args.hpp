@@ -1,0 +1,75 @@
+// Flag parsing and per-subcommand validation for the `vcfr` CLI.
+//
+// Lives in the library (not tools/) so tests can drive the exact parser
+// the binary ships: every flag accepts both `--flag value` and
+// `--flag=value`, and each subcommand rejects flags it does not use
+// (validate_flags), so a typo is an error instead of a silent no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcfr::cli {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string output;
+  uint64_t seed = 1;
+  uint64_t max_instr = 100'000'000;
+  uint32_t drc = 128;
+  int scale = 1;
+  bool naive = false;
+  bool software_returns = false;
+  bool page_confined = false;
+  bool enforce_tags = false;
+  bool regs = false;
+  uint32_t procs = 4;
+  uint32_t cores = 2;
+  uint64_t slice = 50'000;
+  uint32_t rerand = 0;
+  std::string workload_list;
+  bool json = false;
+  bool no_baseline = false;
+  // Fault containment (fleet/serve) and campaign (faultcamp) controls.
+  std::string restart;       // never | on-fault | always
+  uint32_t max_restarts = 3;
+  uint64_t backoff = 8;
+  uint64_t watchdog = 0;
+  std::string inject;        // pid:site:instr[:seed]
+  std::string layout_list;   // native,naive,vcfr
+  std::string site_list;     // code_byte,translation_entry,...
+  uint32_t trials = 4;
+  // Serving (serve) controls — docs/ARCHITECTURE.md §12.
+  uint32_t tenants = 8;
+  uint64_t duration = 200'000;
+  std::string arrival = "open";   // open | closed
+  std::string dist = "exp";       // fixed | uniform | exp
+  uint64_t interarrival = 20'000;
+  std::string latency_out;        // per-request CSV destination
+  // Telemetry outputs (docs/OBSERVABILITY.md).
+  std::string stats_json;
+  std::string trace_out;
+  std::string sample_out;
+  uint64_t sample_interval = 0;
+  // Guest profiler outputs (run|sim|fleet|prof).
+  std::string profile_out;
+  std::string flame_out;
+  uint32_t top = 10;
+  /// Canonical names of every flag given, for per-subcommand validation.
+  std::vector<std::string> seen;
+};
+
+/// Parses argv[2..] (argv[1] is the subcommand). Throws std::runtime_error
+/// on unknown flags, missing values, or values on boolean flags.
+[[nodiscard]] Args parse_args(int argc, char** argv);
+
+/// Per-subcommand flag whitelist: a flag the global parser knows but the
+/// subcommand does not use is an error, not a silent no-op. Unknown
+/// subcommands pass (the caller's usage handling rejects them).
+void validate_flags(const std::string& cmd, const Args& args);
+
+/// The full `vcfr` usage text (every subcommand and flag).
+[[nodiscard]] const char* usage_text();
+
+}  // namespace vcfr::cli

@@ -105,6 +105,23 @@ void Kernel::service_restarts() {
   }
 }
 
+void Kernel::advance_core(uint32_t core, uint64_t cycle) {
+  const uint64_t now = cores_[core]->now();
+  if (cycle > now) cores_[core]->stall(cycle - now);
+}
+
+void Kernel::wake(uint32_t pid) {
+  Process& p = *procs_[pid];
+  sched_.unblock(static_cast<uint32_t>(p.core()), pid);
+}
+
+bool Kernel::restart_pending(uint32_t pid) const {
+  for (const PendingRestart& pr : pending_restarts_) {
+    if (pr.pid == pid) return true;
+  }
+  return false;
+}
+
 uint64_t Kernel::fleet_now() const {
   uint64_t now = 0;
   for (const auto& core : cores_) now = std::max(now, core->now());
@@ -275,10 +292,15 @@ FleetReport Kernel::run() {
     run_slice(active[i]);
   };
 
-  while (sched_.any_runnable() || !pending_restarts_.empty()) {
+  while (sched_.any_runnable() || !pending_restarts_.empty() ||
+         (service_ != nullptr && service_->active())) {
     ++rounds_;
     if (config_.max_rounds != 0 && rounds_ > config_.max_rounds) break;
     if (!pending_restarts_.empty()) service_restarts();
+    // Serving hook: inject request traffic at the round boundary — the
+    // only point where every core is parked, so delivery stays
+    // bit-deterministic regardless of host thread scheduling.
+    if (service_ != nullptr) service_->on_round(rounds_);
 
     // -- dispatch (serial: touches per-core context + clocks only) -------
     for (uint32_t c = 0; c < cores; ++c) {
@@ -358,6 +380,22 @@ FleetReport Kernel::run() {
                                        inj->record().at_instruction);
         }
       } else if (emu.halted()) {
+        if (service_ != nullptr) {
+          // A serving tenant's halt is a request boundary, not an exit:
+          // the hook records the completion and either delivers the next
+          // queued request (rearm happened inside on_halt) or parks the
+          // tenant until traffic arrives.
+          const ServiceHook::HaltAction act =
+              service_->on_halt(p.pid(), cores_[c]->cycles());
+          if (act == ServiceHook::HaltAction::kRunnable) {
+            sched_.requeue(c, p.pid());
+            continue;
+          }
+          if (act == ServiceHook::HaltAction::kBlocked) {
+            sched_.block(p.pid());
+            continue;
+          }
+        }
         exit.code = fault::ExitCode::kHalted;
       } else if (p.config().watchdog_instructions != 0 &&
                  p.life_instructions() >= p.config().watchdog_instructions) {

@@ -54,6 +54,35 @@ struct KernelConfig {
   uint64_t max_rounds = 0;
 };
 
+/// Event-driven serving extension point (src/serve/). A hook turns the
+/// batch round loop into a request server: it injects work at round
+/// boundaries (the only deterministic point — every core is parked
+/// between slices), decides what a halt means (request completed vs
+/// process exit), and keeps the loop alive while traffic remains even
+/// when every tenant is blocked. All callbacks run on the kernel thread
+/// in the serial phases, so a hook may freely touch processes and the
+/// scheduler through the kernel's service API below.
+class ServiceHook {
+ public:
+  /// What a clean halt of a process means to the service.
+  enum class HaltAction : uint8_t {
+    kFinish = 0,    // real exit: the kernel parks the process as finished
+    kRunnable = 1,  // next request already delivered: requeue immediately
+    kBlocked = 2,   // no pending work: park until Kernel::wake()
+  };
+  virtual ~ServiceHook() = default;
+  /// Start of every scheduler round (serial, after queued restarts were
+  /// serviced, before dispatch): generate/deliver requests, fast-forward
+  /// idle cores, poll for crashed tenants.
+  virtual void on_round(uint64_t round) = 0;
+  /// A dispatched process halted this round (serial bookkeeping phase).
+  /// `core_cycles` is its home core's clock — the completion timestamp.
+  virtual HaltAction on_halt(uint32_t pid, uint64_t core_cycles) = 0;
+  /// Keeps the round loop alive while true (e.g. future arrivals exist
+  /// even though every queue is empty and every tenant is blocked).
+  [[nodiscard]] virtual bool active() const = 0;
+};
+
 class Kernel {
  public:
   explicit Kernel(const KernelConfig& config);
@@ -83,6 +112,29 @@ class Kernel {
   [[nodiscard]] const profile::Profiler* profiler(uint32_t pid) const {
     return pid < profilers_.size() ? profilers_[pid].get() : nullptr;
   }
+
+  /// Attaches the serving hook (src/serve/). Must be called before
+  /// `run()`; the hook must outlive the run. Null detaches.
+  void set_service(ServiceHook* service) { service_ = service; }
+
+  // ---- service API (valid from ServiceHook callbacks) --------------------
+  /// `core`'s pipeline clock — the time base for request timestamps of
+  /// tenants homed on that core.
+  [[nodiscard]] uint64_t core_now(uint32_t core) const {
+    return cores_[core]->now();
+  }
+  /// Fast-forwards an *idle* core's clock to `cycle` (no-op when already
+  /// past it). Without this an all-blocked core's clock would stand still
+  /// and arrivals scheduled on it would never come due.
+  void advance_core(uint32_t core, uint64_t cycle);
+  /// Unparks a blocked tenant onto its home core's run queue (the hook
+  /// delivers a request via Process::rearm first).
+  void wake(uint32_t pid);
+  /// Mutable process access for request delivery (Process::rearm).
+  [[nodiscard]] Process& process_mut(uint32_t pid) { return *procs_[pid]; }
+  /// True when `pid` sits in the restart backoff queue (crashed, but the
+  /// kernel will re-image it — the hook should hold its queued requests).
+  [[nodiscard]] bool restart_pending(uint32_t pid) const;
 
   /// Runs the fleet to completion and returns the report. Single-shot.
   FleetReport run();
@@ -161,6 +213,8 @@ class Kernel {
   /// that has two or more active cores. Replaces per-round thread
   /// spawn/join; see os/worker_pool.hpp for the determinism argument.
   std::unique_ptr<WorkerPool> pool_;
+
+  ServiceHook* service_ = nullptr;
 
   telemetry::Telemetry* telemetry_ = nullptr;
   /// Per-core trace lanes plus one kernel lane (null when tracing is off).

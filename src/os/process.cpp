@@ -109,6 +109,20 @@ void Process::restart() {
   // An already-fired injection stays consumed: the replacement runs clean.
 }
 
+void Process::rearm(const std::vector<uint8_t>& payload,
+                    uint32_t payload_base) {
+  mem_ = binary::Memory();
+  binary::load(rr_->vcfr, mem_);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    mem_.write8(payload_base + static_cast<uint32_t>(i), payload[i]);
+  }
+  emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
+  emu_->set_enforce_tags(config_.enforce_tags);
+  finished_ = false;
+  exit_status_ = fault::ExitStatus{};
+  life_base_ = stats_.instructions;
+}
+
 uint64_t Process::injection_gap() const {
   if (injector_ == nullptr || injector_->attempted()) return UINT64_MAX;
   const uint64_t life = life_instructions();

@@ -118,6 +118,15 @@ class Process {
   /// clock.
   void finish(uint64_t core_cycles, fault::ExitStatus status);
 
+  /// Re-arms the process for the next request of a serving workload
+  /// (src/serve/): memory is re-imaged and the emulator reset against the
+  /// *same* randomization epoch — tables, placement, and walker are
+  /// untouched, so the core's warm DRC/bitmap state stays valid and no
+  /// context switch is due. `payload` is written at `payload_base` before
+  /// the life starts (the request bytes a server reads). Resets the
+  /// per-life budget/watchdog clock and the finished flag.
+  void rearm(const std::vector<uint8_t>& payload, uint32_t payload_base);
+
   /// Re-images the process from scratch with a fresh placement seed
   /// (restart-with-rerandomize): new randomization, memory, and emulator;
   /// the epoch bumps so every cached translation of the dead layout is

@@ -25,6 +25,17 @@ void Scheduler::requeue(uint32_t core, uint32_t pid) {
   ++preemptions_;
 }
 
+void Scheduler::block(uint32_t pid) {
+  (void)pid;  // not on any queue while blocked; only the count is kept
+  ++blocked_;
+}
+
+void Scheduler::unblock(uint32_t core, uint32_t pid) {
+  queues_[core].push_back(pid);
+  if (blocked_ > 0) --blocked_;
+  ++wakeups_;
+}
+
 bool Scheduler::any_runnable() const {
   for (const auto& q : queues_) {
     if (!q.empty()) return true;
@@ -34,11 +45,14 @@ bool Scheduler::any_runnable() const {
 
 void Scheduler::register_stats(const telemetry::Scope& scope) const {
   scope.counter("preemptions", &preemptions_);
+  scope.counter("wakeups", &wakeups_);
   scope.gauge("runnable", [this] {
     size_t n = 0;
     for (const auto& q : queues_) n += q.size();
     return static_cast<double>(n);
   });
+  scope.gauge("blocked",
+              [this] { return static_cast<double>(blocked_); });
 }
 
 }  // namespace vcfr::os

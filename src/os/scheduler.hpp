@@ -39,12 +39,25 @@ class Scheduler {
   /// core's queue.
   void requeue(uint32_t core, uint32_t pid);
 
+  /// Parks `pid` as blocked (waiting on an external event — e.g. a serve
+  /// tenant with no pending request). A blocked process is simply not on
+  /// any queue; this records the transition so idle tenants are
+  /// observable and wakeups can be told apart from preemptions.
+  void block(uint32_t pid);
+
+  /// Unparks a blocked process onto the back of its home core's queue.
+  /// Not a preemption: counted separately as a wakeup.
+  void unblock(uint32_t core, uint32_t pid);
+
   [[nodiscard]] bool any_runnable() const;
   [[nodiscard]] uint64_t preemptions() const { return preemptions_; }
+  [[nodiscard]] uint64_t wakeups() const { return wakeups_; }
+  /// Processes currently parked via block().
+  [[nodiscard]] uint64_t blocked() const { return blocked_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
-  /// Binds scheduler counters into `scope` (preemptions + a live gauge
-  /// of runnable processes across all queues).
+  /// Binds scheduler counters into `scope` (preemptions, wakeups, live
+  /// gauges of runnable and blocked processes).
   void register_stats(const telemetry::Scope& scope) const;
 
  private:
@@ -52,6 +65,8 @@ class Scheduler {
   std::vector<std::deque<uint32_t>> queues_;
   uint32_t next_core_ = 0;
   uint64_t preemptions_ = 0;
+  uint64_t wakeups_ = 0;
+  uint64_t blocked_ = 0;
 };
 
 }  // namespace vcfr::os

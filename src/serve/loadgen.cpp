@@ -1,0 +1,65 @@
+#include "serve/loadgen.hpp"
+
+#include <cstddef>
+
+namespace vcfr::serve {
+
+namespace {
+
+// Fixed-point (16.16) quantiles of the unit exponential at the midpoints
+// (i + 0.5)/64: entry i is round(-ln(1 - (i+0.5)/64) * 65536). Drawing a
+// uniform index and scaling by the mean gives an exponential variate with
+// mean ~0.9946 * mean using integer arithmetic only — libm's log() is not
+// bit-identical across platforms and would break the committed
+// BENCH_serve.json bytes.
+constexpr uint32_t kExpQuantile16[64] = {
+    514,    1554,   2611,   3686,   4778,   5889,   7019,   8169,
+    9339,   10530,  11744,  12981,  14241,  15526,  16837,  18174,
+    19540,  20934,  22359,  23815,  25305,  26829,  28390,  29988,
+    31627,  33307,  35032,  36803,  38624,  40496,  42424,  44410,
+    46458,  48572,  50757,  53017,  55358,  57786,  60307,  62928,
+    65659,  68509,  71489,  74610,  77887,  81338,  84979,  88836,
+    92933,  97304,  101987, 107030, 112495, 118457, 125016, 132305,
+    140508, 149886, 160834, 173985, 190455, 212507, 245984, 317983,
+};
+
+}  // namespace
+
+uint64_t LoadGen::draw_gap() {
+  uint64_t gap = config_.mean;
+  switch (config_.dist) {
+    case Distribution::kFixed:
+      break;
+    case Distribution::kUniform: {
+      const uint64_t span = config_.mean * 2;
+      gap = span == 0 ? 0 : 1 + rng_.next() % span;
+      break;
+    }
+    case Distribution::kExponential: {
+      const uint32_t q = kExpQuantile16[rng_.next() & 63];
+      gap = (config_.mean * q) >> 16;
+      break;
+    }
+  }
+  return gap == 0 ? 1 : gap;
+}
+
+std::vector<uint8_t> LoadGen::draw_server_body() {
+  const uint64_t r = rng_.next();
+  const size_t n = 1 + static_cast<size_t>(r % 63);
+  std::vector<uint8_t> body(n);
+  uint64_t bits = r >> 6;
+  int have = 58;
+  for (size_t i = 0; i < n; ++i) {
+    if (have < 8) {
+      bits = rng_.next();
+      have = 64;
+    }
+    body[i] = static_cast<uint8_t>(bits);
+    bits >>= 8;
+    have -= 8;
+  }
+  return body;
+}
+
+}  // namespace vcfr::serve

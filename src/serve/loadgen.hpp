@@ -1,0 +1,73 @@
+// Deterministic, seeded load generation for the serving subsystem.
+//
+// Every random quantity — interarrival gaps, request body sizes, payload
+// bytes — comes from a per-tenant splitmix64 stream, and the exponential
+// distribution is drawn through a fixed-point quantile table instead of
+// libm, so the same seed produces byte-identical request streams on every
+// host/toolchain (the committed BENCH_serve.json depends on this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vcfr::serve {
+
+/// splitmix64 (Steele et al.): tiny, full-period, integer-only.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// How a tenant's requests arrive (the two classic load-test shapes).
+enum class ArrivalModel : uint8_t {
+  /// Open loop: arrivals follow their own clock regardless of completions
+  /// — a slow server builds queue (the latency-under-load shape).
+  kOpen = 0,
+  /// Closed loop: one outstanding request per tenant; the next arrival is
+  /// scheduled a think-time after the previous completion.
+  kClosed = 1,
+};
+
+/// Interarrival / think-time distribution.
+enum class Distribution : uint8_t {
+  kFixed = 0,        // always the mean
+  kUniform = 1,      // uniform on [1, 2*mean] (same mean)
+  kExponential = 2,  // Poisson arrivals (memoryless), via quantile table
+};
+
+struct LoadGenConfig {
+  Distribution dist = Distribution::kExponential;
+  /// Mean gap between arrivals (open) or think time (closed), in cycles.
+  uint64_t mean = 20'000;
+  uint64_t seed = 1;
+};
+
+/// One tenant's random stream: gap draws plus synthetic request bodies.
+class LoadGen {
+ public:
+  explicit LoadGen(const LoadGenConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Draws the next interarrival (or think-time) gap, always >= 1 cycle.
+  [[nodiscard]] uint64_t draw_gap();
+
+  /// Draws a legitimate request body for the §V-A server: 1..63 random
+  /// bytes (<= the 64-byte handler buffer, so it never smashes the stack).
+  [[nodiscard]] std::vector<uint8_t> draw_server_body();
+
+ private:
+  LoadGenConfig config_;
+  SplitMix64 rng_;
+};
+
+}  // namespace vcfr::serve

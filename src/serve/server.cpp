@@ -1,0 +1,455 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "telemetry/json_writer.hpp"
+#include "workloads/wl_server.hpp"
+
+namespace vcfr::serve {
+
+namespace {
+
+// Same golden-ratio mixer the kernel/examples use for per-instance seeds.
+constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+
+/// A generated request waiting in a tenant's queue.
+struct Pending {
+  uint64_t id = 0;
+  uint64_t arrival = 0;
+  std::vector<uint8_t> payload;  // framed server request (empty otherwise)
+};
+
+class ServeDriver : public os::ServiceHook {
+ public:
+  ServeDriver(const ServeConfig& config, os::Kernel& kernel,
+              telemetry::Telemetry* telemetry)
+      : config_(config), kernel_(kernel) {
+    for (uint32_t pid = 0; pid < config.tenants; ++pid) {
+      const os::Process& p = kernel.process(pid);
+      Tenant t;
+      t.pid = pid;
+      t.core = static_cast<uint32_t>(p.core());
+      t.workload = p.config().workload;
+      t.is_server = t.workload == "server";
+      LoadGenConfig lg;
+      lg.dist = config.dist;
+      lg.mean = config.mean_interarrival;
+      // Decorrelated from the tenant's placement seed but derived from the
+      // same root, so one --seed pins the whole run.
+      lg.seed = (config.seed ^ (kSeedMix * (pid + 1))) * 0x2545f4914f6cdd1dull +
+                0x5345525645ull;
+      t.gen = std::make_unique<LoadGen>(lg);
+      // First arrival: one gap past time zero (both models).
+      t.next_arrival = t.gen->draw_gap();
+      t.gen_active = t.next_arrival <= config.duration;
+      tenants_.push_back(std::move(t));
+    }
+    if (telemetry != nullptr) {
+      const telemetry::Scope scope =
+          telemetry->root().scope("fleet").scope("serve");
+      scope.counter("generated", &generated_);
+      scope.counter("completed", &completed_);
+      scope.counter("failed", &failed_);
+      scope.counter("dropped", &dropped_);
+      scope.counter("queue_peak", &queue_peak_);
+      scope.gauge("queue_depth", [this] {
+        return static_cast<double>(queue_depth_);
+      });
+      scope.gauge("idle_tenants", [this] {
+        uint64_t n = 0;
+        for (const Tenant& t : tenants_) n += t.ready ? 1 : 0;
+        return static_cast<double>(n);
+      });
+      latency_hist_ = scope.histogram("latency");
+      wait_hist_ = scope.histogram("wait");
+    }
+  }
+
+  void on_round(uint64_t round) override {
+    (void)round;
+    // 1. Crash poll: an in-flight request whose process left the fleet (or
+    //    was already re-imaged by a restart) failed at the recorded finish
+    //    cycle; a finished tenant with no restart coming is down and drops
+    //    its queue.
+    for (Tenant& t : tenants_) {
+      os::Process& p = kernel_.process_mut(t.pid);
+      if (t.inflight &&
+          (p.finished() || p.restarts() != t.restarts_seen)) {
+        RequestRecord r;
+        r.id = t.inflight_id;
+        r.arrival = t.inflight_arrival;
+        r.dispatch = t.inflight_dispatch;
+        r.completion = std::max(p.stats().finish_cycles, t.inflight_dispatch);
+        r.instructions = p.life_instructions();
+        r.failed = true;
+        t.records.push_back(r);
+        ++t.failed;
+        ++failed_;
+        t.inflight = false;
+        if (config_.model == ArrivalModel::kClosed && !t.down) {
+          t.next_arrival = r.completion + t.gen->draw_gap();
+          t.gen_active = t.next_arrival <= config_.duration;
+        }
+      }
+      t.restarts_seen = p.restarts();
+      if (p.finished() && !kernel_.restart_pending(t.pid) && !t.down) {
+        t.down = true;
+        t.gen_active = false;
+        t.dropped += t.queue.size();
+        dropped_ += t.queue.size();
+        queue_depth_ -= t.queue.size();
+        t.queue.clear();
+      }
+    }
+    // 2. Generation: push every arrival that has come due on its home
+    //    core's clock (open loop can owe several; closed loop at most one).
+    for (Tenant& t : tenants_) {
+      while (t.gen_active && t.next_arrival <= kernel_.core_now(t.core)) {
+        Pending req;
+        req.id = t.next_id++;
+        req.arrival = t.next_arrival;
+        if (t.is_server) {
+          req.payload = workloads::frame_request(t.gen->draw_server_body());
+        }
+        t.queue.push_back(std::move(req));
+        ++t.generated;
+        ++generated_;
+        ++queue_depth_;
+        t.queue_peak = std::max<uint64_t>(t.queue_peak, t.queue.size());
+        queue_peak_ = std::max(queue_peak_, queue_depth_);
+        if (config_.model == ArrivalModel::kClosed) {
+          t.gen_active = false;  // re-armed at the request's completion
+        } else {
+          t.next_arrival += t.gen->draw_gap();
+          t.gen_active = t.next_arrival <= config_.duration;
+        }
+      }
+    }
+    // 3. Delivery to parked tenants (tenants mid-request or mid-boot get
+    //    theirs handed over in on_halt instead).
+    for (Tenant& t : tenants_) {
+      if (t.down || !t.ready || t.inflight || t.queue.empty()) continue;
+      deliver(t, kernel_.core_now(t.core));
+      kernel_.wake(t.pid);
+      t.ready = false;
+    }
+    // 4. Fast-forward: a core whose every tenant is parked with an empty
+    //    queue has nothing to execute — jump its clock to the earliest
+    //    future arrival so that arrival can come due. Without this an
+    //    all-blocked core's clock would stand still forever.
+    const uint32_t cores = kernel_.config().cores;
+    for (uint32_t c = 0; c < cores; ++c) {
+      bool idle = true;
+      uint64_t target = UINT64_MAX;
+      for (const Tenant& t : tenants_) {
+        if (t.core != c || t.down) continue;
+        if (t.inflight || !t.queue.empty() || !t.ready) {
+          idle = false;
+          break;
+        }
+        if (t.gen_active) target = std::min(target, t.next_arrival);
+      }
+      if (idle && target != UINT64_MAX) kernel_.advance_core(c, target);
+    }
+  }
+
+  HaltAction on_halt(uint32_t pid, uint64_t core_cycles) override {
+    Tenant& t = tenants_[pid];
+    os::Process& p = kernel_.process_mut(pid);
+    if (t.inflight) {
+      RequestRecord r;
+      r.id = t.inflight_id;
+      r.arrival = t.inflight_arrival;
+      r.dispatch = t.inflight_dispatch;
+      r.completion = core_cycles;
+      r.instructions = p.life_instructions();
+      t.records.push_back(r);
+      ++t.completed;
+      ++completed_;
+      if (latency_hist_ != nullptr) {
+        latency_hist_->record(r.completion - r.arrival);
+      }
+      if (wait_hist_ != nullptr) wait_hist_->record(r.dispatch - r.arrival);
+      t.inflight = false;
+      if (config_.model == ArrivalModel::kClosed) {
+        t.next_arrival = core_cycles + t.gen->draw_gap();
+        t.gen_active = t.next_arrival <= config_.duration;
+      }
+    }
+    // (A halt with nothing in flight is the life's readiness signal — the
+    // boot life, or the first halt after a restart — and records nothing.)
+    if (!t.queue.empty()) {
+      deliver(t, core_cycles);
+      return HaltAction::kRunnable;
+    }
+    t.ready = true;
+    return HaltAction::kBlocked;
+  }
+
+  [[nodiscard]] bool active() const override {
+    for (const Tenant& t : tenants_) {
+      if (t.down) continue;
+      if (t.inflight || !t.queue.empty() || t.gen_active) return true;
+    }
+    return false;
+  }
+
+  /// Per-tenant results + fleet aggregates (after the kernel run drained).
+  void fill_report(ServeReport& out) const {
+    out.generated = generated_;
+    out.completed = completed_;
+    out.failed = failed_;
+    out.dropped = dropped_;
+    out.throughput_per_mcycle =
+        out.fleet_cycles == 0
+            ? 0.0
+            : static_cast<double>(completed_) * 1e6 /
+                  static_cast<double>(out.fleet_cycles);
+    for (const Tenant& t : tenants_) {
+      TenantReport tr;
+      tr.pid = t.pid;
+      tr.workload = t.workload;
+      tr.core = t.core;
+      tr.generated = t.generated;
+      tr.completed = t.completed;
+      tr.failed = t.failed;
+      tr.dropped = t.dropped;
+      tr.restarts = kernel_.process(t.pid).restarts();
+      tr.down = t.down;
+      tr.queue_peak = t.queue_peak;
+      std::vector<uint64_t> latencies;
+      uint64_t wait_sum = 0;
+      for (const RequestRecord& r : t.records) {
+        if (r.failed) continue;
+        latencies.push_back(r.completion - r.arrival);
+        wait_sum += r.dispatch - r.arrival;
+      }
+      std::sort(latencies.begin(), latencies.end());
+      tr.p50 = nearest_rank_permille(latencies, 500);
+      tr.p99 = nearest_rank_permille(latencies, 990);
+      tr.p999 = nearest_rank_permille(latencies, 999);
+      tr.max = latencies.empty() ? 0 : latencies.back();
+      tr.mean_wait = latencies.empty()
+                         ? 0.0
+                         : static_cast<double>(wait_sum) /
+                               static_cast<double>(latencies.size());
+      tr.records = t.records;
+      if (t.down) ++out.tenants_down;
+      out.tenants.push_back(std::move(tr));
+    }
+  }
+
+ private:
+  struct Tenant {
+    uint32_t pid = 0;
+    uint32_t core = 0;
+    std::string workload;
+    bool is_server = false;
+    std::unique_ptr<LoadGen> gen;
+    /// An arrival is armed for `next_arrival` (open loop: the stream head;
+    /// closed loop: the think-time alarm).
+    bool gen_active = false;
+    uint64_t next_arrival = 0;
+    std::deque<Pending> queue;
+    bool inflight = false;
+    uint64_t inflight_id = 0;
+    uint64_t inflight_arrival = 0;
+    uint64_t inflight_dispatch = 0;
+    /// Halted at least once this life and parked: delivery may wake it.
+    bool ready = false;
+    /// Left the fleet with no restart pending; queue was dropped.
+    bool down = false;
+    uint32_t restarts_seen = 0;
+    uint64_t next_id = 0;
+    uint64_t generated = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t dropped = 0;
+    uint64_t queue_peak = 0;
+    std::vector<RequestRecord> records;
+  };
+
+  /// Hands the queue head to the (idle) process: payload into memory, per
+  /// -life budget re-armed, dispatch stamped at `now`.
+  void deliver(Tenant& t, uint64_t now) {
+    Pending req = std::move(t.queue.front());
+    t.queue.pop_front();
+    --queue_depth_;
+    kernel_.process_mut(t.pid).rearm(req.payload,
+                                     workloads::kServerRequestBase);
+    t.inflight = true;
+    t.inflight_id = req.id;
+    t.inflight_arrival = req.arrival;
+    t.inflight_dispatch = now;
+  }
+
+  ServeConfig config_;
+  os::Kernel& kernel_;
+  std::vector<Tenant> tenants_;
+  uint64_t generated_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t queue_depth_ = 0;
+  uint64_t queue_peak_ = 0;
+  telemetry::Histogram* latency_hist_ = nullptr;
+  telemetry::Histogram* wait_hist_ = nullptr;
+};
+
+}  // namespace
+
+uint64_t nearest_rank_permille(const std::vector<uint64_t>& sorted,
+                               uint32_t permille) {
+  if (sorted.empty()) return 0;
+  const uint64_t n = sorted.size();
+  uint64_t rank = (static_cast<uint64_t>(permille) * n + 999) / 1000;
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+ServeReport run_serve(const ServeConfig& config,
+                      telemetry::Telemetry* telemetry) {
+  os::KernelConfig kc;
+  kc.cores = config.cores == 0 ? 1 : config.cores;
+  kc.sched.slice_instructions = config.slice_instructions;
+  kc.cpu.drc.entries = config.drc_entries;
+  kc.measure_isolated = false;
+  os::Kernel kernel(kc);
+  if (telemetry != nullptr) kernel.attach_telemetry(telemetry);
+
+  const size_t mix = config.workloads.size();
+  for (uint32_t i = 0; i < config.tenants; ++i) {
+    os::ProcessConfig pc;
+    pc.workload = mix == 0 ? "server" : config.workloads[i % mix];
+    pc.scale = config.scale;
+    pc.seed = config.seed ^ (kSeedMix * (i + 1));
+    pc.max_instructions = config.request_budget;
+    pc.enforce_tags = config.enforce_tags;
+    pc.restart = config.restart;
+    pc.watchdog_instructions = config.watchdog_instructions;
+    for (const auto& [pid, plan] : config.injections) {
+      if (pid == i) {
+        pc.inject = plan;
+        pc.inject_enabled = true;
+      }
+    }
+    kernel.spawn(pc);
+  }
+
+  ServeDriver driver(config, kernel, telemetry);
+  kernel.set_service(&driver);
+  const os::FleetReport fr = kernel.run();
+
+  ServeReport report;
+  report.rounds = fr.rounds;
+  report.fleet_cycles = fr.fleet_cycles;
+  driver.fill_report(report);
+  return report;
+}
+
+std::string ServeReport::to_json() const {
+  using telemetry::JsonWriter;
+  JsonWriter w;
+  w.begin_object(JsonWriter::Style::kPretty);
+  w.key("rounds").value(rounds);
+  w.key("fleet_cycles").value(fleet_cycles);
+  w.key("requests").begin_object();
+  w.key("generated").value(generated);
+  w.key("completed").value(completed);
+  w.key("failed").value(failed);
+  w.key("dropped").value(dropped);
+  w.end_object();
+  w.key("throughput_per_mcycle").value(throughput_per_mcycle);
+  w.key("tenants_down").value(tenants_down);
+  w.key("tenants").begin_array(JsonWriter::Style::kPretty);
+  for (const TenantReport& t : tenants) {
+    w.begin_object();
+    w.key("pid").value(t.pid);
+    w.key("workload").value(t.workload);
+    w.key("core").value(t.core);
+    w.key("generated").value(t.generated);
+    w.key("completed").value(t.completed);
+    w.key("failed").value(t.failed);
+    w.key("dropped").value(t.dropped);
+    w.key("restarts").value(t.restarts);
+    w.key("down").value(t.down);
+    w.key("queue_peak").value(t.queue_peak);
+    w.key("p50").value(t.p50);
+    w.key("p99").value(t.p99);
+    w.key("p999").value(t.p999);
+    w.key("max").value(t.max);
+    w.key("mean_wait").value(t.mean_wait);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string ServeReport::latency_csv() const {
+  std::string csv =
+      "tenant,request,arrival,dispatch,completion,latency,wait,"
+      "instructions,status\n";
+  for (const TenantReport& t : tenants) {
+    // Records are appended in completion order; the contract is
+    // (tenant, request id) order.
+    std::vector<RequestRecord> rows = t.records;
+    std::sort(rows.begin(), rows.end(),
+              [](const RequestRecord& a, const RequestRecord& b) {
+                return a.id < b.id;
+              });
+    for (const RequestRecord& r : rows) {
+      csv += std::to_string(t.pid);
+      csv += ',';
+      csv += std::to_string(r.id);
+      csv += ',';
+      csv += std::to_string(r.arrival);
+      csv += ',';
+      csv += std::to_string(r.dispatch);
+      csv += ',';
+      csv += std::to_string(r.completion);
+      csv += ',';
+      csv += std::to_string(r.completion - r.arrival);
+      csv += ',';
+      csv += std::to_string(r.dispatch - r.arrival);
+      csv += ',';
+      csv += std::to_string(r.instructions);
+      csv += ',';
+      csv += r.failed ? "failed" : "ok";
+      csv += '\n';
+    }
+  }
+  return csv;
+}
+
+std::string ServeReport::summary() const {
+  std::string s = "serve: " + std::to_string(tenants.size()) + " tenants, " +
+                  std::to_string(completed) + "/" +
+                  std::to_string(generated) + " requests served in " +
+                  std::to_string(fleet_cycles) + " cycles (" +
+                  telemetry::json_double(throughput_per_mcycle) +
+                  " req/Mcycle)";
+  if (failed != 0) s += ", " + std::to_string(failed) + " failed";
+  if (dropped != 0) s += ", " + std::to_string(dropped) + " dropped";
+  if (tenants_down != 0) {
+    s += ", " + std::to_string(tenants_down) + " tenant(s) down";
+  }
+  s += "\n";
+  for (const TenantReport& t : tenants) {
+    s += "  pid " + std::to_string(t.pid) + " (" + t.workload + ", core " +
+         std::to_string(t.core) + "): " + std::to_string(t.completed) +
+         " served, p50 " + std::to_string(t.p50) + ", p99 " +
+         std::to_string(t.p99) + ", p999 " + std::to_string(t.p999) +
+         ", max " + std::to_string(t.max);
+    if (t.failed != 0) s += ", failed " + std::to_string(t.failed);
+    if (t.restarts != 0) s += ", restarts " + std::to_string(t.restarts);
+    if (t.down) s += ", DOWN";
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace vcfr::serve

@@ -1,0 +1,120 @@
+// The request-serving subsystem (ARCHITECTURE.md §12): per-tenant
+// synthetic request streams driven through the fleet kernel's event
+// hooks.
+//
+// Each tenant is one os::Process pinned to its home core. Its workload
+// runs once per request: the driver re-arms the process (same
+// randomization epoch — warm DRC) with the request payload, wakes it,
+// and the next clean halt marks completion. Between requests the tenant
+// blocks and the scheduler skips it; an all-idle core's clock is
+// fast-forwarded to its next arrival so simulated time keeps moving.
+//
+// Determinism contract: arrivals are generated and delivered only at
+// round boundaries from per-tenant splitmix64 streams, all timestamps
+// are core-clock cycles, and the report/CSV renderings are fixed-order
+// integer (plus %.6g derived doubles) — same seed, same bytes, any host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "os/kernel.hpp"
+#include "serve/loadgen.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vcfr::serve {
+
+struct ServeConfig {
+  uint32_t tenants = 8;
+  uint32_t cores = 4;
+  /// Arrival horizon in core-clock cycles: no request arrives after this.
+  uint64_t duration = 200'000;
+  ArrivalModel model = ArrivalModel::kOpen;
+  Distribution dist = Distribution::kExponential;
+  /// Mean interarrival gap (open) / think time (closed), cycles.
+  uint64_t mean_interarrival = 20'000;
+  /// Workload mix, cycled across tenants ("server" = the §V-A handler).
+  std::vector<std::string> workloads = {"server"};
+  int scale = 0;
+  uint64_t seed = 7;
+  uint64_t slice_instructions = 2'000;
+  uint32_t drc_entries = 128;
+  /// Per-request instruction budget (a life exceeding it fails kBudget).
+  uint64_t request_budget = 2'000'000;
+  /// Watchdog per request, in instructions (0 = off).
+  uint64_t watchdog_instructions = 0;
+  bool enforce_tags = true;
+  os::RestartPolicy restart{};
+  /// Armed corruptions, per tenant pid (same shape as `vcfr fleet`).
+  std::vector<std::pair<uint32_t, fault::FaultPlan>> injections;
+};
+
+/// One request's full lifecycle, all timestamps on the tenant's home-core
+/// clock.
+struct RequestRecord {
+  uint64_t id = 0;  // per-tenant sequence number, from 0
+  uint64_t arrival = 0;
+  uint64_t dispatch = 0;    // left the queue / delivered to the process
+  uint64_t completion = 0;  // clean halt, or the crash/kill cycle
+  uint64_t instructions = 0;
+  bool failed = false;  // life ended in fault/watchdog/budget, not a halt
+};
+
+struct TenantReport {
+  uint32_t pid = 0;
+  std::string workload;
+  uint32_t core = 0;
+  uint64_t generated = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  /// Requests still queued/armed when the tenant went down unrecovered.
+  uint64_t dropped = 0;
+  uint32_t restarts = 0;
+  bool down = false;  // left the fleet with no restart coming
+  uint64_t queue_peak = 0;
+  /// Exact nearest-rank percentiles over completed-request latencies.
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+  uint64_t max = 0;
+  /// Mean queue wait (dispatch - arrival) of completed requests.
+  double mean_wait = 0.0;
+  std::vector<RequestRecord> records;
+};
+
+struct ServeReport {
+  uint64_t rounds = 0;
+  uint64_t fleet_cycles = 0;
+  uint64_t generated = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t dropped = 0;
+  uint32_t tenants_down = 0;
+  /// Completed requests per million fleet cycles.
+  double throughput_per_mcycle = 0.0;
+
+  std::vector<TenantReport> tenants;
+
+  /// Deterministic JSON (fixed key order, integers + %.6g doubles).
+  [[nodiscard]] std::string to_json() const;
+  /// Per-request CSV, rows sorted by (tenant, request id).
+  [[nodiscard]] std::string latency_csv() const;
+  /// Short human-readable digest for the CLI.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Exact nearest-rank percentile over a sorted ascending sample vector:
+/// the k-th smallest with k = ceil(permille/1000 * n), clamped to [1, n].
+/// Returns 0 for an empty vector.
+[[nodiscard]] uint64_t nearest_rank_permille(
+    const std::vector<uint64_t>& sorted, uint32_t permille);
+
+/// Builds the fleet, spawns the tenants, drives the request streams to
+/// completion, and returns the report. `telemetry` (optional) receives
+/// fleet.* as usual plus the fleet.serve.* serving counters.
+[[nodiscard]] ServeReport run_serve(const ServeConfig& config,
+                                    telemetry::Telemetry* telemetry = nullptr);
+
+}  // namespace vcfr::serve

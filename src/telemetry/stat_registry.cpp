@@ -1,6 +1,7 @@
 #include "telemetry/stat_registry.hpp"
 
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
 #include "telemetry/json_writer.hpp"
@@ -18,6 +19,47 @@ void Histogram::record(uint64_t value) {
   ++count_;
   sum_ += value;
   if (value > max_) max_ = value;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank: the k-th smallest sample with k = ceil(p/100 * count),
+  // clamped to [1, count] so p=0 still selects a real sample.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0 || seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i == 0) return 0.0;  // the dedicated zero bucket
+    // Value range covered by bucket i: [2^(i-1), 2^i - 1]. The last
+    // bucket also absorbs overflow, so its true top is the recorded max
+    // (the global max always lives in the highest occupied bucket; a
+    // sole sample there therefore IS the max and reports it exactly).
+    const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+    double hi = std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+    if (i == buckets_.size() - 1) {
+      hi = static_cast<double>(max_);
+      if (in_bucket == 1) return hi;
+    }
+    if (hi < lo) hi = lo;
+    // Linear interpolation of the rank's position within the bucket; a
+    // single-sample bucket reports the low edge.
+    const double f =
+        in_bucket <= 1 ? 0.0
+                       : static_cast<double>(rank - seen - 1) /
+                             static_cast<double>(in_bucket - 1);
+    return lo + f * (hi - lo);
+  }
+  return static_cast<double>(max_);
 }
 
 double StatRegistry::Stat::value() const {
@@ -119,6 +161,9 @@ std::string StatRegistry::to_json() const {
     w.key("sum").value(h.sum());
     w.key("max").value(h.max());
     w.key("mean").value(h.mean());
+    w.key("p50").value(h.percentile(50.0));
+    w.key("p99").value(h.percentile(99.0));
+    w.key("p999").value(h.percentile(99.9));
     // Trailing zero buckets are dropped so the rendering is compact and
     // independent of the configured bucket count.
     size_t last = h.buckets().size();

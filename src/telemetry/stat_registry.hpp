@@ -40,6 +40,20 @@ class Histogram {
 
   void record(uint64_t value);
 
+  /// Approximate quantile (`p` in [0, 100]) reconstructed from the log2
+  /// buckets. The sample holding the nearest rank ceil(p/100 * count) is
+  /// located by walking the bucket counts; its value is then linearly
+  /// interpolated across the bucket's value range [2^(i-1), 2^i - 1]
+  /// (rank position within the bucket maps linearly onto the range). The
+  /// zero bucket reports 0 exactly, a single-sample bucket reports the
+  /// range's low edge, and the last bucket — which also absorbs overflow —
+  /// uses the recorded max() as its top (a sole sample there IS the max
+  /// and reports it exactly). Returns 0 for an empty histogram.
+  /// Exact per-value percentiles need the raw samples (the serve subsystem
+  /// keeps them; see src/serve/); this is the best a frozen log2 summary
+  /// can reconstruct.
+  [[nodiscard]] double percentile(double p) const;
+
   [[nodiscard]] uint64_t count() const { return count_; }
   [[nodiscard]] uint64_t sum() const { return sum_; }
   [[nodiscard]] uint64_t max() const { return max_; }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "workloads/wl_server.hpp"
+
 namespace vcfr::workloads {
 
 const std::vector<std::string>& spec_names() {
@@ -31,6 +33,7 @@ binary::Image make(std::string_view name, int scale) {
   if (name == "soplex") return make_simplex(scale);
   if (name == "memcpy") return make_memcpy(scale);
   if (name == "python") return make_python(scale);
+  if (name == "server") return make_server(scale);  // §V-A request handler
   throw std::invalid_argument("unknown workload: " + std::string(name));
 }
 

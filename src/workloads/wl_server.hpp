@@ -1,0 +1,59 @@
+// The vulnerable request-handling server from the paper's §V-A scenario,
+// shared by the ROP demo (`examples/harden_server.cpp`) and the serving
+// subsystem (`src/serve/`): one definition of the program, its request
+// framing, and the classic exploit request built against it.
+//
+// The server copies a client-controlled number of bytes from the request
+// buffer (at the default data base) into a 64-byte stack buffer with no
+// bounds check, then checksums what it copied. Requests with a length
+// byte <= 63 are served normally; longer ones smash the stack. Its
+// statically-linked runtime provides the gadget material (`pop r0; ret`
+// and `sys 1; ret`) that makes the §V-A ROP chain possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/image.hpp"
+
+namespace vcfr::workloads {
+
+/// Where the server reads its request from — the image's data section
+/// base, so drivers poke request bytes straight into memory before a run.
+inline constexpr uint32_t kServerRequestBase = binary::kDefaultDataBase;
+
+/// The attacker's marker value ("shell" stand-in): emitted via `sys 1`
+/// when the §V-A ROP chain fires.
+inline constexpr uint32_t kServerMarker = 0xdead;
+
+/// Size of the request-handler's stack buffer; request bodies up to this
+/// size are legitimate, anything longer overwrites the saved return
+/// address.
+inline constexpr uint32_t kServerBufferBytes = 64;
+
+/// Capacity of the server's request buffer (`.space` in the data
+/// section). Framed requests must fit.
+inline constexpr uint32_t kServerRequestCapacity = 128;
+
+/// The VX assembly source of the vulnerable server.
+[[nodiscard]] const char* server_source();
+
+/// Assembles the server. `scale` is accepted for workload-suite
+/// uniformity but does not change the program: per-request work is driven
+/// by the request bytes a driver writes at kServerRequestBase, not by a
+/// static iteration count.
+[[nodiscard]] binary::Image make_server(int scale = 0);
+
+/// Frames a request body for the server's wire format: a leading length
+/// byte followed by the body. The body is truncated to 255 bytes (the
+/// length field's range) and to the request-buffer capacity.
+[[nodiscard]] std::vector<uint8_t> frame_request(
+    const std::vector<uint8_t>& body);
+
+/// Builds the §V-A malicious request: kServerBufferBytes filler bytes,
+/// then a ROP chain overwriting the saved return address with
+/// `pop r0; ret` -> kServerMarker -> `sys 1; ret` (already framed).
+[[nodiscard]] std::vector<uint8_t> build_exploit_request(uint32_t pop_gadget,
+                                                         uint32_t sys_gadget);
+
+}  // namespace vcfr::workloads

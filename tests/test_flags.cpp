@@ -155,3 +155,109 @@ TEST(FlagsTest, MulAndShiftSetZeroFlag) {
 
 }  // namespace
 }  // namespace vcfr::emu
+
+// ---- CLI flag parsing (src/cli/args.hpp) ----
+//
+// The `vcfr` binary's parser lives in the library precisely so these
+// tests exercise the shipped behavior: both `--flag value` and
+// `--flag=value` spellings, per-subcommand rejection of foreign flags,
+// and usage coverage for every subcommand.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+
+namespace vcfr::cli {
+namespace {
+
+Args parse(std::vector<std::string> tail) {
+  std::vector<std::string> words = {"vcfr", "serve"};
+  words.insert(words.end(), tail.begin(), tail.end());
+  std::vector<char*> argv;
+  argv.reserve(words.size());
+  for (std::string& w : words) argv.push_back(w.data());
+  return parse_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlagsTest, ServeFlagsParseBothSpellings) {
+  const Args spaced = parse({"--tenants", "12", "--duration", "5000",
+                             "--arrival", "closed", "--interarrival", "250",
+                             "--dist", "uniform", "--latency-out", "l.csv"});
+  const Args inlined = parse({"--tenants=12", "--duration=5000",
+                              "--arrival=closed", "--interarrival=250",
+                              "--dist=uniform", "--latency-out=l.csv"});
+  for (const Args* a : {&spaced, &inlined}) {
+    EXPECT_EQ(a->tenants, 12u);
+    EXPECT_EQ(a->duration, 5000u);
+    EXPECT_EQ(a->arrival, "closed");
+    EXPECT_EQ(a->interarrival, 250u);
+    EXPECT_EQ(a->dist, "uniform");
+    EXPECT_EQ(a->latency_out, "l.csv");
+  }
+  EXPECT_EQ(spaced.seen, inlined.seen);
+}
+
+TEST(CliFlagsTest, ServeDefaultsMatchDocumented) {
+  const Args args = parse({});
+  EXPECT_EQ(args.tenants, 8u);
+  EXPECT_EQ(args.duration, 200'000u);
+  EXPECT_EQ(args.arrival, "open");
+  EXPECT_EQ(args.dist, "exp");
+  EXPECT_EQ(args.interarrival, 20'000u);
+  EXPECT_TRUE(args.latency_out.empty());
+}
+
+TEST(CliFlagsTest, ServeAcceptsItsFullFlagSet) {
+  const Args args = parse({"--tenants", "8", "--cores", "4", "--duration",
+                           "9", "--arrival", "open", "--interarrival", "7",
+                           "--dist", "exp", "--workloads", "server",
+                           "--scale", "0", "--seed", "1", "--slice", "100",
+                           "--drc", "64", "--max-instr", "10",
+                           "--restart", "on-fault", "--max-restarts", "2",
+                           "--backoff", "4", "--watchdog", "50",
+                           "--inject", "0:payload:5", "--json",
+                           "--latency-out", "x", "--stats-json", "s"});
+  EXPECT_NO_THROW(validate_flags("serve", args));
+}
+
+TEST(CliFlagsTest, ServeOnlyFlagsRejectedElsewhere) {
+  for (const char* flag :
+       {"--tenants=4", "--duration=100", "--arrival=open",
+        "--interarrival=50", "--dist=exp", "--latency-out=x"}) {
+    const Args args = parse({flag});
+    for (const char* cmd : {"fleet", "run", "sim", "faultcamp"}) {
+      EXPECT_THROW(validate_flags(cmd, args), std::runtime_error)
+          << cmd << " should reject " << flag;
+    }
+    EXPECT_NO_THROW(validate_flags("serve", args));
+  }
+}
+
+TEST(CliFlagsTest, ServeRejectsForeignFlags) {
+  for (const char* flag : {"--procs=4", "--rerand=2", "--naive",
+                           "--profile-out=p.json", "--trials=3"}) {
+    const Args args = parse({flag});
+    EXPECT_THROW(validate_flags("serve", args), std::runtime_error)
+        << "serve should reject " << flag;
+  }
+}
+
+TEST(CliFlagsTest, UnknownFlagAndMissingValueThrow) {
+  EXPECT_THROW(parse({"--no-such-flag"}), std::runtime_error);
+  EXPECT_THROW(parse({"--tenants"}), std::runtime_error);
+  EXPECT_THROW(parse({"--json=yes"}), std::runtime_error);
+}
+
+TEST(CliFlagsTest, UsageCoversServe) {
+  const std::string usage = usage_text();
+  EXPECT_NE(usage.find("serve [--tenants N]"), std::string::npos);
+  for (const char* flag : {"--tenants", "--duration", "--arrival",
+                           "--interarrival", "--dist", "--latency-out"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace vcfr::cli

@@ -1,0 +1,164 @@
+// The request-serving subsystem (ARCHITECTURE.md §12): request lifecycle
+// accounting, exact percentiles, both arrival models, and the bit-level
+// determinism contract the committed BENCH_serve.json relies on —
+// including under fault injection with restart recovery.
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "serve/server.hpp"
+
+namespace vcfr::serve {
+namespace {
+
+TEST(NearestRankTest, ExactPercentiles) {
+  EXPECT_EQ(nearest_rank_permille({}, 500), 0u);
+  EXPECT_EQ(nearest_rank_permille({42}, 500), 42u);
+  EXPECT_EQ(nearest_rank_permille({42}, 999), 42u);
+  const std::vector<uint64_t> v = {10, 20, 30, 40};
+  EXPECT_EQ(nearest_rank_permille(v, 500), 20u);   // ceil(0.5*4)=2nd
+  EXPECT_EQ(nearest_rank_permille(v, 990), 40u);   // ceil(0.99*4)=4th
+  EXPECT_EQ(nearest_rank_permille(v, 1), 10u);     // rank clamps to 1
+  std::vector<uint64_t> hundred;
+  for (uint64_t i = 1; i <= 100; ++i) hundred.push_back(i);
+  EXPECT_EQ(nearest_rank_permille(hundred, 500), 50u);
+  EXPECT_EQ(nearest_rank_permille(hundred, 990), 99u);
+  EXPECT_EQ(nearest_rank_permille(hundred, 999), 100u);
+}
+
+ServeConfig small_config() {
+  ServeConfig sc;
+  sc.tenants = 8;
+  sc.cores = 4;
+  sc.duration = 100'000;
+  sc.mean_interarrival = 10'000;
+  sc.seed = 7;
+  return sc;
+}
+
+TEST(ServeTest, OpenLoopSmokeAcrossCores) {
+  const ServeReport r = run_serve(small_config());
+  EXPECT_GT(r.generated, 0u);
+  EXPECT_EQ(r.completed, r.generated);  // no faults armed: all drain
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.tenants_down, 0u);
+  EXPECT_GT(r.throughput_per_mcycle, 0.0);
+  EXPECT_EQ(r.tenants.size(), 8u);
+  uint64_t sum = 0;
+  for (const TenantReport& t : r.tenants) {
+    EXPECT_LT(t.core, 4u);
+    EXPECT_EQ(t.completed + t.failed, t.records.size());
+    sum += t.completed;
+    if (t.completed == 0) continue;
+    EXPECT_LE(t.p50, t.p99);
+    EXPECT_LE(t.p99, t.p999);
+    EXPECT_LE(t.p999, t.max);
+    for (const RequestRecord& rec : t.records) {
+      EXPECT_GE(rec.dispatch, rec.arrival);
+      EXPECT_GE(rec.completion, rec.dispatch);
+      if (!rec.failed) {
+        EXPECT_GT(rec.instructions, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(sum, r.completed);
+}
+
+TEST(ServeTest, SameSeedIsByteIdentical) {
+  const ServeReport a = run_serve(small_config());
+  const ServeReport b = run_serve(small_config());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.latency_csv(), b.latency_csv());
+}
+
+TEST(ServeTest, DifferentSeedsDiverge) {
+  ServeConfig sc = small_config();
+  const ServeReport a = run_serve(sc);
+  sc.seed = 8;
+  const ServeReport b = run_serve(sc);
+  EXPECT_NE(a.latency_csv(), b.latency_csv());
+}
+
+TEST(ServeTest, ClosedLoopKeepsOneOutstanding) {
+  ServeConfig sc = small_config();
+  sc.model = ArrivalModel::kClosed;
+  const ServeReport r = run_serve(sc);
+  EXPECT_GT(r.generated, 0u);
+  EXPECT_EQ(r.completed, r.generated);
+  for (const TenantReport& t : r.tenants) {
+    EXPECT_LE(t.queue_peak, 1u);
+    // With nothing ever queued behind an in-flight request, dispatch
+    // follows arrival within one delivery round.
+    for (const RequestRecord& rec : t.records) {
+      EXPECT_GE(rec.dispatch, rec.arrival);
+    }
+  }
+}
+
+TEST(ServeTest, IdleStreamsTerminate) {
+  // First arrivals land far past the horizon: the run must still start,
+  // drain the boot lives, and return with zero requests.
+  ServeConfig sc = small_config();
+  sc.duration = 10;  // no gap draw is <= 10 with mean 10000
+  sc.mean_interarrival = 10'000;
+  const ServeReport r = run_serve(sc);
+  EXPECT_EQ(r.generated, 0u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.tenants_down, 0u);
+}
+
+TEST(ServeTest, MixedWorkloadTenants) {
+  ServeConfig sc = small_config();
+  sc.workloads = {"server", "bzip2", "mcf"};
+  sc.scale = 0;
+  sc.duration = 50'000;
+  const ServeReport r = run_serve(sc);
+  EXPECT_EQ(r.tenants[0].workload, "server");
+  EXPECT_EQ(r.tenants[1].workload, "bzip2");
+  EXPECT_EQ(r.tenants[2].workload, "mcf");
+  EXPECT_EQ(r.tenants[3].workload, "server");
+  EXPECT_EQ(r.completed, r.generated);
+}
+
+ServeConfig inject_config() {
+  ServeConfig sc;
+  sc.tenants = 4;
+  sc.cores = 2;
+  sc.duration = 100'000;
+  sc.mean_interarrival = 5'000;
+  sc.seed = 7;
+  sc.restart.mode = os::RestartPolicy::Mode::kOnFault;
+  fault::FaultPlan plan;
+  plan.site = fault::FaultSite::kCodeByte;
+  plan.at_instruction = 50;
+  plan.seed = 3;
+  sc.injections.emplace_back(2u, plan);
+  return sc;
+}
+
+TEST(ServeTest, InjectedFaultRestartsAndPreservesQueue) {
+  const ServeReport r = run_serve(inject_config());
+  const TenantReport& victim = r.tenants[2];
+  EXPECT_GE(victim.failed, 1u);
+  EXPECT_GE(victim.restarts, 1u);
+  EXPECT_FALSE(victim.down);
+  // The queue survived the crash: every generated request was eventually
+  // served or accounted as the failed one — none dropped.
+  EXPECT_EQ(victim.dropped, 0u);
+  EXPECT_EQ(victim.completed + victim.failed, victim.generated);
+  EXPECT_GE(victim.completed, 1u);  // served again after the restart
+  for (uint32_t pid : {0u, 1u, 3u}) {
+    EXPECT_EQ(r.tenants[pid].failed, 0u);
+    EXPECT_EQ(r.tenants[pid].restarts, 0u);
+  }
+}
+
+TEST(ServeTest, InjectedRunIsByteIdentical) {
+  const ServeReport a = run_serve(inject_config());
+  const ServeReport b = run_serve(inject_config());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.latency_csv(), b.latency_csv());
+}
+
+}  // namespace
+}  // namespace vcfr::serve

@@ -164,6 +164,56 @@ TEST(HistogramTest, EdgeValuesRenderDeterministicallyInJson) {
   EXPECT_NE(json.find("\"sum\": 18446744073709551615"), std::string::npos)
       << "sum must not be rendered through a double";
   EXPECT_NE(json.find("\"max\": 18446744073709551615"), std::string::npos);
+  // Percentiles in the JSON shape: p50 selects the zero sample, p99/p999
+  // the saturating sample (single-sample last bucket reports max).
+  EXPECT_NE(json.find("\"p50\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 1.84467e+19"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999\": 1.84467e+19"), std::string::npos) << json;
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  // Empty histogram: every percentile is 0.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(99.9), 0.0);
+
+  // All zeros: the dedicated zero bucket reports exactly 0.
+  Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.record(0);
+  EXPECT_DOUBLE_EQ(zeros.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(zeros.percentile(100.0), 0.0);
+
+  // Single sample: every percentile reports that bucket's low edge (and
+  // the last bucket reports max() exactly, so UINT64_MAX round-trips).
+  Histogram one;
+  one.record(6);  // bucket [4, 7]
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100.0), 4.0);
+
+  Histogram sat;
+  sat.record(UINT64_MAX);  // clamps into the last bucket; max() is its top
+  EXPECT_DOUBLE_EQ(sat.percentile(50.0), static_cast<double>(UINT64_MAX));
+  EXPECT_DOUBLE_EQ(sat.percentile(99.9), static_cast<double>(UINT64_MAX));
+
+  // Interpolation across a bucket: three samples in [8, 15] place the
+  // first at the low edge, the last at the high edge, the middle halfway.
+  Histogram tri;
+  tri.record(8);
+  tri.record(9);
+  tri.record(15);
+  EXPECT_DOUBLE_EQ(tri.percentile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(tri.percentile(50.0), 11.5);
+  EXPECT_DOUBLE_EQ(tri.percentile(100.0), 15.0);
+
+  // Mixed buckets: ranks route to the right bucket before interpolating.
+  Histogram mix;
+  for (int i = 0; i < 99; ++i) mix.record(1);
+  mix.record(1000);  // bucket [512, 1023], single sample -> low edge... but
+                     // it is the last occupied, not the clamp bucket.
+  EXPECT_DOUBLE_EQ(mix.percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(mix.percentile(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(mix.percentile(100.0), 512.0);
 }
 
 // ---- tracer ----

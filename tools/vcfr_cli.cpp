@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "binary/serialize.hpp"
+#include "cli/args.hpp"
 #include "emu/emulator.hpp"
 #include "emu/trace.hpp"
 #include "fault/campaign.hpp"
@@ -35,6 +36,7 @@
 #include "rewriter/cfg.hpp"
 #include "rewriter/entropy.hpp"
 #include "rewriter/randomizer.hpp"
+#include "serve/server.hpp"
 #include "sim/cpu.hpp"
 #include "telemetry/json_writer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -57,199 +59,11 @@ __attribute__((format(printf, 1, 2))) int rprintf(const char* fmt, ...) {
   return n;
 }
 
-struct Args {
-  std::vector<std::string> positional;
-  std::string output;
-  uint64_t seed = 1;
-  uint64_t max_instr = 100'000'000;
-  uint32_t drc = 128;
-  int scale = 1;
-  bool naive = false;
-  bool software_returns = false;
-  bool page_confined = false;
-  bool enforce_tags = false;
-  bool regs = false;
-  uint32_t procs = 4;
-  uint32_t cores = 2;
-  uint64_t slice = 50'000;
-  uint32_t rerand = 0;
-  std::string workload_list;
-  bool json = false;
-  bool no_baseline = false;
-  // Fault containment (fleet) and campaign (faultcamp) controls.
-  std::string restart;       // never | on-fault | always
-  uint32_t max_restarts = 3;
-  uint64_t backoff = 8;
-  uint64_t watchdog = 0;
-  std::string inject;        // pid:site:instr[:seed]
-  std::string layout_list;   // native,naive,vcfr
-  std::string site_list;     // code_byte,translation_entry,...
-  uint32_t trials = 4;
-  // Telemetry outputs (docs/OBSERVABILITY.md).
-  std::string stats_json;
-  std::string trace_out;
-  std::string sample_out;
-  uint64_t sample_interval = 0;
-  // Guest profiler outputs (run|sim|fleet|prof).
-  std::string profile_out;
-  std::string flame_out;
-  uint32_t top = 10;
-  /// Canonical names of every flag given, for per-subcommand validation.
-  std::vector<std::string> seen;
-};
-
-Args parse_args(int argc, char** argv) {
-  Args args;
-  for (int i = 2; i < argc; ++i) {
-    std::string a = argv[i];
-    // Accept both `--flag value` and `--flag=value`.
-    std::optional<std::string> inline_value;
-    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
-      const size_t eq = a.find('=');
-      if (eq != std::string::npos) {
-        inline_value = a.substr(eq + 1);
-        a = a.substr(0, eq);
-      }
-    }
-    auto value = [&]() -> std::string {
-      if (inline_value) return *inline_value;
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
-      return argv[++i];
-    };
-    auto boolean = [&]() {
-      if (inline_value) throw std::runtime_error(a + " does not take a value");
-      return true;
-    };
-    if (!a.empty() && a[0] == '-') {
-      args.seen.push_back(a == "-o" ? "--output" : a);
-    }
-    if (a == "-o" || a == "--output") {
-      args.output = value();
-    } else if (a == "--seed") {
-      args.seed = std::stoull(value());
-    } else if (a == "--max-instr") {
-      args.max_instr = std::stoull(value());
-    } else if (a == "--drc") {
-      args.drc = static_cast<uint32_t>(std::stoul(value()));
-    } else if (a == "--scale") {
-      args.scale = std::stoi(value());
-    } else if (a == "--naive") {
-      args.naive = boolean();
-    } else if (a == "--software-returns") {
-      args.software_returns = boolean();
-    } else if (a == "--page-confined") {
-      args.page_confined = boolean();
-    } else if (a == "--enforce-tags") {
-      args.enforce_tags = boolean();
-    } else if (a == "--regs") {
-      args.regs = boolean();
-    } else if (a == "--procs") {
-      args.procs = static_cast<uint32_t>(std::stoul(value()));
-    } else if (a == "--cores") {
-      args.cores = static_cast<uint32_t>(std::stoul(value()));
-    } else if (a == "--slice") {
-      args.slice = std::stoull(value());
-    } else if (a == "--rerand") {
-      args.rerand = static_cast<uint32_t>(std::stoul(value()));
-    } else if (a == "--workloads") {
-      args.workload_list = value();
-    } else if (a == "--restart") {
-      args.restart = value();
-    } else if (a == "--max-restarts") {
-      args.max_restarts = static_cast<uint32_t>(std::stoul(value()));
-    } else if (a == "--backoff") {
-      args.backoff = std::stoull(value());
-    } else if (a == "--watchdog") {
-      args.watchdog = std::stoull(value());
-    } else if (a == "--inject") {
-      args.inject = value();
-    } else if (a == "--layouts") {
-      args.layout_list = value();
-    } else if (a == "--sites") {
-      args.site_list = value();
-    } else if (a == "--trials") {
-      args.trials = static_cast<uint32_t>(std::stoul(value()));
-    } else if (a == "--json") {
-      args.json = boolean();
-    } else if (a == "--no-baseline") {
-      args.no_baseline = boolean();
-    } else if (a == "--stats-json") {
-      args.stats_json = value();
-    } else if (a == "--trace-out") {
-      args.trace_out = value();
-    } else if (a == "--sample-interval") {
-      args.sample_interval = std::stoull(value());
-    } else if (a == "--sample-out") {
-      args.sample_out = value();
-    } else if (a == "--profile-out") {
-      args.profile_out = value();
-    } else if (a == "--flame-out") {
-      args.flame_out = value();
-    } else if (a == "--top") {
-      args.top = static_cast<uint32_t>(std::stoul(value()));
-    } else if (!a.empty() && a[0] == '-') {
-      throw std::runtime_error("unknown flag: " + a);
-    } else {
-      args.positional.push_back(a);
-    }
-  }
-  if (args.sample_interval > 0 && args.sample_out.empty()) {
-    throw std::runtime_error("--sample-interval requires --sample-out");
-  }
-  if (args.sample_interval == 0 && !args.sample_out.empty()) {
-    throw std::runtime_error("--sample-out requires --sample-interval");
-  }
-  return args;
-}
-
-/// Per-subcommand flag whitelist: a flag the global parser knows but the
-/// subcommand does not use is an error, not a silent no-op.
-void validate_flags(const std::string& cmd, const Args& args) {
-  static const std::map<std::string, std::set<std::string>> kAllowed = {
-      {"asm", {"--output"}},
-      {"disasm", {}},
-      {"stats", {}},
-      {"randomize",
-       {"--output", "--seed", "--naive", "--software-returns",
-        "--page-confined"}},
-      {"run",
-       {"--enforce-tags", "--max-instr", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
-        "--top"}},
-      {"sim",
-       {"--drc", "--max-instr", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
-        "--top"}},
-      {"scan", {}},
-      {"workload",
-       {"--output", "--scale", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out"}},
-      {"trace", {"--max-instr", "--regs"}},
-      {"cfg", {}},
-      {"entropy", {"--seed", "--page-confined"}},
-      {"fleet",
-       {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
-        "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
-        "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
-        "--stats-json", "--trace-out", "--sample-interval", "--sample-out",
-        "--profile-out", "--top"}},
-      {"prof",
-       {"--seed", "--drc", "--max-instr", "--top", "--profile-out",
-        "--flame-out"}},
-      {"faultcamp",
-       {"--workloads", "--scale", "--seed", "--trials", "--max-instr",
-        "--layouts", "--sites", "--json", "--output", "--stats-json"}},
-  };
-  const auto it = kAllowed.find(cmd);
-  if (it == kAllowed.end()) return;  // unknown command: usage() handles it
-  for (const std::string& flag : args.seen) {
-    if (it->second.count(flag) == 0) {
-      throw std::runtime_error("flag " + flag + " is not accepted by '" +
-                               cmd + "' (run vcfr with no arguments for "
-                               "per-command flags)");
-    }
-  }
-}
+// Flag parsing, per-subcommand validation, and the usage text live in
+// src/cli/args.{hpp,cpp} so tests can drive the exact shipped parser.
+using cli::Args;
+using cli::parse_args;
+using cli::validate_flags;
 
 // ---- telemetry plumbing (shared by run/sim/workload/fleet) ----
 
@@ -764,6 +578,73 @@ int cmd_fleet(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServeConfig sc;
+  sc.tenants = args.tenants;
+  sc.cores = args.cores;
+  sc.duration = args.duration;
+  if (args.arrival == "open") {
+    sc.model = serve::ArrivalModel::kOpen;
+  } else if (args.arrival == "closed") {
+    sc.model = serve::ArrivalModel::kClosed;
+  } else {
+    throw std::runtime_error("--arrival expects open|closed, got '" +
+                             args.arrival + "'");
+  }
+  if (args.dist == "fixed") {
+    sc.dist = serve::Distribution::kFixed;
+  } else if (args.dist == "uniform") {
+    sc.dist = serve::Distribution::kUniform;
+  } else if (args.dist == "exp") {
+    sc.dist = serve::Distribution::kExponential;
+  } else {
+    throw std::runtime_error("--dist expects fixed|uniform|exp, got '" +
+                             args.dist + "'");
+  }
+  sc.mean_interarrival = args.interarrival;
+  if (!args.workload_list.empty()) sc.workloads = split_list(args.workload_list);
+  sc.scale = args.scale;
+  sc.seed = args.seed;
+  sc.slice_instructions = args.slice == 50'000 ? 2'000 : args.slice;
+  sc.drc_entries = args.drc;
+  // The global default budget (100M) is per whole workload; a request is
+  // one handler invocation and should cost far less.
+  sc.request_budget = args.max_instr == 100'000'000 ? 2'000'000
+                                                    : args.max_instr;
+  sc.watchdog_instructions = args.watchdog;
+  if (!args.restart.empty()) sc.restart.mode = parse_restart_mode(args.restart);
+  sc.restart.max_restarts = args.max_restarts;
+  sc.restart.backoff_rounds = args.backoff;
+  if (!args.inject.empty()) {
+    const InjectSpec spec = parse_inject(args.inject);
+    if (spec.pid >= sc.tenants) {
+      throw std::runtime_error("--inject pid out of range (tenants=" +
+                               std::to_string(sc.tenants) + ")");
+    }
+    sc.injections.emplace_back(spec.pid, spec.plan);
+  }
+
+  std::optional<telemetry::Telemetry> tel;
+  if (telemetry_requested(args)) tel.emplace(telemetry_config(args));
+  const serve::ServeReport report = serve::run_serve(sc, tel ? &*tel : nullptr);
+  if (tel) export_telemetry(args, *tel);
+  if (!args.latency_out.empty()) {
+    write_file(args.latency_out, report.latency_csv());
+    if (args.latency_out != "-") {
+      std::fprintf(stderr, "latency: %s\n", args.latency_out.c_str());
+    }
+  }
+  if (args.json) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else {
+    std::fputs(report.summary().c_str(), g_report);
+    std::fputs(report.to_json().c_str(), g_report);
+  }
+  // A tenant that crashed but was restarted and kept serving is a success;
+  // a tenant that left the fleet for good is not.
+  return report.tenants_down > 0 ? 1 : 0;
+}
+
 int cmd_prof(const Args& args) {
   const auto image = binary::load_file(require_input(args));
   if (image.layout == binary::Layout::kNaiveIlr) {
@@ -975,84 +856,7 @@ int cmd_faultcamp(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::fputs(
-      "usage: vcfr <command> [flags]\n"
-      "\n"
-      "All flags accept both `--flag value` and `--flag=value`. Each\n"
-      "command rejects flags it does not use.\n"
-      "\n"
-      "commands:\n"
-      "  asm <src.vx> [-o out.vxe]\n"
-      "      assemble VX source\n"
-      "  disasm <img.vxe>\n"
-      "      list instructions (handles naive-ILR sparse images)\n"
-      "  stats <img.vxe>\n"
-      "      static control-flow analysis\n"
-      "  randomize <img.vxe> [-o out.vxe] [--seed N] [--naive]\n"
-      "      [--software-returns] [--page-confined]\n"
-      "      ILR-randomize; default output is the VCFR image, --naive the\n"
-      "      relocated one\n"
-      "  run <img.vxe> [--enforce-tags] [--max-instr N] [telemetry flags]\n"
-      "      [profile flags]\n"
-      "      golden-model (functional) run; telemetry stamps events with\n"
-      "      the instruction index\n"
-      "  sim <img.vxe> [--drc N] [--max-instr N] [telemetry flags]\n"
-      "      [profile flags]\n"
-      "      cycle simulation on one core\n"
-      "  scan <img.vxe>\n"
-      "      gadget scan + payload compilation attempt\n"
-      "  workload <name> [--scale S] [-o out.vxe] [telemetry flags]\n"
-      "      emit a suite program; --stats-json reports static stats\n"
-      "  trace <img.vxe> [--max-instr N] [--regs]\n"
-      "      per-instruction architectural trace\n"
-      "  cfg <img.vxe>\n"
-      "      Graphviz dot to stdout\n"
-      "  entropy <img.vxe> [--seed N] [--page-confined]\n"
-      "      SV-C entropy report\n"
-      "  fleet [--procs N] [--cores N] [--slice N] [--rerand N]\n"
-      "      [--workloads a,b,c] [--scale S] [--seed N] [--drc N]\n"
-      "      [--max-instr N] [--json] [--no-baseline]\n"
-      "      [--restart never|on-fault|always] [--max-restarts N]\n"
-      "      [--backoff ROUNDS] [--watchdog INSTR]\n"
-      "      [--inject pid:site:instr[:seed]] [telemetry flags]\n"
-      "      [--profile-out PATH] [--top N]\n"
-      "      time-slice N independently randomized workloads on a shared\n"
-      "      L2+DRAM hierarchy; --inject arms one seeded corruption,\n"
-      "      --restart re-randomizes and restarts crashed processes\n"
-      "      (docs/DEPENDABILITY.md); --profile-out writes one guest\n"
-      "      profile per tenant (PATH.pidN.json)\n"
-      "  prof <img.vxe> [--seed N] [--drc N] [--max-instr N] [--top N]\n"
-      "      [--profile-out PATH] [--flame-out PATH]\n"
-      "      guest-level cycle-attribution profile (docs/OBSERVABILITY.md);\n"
-      "      an original image is also randomized (--seed) and simulated as\n"
-      "      VCFR for a per-function overhead comparison; a VCFR image is\n"
-      "      profiled as-is\n"
-      "  faultcamp [--workloads a,b,c] [--scale S] [--seed N] [--trials N]\n"
-      "      [--max-instr N] [--layouts native,naive,vcfr]\n"
-      "      [--sites code_byte,translation_entry,ret_slot,ret_bitmap,\n"
-      "      payload] [--json] [-o report.json] [--stats-json PATH]\n"
-      "      dependability campaign: sweep seeded faults over workloads x\n"
-      "      layouts x sites; deterministic detection/containment report\n"
-      "\n"
-      "telemetry flags (run|sim|workload|fleet — docs/OBSERVABILITY.md):\n"
-      "  --stats-json PATH       write the stat-registry snapshot as JSON\n"
-      "  --trace-out PATH        write a Chrome trace-event JSON (open at\n"
-      "                          https://ui.perfetto.dev)\n"
-      "  --sample-interval N     snapshot the registry every N cycles\n"
-      "  --sample-out PATH       time-series destination; .json for JSON,\n"
-      "                          anything else for CSV (requires\n"
-      "                          --sample-interval)\n"
-      "\n"
-      "profile flags (run|sim|prof, plus fleet's --profile-out/--top):\n"
-      "  --profile-out PATH      write the deterministic JSON profile\n"
-      "  --flame-out PATH        write a collapsed-stack flamegraph file\n"
-      "                          (feed to flamegraph.pl / speedscope)\n"
-      "  --top N                 hot blocks listed in reports (default 10)\n"
-      "\n"
-      "Any output PATH above may be `-` to stream to stdout.\n",
-      stderr);
-}
+void usage() { std::fputs(cli::usage_text(), stderr); }
 
 }  // namespace
 
@@ -1069,7 +873,7 @@ int main(int argc, char** argv) {
     // stderr so pipelines stay clean.
     for (const std::string* out :
          {&args.stats_json, &args.trace_out, &args.sample_out,
-          &args.profile_out, &args.flame_out}) {
+          &args.profile_out, &args.flame_out, &args.latency_out}) {
       if (*out == "-") g_report = stderr;
     }
     if (cmd == "asm") return cmd_asm(args);
@@ -1084,6 +888,7 @@ int main(int argc, char** argv) {
     if (cmd == "cfg") return cmd_cfg(args);
     if (cmd == "entropy") return cmd_entropy(args);
     if (cmd == "fleet") return cmd_fleet(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "prof") return cmd_prof(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage();
