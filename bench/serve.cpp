@@ -3,19 +3,27 @@
 // the event-driven serve subsystem, writing BENCH_serve.json for CI to
 // diff across commits.
 //
-// Usage: serve [serve.json]   (default BENCH_serve.json)
+// Usage: serve [serve.json [trace.json]]
+//        (defaults BENCH_serve.json, BENCH_trace.json)
 //
 // Two sections, matching the BENCH_hotpath.json pattern:
 //   * "simulated" — deterministic: rounds, fleet cycles, request
 //     accounting, throughput, and per-tenant latency percentiles in
 //     fleet-clock cycles. CI diffs this byte-for-byte.
 //   * "host" — wall-clock of the run. Informational only.
+//
+// A second, fully-traced run of the same config then writes the
+// observability snapshot (trace.json): per-label trace event counts,
+// flow matching, and journal entry counts by kind — also deterministic,
+// also diffed by CI. The first run stays untraced so the BENCH_serve
+// numbers keep proving the serve path is observer-neutral.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "serve/server.hpp"
 #include "telemetry/json_writer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -25,6 +33,7 @@ using Clock = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {
   const char* path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const char* trace_path = argc > 2 ? argv[2] : "BENCH_trace.json";
 
   vcfr::serve::ServeConfig sc;
   sc.tenants = 8;
@@ -79,5 +88,46 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.completed),
               static_cast<unsigned long long>(report.generated),
               static_cast<unsigned long long>(report.fleet_cycles), path);
+
+  // Second run, same config, flight recorder + tracer on: the counts
+  // below pin the observability surface (event mix, flow matching,
+  // journal kinds) the same way "simulated" pins the latency numbers.
+  vcfr::telemetry::TelemetryConfig tc;
+  tc.trace = true;
+  tc.journal = true;
+  vcfr::telemetry::Telemetry tel(tc);
+  const vcfr::serve::ServeReport traced = vcfr::serve::run_serve(sc, &tel);
+
+  JsonWriter tw;
+  tw.begin_object(JsonWriter::Style::kPretty);
+  tw.key("bench").value("serve-trace");
+  tw.key("simulated").begin_object();
+  tw.key("rounds").value(traced.rounds);
+  tw.key("completed").value(traced.completed);
+  tw.key("trace").begin_object();
+  tw.key("dropped").value(tel.tracer()->dropped());
+  tw.key("events").begin_object();
+  for (const auto& [label, n] : tel.tracer()->event_counts()) {
+    tw.key(label).value(n);
+  }
+  tw.end_object();
+  tw.end_object();
+  tw.key("journal").begin_object();
+  tw.key("entries").value(static_cast<uint64_t>(tel.journal()->entries().size()));
+  tw.key("dropped").value(tel.journal()->dropped());
+  tw.key("by_kind").begin_object();
+  for (const auto& [kind, n] : tel.journal()->counts()) {
+    tw.key(kind).value(n);
+  }
+  tw.end_object();
+  tw.end_object();
+  tw.end_object();
+  tw.end_object();
+
+  std::ofstream tout(trace_path);
+  tout << tw.str() << "\n";
+  tout.close();
+  std::printf("serve trace bench: %llu traced requests -> %s\n",
+              static_cast<unsigned long long>(traced.completed), trace_path);
   return 0;
 }

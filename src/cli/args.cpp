@@ -102,6 +102,16 @@ Args parse_args(int argc, char** argv) {
       args.sample_interval = std::stoull(value());
     } else if (a == "--sample-out") {
       args.sample_out = value();
+    } else if (a == "--trace-capacity") {
+      args.trace_capacity = std::stoull(value());
+    } else if (a == "--journal-out") {
+      args.journal_out = value();
+    } else if (a == "--slo") {
+      args.slo = value();
+    } else if (a == "--slo-window") {
+      args.slo_window = std::stoull(value());
+    } else if (a == "--trace") {
+      args.trace_in = value();
     } else if (a == "--profile-out") {
       args.profile_out = value();
     } else if (a == "--flame-out") {
@@ -133,16 +143,16 @@ void validate_flags(const std::string& cmd, const Args& args) {
         "--page-confined"}},
       {"run",
        {"--enforce-tags", "--max-instr", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
-        "--top"}},
+        "--trace-capacity", "--sample-interval", "--sample-out",
+        "--profile-out", "--flame-out", "--top"}},
       {"sim",
        {"--drc", "--max-instr", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out", "--profile-out", "--flame-out",
-        "--top"}},
+        "--trace-capacity", "--sample-interval", "--sample-out",
+        "--profile-out", "--flame-out", "--top"}},
       {"scan", {}},
       {"workload",
        {"--output", "--scale", "--stats-json", "--trace-out",
-        "--sample-interval", "--sample-out"}},
+        "--trace-capacity", "--sample-interval", "--sample-out"}},
       {"trace", {"--max-instr", "--regs"}},
       {"cfg", {}},
       {"entropy", {"--seed", "--page-confined"}},
@@ -150,8 +160,8 @@ void validate_flags(const std::string& cmd, const Args& args) {
        {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
         "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
         "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
-        "--stats-json", "--trace-out", "--sample-interval", "--sample-out",
-        "--profile-out", "--top"}},
+        "--stats-json", "--trace-out", "--trace-capacity", "--journal-out",
+        "--sample-interval", "--sample-out", "--profile-out", "--top"}},
       {"prof",
        {"--seed", "--drc", "--max-instr", "--top", "--profile-out",
         "--flame-out"}},
@@ -163,7 +173,9 @@ void validate_flags(const std::string& cmd, const Args& args) {
         "--dist", "--workloads", "--scale", "--seed", "--slice", "--drc",
         "--max-instr", "--restart", "--max-restarts", "--backoff",
         "--watchdog", "--inject", "--json", "--latency-out", "--stats-json",
-        "--trace-out", "--sample-interval", "--sample-out"}},
+        "--trace-out", "--trace-capacity", "--journal-out",
+        "--sample-interval", "--sample-out", "--slo", "--slo-window"}},
+      {"trace-report", {"--trace", "--top"}},
   };
   const auto it = kAllowed.find(cmd);
   if (it == kAllowed.end()) return;  // unknown command: usage() handles it
@@ -230,12 +242,27 @@ const char* usage_text() {
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
       "      [--backoff ROUNDS] [--watchdog INSTR]\n"
       "      [--inject pid:site:instr[:seed]] [--json]\n"
-      "      [--latency-out PATH] [telemetry flags]\n"
+      "      [--latency-out PATH] [--journal-out PATH]\n"
+      "      [--slo p50|p99|p999:CYCLES] [--slo-window CYCLES]\n"
+      "      [telemetry flags]\n"
       "      request-serving latency bench (docs/ARCHITECTURE.md sec 12):\n"
       "      seeded per-tenant request streams dispatched event-driven on\n"
       "      the fleet kernel; reports per-tenant p50/p99/p999 in cycles;\n"
-      "      --latency-out writes the per-request lifecycle CSV;\n"
-      "      --max-instr is the per-request instruction budget\n"
+      "      --latency-out writes the per-request lifecycle CSV (with the\n"
+      "      queue/run/restart_loss/commit_stall breakdown);\n"
+      "      --journal-out writes the kernel flight-recorder JSONL (also\n"
+      "      dumped to stderr post-mortem when a tenant goes down);\n"
+      "      --slo sets a windowed latency objective (--slo-window wide,\n"
+      "      default 50000 cycles) — exit status 2 when the overall\n"
+      "      percentile exceeds it; --max-instr is the per-request\n"
+      "      instruction budget\n"
+      "  trace-report <latency.csv> [--trace trace.json] [--top N]\n"
+      "      per-request critical-path breakdown from a serve\n"
+      "      --latency-out CSV: per-tenant queue/run/restart_loss/\n"
+      "      commit_stall totals, the top-N slowest requests, and an exact\n"
+      "      conservation check (components must sum to the latency;\n"
+      "      exit 1 otherwise); --trace also cross-checks the flow events\n"
+      "      in a --trace-out JSON\n"
       "  prof <img.vxe> [--seed N] [--drc N] [--max-instr N] [--top N]\n"
       "      [--profile-out PATH] [--flame-out PATH]\n"
       "      guest-level cycle-attribution profile (docs/OBSERVABILITY.md);\n"
@@ -254,6 +281,9 @@ const char* usage_text() {
       "  --stats-json PATH       write the stat-registry snapshot as JSON\n"
       "  --trace-out PATH        write a Chrome trace-event JSON (open at\n"
       "                          https://ui.perfetto.dev)\n"
+      "  --trace-capacity N      per-lane trace ring capacity in events\n"
+      "                          (default 65536; oldest events drop when\n"
+      "                          full — a warning reports drops at export)\n"
       "  --sample-interval N     snapshot the registry every N cycles\n"
       "  --sample-out PATH       time-series destination; .json for JSON,\n"
       "                          anything else for CSV (requires\n"

@@ -52,6 +52,14 @@ struct Args {
   std::string trace_out;
   std::string sample_out;
   uint64_t sample_interval = 0;
+  /// Trace-lane ring capacity in events; 0 keeps the default (1 << 16).
+  uint64_t trace_capacity = 0;
+  /// Flight-recorder JSONL destination (serve/fleet).
+  std::string journal_out;
+  // SLO monitor (serve) + trace-report inputs.
+  std::string slo;          // p50|p99|p999:<cycles>
+  uint64_t slo_window = 50'000;
+  std::string trace_in;     // trace-report --trace PATH
   // Guest profiler outputs (run|sim|fleet|prof).
   std::string profile_out;
   std::string flame_out;

@@ -8,6 +8,15 @@
 
 namespace vcfr::os {
 
+namespace {
+
+/// The in-flight request id for a journal entry, or -1 when none.
+[[nodiscard]] int64_t journal_req(const Process& p) {
+  return p.request_active() ? static_cast<int64_t>(p.request_id()) : -1;
+}
+
+}  // namespace
+
 Kernel::Kernel(const KernelConfig& config)
     : config_(config),
       shared_(config.shared_l2, config.cores == 0 ? 1 : config.cores),
@@ -57,6 +66,12 @@ void Kernel::dispatch(uint32_t core, Process& proc) {
       profilers_[proc.pid()]->add_external(profile::Cause::kContextSwitch,
                                            config_.context_switch_cycles);
     }
+    // Dispatch overhead spent bringing a request's tenant back onto the
+    // core counts as part of *running* the request (not queueing — the
+    // scheduler had already picked it).
+    if (service_ != nullptr && proc.request_active()) {
+      proc.add_request_run(config_.context_switch_cycles);
+    }
   }
   const auto want = std::make_pair(static_cast<int64_t>(proc.pid()),
                                    static_cast<int64_t>(proc.epoch()));
@@ -101,6 +116,10 @@ void Kernel::service_restarts() {
       lanes_[core]->instant(telemetry::TraceEventType::kRestart, p.pid(),
                             cores_[core]->cycles(), p.restarts());
     }
+    if (journal_ != nullptr) {
+      journal_->log({cores_[core]->cycles(), telemetry::JournalKind::kRestart,
+                     p.pid(), journal_req(p), p.restarts(), {}});
+    }
     it = pending_restarts_.erase(it);
   }
 }
@@ -130,6 +149,7 @@ uint64_t Kernel::fleet_now() const {
 
 void Kernel::setup_telemetry() {
   if (telemetry_ == nullptr) return;
+  journal_ = telemetry_->journal();
   const uint32_t cores = shared_.cores();
   const telemetry::Scope fleet = telemetry_->root().scope("fleet");
 
@@ -246,8 +266,23 @@ void Kernel::setup_telemetry() {
       tracer->name_asid(static_cast<uint32_t>(p.core()), p.pid(),
                         "pid " + std::to_string(p.pid()) + " " +
                             p.config().workload);
+      if (service_ != nullptr) {
+        // Serving runs also emit request flow endpoints on the kernel
+        // lane (arrival/delivery/completion) under the tenant's tid.
+        tracer->name_asid(cores, p.pid(),
+                          "pid " + std::to_string(p.pid()) + " " +
+                              p.config().workload);
+      }
+    }
+    if (journal_ != nullptr) {
+      journal_->log({0, telemetry::JournalKind::kSpawn, p.pid(), -1,
+                     static_cast<uint64_t>(p.core()), p.config().workload});
     }
   }
+  // Every producer's lane now exists (per-core plus kernel); creating one
+  // from here on — e.g. lazily from a worker thread mid-execute — is a
+  // bug, and the tracer asserts on it.
+  if (tracer != nullptr) tracer->seal();
 }
 
 FleetReport Kernel::run() {
@@ -279,11 +314,23 @@ FleetReport Kernel::run() {
     const uint64_t ran = cores_[c]->run(p.emulator(), budget);
     p.stats().instructions += ran;
     p.stats().slices += 1;
+    // Slice cycles executed on behalf of an in-flight request are its
+    // "run" component (Process-private field — worker-thread safe).
+    if (service_ != nullptr && p.request_active()) {
+      p.add_request_run(cores_[c]->now() - start);
+    }
     // The lane is this core's own ring, so recording from the worker
     // thread is race-free.
     if (!lanes_.empty() && lanes_[c] != nullptr) {
       lanes_[c]->span(telemetry::TraceEventType::kSlice, p.pid(), start,
                       cores_[c]->now() - start, ran);
+      if (service_ != nullptr && p.request_active()) {
+        // Flow step: this slice belongs to the request's chain.
+        lanes_[c]->instant(telemetry::TraceEventType::kReqFlowStep, p.pid(),
+                           start,
+                           telemetry::request_flow_id(p.pid(),
+                                                      p.request_id()));
+      }
     }
   };
   std::vector<uint32_t> active;
@@ -311,6 +358,11 @@ FleetReport Kernel::run() {
         // Budget exhausted exactly at a slice boundary.
         p.finish(cores_[c]->cycles(),
                  fault::ExitStatus{fault::ExitCode::kBudget, {}});
+        if (journal_ != nullptr) {
+          journal_->log({cores_[c]->cycles(),
+                         telemetry::JournalKind::kBudget, p.pid(),
+                         journal_req(p), p.stats().instructions, {}});
+        }
         running[c] = -1;
         continue;
       }
@@ -338,6 +390,14 @@ FleetReport Kernel::run() {
     const std::vector<uint64_t> penalties =
         shared_.commit_round(profiling_ ? &blame : nullptr);
     for (uint32_t c = 0; c < cores; ++c) cores_[c]->stall(penalties[c]);
+    if (service_ != nullptr) {
+      // A commit penalty stalls the core while its tenant's request sits
+      // finished-but-uncommitted: the request's "commit stall" component.
+      for (const uint32_t c : active) {
+        Process& p = *procs_[running[c]];
+        if (p.request_active()) p.add_request_commit(penalties[c]);
+      }
+    }
     if (profiling_) {
       // The penalty stalls the core; charge it to the tenant whose slice
       // logged the requests, broken down by the interfering address space.
@@ -372,6 +432,11 @@ FleetReport Kernel::run() {
         // Typed trap: contain — the process leaves, the fleet keeps going.
         exit.code = fault::ExitCode::kFaulted;
         exit.trap = emu.trap();
+        if (journal_ != nullptr) {
+          journal_->log({cores_[c]->cycles(), telemetry::JournalKind::kFault,
+                         p.pid(), journal_req(p), exit.trap.pc,
+                         std::string(fault::kind_name(exit.trap.kind))});
+        }
         const fault::FaultInjector* inj = p.injector();
         if (detect_latency_hist_ != nullptr && inj != nullptr &&
             inj->applied() &&
@@ -404,8 +469,18 @@ FleetReport Kernel::run() {
         exit.code = fault::ExitCode::kWatchdogKill;
         exit.trap = p.emulator().trap();
         ++watchdog_kills_;
+        if (journal_ != nullptr) {
+          journal_->log({cores_[c]->cycles(),
+                         telemetry::JournalKind::kWatchdog, p.pid(),
+                         journal_req(p), p.life_instructions(), {}});
+        }
       } else if (p.remaining() == 0) {
         exit.code = fault::ExitCode::kBudget;
+        if (journal_ != nullptr) {
+          journal_->log({cores_[c]->cycles(), telemetry::JournalKind::kBudget,
+                         p.pid(), journal_req(p), p.stats().instructions,
+                         {}});
+        }
       }
       if (exit.code != fault::ExitCode::kRunning) {
         p.finish(cores_[c]->cycles(), exit);
@@ -430,6 +505,11 @@ FleetReport Kernel::run() {
           if (!lanes_.empty() && lanes_[c] != nullptr) {
             lanes_[c]->instant(telemetry::TraceEventType::kRerandEpoch,
                                p.pid(), cores_[c]->cycles(), p.epoch());
+          }
+          if (journal_ != nullptr) {
+            journal_->log({cores_[c]->cycles(),
+                           telemetry::JournalKind::kRerandEpoch, p.pid(),
+                           journal_req(p), p.epoch(), {}});
           }
         }
       }

@@ -220,6 +220,10 @@ class Kernel {
   /// Per-core trace lanes plus one kernel lane (null when tracing is off).
   std::vector<telemetry::TraceLane*> lanes_;
   telemetry::TraceLane* kernel_lane_ = nullptr;
+  /// Flight recorder (null when the telemetry session has none): the
+  /// kernel journals spawns, faults, watchdog/budget kills, restarts,
+  /// and re-rand epochs with the in-flight request id when one exists.
+  telemetry::Journal* journal_ = nullptr;
 
   /// Per-tenant profilers, indexed by pid (empty unless enable_profiling).
   bool profiling_ = false;

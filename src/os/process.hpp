@@ -155,6 +155,30 @@ class Process {
                                            : 0;
   }
 
+  // ---- request attribution (src/serve/) ----------------------------------
+  // While a serving workload has a request in flight, the kernel accrues
+  // the cycles it spends *running* it (slice durations + context-switch
+  // overhead) and *stalled on round commit* into the process, so the
+  // serve driver can decompose end-to-end latency exactly:
+  //   latency == queue + run + restart_loss + commit_stall.
+  // restart() and rearm() leave these fields alone — the driver owns the
+  // request lifecycle and reads them post-mortem after a crash.
+  void begin_request(uint64_t id) {
+    req_active_ = true;
+    req_id_ = id;
+    req_run_cycles_ = 0;
+    req_commit_cycles_ = 0;
+  }
+  void end_request() { req_active_ = false; }
+  [[nodiscard]] bool request_active() const { return req_active_; }
+  [[nodiscard]] uint64_t request_id() const { return req_id_; }
+  [[nodiscard]] uint64_t request_run_cycles() const { return req_run_cycles_; }
+  [[nodiscard]] uint64_t request_commit_cycles() const {
+    return req_commit_cycles_;
+  }
+  void add_request_run(uint64_t cycles) { req_run_cycles_ += cycles; }
+  void add_request_commit(uint64_t cycles) { req_commit_cycles_ += cycles; }
+
   // ---- fault injection (config.inject) -----------------------------------
   [[nodiscard]] const fault::FaultInjector* injector() const {
     return injector_.get();
@@ -204,6 +228,11 @@ class Process {
   /// Restart salt mixed into options_for_epoch — a restarted process must
   /// not land on any placement of the crashed lineage.
   uint64_t reseed_ = 0;
+  // In-flight request attribution (see begin_request above).
+  bool req_active_ = false;
+  uint64_t req_id_ = 0;
+  uint64_t req_run_cycles_ = 0;
+  uint64_t req_commit_cycles_ = 0;
   std::unique_ptr<fault::FaultInjector> injector_;
   ProcessStats stats_;
 };

@@ -25,7 +25,7 @@ class ServeDriver : public os::ServiceHook {
  public:
   ServeDriver(const ServeConfig& config, os::Kernel& kernel,
               telemetry::Telemetry* telemetry)
-      : config_(config), kernel_(kernel) {
+      : config_(config), kernel_(kernel), telemetry_(telemetry) {
     for (uint32_t pid = 0; pid < config.tenants; ++pid) {
       const os::Process& p = kernel.process(pid);
       Tenant t;
@@ -75,8 +75,16 @@ class ServeDriver : public os::ServiceHook {
     //    its queue.
     for (Tenant& t : tenants_) {
       os::Process& p = kernel_.process_mut(t.pid);
-      if (t.inflight &&
-          (p.finished() || p.restarts() != t.restarts_seen)) {
+      const bool crashed =
+          p.finished() || p.restarts() != t.restarts_seen;
+      // Downtime window opens at the crash cycle (even when the kernel
+      // already re-imaged the process before this poll ran — restart()
+      // preserves finish_cycles); it closes at the boot life's halt.
+      if (crashed && !t.down_open) {
+        t.down_open = true;
+        t.down_since = p.stats().finish_cycles;
+      }
+      if (t.inflight && crashed) {
         RequestRecord r;
         r.id = t.inflight_id;
         r.arrival = t.inflight_arrival;
@@ -84,6 +92,7 @@ class ServeDriver : public os::ServiceHook {
         r.completion = std::max(p.stats().finish_cycles, t.inflight_dispatch);
         r.instructions = p.life_instructions();
         r.failed = true;
+        finish_record(t, p, r);
         t.records.push_back(r);
         ++t.failed;
         ++failed_;
@@ -97,6 +106,15 @@ class ServeDriver : public os::ServiceHook {
       if (p.finished() && !kernel_.restart_pending(t.pid) && !t.down) {
         t.down = true;
         t.gen_active = false;
+        if (telemetry_ != nullptr && telemetry_->journal() != nullptr) {
+          telemetry_->journal()->log(
+              {p.stats().finish_cycles, telemetry::JournalKind::kTenantDown,
+               t.pid, -1, t.queue.size(), {}});
+        }
+        // Dropped requests still terminate their flow chains.
+        for (const Pending& req : t.queue) {
+          flow_end(t.pid, req.id, p.stats().finish_cycles);
+        }
         t.dropped += t.queue.size();
         dropped_ += t.queue.size();
         queue_depth_ -= t.queue.size();
@@ -112,6 +130,12 @@ class ServeDriver : public os::ServiceHook {
         req.arrival = t.next_arrival;
         if (t.is_server) {
           req.payload = workloads::frame_request(t.gen->draw_server_body());
+        }
+        // The request's flow chain opens at its arrival cycle.
+        if (telemetry::TraceLane* kl = kernel_lane(); kl != nullptr) {
+          kl->instant(telemetry::TraceEventType::kReqFlowStart, t.pid,
+                      req.arrival,
+                      telemetry::request_flow_id(t.pid, req.id));
         }
         t.queue.push_back(std::move(req));
         ++t.generated;
@@ -158,6 +182,12 @@ class ServeDriver : public os::ServiceHook {
   HaltAction on_halt(uint32_t pid, uint64_t core_cycles) override {
     Tenant& t = tenants_[pid];
     os::Process& p = kernel_.process_mut(pid);
+    // A clean halt after a crash is the restarted boot life's readiness
+    // signal: the tenant is back up — close the downtime window.
+    if (t.down_open) {
+      t.down_intervals.emplace_back(t.down_since, core_cycles);
+      t.down_open = false;
+    }
     if (t.inflight) {
       RequestRecord r;
       r.id = t.inflight_id;
@@ -165,6 +195,8 @@ class ServeDriver : public os::ServiceHook {
       r.dispatch = t.inflight_dispatch;
       r.completion = core_cycles;
       r.instructions = p.life_instructions();
+      finish_record(t, p, r);
+      advance_slo(t, r.completion, r.completion - r.arrival);
       t.records.push_back(r);
       ++t.completed;
       ++completed_;
@@ -197,7 +229,8 @@ class ServeDriver : public os::ServiceHook {
   }
 
   /// Per-tenant results + fleet aggregates (after the kernel run drained).
-  void fill_report(ServeReport& out) const {
+  /// Non-const: the SLO monitor's final partial windows are closed here.
+  void fill_report(ServeReport& out) {
     out.generated = generated_;
     out.completed = completed_;
     out.failed = failed_;
@@ -207,7 +240,9 @@ class ServeDriver : public os::ServiceHook {
             ? 0.0
             : static_cast<double>(completed_) * 1e6 /
                   static_cast<double>(out.fleet_cycles);
-    for (const Tenant& t : tenants_) {
+    std::vector<uint64_t> all_latencies;
+    for (Tenant& t : tenants_) {
+      if (config_.slo_permille != 0) close_window(t);
       TenantReport tr;
       tr.pid = t.pid;
       tr.workload = t.workload;
@@ -235,9 +270,30 @@ class ServeDriver : public os::ServiceHook {
                          ? 0.0
                          : static_cast<double>(wait_sum) /
                                static_cast<double>(latencies.size());
+      tr.slo_windows = t.slo_windows;
+      tr.slo_breaches = t.slo_breaches;
       tr.records = t.records;
       if (t.down) ++out.tenants_down;
+      all_latencies.insert(all_latencies.end(), latencies.begin(),
+                           latencies.end());
+      out.slo_windows += t.slo_windows;
+      out.slo_breaches += t.slo_breaches;
       out.tenants.push_back(std::move(tr));
+    }
+    if (config_.slo_permille != 0) {
+      out.slo_enabled = true;
+      out.slo_metric = slo_metric_name(config_.slo_permille);
+      out.slo_threshold = config_.slo_threshold;
+      out.slo_window = config_.slo_window;
+      out.slo_burn_rate =
+          out.slo_windows == 0
+              ? 0.0
+              : static_cast<double>(out.slo_breaches) /
+                    static_cast<double>(out.slo_windows);
+      std::sort(all_latencies.begin(), all_latencies.end());
+      out.slo_overall =
+          nearest_rank_permille(all_latencies, config_.slo_permille);
+      out.slo_violated = out.slo_overall > config_.slo_threshold;
     }
   }
 
@@ -248,6 +304,17 @@ class ServeDriver : public os::ServiceHook {
     std::string workload;
     bool is_server = false;
     std::unique_ptr<LoadGen> gen;
+    /// Crash->recovery downtime windows on the home-core clock; the open
+    /// one starts at the crash's finish_cycles and closes at the first
+    /// clean halt after the restart (the boot life's readiness signal).
+    std::vector<std::pair<uint64_t, uint64_t>> down_intervals;
+    bool down_open = false;
+    uint64_t down_since = 0;
+    /// Tumbling SLO window state (config.slo_permille != 0 only).
+    uint64_t window_start = 0;
+    std::vector<uint64_t> window_lat;
+    uint64_t slo_windows = 0;
+    uint64_t slo_breaches = 0;
     /// An arrival is armed for `next_arrival` (open loop: the stream head;
     /// closed loop: the think-time alarm).
     bool gen_active = false;
@@ -277,16 +344,121 @@ class ServeDriver : public os::ServiceHook {
     Pending req = std::move(t.queue.front());
     t.queue.pop_front();
     --queue_depth_;
-    kernel_.process_mut(t.pid).rearm(req.payload,
-                                     workloads::kServerRequestBase);
+    os::Process& p = kernel_.process_mut(t.pid);
+    p.rearm(req.payload, workloads::kServerRequestBase);
+    // The kernel accrues run/commit cycles against this id from here on.
+    p.begin_request(req.id);
     t.inflight = true;
     t.inflight_id = req.id;
     t.inflight_arrival = req.arrival;
     t.inflight_dispatch = now;
+    if (telemetry::TraceLane* kl = kernel_lane(); kl != nullptr) {
+      kl->instant(telemetry::TraceEventType::kReqFlowStep, t.pid, now,
+                  telemetry::request_flow_id(t.pid, req.id));
+    }
+  }
+
+  // ---- tracing helpers (no-ops without an attached tracer) ---------------
+  /// All serve-side events record only during serial hook callbacks, so
+  /// writing core lanes from the kernel thread here is race-free.
+  [[nodiscard]] telemetry::TraceLane* lane(uint32_t id) {
+    return telemetry_ == nullptr ? nullptr : telemetry_->lane(id);
+  }
+  [[nodiscard]] telemetry::TraceLane* kernel_lane() {
+    return lane(kernel_.config().cores);
+  }
+
+  /// Terminates the request's flow chain ("f") on the kernel lane.
+  void flow_end(uint32_t pid, uint64_t req, uint64_t cycle) {
+    if (telemetry::TraceLane* kl = kernel_lane(); kl != nullptr) {
+      kl->instant(telemetry::TraceEventType::kReqFlowEnd, pid, cycle,
+                  telemetry::request_flow_id(pid, req));
+    }
+  }
+
+  /// Tiles the four lifecycle spans end-to-end from the arrival cycle on
+  /// the tenant's home-core lane. The tiling *is* the breakdown (summing
+  /// to the latency), not the chronological interleaving.
+  void emit_spans(const Tenant& t, const RequestRecord& r) {
+    telemetry::TraceLane* l = lane(t.core);
+    if (l == nullptr) return;
+    const uint64_t fid = telemetry::request_flow_id(t.pid, r.id);
+    uint64_t at = r.arrival;
+    const std::pair<telemetry::TraceEventType, uint64_t> tiles[] = {
+        {telemetry::TraceEventType::kReqQueue, r.queue_cycles},
+        {telemetry::TraceEventType::kReqRun, r.run_cycles},
+        {telemetry::TraceEventType::kReqRestartLoss, r.restart_loss_cycles},
+        {telemetry::TraceEventType::kReqCommitStall, r.commit_stall_cycles},
+    };
+    for (const auto& [type, dur] : tiles) {
+      if (dur == 0) continue;
+      l->span(type, t.pid, at, dur, fid);
+      at += dur;
+    }
+  }
+
+  /// Cycles of [a, b) the tenant spent down (crash->recovery overlap).
+  [[nodiscard]] uint64_t down_overlap(const Tenant& t, uint64_t a,
+                                      uint64_t b) const {
+    uint64_t total = 0;
+    for (const auto& [s, e] : t.down_intervals) {
+      const uint64_t lo = std::max(a, s);
+      const uint64_t hi = std::min(b, e);
+      if (hi > lo) total += hi - lo;
+    }
+    if (t.down_open) {
+      const uint64_t lo = std::max(a, t.down_since);
+      if (b > lo) total += b - lo;
+    }
+    return total;
+  }
+
+  /// Fills the record's critical-path decomposition from the process's
+  /// accrued run/commit cycles and the tenant's downtime windows, ends
+  /// the request, and emits the lifecycle spans + flow terminator.
+  void finish_record(Tenant& t, os::Process& p, RequestRecord& r) {
+    r.run_cycles = p.request_run_cycles();
+    r.commit_stall_cycles = p.request_commit_cycles();
+    r.restart_loss_cycles = down_overlap(t, r.arrival, r.completion);
+    const uint64_t latency = r.completion - r.arrival;
+    const uint64_t accounted =
+        r.run_cycles + r.commit_stall_cycles + r.restart_loss_cycles;
+    // queue is the remainder; tests assert the exact tiling, this guard
+    // only keeps a hypothetical accounting bug from wrapping.
+    r.queue_cycles = latency > accounted ? latency - accounted : 0;
+    p.end_request();
+    emit_spans(t, r);
+    flow_end(t.pid, r.id, r.completion);
+  }
+
+  // ---- SLO monitor (config.slo_permille != 0 only) -----------------------
+  /// Closes the tenant's current window: windows with at least one
+  /// completion are evaluated against the objective; empty ones are not.
+  void close_window(Tenant& t) {
+    if (t.window_lat.empty()) return;
+    std::sort(t.window_lat.begin(), t.window_lat.end());
+    ++t.slo_windows;
+    if (nearest_rank_permille(t.window_lat, config_.slo_permille) >
+        config_.slo_threshold) {
+      ++t.slo_breaches;
+    }
+    t.window_lat.clear();
+  }
+
+  /// Rolls the tenant's tumbling window up to `completion` and records the
+  /// completed request's latency into the current window.
+  void advance_slo(Tenant& t, uint64_t completion, uint64_t latency) {
+    if (config_.slo_permille == 0) return;
+    while (completion >= t.window_start + config_.slo_window) {
+      close_window(t);
+      t.window_start += config_.slo_window;
+    }
+    t.window_lat.push_back(latency);
   }
 
   ServeConfig config_;
   os::Kernel& kernel_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<Tenant> tenants_;
   uint64_t generated_ = 0;
   uint64_t completed_ = 0;
@@ -308,6 +480,19 @@ uint64_t nearest_rank_permille(const std::vector<uint64_t>& sorted,
   if (rank < 1) rank = 1;
   if (rank > n) rank = n;
   return sorted[rank - 1];
+}
+
+std::string slo_metric_name(uint32_t permille) {
+  switch (permille) {
+    case 500:
+      return "p50";
+    case 990:
+      return "p99";
+    case 999:
+      return "p999";
+    default:
+      return "p" + std::to_string(permille) + "m";
+  }
 }
 
 ServeReport run_serve(const ServeConfig& config,
@@ -364,6 +549,20 @@ std::string ServeReport::to_json() const {
   w.end_object();
   w.key("throughput_per_mcycle").value(throughput_per_mcycle);
   w.key("tenants_down").value(tenants_down);
+  if (slo_enabled) {
+    // Present only when an SLO was configured, so un-monitored runs (and
+    // the committed BENCH_serve.json) render byte-identically to PR 6.
+    w.key("slo").begin_object();
+    w.key("metric").value(slo_metric);
+    w.key("threshold").value(slo_threshold);
+    w.key("window").value(slo_window);
+    w.key("windows").value(slo_windows);
+    w.key("breaches").value(slo_breaches);
+    w.key("burn_rate").value(slo_burn_rate);
+    w.key("overall").value(slo_overall);
+    w.key("violated").value(slo_violated);
+    w.end_object();
+  }
   w.key("tenants").begin_array(JsonWriter::Style::kPretty);
   for (const TenantReport& t : tenants) {
     w.begin_object();
@@ -382,6 +581,10 @@ std::string ServeReport::to_json() const {
     w.key("p999").value(t.p999);
     w.key("max").value(t.max);
     w.key("mean_wait").value(t.mean_wait);
+    if (slo_enabled) {
+      w.key("slo_windows").value(t.slo_windows);
+      w.key("slo_breaches").value(t.slo_breaches);
+    }
     w.end_object();
   }
   w.end_array();
@@ -392,7 +595,7 @@ std::string ServeReport::to_json() const {
 std::string ServeReport::latency_csv() const {
   std::string csv =
       "tenant,request,arrival,dispatch,completion,latency,wait,"
-      "instructions,status\n";
+      "queue,run,restart_loss,commit_stall,instructions,status\n";
   for (const TenantReport& t : tenants) {
     // Records are appended in completion order; the contract is
     // (tenant, request id) order.
@@ -416,6 +619,14 @@ std::string ServeReport::latency_csv() const {
       csv += ',';
       csv += std::to_string(r.dispatch - r.arrival);
       csv += ',';
+      csv += std::to_string(r.queue_cycles);
+      csv += ',';
+      csv += std::to_string(r.run_cycles);
+      csv += ',';
+      csv += std::to_string(r.restart_loss_cycles);
+      csv += ',';
+      csv += std::to_string(r.commit_stall_cycles);
+      csv += ',';
       csv += std::to_string(r.instructions);
       csv += ',';
       csv += r.failed ? "failed" : "ok";
@@ -438,6 +649,15 @@ std::string ServeReport::summary() const {
     s += ", " + std::to_string(tenants_down) + " tenant(s) down";
   }
   s += "\n";
+  if (slo_enabled) {
+    s += "  slo " + slo_metric + " <= " + std::to_string(slo_threshold) +
+         " cycles: overall " + std::to_string(slo_overall) + " (" +
+         (slo_violated ? "VIOLATED" : "met") + "), " +
+         std::to_string(slo_breaches) + "/" + std::to_string(slo_windows) +
+         " windows breached (burn rate " +
+         telemetry::json_double(slo_burn_rate) + ", window " +
+         std::to_string(slo_window) + " cycles)\n";
+  }
   for (const TenantReport& t : tenants) {
     s += "  pid " + std::to_string(t.pid) + " (" + t.workload + ", core " +
          std::to_string(t.core) + "): " + std::to_string(t.completed) +

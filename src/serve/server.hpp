@@ -49,6 +49,14 @@ struct ServeConfig {
   os::RestartPolicy restart{};
   /// Armed corruptions, per tenant pid (same shape as `vcfr fleet`).
   std::vector<std::pair<uint32_t, fault::FaultPlan>> injections;
+  // ---- rolling-window SLO monitor (0 = off) ------------------------------
+  /// Latency percentile the objective is set on (500 = p50, 990 = p99,
+  /// 999 = p999), evaluated per tenant over tumbling windows.
+  uint32_t slo_permille = 0;
+  /// The objective: windowed percentile must stay <= this many cycles.
+  uint64_t slo_threshold = 0;
+  /// Tumbling-window width in core-clock cycles.
+  uint64_t slo_window = 50'000;
 };
 
 /// One request's full lifecycle, all timestamps on the tenant's home-core
@@ -60,6 +68,12 @@ struct RequestRecord {
   uint64_t completion = 0;  // clean halt, or the crash/kill cycle
   uint64_t instructions = 0;
   bool failed = false;  // life ended in fault/watchdog/budget, not a halt
+  // Critical-path decomposition; the four components tile the latency:
+  //   queue + run + restart_loss + commit_stall == completion - arrival.
+  uint64_t queue_cycles = 0;         // waiting in queue / preempted
+  uint64_t run_cycles = 0;           // slices + dispatch overhead
+  uint64_t restart_loss_cycles = 0;  // crash->restart downtime overlap
+  uint64_t commit_stall_cycles = 0;  // shared-L2 round-commit penalties
 };
 
 struct TenantReport {
@@ -81,6 +95,9 @@ struct TenantReport {
   uint64_t max = 0;
   /// Mean queue wait (dispatch - arrival) of completed requests.
   double mean_wait = 0.0;
+  /// SLO windows evaluated / breached for this tenant (0 when no SLO set).
+  uint64_t slo_windows = 0;
+  uint64_t slo_breaches = 0;
   std::vector<RequestRecord> records;
 };
 
@@ -94,6 +111,21 @@ struct ServeReport {
   uint32_t tenants_down = 0;
   /// Completed requests per million fleet cycles.
   double throughput_per_mcycle = 0.0;
+
+  // ---- SLO monitor results (rendered only when an SLO was set, so the
+  // JSON of an un-monitored run — BENCH_serve.json — is byte-unchanged) --
+  bool slo_enabled = false;
+  std::string slo_metric;       // "p50" / "p99" / "p999"
+  uint64_t slo_threshold = 0;   // cycles
+  uint64_t slo_window = 0;      // cycles
+  uint64_t slo_windows = 0;     // tenant-windows evaluated (>=1 completion)
+  uint64_t slo_breaches = 0;    // of those, windows over the threshold
+  /// Fraction of evaluated windows that breached (error-budget burn).
+  double slo_burn_rate = 0.0;
+  /// The objective percentile over *all* completed requests, fleet-wide.
+  uint64_t slo_overall = 0;
+  /// slo_overall > slo_threshold — gates `vcfr serve` exit status (2).
+  bool slo_violated = false;
 
   std::vector<TenantReport> tenants;
 
@@ -110,6 +142,10 @@ struct ServeReport {
 /// Returns 0 for an empty vector.
 [[nodiscard]] uint64_t nearest_rank_permille(
     const std::vector<uint64_t>& sorted, uint32_t permille);
+
+/// Display name for an SLO percentile ("p50" / "p99" / "p999"; other
+/// permille values render as "p<permille>m").
+[[nodiscard]] std::string slo_metric_name(uint32_t permille);
 
 /// Builds the fleet, spawns the tenants, drives the request streams to
 /// completion, and returns the report. `telemetry` (optional) receives

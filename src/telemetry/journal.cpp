@@ -1,0 +1,71 @@
+#include "telemetry/journal.hpp"
+
+#include "telemetry/json_writer.hpp"
+
+namespace vcfr::telemetry {
+
+const char* journal_kind_name(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kSpawn:
+      return "spawn";
+    case JournalKind::kFault:
+      return "fault";
+    case JournalKind::kWatchdog:
+      return "watchdog";
+    case JournalKind::kBudget:
+      return "budget";
+    case JournalKind::kRestart:
+      return "restart";
+    case JournalKind::kRerandEpoch:
+      return "rerand_epoch";
+    case JournalKind::kTenantDown:
+      return "tenant_down";
+  }
+  return "?";
+}
+
+void Journal::log(JournalEntry entry) {
+  ++counts_[journal_kind_name(entry.kind)];
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+    next_ = ring_.size() % capacity_;
+    ++count_;
+    return;
+  }
+  ++dropped_;
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<JournalEntry> Journal::entries() const {
+  std::vector<JournalEntry> out;
+  out.reserve(count_);
+  // Oldest entry sits at `next_` once the ring has wrapped.
+  const size_t start = count_ == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> Journal::counts() const { return counts_; }
+
+std::string Journal::to_jsonl() const {
+  std::string out;
+  for (const JournalEntry& e : entries()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("cycle").value(e.cycle);
+    w.key("kind").value(journal_kind_name(e.kind));
+    w.key("pid").value(e.pid);
+    if (e.req >= 0) w.key("req").value(e.req);
+    w.key("arg").value(e.arg);
+    if (!e.detail.empty()) w.key("detail").value(e.detail);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vcfr::telemetry

@@ -1,7 +1,9 @@
 #include "telemetry/sampler.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <numeric>
 #include <sstream>
 
 #include "telemetry/json_writer.hpp"
@@ -12,11 +14,32 @@ void Sampler::capture_epoch() {
   Epoch epoch;
   epoch.registry_size = registry_->stats().size();
   for (const auto& [name, stat] : registry_->stats()) {
-    if (stat.kind == StatKind::kHistogram) continue;
+    if (stat.kind == StatKind::kHistogram) {
+      // A histogram samples as its reconstructed tail percentiles.
+      epoch.columns.push_back(name + ".p50");
+      epoch.sources.push_back({&stat, 1});
+      epoch.columns.push_back(name + ".p99");
+      epoch.sources.push_back({&stat, 2});
+      continue;
+    }
     epoch.columns.push_back(name);
-    epoch.sources.push_back(&stat);
+    epoch.sources.push_back({&stat, 0});
   }
-  epochs_.push_back(std::move(epoch));
+  // The zero-fill merge-walk in to_csv/to_json requires every epoch's
+  // columns sorted; appending ".p50"/".p99" can break the registry's
+  // name order (e.g. "h.p50" sorts after "h.child"), so re-sort.
+  std::vector<size_t> order(epoch.columns.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&epoch](size_t a, size_t b) {
+    return epoch.columns[a] < epoch.columns[b];
+  });
+  Epoch sorted;
+  sorted.registry_size = epoch.registry_size;
+  for (const size_t i : order) {
+    sorted.columns.push_back(std::move(epoch.columns[i]));
+    sorted.sources.push_back(epoch.sources[i]);
+  }
+  epochs_.push_back(std::move(sorted));
 }
 
 void Sampler::take(uint64_t cycle) {
@@ -32,8 +55,18 @@ void Sampler::take(uint64_t cycle) {
   cycles_.push_back(cycle);
   std::vector<double> row;
   row.reserve(epoch.sources.size());
-  for (const StatRegistry::Stat* stat : epoch.sources) {
-    row.push_back(stat->value());
+  for (const Source& source : epoch.sources) {
+    switch (source.part) {
+      case 1:
+        row.push_back(source.stat->hist->percentile(50));
+        break;
+      case 2:
+        row.push_back(source.stat->hist->percentile(99));
+        break;
+      default:
+        row.push_back(source.stat->value());
+        break;
+    }
   }
   values_.push_back(std::move(row));
   if (interval_ != 0) {
@@ -44,7 +77,9 @@ void Sampler::take(uint64_t cycle) {
 std::string Sampler::render(size_t row, size_t col) const {
   const Epoch& epoch = epochs_[row_epoch_[row]];
   const double v = values_[row][col];
-  if (epoch.sources[col]->kind == StatKind::kCounter) {
+  const Source& source = epoch.sources[col];
+  // Percentile parts render like gauges (interpolation is fractional).
+  if (source.part == 0 && source.stat->kind == StatKind::kCounter) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRIu64, static_cast<uint64_t>(v));
     return buf;

@@ -59,13 +59,21 @@ class Sampler {
   [[nodiscard]] std::string to_json() const;
 
  private:
+  /// One sampled column: a counter/gauge's value, or one percentile of a
+  /// registered histogram (histograms contribute `<name>.p50` and
+  /// `<name>.p99` columns, reconstructed via Histogram::percentile).
+  struct Source {
+    const StatRegistry::Stat* stat = nullptr;
+    uint8_t part = 0;  // 0 = value, 1 = p50, 2 = p99
+  };
+
   /// The column set in force for a span of rows. A new epoch is captured
   /// whenever the registry grew since the previous sample; counters
   /// registered between snapshots therefore appear in the union with
   /// earlier rows zero-filled instead of silently dropping out.
   struct Epoch {
     std::vector<std::string> columns;
-    std::vector<const StatRegistry::Stat*> sources;
+    std::vector<Source> sources;
     size_t registry_size = 0;  // recapture trigger
   };
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "telemetry/journal.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/stat_registry.hpp"
 #include "telemetry/trace.hpp"
@@ -27,6 +28,10 @@ struct TelemetryConfig {
   size_t trace_lane_capacity = 1 << 16;
   /// Registry snapshot period in simulated cycles; 0 disables sampling.
   uint64_t sample_interval = 0;
+  /// Flight-recorder journal of kernel lifecycle events.
+  bool journal = false;
+  /// Journal ring capacity (entries); oldest entries drop when exceeded.
+  size_t journal_capacity = 4096;
 };
 
 class Telemetry {
@@ -35,6 +40,11 @@ class Telemetry {
       : config_(config), sampler_(&registry_) {
     if (config.trace) {
       tracer_ = std::make_unique<Tracer>(config.trace_lane_capacity);
+      tracer_->register_stats(
+          registry_.root().scope("telemetry").scope("trace"));
+    }
+    if (config.journal) {
+      journal_ = std::make_unique<Journal>(config.journal_capacity);
     }
     sampler_.set_interval(config.sample_interval);
   }
@@ -56,6 +66,9 @@ class Telemetry {
   }
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
 
+  /// Null when the journal is disabled.
+  [[nodiscard]] Journal* journal() { return journal_.get(); }
+
   [[nodiscard]] Sampler& sampler() { return sampler_; }
   [[nodiscard]] const Sampler& sampler() const { return sampler_; }
 
@@ -63,6 +76,7 @@ class Telemetry {
   TelemetryConfig config_;
   StatRegistry registry_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<Journal> journal_;
   Sampler sampler_;
 };
 

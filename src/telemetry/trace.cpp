@@ -1,6 +1,7 @@
 #include "telemetry/trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <tuple>
 
 #include "telemetry/json_writer.hpp"
@@ -35,6 +36,19 @@ const char* trace_event_name(TraceEventType type) {
       return "rand";
     case TraceEventType::kBitmapLoad:
       return "bitmap_load";
+    case TraceEventType::kReqQueue:
+      return "req_queue";
+    case TraceEventType::kReqRun:
+      return "req_run";
+    case TraceEventType::kReqRestartLoss:
+      return "req_restart_loss";
+    case TraceEventType::kReqCommitStall:
+      return "req_commit_stall";
+    // Flow events all share one name: Perfetto binds s/t/f by (cat, id).
+    case TraceEventType::kReqFlowStart:
+    case TraceEventType::kReqFlowStep:
+    case TraceEventType::kReqFlowEnd:
+      return "req";
   }
   return "?";
 }
@@ -58,9 +72,39 @@ const char* trace_event_category(TraceEventType type) {
     case TraceEventType::kRand:
     case TraceEventType::kBitmapLoad:
       return "emu";
+    case TraceEventType::kReqQueue:
+    case TraceEventType::kReqRun:
+    case TraceEventType::kReqRestartLoss:
+    case TraceEventType::kReqCommitStall:
+    case TraceEventType::kReqFlowStart:
+    case TraceEventType::kReqFlowStep:
+    case TraceEventType::kReqFlowEnd:
+      return "serve";
   }
   return "?";
 }
+
+namespace {
+
+[[nodiscard]] bool is_flow(TraceEventType type) {
+  return type == TraceEventType::kReqFlowStart ||
+         type == TraceEventType::kReqFlowStep ||
+         type == TraceEventType::kReqFlowEnd;
+}
+
+/// Chrome flow phase letter for the three flow event types.
+[[nodiscard]] const char* flow_phase(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kReqFlowStart:
+      return "s";
+    case TraceEventType::kReqFlowStep:
+      return "t";
+    default:
+      return "f";
+  }
+}
+
+}  // namespace
 
 TraceLane::TraceLane(uint32_t lane_id, size_t capacity)
     : lane_id_(lane_id), ring_(capacity == 0 ? 1 : capacity) {}
@@ -86,10 +130,40 @@ std::vector<TraceEvent> TraceLane::events() const {
 TraceLane* Tracer::lane(uint32_t id) {
   auto it = lanes_.find(id);
   if (it == lanes_.end()) {
+    // Creating a lane after seal() would race the parallel execute
+    // phase; every producer must pre-create its lane serially first.
+    assert(!sealed_ && "Tracer::lane: new lane created after seal()");
     it = lanes_.emplace(id, std::make_unique<TraceLane>(id, lane_capacity_))
              .first;
+    if (stats_scope_ != nullptr) {
+      const TraceLane* created = it->second.get();
+      stats_scope_->scope("lane" + std::to_string(id))
+          .counter_fn("dropped", [created] { return created->dropped(); });
+    }
   }
   return it->second.get();
+}
+
+const TraceLane* Tracer::find_lane(uint32_t id) const {
+  const auto it = lanes_.find(id);
+  return it == lanes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const TraceLane*> Tracer::lanes() const {
+  std::vector<const TraceLane*> out;
+  out.reserve(lanes_.size());
+  for (const auto& [id, lane] : lanes_) out.push_back(lane.get());
+  return out;
+}
+
+void Tracer::register_stats(const Scope& scope) {
+  stats_scope_ = std::make_unique<Scope>(scope);
+  stats_scope_->counter_fn("dropped", [this] { return dropped(); });
+  for (const auto& [id, lane] : lanes_) {
+    const TraceLane* created = lane.get();
+    stats_scope_->scope("lane" + std::to_string(id))
+        .counter_fn("dropped", [created] { return created->dropped(); });
+  }
 }
 
 void Tracer::name_lane(uint32_t lane, const std::string& name) {
@@ -104,6 +178,18 @@ uint64_t Tracer::dropped() const {
   uint64_t total = 0;
   for (const auto& [id, lane] : lanes_) total += lane->dropped();
   return total;
+}
+
+std::map<std::string, uint64_t> Tracer::event_counts() const {
+  std::map<std::string, uint64_t> counts;
+  for (const auto& [id, lane] : lanes_) {
+    for (const TraceEvent& e : lane->events()) {
+      std::string key = trace_event_name(e.type);
+      if (is_flow(e.type)) key += std::string(".") + flow_phase(e.type);
+      ++counts[key];
+    }
+  }
+  return counts;
 }
 
 std::string Tracer::to_chrome_json() const {
@@ -157,6 +243,19 @@ std::string Tracer::to_chrome_json() const {
     w.begin_object();
     w.key("name").value(trace_event_name(e.type));
     w.key("cat").value(trace_event_category(e.type));
+    if (is_flow(e.type)) {
+      // Flow events bind by (cat, id) across lanes; `bp:"e"` attaches
+      // the terminating step to the enclosing slice end, matching how
+      // Perfetto renders request chains.
+      w.key("ph").value(flow_phase(e.type));
+      if (e.type == TraceEventType::kReqFlowEnd) w.key("bp").value("e");
+      w.key("ts").value(e.cycle);
+      w.key("pid").value(k.lane);
+      w.key("tid").value(e.asid);
+      w.key("id").value(e.arg);
+      w.end_object();
+      continue;
+    }
     if (e.dur > 0) {
       w.key("ph").value("X");
       w.key("ts").value(e.cycle);

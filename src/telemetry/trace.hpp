@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/stat_registry.hpp"
+
 namespace vcfr::telemetry {
 
 enum class TraceEventType : uint8_t {
@@ -43,10 +45,36 @@ enum class TraceEventType : uint8_t {
   kDerand,         // target de-randomization (instant; arg = derand key)
   kRand,           // return-address randomization (instant; arg = rand key)
   kBitmapLoad,     // auto-de-randomized load of a marked slot (arg = addr)
+  // Request-lifecycle spans (src/serve/): one tiled set per request so
+  // queue + run + restart_loss + commit_stall == completion - arrival
+  // (exact conservation; the tiles are the *breakdown*, laid end-to-end
+  // from the arrival cycle, not the chronological interleaving). arg =
+  // the request's flow id (request_flow_id).
+  kReqQueue,        // waiting in the tenant queue / preempted
+  kReqRun,          // executing slices (+ dispatch overhead)
+  kReqRestartLoss,  // overlapped with crash→restart downtime
+  kReqCommitStall,  // shared-L2 round-commit penalties
+  // Chrome *flow* events (ph "s"/"t"/"f") stitching one request's hops
+  // across lanes in Perfetto: arrival → delivery → each slice →
+  // fault → completion. All three share name "req" / cat "serve" and
+  // bind by `id` (= arg = request_flow_id) — every "s" must have a
+  // terminating "f".
+  kReqFlowStart,
+  kReqFlowStep,
+  kReqFlowEnd,
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEventType type);
 [[nodiscard]] const char* trace_event_category(TraceEventType type);
+
+/// Deterministic Chrome flow id for request `req` of tenant `pid`. Flow
+/// events bind "s"/"t"/"f" by (cat, id), so the id must be unique per
+/// request chain across the whole trace: tenant in the high bits, the
+/// per-tenant request sequence number in the low 40.
+[[nodiscard]] constexpr uint64_t request_flow_id(uint32_t pid, uint64_t req) {
+  return ((static_cast<uint64_t>(pid) + 1) << 40) |
+         (req & ((1ull << 40) - 1));
+}
 
 struct TraceEvent {
   uint64_t cycle = 0;  // start, in the owning core's simulated cycles
@@ -90,8 +118,26 @@ class Tracer {
       : lane_capacity_(lane_capacity) {}
 
   /// Returns lane `id`, creating it on first use. Creation is not
-  /// thread-safe: create every lane before parallel recording starts.
+  /// thread-safe: create every lane before parallel recording starts
+  /// (and call seal() once they all exist — see below).
   [[nodiscard]] TraceLane* lane(uint32_t id);
+
+  /// Declares the lane set complete. Lane *creation* after this point is
+  /// a driver bug (it would race the parallel execute phase) and trips a
+  /// debug assertion; looking up existing lanes stays valid. The kernel
+  /// seals after pre-creating every core lane plus its own.
+  void seal() { sealed_ = true; }
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+  /// Returns lane `id` if it exists, else null — never creates.
+  [[nodiscard]] const TraceLane* find_lane(uint32_t id) const;
+  /// All lanes in ascending id order (export/testing).
+  [[nodiscard]] std::vector<const TraceLane*> lanes() const;
+
+  /// Registers the drop counters with a stat registry scope (normally
+  /// `telemetry.trace`): `dropped` (total) immediately, plus one
+  /// `lane<N>.dropped` per lane as lanes are created.
+  void register_stats(const Scope& scope);
 
   /// Perfetto display names for the track group (`pid`, our lane) and
   /// the per-process rows (`tid`, our asid) inside it.
@@ -100,15 +146,23 @@ class Tracer {
 
   [[nodiscard]] uint64_t dropped() const;
 
+  /// Buffered events per event label, across all lanes — the flow types
+  /// report as "req.s"/"req.t"/"req.f" so flow matching is countable
+  /// without parsing the JSON. Deterministic (sorted keys).
+  [[nodiscard]] std::map<std::string, uint64_t> event_counts() const;
+
   /// Chrome trace-event JSON: metadata first, then all lanes' events
   /// merged in deterministic (cycle, lane, intra-lane order) order.
+  /// Request flow events render as ph "s"/"t"/"f" with their flow `id`.
   [[nodiscard]] std::string to_chrome_json() const;
 
  private:
   size_t lane_capacity_;
+  bool sealed_ = false;
   std::map<uint32_t, std::unique_ptr<TraceLane>> lanes_;
   std::map<uint32_t, std::string> lane_names_;
   std::map<std::pair<uint32_t, uint32_t>, std::string> asid_names_;
+  std::unique_ptr<Scope> stats_scope_;
 };
 
 }  // namespace vcfr::telemetry

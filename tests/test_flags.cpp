@@ -244,6 +244,71 @@ TEST(CliFlagsTest, ServeRejectsForeignFlags) {
   }
 }
 
+TEST(CliFlagsTest, ObservabilityFlagsParse) {
+  const Args args =
+      parse({"--trace-capacity", "4096", "--journal-out", "j.jsonl",
+             "--slo", "p99:120000", "--slo-window", "25000"});
+  EXPECT_EQ(args.trace_capacity, 4096u);
+  EXPECT_EQ(args.journal_out, "j.jsonl");
+  EXPECT_EQ(args.slo, "p99:120000");
+  EXPECT_EQ(args.slo_window, 25'000u);
+  EXPECT_NO_THROW(validate_flags("serve", args));
+
+  const Args inlined = parse({"--trace-capacity=4096", "--journal-out=j",
+                              "--slo=p50:9", "--slo-window=10"});
+  EXPECT_EQ(inlined.trace_capacity, 4096u);
+  EXPECT_EQ(inlined.slo, "p50:9");
+}
+
+TEST(CliFlagsTest, ObservabilityFlagDefaults) {
+  const Args args = parse({});
+  EXPECT_EQ(args.trace_capacity, 0u);  // 0 = keep the built-in default
+  EXPECT_TRUE(args.journal_out.empty());
+  EXPECT_TRUE(args.slo.empty());
+  EXPECT_EQ(args.slo_window, 50'000u);
+  EXPECT_TRUE(args.trace_in.empty());
+}
+
+TEST(CliFlagsTest, SloFlagsAreServeOnly) {
+  for (const char* flag : {"--slo=p99:100", "--slo-window=10"}) {
+    const Args args = parse({flag});
+    for (const char* cmd : {"fleet", "run", "sim", "faultcamp", "workload"}) {
+      EXPECT_THROW(validate_flags(cmd, args), std::runtime_error)
+          << cmd << " should reject " << flag;
+    }
+    EXPECT_NO_THROW(validate_flags("serve", args));
+  }
+}
+
+TEST(CliFlagsTest, TraceCapacityFollowsTraceOut) {
+  // Everywhere --trace-out works, --trace-capacity must too.
+  const Args args = parse({"--trace-capacity=1024"});
+  for (const char* cmd : {"run", "sim", "workload", "fleet", "serve"}) {
+    EXPECT_NO_THROW(validate_flags(cmd, args)) << cmd;
+  }
+  EXPECT_THROW(validate_flags("faultcamp", args), std::runtime_error);
+}
+
+TEST(CliFlagsTest, TraceReportWhitelist) {
+  const Args ok = parse({"--trace", "t.json", "--top", "5"});
+  EXPECT_EQ(ok.trace_in, "t.json");
+  EXPECT_EQ(ok.top, 5u);
+  EXPECT_NO_THROW(validate_flags("trace-report", ok));
+  EXPECT_THROW(validate_flags("trace-report", parse({"--tenants=4"})),
+               std::runtime_error);
+  EXPECT_THROW(validate_flags("serve", parse({"--trace=t.json"})),
+               std::runtime_error);
+}
+
+TEST(CliFlagsTest, UsageCoversObservability) {
+  const std::string usage = usage_text();
+  for (const char* needle :
+       {"trace-report", "--slo", "--slo-window", "--journal-out",
+        "--trace-capacity"}) {
+    EXPECT_NE(usage.find(needle), std::string::npos) << needle;
+  }
+}
+
 TEST(CliFlagsTest, UnknownFlagAndMissingValueThrow) {
   EXPECT_THROW(parse({"--no-such-flag"}), std::runtime_error);
   EXPECT_THROW(parse({"--tenants"}), std::runtime_error);

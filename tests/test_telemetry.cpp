@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -314,6 +315,102 @@ TEST(SamplerTest, LateRegisteredCountersJoinTheColumnUnion) {
   EXPECT_NE(json.find("[10, 1, 0, 0, 0]"), std::string::npos) << json;
   EXPECT_NE(json.find("[20, 2, 2.5, 5, 7]"), std::string::npos) << json;
 }
+
+TEST(SamplerTest, HistogramsExportPercentileColumns) {
+  StatRegistry reg;
+  Histogram* h = reg.root().histogram("lat");
+  uint64_t c = 3;
+  reg.root().counter("c", &c);
+  for (uint64_t v = 1; v <= 100; ++v) h->record(v);
+  Sampler sampler(&reg);
+  sampler.take(10);
+
+  // One p50 + one p99 column per histogram; the log2-bucket percentile is
+  // an upper bucket edge, so pin the exact values the bucketing gives.
+  EXPECT_EQ(sampler.columns(),
+            (std::vector<std::string>{"c", "lat.p50", "lat.p99"}));
+  const std::string csv = sampler.to_csv();
+  std::stringstream ss(csv);
+  std::string header, row;
+  std::getline(ss, header);
+  std::getline(ss, row);
+  EXPECT_EQ(header, "cycle,c,lat.p50,lat.p99");
+  // Percentiles render as %.6g doubles; both must be positive and ordered.
+  const size_t c1 = row.find(',', row.find(',') + 1);
+  const std::string p50s = row.substr(c1 + 1, row.find(',', c1 + 1) - c1 - 1);
+  const std::string p99s = row.substr(row.rfind(',') + 1);
+  EXPECT_GT(std::stod(p50s), 0.0);
+  EXPECT_GE(std::stod(p99s), std::stod(p50s));
+}
+
+TEST(SamplerTest, HistogramPercentileColumnsStaySorted) {
+  // "lat.p50" must not break the sorted-column invariant the zero-fill
+  // merge relies on: a stat registered *under* the histogram's name
+  // ("lat.alpha") sorts between "lat" and "lat.p50" in the registry walk,
+  // so the derived percentile columns must be re-sorted into place.
+  StatRegistry reg;
+  Histogram* h = reg.root().histogram("lat");
+  h->record(8);
+  uint64_t a = 1;
+  reg.root().scope("lat").counter("alpha", &a);
+  Sampler sampler(&reg);
+  sampler.take(10);
+  // Adding columns later exercises the union merge against the re-sorted
+  // first epoch.
+  uint64_t z = 2;
+  reg.root().counter("zz", &z);
+  sampler.take(20);
+  EXPECT_EQ(sampler.columns(),
+            (std::vector<std::string>{"lat.alpha", "lat.p50", "lat.p99",
+                                      "zz"}));
+  const std::string csv = sampler.to_csv();
+  EXPECT_NE(csv.find("cycle,lat.alpha,lat.p50,lat.p99,zz\n"),
+            std::string::npos)
+      << csv;
+  // The zero-filled first row carries zz=0; the second carries zz=2.
+  EXPECT_NE(csv.find(",0\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find(",2\n"), std::string::npos) << csv;
+}
+
+TEST(TracerTest, DroppedCountersLandInTheRegistry) {
+  StatRegistry reg;
+  Tracer tracer(/*lane_capacity=*/4);
+  tracer.register_stats(reg.root().scope("telemetry").scope("trace"));
+  TraceLane* lane = tracer.lane(0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    lane->instant(TraceEventType::kDrcMiss, 0, i);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"telemetry.trace.dropped\": 6"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"telemetry.trace.lane0.dropped\": 6"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TracerTest, SealedTracerStillFindsExistingLanes) {
+  Tracer tracer;
+  TraceLane* lane = tracer.lane(3);
+  tracer.seal();
+  EXPECT_TRUE(tracer.sealed());
+  EXPECT_EQ(tracer.find_lane(3), lane);
+  EXPECT_EQ(tracer.find_lane(9), nullptr);
+  EXPECT_EQ(tracer.lane(3), lane);  // lookup of an existing lane is fine
+  ASSERT_EQ(tracer.lanes().size(), 1u);
+  EXPECT_EQ(tracer.lanes()[0]->lane_id(), 3u);
+}
+
+#ifndef NDEBUG
+TEST(TracerDeathTest, CreatingLaneAfterSealAsserts) {
+  // Lazy lane creation from a worker thread would race the parallel
+  // execute phase; the kernel pre-creates every lane then seals.
+  Tracer tracer;
+  (void)tracer.lane(0);
+  tracer.seal();
+  EXPECT_DEATH((void)tracer.lane(1), "seal");
+}
+#endif
 
 TEST(SamplerTest, DisabledSamplerNeverRecords) {
   StatRegistry reg;

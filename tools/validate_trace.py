@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a vcfr Chrome trace-event JSON export.
+
+Checks (each failure is reported and the script exits nonzero):
+  1. The file parses as Chrome trace JSON ({"traceEvents": [...]}).
+  2. Per lane ("pid"), event timestamps are monotonically non-decreasing
+     for every non-metadata event — the exporter merge-sorts by
+     (cycle, lane, intra-lane order), so a violation means the export
+     (or a lane's clock) is broken.
+  3. Request flows are matched: every flow id has exactly one "s"
+     (start) and exactly one "f" (end), with start.ts <= end.ts; "t"
+     steps are only allowed on ids that have a start.
+
+With --csv LATENCY.CSV, also audits the per-request critical-path
+conservation invariant from `vcfr serve --latency-out`:
+  queue + run + restart_loss + commit_stall == latency   (every row).
+
+Usage: validate_trace.py TRACE.JSON [--csv LATENCY.CSV]
+"""
+
+import csv
+import json
+import sys
+
+
+def fail(errors, msg):
+    errors.append(msg)
+    if len(errors) <= 20:
+        print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def validate_trace(path, errors):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(errors, f"{path}: not valid JSON: {e}")
+            return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: no traceEvents array")
+        return
+
+    last_ts = {}  # pid -> last seen ts
+    flows = {}  # flow id -> {"s": n, "t": n, "f": n, "s_ts": ts, "f_ts": ts}
+    n_real = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":  # metadata carries no timestamp semantics
+            continue
+        n_real += 1
+        pid, ts = e.get("pid"), e.get("ts")
+        if ts is None:
+            fail(errors, f"{path}: event {i} ({ph}) has no ts")
+            continue
+        if pid in last_ts and ts < last_ts[pid]:
+            fail(
+                errors,
+                f"{path}: lane {pid} ts regressed at event {i}: "
+                f"{last_ts[pid]} -> {ts}",
+            )
+        last_ts[pid] = ts
+        if ph in ("s", "t", "f"):
+            fid = e.get("id")
+            if fid is None:
+                fail(errors, f"{path}: flow event {i} ({ph}) has no id")
+                continue
+            rec = flows.setdefault(fid, {"s": 0, "t": 0, "f": 0})
+            rec[ph] += 1
+            if ph == "s":
+                rec["s_ts"] = ts
+            if ph == "f":
+                rec["f_ts"] = ts
+
+    for fid, rec in sorted(flows.items()):
+        if rec["s"] != 1:
+            fail(errors, f"{path}: flow {fid} has {rec['s']} starts (want 1)")
+        if rec["f"] != 1:
+            fail(errors, f"{path}: flow {fid} has {rec['f']} ends (want 1)")
+        if rec["s"] == 1 and rec["f"] == 1 and rec["s_ts"] > rec["f_ts"]:
+            fail(
+                errors,
+                f"{path}: flow {fid} ends before it starts "
+                f"({rec['s_ts']} > {rec['f_ts']})",
+            )
+        if rec["t"] > 0 and rec["s"] == 0:
+            fail(errors, f"{path}: flow {fid} has steps but no start")
+
+    print(
+        f"{path}: {n_real} events across {len(last_ts)} lanes, "
+        f"{len(flows)} request flows"
+    )
+
+
+def validate_csv(path, errors):
+    rows = 0
+    with open(path, "r", encoding="utf-8", newline="") as f:
+        for row in csv.DictReader(f):
+            rows += 1
+            parts = [
+                int(row["queue"]),
+                int(row["run"]),
+                int(row["restart_loss"]),
+                int(row["commit_stall"]),
+            ]
+            if sum(parts) != int(row["latency"]):
+                fail(
+                    errors,
+                    f"{path}: tenant {row['tenant']} request "
+                    f"{row['request']}: components sum to {sum(parts)}, "
+                    f"latency is {row['latency']}",
+                )
+    print(f"{path}: {rows} requests, conservation holds" if not errors else
+          f"{path}: {rows} requests checked")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path = argv[1]
+    csv_path = None
+    if "--csv" in argv:
+        i = argv.index("--csv")
+        if i + 1 >= len(argv):
+            print("--csv needs a path", file=sys.stderr)
+            return 2
+        csv_path = argv[i + 1]
+
+    errors = []
+    validate_trace(trace_path, errors)
+    if csv_path:
+        validate_csv(csv_path, errors)
+    if errors:
+        print(f"{len(errors)} validation failures", file=sys.stderr)
+        return 1
+    print("trace validation: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

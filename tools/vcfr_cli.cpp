@@ -8,6 +8,7 @@
 // The telemetry flags (--stats-json, --trace-out, --sample-interval,
 // --sample-out) are shared by run/sim/workload/fleet and are documented
 // in docs/OBSERVABILITY.md.
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -69,13 +70,15 @@ using cli::validate_flags;
 
 bool telemetry_requested(const Args& args) {
   return !args.stats_json.empty() || !args.trace_out.empty() ||
-         args.sample_interval > 0;
+         args.sample_interval > 0 || !args.journal_out.empty();
 }
 
 telemetry::TelemetryConfig telemetry_config(const Args& args) {
   telemetry::TelemetryConfig tc;
   tc.trace = !args.trace_out.empty();
+  if (args.trace_capacity > 0) tc.trace_lane_capacity = args.trace_capacity;
   tc.sample_interval = args.sample_interval;
+  tc.journal = !args.journal_out.empty();
   return tc;
 }
 
@@ -102,6 +105,18 @@ void export_telemetry(const Args& args, telemetry::Telemetry& tel) {
     std::fprintf(stderr, "trace: %s (%llu events dropped)\n",
                  args.trace_out.c_str(),
                  static_cast<unsigned long long>(tel.tracer()->dropped()));
+    if (tel.tracer()->dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: trace dropped %llu events; the export holds only "
+                   "the most recent window (raise --trace-capacity)\n",
+                   static_cast<unsigned long long>(tel.tracer()->dropped()));
+    }
+  }
+  if (!args.journal_out.empty() && tel.journal() != nullptr) {
+    write_file(args.journal_out, tel.journal()->to_jsonl());
+    std::fprintf(stderr, "journal: %s (%zu entries, %llu dropped)\n",
+                 args.journal_out.c_str(), tel.journal()->entries().size(),
+                 static_cast<unsigned long long>(tel.journal()->dropped()));
   }
   if (args.sample_interval > 0) {
     const bool as_json =
@@ -466,6 +481,41 @@ struct InjectSpec {
   fault::FaultPlan plan;
 };
 
+/// --slo p50|p99|p999:<cycles> — the serve SLO objective.
+void parse_slo(const std::string& spec, serve::ServeConfig& sc) {
+  const size_t colon = spec.find(':');
+  const std::string metric = spec.substr(0, colon);
+  uint32_t permille = 0;
+  if (metric == "p50") {
+    permille = 500;
+  } else if (metric == "p99") {
+    permille = 990;
+  } else if (metric == "p999") {
+    permille = 999;
+  } else {
+    throw std::runtime_error("--slo expects p50|p99|p999:<cycles>, got '" +
+                             spec + "'");
+  }
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    throw std::runtime_error("--slo expects p50|p99|p999:<cycles>, got '" +
+                             spec + "'");
+  }
+  uint64_t threshold = 0;
+  try {
+    size_t used = 0;
+    threshold = std::stoull(spec.substr(colon + 1), &used);
+    if (colon + 1 + used != spec.size()) throw std::invalid_argument(spec);
+  } catch (const std::exception&) {
+    throw std::runtime_error("--slo expects p50|p99|p999:<cycles>, got '" +
+                             spec + "'");
+  }
+  if (threshold == 0) {
+    throw std::runtime_error("--slo threshold must be > 0 cycles");
+  }
+  sc.slo_permille = permille;
+  sc.slo_threshold = threshold;
+}
+
 InjectSpec parse_inject(const std::string& spec) {
   const std::vector<std::string> parts = split_list([&] {
     std::string s = spec;
@@ -624,10 +674,17 @@ int cmd_serve(const Args& args) {
     sc.injections.emplace_back(spec.pid, spec.plan);
   }
 
-  std::optional<telemetry::Telemetry> tel;
-  if (telemetry_requested(args)) tel.emplace(telemetry_config(args));
-  const serve::ServeReport report = serve::run_serve(sc, tel ? &*tel : nullptr);
-  if (tel) export_telemetry(args, *tel);
+  if (!args.slo.empty()) parse_slo(args.slo, sc);
+  sc.slo_window = args.slo_window;
+
+  // The flight recorder is always on for serve — the journal is bounded
+  // and cheap, and a tenant going down without one means the post-mortem
+  // is gone. Tracing/sampling stay opt-in.
+  telemetry::TelemetryConfig tc = telemetry_config(args);
+  tc.journal = true;
+  telemetry::Telemetry tel(tc);
+  const serve::ServeReport report = serve::run_serve(sc, &tel);
+  if (telemetry_requested(args)) export_telemetry(args, tel);
   if (!args.latency_out.empty()) {
     write_file(args.latency_out, report.latency_csv());
     if (args.latency_out != "-") {
@@ -640,9 +697,235 @@ int cmd_serve(const Args& args) {
     std::fputs(report.summary().c_str(), g_report);
     std::fputs(report.to_json().c_str(), g_report);
   }
+  if (report.tenants_down > 0 && args.journal_out.empty() &&
+      tel.journal() != nullptr) {
+    // Post-mortem: a tenant left the fleet for good and no --journal-out
+    // captured the flight recorder, so dump it where the operator looks.
+    std::fprintf(stderr, "--- flight recorder (%zu entries, %llu dropped) ---\n",
+                 tel.journal()->entries().size(),
+                 static_cast<unsigned long long>(tel.journal()->dropped()));
+    std::fputs(tel.journal()->to_jsonl().c_str(), stderr);
+  }
   // A tenant that crashed but was restarted and kept serving is a success;
-  // a tenant that left the fleet for good is not.
-  return report.tenants_down > 0 ? 1 : 0;
+  // a tenant that left the fleet for good is not. SLO violation gets its
+  // own exit status so scripts can tell "down" from "slow".
+  if (report.tenants_down > 0) return 1;
+  if (report.slo_violated) return 2;
+  return 0;
+}
+
+// ---- trace-report: offline critical-path breakdown ----
+
+/// One parsed latency-CSV row (`vcfr serve --latency-out`).
+struct ReqRow {
+  uint32_t tenant = 0;
+  uint64_t request = 0;
+  uint64_t latency = 0;
+  uint64_t queue = 0;
+  uint64_t run = 0;
+  uint64_t restart_loss = 0;
+  uint64_t commit_stall = 0;
+  bool failed = false;
+};
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+int cmd_trace_report(const Args& args) {
+  const std::string path = require_input(args);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error(path + ": empty latency CSV");
+  }
+  // Header-indexed so column additions never silently misparse old files.
+  std::map<std::string, size_t> col;
+  {
+    const auto header = split_csv_row(line);
+    for (size_t i = 0; i < header.size(); ++i) col[header[i]] = i;
+  }
+  for (const char* need :
+       {"tenant", "request", "latency", "queue", "run", "restart_loss",
+        "commit_stall", "status"}) {
+    if (col.count(need) == 0) {
+      throw std::runtime_error(path + ": latency CSV lacks column '" +
+                               std::string(need) +
+                               "' (need a vcfr serve --latency-out file)");
+    }
+  }
+
+  std::vector<ReqRow> rows;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto cells = split_csv_row(line);
+    const auto cell = [&](const char* name) -> const std::string& {
+      const size_t i = col.at(name);
+      if (i >= cells.size()) {
+        throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                 ": short row");
+      }
+      return cells[i];
+    };
+    ReqRow r;
+    r.tenant = static_cast<uint32_t>(std::stoul(cell("tenant")));
+    r.request = std::stoull(cell("request"));
+    r.latency = std::stoull(cell("latency"));
+    r.queue = std::stoull(cell("queue"));
+    r.run = std::stoull(cell("run"));
+    r.restart_loss = std::stoull(cell("restart_loss"));
+    r.commit_stall = std::stoull(cell("commit_stall"));
+    r.failed = cell("status") != "ok";
+    rows.push_back(r);
+  }
+  if (rows.empty()) throw std::runtime_error(path + ": no request rows");
+
+  // Conservation audit: the four components must tile the latency exactly
+  // for every request — a violation means the serve-path accounting (or
+  // the CSV) is broken, which is worth a failing exit status.
+  uint64_t violations = 0;
+  for (const ReqRow& r : rows) {
+    const uint64_t sum = r.queue + r.run + r.restart_loss + r.commit_stall;
+    if (sum != r.latency) {
+      if (violations < 10) {
+        rprintf("CONSERVATION VIOLATION tenant %u request %llu: "
+                "queue %llu + run %llu + restart_loss %llu + "
+                "commit_stall %llu = %llu != latency %llu\n",
+                r.tenant, static_cast<unsigned long long>(r.request),
+                static_cast<unsigned long long>(r.queue),
+                static_cast<unsigned long long>(r.run),
+                static_cast<unsigned long long>(r.restart_loss),
+                static_cast<unsigned long long>(r.commit_stall),
+                static_cast<unsigned long long>(sum),
+                static_cast<unsigned long long>(r.latency));
+      }
+      ++violations;
+    }
+  }
+
+  // Fleet-wide component totals: where do request cycles actually go?
+  struct Agg {
+    uint64_t n = 0, failed = 0;
+    uint64_t latency = 0, queue = 0, run = 0, restart_loss = 0,
+             commit_stall = 0;
+    void add(const ReqRow& r) {
+      ++n;
+      if (r.failed) ++failed;
+      latency += r.latency;
+      queue += r.queue;
+      run += r.run;
+      restart_loss += r.restart_loss;
+      commit_stall += r.commit_stall;
+    }
+  };
+  Agg total;
+  std::map<uint32_t, Agg> by_tenant;
+  for (const ReqRow& r : rows) {
+    total.add(r);
+    by_tenant[r.tenant].add(r);
+  }
+  const auto pct = [&](uint64_t part) {
+    return total.latency == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(part) /
+                     static_cast<double>(total.latency);
+  };
+  rprintf("trace-report: %zu requests (%llu failed) from %s\n", rows.size(),
+          static_cast<unsigned long long>(total.failed), path.c_str());
+  rprintf("critical path (cycles, %% of total latency):\n");
+  rprintf("  queue         %14llu  %5.1f%%\n",
+          static_cast<unsigned long long>(total.queue), pct(total.queue));
+  rprintf("  run           %14llu  %5.1f%%\n",
+          static_cast<unsigned long long>(total.run), pct(total.run));
+  rprintf("  restart_loss  %14llu  %5.1f%%\n",
+          static_cast<unsigned long long>(total.restart_loss),
+          pct(total.restart_loss));
+  rprintf("  commit_stall  %14llu  %5.1f%%\n",
+          static_cast<unsigned long long>(total.commit_stall),
+          pct(total.commit_stall));
+  rprintf("  total latency %14llu\n",
+          static_cast<unsigned long long>(total.latency));
+
+  rprintf("\nper-tenant breakdown (cycles):\n");
+  rprintf("%-7s %6s %6s %14s %14s %14s %14s %14s\n", "tenant", "reqs", "fail",
+          "latency", "queue", "run", "restart_loss", "commit_stall");
+  for (const auto& [pid, a] : by_tenant) {
+    rprintf("%-7u %6llu %6llu %14llu %14llu %14llu %14llu %14llu\n", pid,
+            static_cast<unsigned long long>(a.n),
+            static_cast<unsigned long long>(a.failed),
+            static_cast<unsigned long long>(a.latency),
+            static_cast<unsigned long long>(a.queue),
+            static_cast<unsigned long long>(a.run),
+            static_cast<unsigned long long>(a.restart_loss),
+            static_cast<unsigned long long>(a.commit_stall));
+  }
+
+  // Top-K slowest requests: latency descending, (tenant, request) breaks
+  // ties so the listing is deterministic.
+  std::vector<const ReqRow*> slow;
+  slow.reserve(rows.size());
+  for (const ReqRow& r : rows) slow.push_back(&r);
+  std::sort(slow.begin(), slow.end(), [](const ReqRow* a, const ReqRow* b) {
+    if (a->latency != b->latency) return a->latency > b->latency;
+    if (a->tenant != b->tenant) return a->tenant < b->tenant;
+    return a->request < b->request;
+  });
+  const size_t k = std::min<size_t>(args.top, slow.size());
+  rprintf("\ntop %zu slowest requests:\n", k);
+  rprintf("%-7s %8s %12s %12s %12s %12s %12s %6s\n", "tenant", "request",
+          "latency", "queue", "run", "rst_loss", "cmt_stall", "status");
+  for (size_t i = 0; i < k; ++i) {
+    const ReqRow& r = *slow[i];
+    rprintf("%-7u %8llu %12llu %12llu %12llu %12llu %12llu %6s\n", r.tenant,
+            static_cast<unsigned long long>(r.request),
+            static_cast<unsigned long long>(r.latency),
+            static_cast<unsigned long long>(r.queue),
+            static_cast<unsigned long long>(r.run),
+            static_cast<unsigned long long>(r.restart_loss),
+            static_cast<unsigned long long>(r.commit_stall),
+            r.failed ? "FAIL" : "ok");
+  }
+
+  if (!args.trace_in.empty()) {
+    // Cross-check against the Chrome trace: every request flow that
+    // starts must terminate. The exporter renders flow events with a
+    // fixed `"ph": "x"` spelling, so a substring scan is exact.
+    std::ifstream tin(args.trace_in, std::ios::binary);
+    if (!tin) throw std::runtime_error("cannot open " + args.trace_in);
+    std::stringstream tss;
+    tss << tin.rdbuf();
+    const std::string trace = tss.str();
+    const auto count = [&](const char* needle) {
+      size_t n = 0;
+      for (size_t pos = trace.find(needle); pos != std::string::npos;
+           pos = trace.find(needle, pos + 1)) {
+        ++n;
+      }
+      return n;
+    };
+    const size_t starts = count("\"ph\": \"s\"");
+    const size_t steps = count("\"ph\": \"t\"");
+    const size_t ends = count("\"ph\": \"f\"");
+    rprintf("\ntrace flows (%s): %zu start, %zu step, %zu end — %s\n",
+            args.trace_in.c_str(), starts, steps, ends,
+            starts == ends ? "matched" : "UNMATCHED");
+    if (starts != ends) ++violations;
+  }
+
+  if (violations > 0) {
+    rprintf("\n%llu conservation/flow violations\n",
+            static_cast<unsigned long long>(violations));
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_prof(const Args& args) {
@@ -873,7 +1156,8 @@ int main(int argc, char** argv) {
     // stderr so pipelines stay clean.
     for (const std::string* out :
          {&args.stats_json, &args.trace_out, &args.sample_out,
-          &args.profile_out, &args.flame_out, &args.latency_out}) {
+          &args.profile_out, &args.flame_out, &args.latency_out,
+          &args.journal_out}) {
       if (*out == "-") g_report = stderr;
     }
     if (cmd == "asm") return cmd_asm(args);
@@ -889,6 +1173,7 @@ int main(int argc, char** argv) {
     if (cmd == "entropy") return cmd_entropy(args);
     if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "trace-report") return cmd_trace_report(args);
     if (cmd == "prof") return cmd_prof(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage();
