@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "emu/emulator.hpp"
 #include "os/kernel.hpp"
@@ -149,6 +150,59 @@ int main(int argc, char** argv) {
   const double mips_on = measure_mips(vcfr_image, true, reps, instr);
   const double mips_off = measure_mips(vcfr_image, false, reps, instr);
 
+  // ---- worker-pool sweep: the same 4-core fleet under 1/2/4 pool workers.
+  // The simulated results MUST be bit-identical across the sweep (worker
+  // count is host parallelism only) — checked here, and the per-point
+  // rounds/cycles land in the deterministic section so CI re-checks the
+  // diff. Wall clocks go under "host".
+  struct SweepPoint {
+    uint32_t workers_requested = 0;
+    uint32_t pool_workers = 0;
+    uint64_t pool_rounds = 0;
+    uint64_t rounds = 0;
+    uint64_t fleet_cycles = 0;
+    uint64_t fleet_instructions = 0;
+    double wall_ms = 0.0;
+  };
+  std::vector<SweepPoint> sweep;
+  for (const uint32_t workers : {1u, 2u, 4u}) {
+    os::KernelConfig sc;
+    sc.cores = 4;
+    sc.sched.slice_instructions = 2000;
+    sc.measure_isolated = false;
+    sc.pool_workers = workers;
+    os::Kernel sk(sc);
+    for (uint32_t i = 0; i < 8; ++i) {
+      os::ProcessConfig pc;
+      pc.workload = mix[i % 4];
+      pc.scale = 0;
+      pc.seed = 7ull ^ (0x9e3779b97f4a7c15ull * (i + 1));
+      sk.spawn(pc);
+    }
+    const auto start = Clock::now();
+    const os::FleetReport sr = sk.run();
+    SweepPoint pt;
+    pt.workers_requested = workers;
+    pt.pool_workers = sk.pool_workers();
+    pt.pool_rounds = sk.pool_rounds();
+    pt.rounds = sr.rounds;
+    pt.fleet_cycles = sr.fleet_cycles;
+    pt.fleet_instructions = sr.fleet_instructions;
+    pt.wall_ms = seconds_since(start) * 1e3;
+    sweep.push_back(pt);
+  }
+  for (const SweepPoint& pt : sweep) {
+    if (pt.fleet_cycles != sweep[0].fleet_cycles ||
+        pt.fleet_instructions != sweep[0].fleet_instructions ||
+        pt.rounds != sweep[0].rounds) {
+      std::fprintf(stderr,
+                   "pool sweep diverged at %u workers: simulated results "
+                   "must not depend on host parallelism\n",
+                   pt.workers_requested);
+      return 1;
+    }
+  }
+
   telemetry::JsonWriter h;
   h.begin_object(telemetry::JsonWriter::Style::kPretty);
   h.key("bench").value("hotpath");
@@ -170,6 +224,28 @@ int main(int argc, char** argv) {
   h.key("pool_workers").value(uint64_t{kernel.pool_workers()});
   h.end_object();
   h.end_object();
+  h.key("pool_sweep").begin_object();
+  h.key("config").begin_object();
+  h.key("procs").value(uint64_t{8});
+  h.key("cores").value(uint64_t{4});
+  h.key("slice").value(uint64_t{2000});
+  h.key("scale").value(uint64_t{0});
+  h.key("seed").value(uint64_t{7});
+  h.end_object();
+  h.key("points").begin_array();
+  for (const SweepPoint& pt : sweep) {
+    h.begin_object();
+    h.key("workers_requested").value(uint64_t{pt.workers_requested});
+    h.key("pool_workers").value(uint64_t{pt.pool_workers});
+    h.key("pool_rounds").value(pt.pool_rounds);
+    h.key("rounds").value(pt.rounds);
+    h.key("fleet_cycles").value(pt.fleet_cycles);
+    h.key("fleet_instructions").value(pt.fleet_instructions);
+    h.end_object();
+  }
+  h.end_array();
+  h.key("identical_across_workers").value(true);
+  h.end_object();
   h.key("host").begin_object();
   h.key("emu").begin_object();
   h.key("reps").value(static_cast<uint64_t>(reps));
@@ -185,6 +261,14 @@ int main(int argc, char** argv) {
   h.key("fleet").begin_object();
   h.key("wall_ms").raw_value(telemetry::json_double(fleet_wall_ms));
   h.end_object();
+  h.key("pool_sweep").begin_array();
+  for (const SweepPoint& pt : sweep) {
+    h.begin_object();
+    h.key("workers_requested").value(uint64_t{pt.workers_requested});
+    h.key("wall_ms").raw_value(telemetry::json_double(pt.wall_ms));
+    h.end_object();
+  }
+  h.end_array();
   h.end_object();
   h.end_object();
 

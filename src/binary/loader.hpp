@@ -11,6 +11,9 @@
 
 namespace vcfr::binary {
 
+class StateWriter;
+class StateReader;
+
 /// Flat 32-bit byte-addressable memory, backed by 4 KiB pages allocated on
 /// first touch. Unwritten bytes read as zero.
 ///
@@ -56,6 +59,13 @@ class Memory {
   /// semantics (store_tables refreshing the kernel tables on live
   /// re-randomization).
   void bump_code_version() { ++code_version_; }
+
+  /// Checkpoint support: every allocated page (sorted by page number for a
+  /// deterministic byte stream — checksum() hashes all of them, zero-filled
+  /// included), the watched ranges, and the code version (so a restored
+  /// decode cache can never serve pre-checkpoint decodings).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   using Page = std::array<uint8_t, kPageSize>;

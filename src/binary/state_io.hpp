@@ -1,0 +1,68 @@
+// Primitive binary state serialization for checkpoint/restore.
+//
+// The VXE image serializer (binary/serialize.*) knows how to persist a
+// program; checkpointing a running fleet additionally needs every piece
+// of *runtime* state — pipeline clocks, cache tag arrays, DRAM bank
+// horizons, scheduler queues — written in a versioned, deterministic,
+// little-endian layout. StateWriter/StateReader are the shared primitive
+// layer: each stateful class implements
+//
+//   void save_state(binary::StateWriter& w) const;
+//   void load_state(binary::StateReader& r);
+//
+// on top of these fixed-width accessors. Readers throw FormatError
+// (kTruncated on underrun, kImplausible on absurd counts) — the same
+// taxonomy as the image parser, so checkpoint corruption surfaces as a
+// structured error instead of UB.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "binary/serialize.hpp"
+
+namespace vcfr::binary {
+
+class StateWriter {
+ public:
+  explicit StateWriter(std::ostream& out) : out_(out) {}
+
+  void u8(uint8_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern — exact round trip, no locale/precision issues.
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s);
+  void bytes(const void* data, size_t size);
+
+ private:
+  std::ostream& out_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] uint8_t u8();
+  [[nodiscard]] uint32_t u32();
+  [[nodiscard]] uint64_t u64();
+  [[nodiscard]] int64_t i64() { return static_cast<int64_t>(u64()); }
+  [[nodiscard]] bool b() { return u8() != 0; }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  void bytes(void* data, size_t size);
+
+  /// Reads a u32 element count and rejects it if it exceeds `max`
+  /// (kImplausible) — every variable-length field goes through this so a
+  /// corrupt count can never drive an allocation.
+  [[nodiscard]] uint32_t count(uint32_t max);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace vcfr::binary

@@ -9,6 +9,11 @@
 
 #include "telemetry/stat_registry.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::cache {
 
 struct CacheConfig {
@@ -73,6 +78,10 @@ class Cache {
   /// Binds this cache's live statistics into `scope` (telemetry naming:
   /// accesses/hits/misses/writebacks/prefetch_* counters + miss_rate).
   void register_stats(const telemetry::Scope& scope) const;
+
+  /// Checkpoint support: tag array (incl. LRU ticks) + statistics.
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   struct Line {

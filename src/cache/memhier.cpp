@@ -1,5 +1,6 @@
 #include "cache/memhier.hpp"
 
+#include "binary/state_io.hpp"
 #include "cache/shared_l2.hpp"
 
 namespace vcfr::cache {
@@ -120,6 +121,36 @@ AccessResult MemHier::dwrite(uint32_t addr, uint64_t now) {
 
 AccessResult MemHier::table_read(uint32_t addr, uint64_t now) {
   return l2_read(addr & ~(config_.l2.line_bytes - 1), now, L2Source::kDrc);
+}
+
+void MemHier::save_state(binary::StateWriter& w) const {
+  w.u32(asid_);
+  il1_.save_state(w);
+  dl1_.save_state(w);
+  l2_.save_state(w);
+  w.u64(iprefetch_.stats().issued);
+  itlb_.save_state(w);
+  dtlb_.save_state(w);
+  dram_.save_state(w);
+  w.u64(pressure_.reads_from_il1);
+  w.u64(pressure_.reads_from_dl1);
+  w.u64(pressure_.reads_from_il1_prefetch);
+  w.u64(pressure_.reads_from_drc);
+}
+
+void MemHier::load_state(binary::StateReader& r) {
+  asid_ = r.u32();
+  il1_.load_state(r);
+  dl1_.load_state(r);
+  l2_.load_state(r);
+  iprefetch_.restore_stats(PrefetcherStats{.issued = r.u64()});
+  itlb_.load_state(r);
+  dtlb_.load_state(r);
+  dram_.load_state(r);
+  pressure_.reads_from_il1 = r.u64();
+  pressure_.reads_from_dl1 = r.u64();
+  pressure_.reads_from_il1_prefetch = r.u64();
+  pressure_.reads_from_drc = r.u64();
 }
 
 void MemHier::register_stats(const telemetry::Scope& scope) const {

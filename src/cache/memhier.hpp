@@ -14,6 +14,11 @@
 #include "cache/tlb.hpp"
 #include "dram/dram.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::cache {
 
 struct MemHierConfig {
@@ -104,6 +109,12 @@ class MemHier {
   /// lives in the shared cache's own scope); plus the L2 pressure
   /// breakdown and the prefetcher counter.
   void register_stats(const telemetry::Scope& scope) const;
+
+  /// Checkpoint support: every cache/TLB/DRAM component plus the asid —
+  /// the asid matters because a restored kernel skips the re-install that
+  /// would otherwise call set_asid().
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   /// Read through L2 (filling it), returning latency beyond the L2 probe.

@@ -36,6 +36,10 @@ class NextLinePrefetcher {
 
   void note_issued() { ++stats_.issued; }
 
+  /// Checkpoint support: the issued counter is the prefetcher's only
+  /// state (the policy itself is stateless).
+  void restore_stats(const PrefetcherStats& stats) { stats_ = stats; }
+
   [[nodiscard]] const PrefetcherConfig& config() const { return config_; }
   [[nodiscard]] const PrefetcherStats& stats() const { return stats_; }
 

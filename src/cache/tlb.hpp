@@ -11,6 +11,11 @@
 
 #include "telemetry/stat_registry.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::cache {
 
 struct TlbConfig {
@@ -57,6 +62,11 @@ class Tlb {
 
   /// Binds this TLB's live statistics into `scope`.
   void register_stats(const telemetry::Scope& scope) const;
+
+  /// Checkpoint support: entries, invisible-page set (written sorted for
+  /// a deterministic byte stream), LRU tick, statistics.
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   struct Entry {

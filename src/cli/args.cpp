@@ -60,6 +60,14 @@ Args parse_args(int argc, char** argv) {
       args.slice = std::stoull(value());
     } else if (a == "--rerand") {
       args.rerand = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--pool-workers") {
+      args.pool_workers = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--checkpoint-out") {
+      args.checkpoint_out = value();
+    } else if (a == "--checkpoint-round") {
+      args.checkpoint_round = std::stoull(value());
+    } else if (a == "--restore") {
+      args.restore_in = value();
     } else if (a == "--workloads") {
       args.workload_list = value();
     } else if (a == "--restart") {
@@ -161,7 +169,9 @@ void validate_flags(const std::string& cmd, const Args& args) {
         "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
         "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
         "--stats-json", "--trace-out", "--trace-capacity", "--journal-out",
-        "--sample-interval", "--sample-out", "--profile-out", "--top"}},
+        "--sample-interval", "--sample-out", "--profile-out", "--top",
+        "--pool-workers", "--checkpoint-out", "--checkpoint-round",
+        "--restore"}},
       {"prof",
        {"--seed", "--drc", "--max-instr", "--top", "--profile-out",
         "--flame-out"}},
@@ -174,7 +184,8 @@ void validate_flags(const std::string& cmd, const Args& args) {
         "--max-instr", "--restart", "--max-restarts", "--backoff",
         "--watchdog", "--inject", "--json", "--latency-out", "--stats-json",
         "--trace-out", "--trace-capacity", "--journal-out",
-        "--sample-interval", "--sample-out", "--slo", "--slo-window"}},
+        "--sample-interval", "--sample-out", "--slo", "--slo-window",
+        "--pool-workers"}},
       {"trace-report", {"--trace", "--top"}},
   };
   const auto it = kAllowed.find(cmd);
@@ -229,12 +240,18 @@ const char* usage_text() {
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
       "      [--backoff ROUNDS] [--watchdog INSTR]\n"
       "      [--inject pid:site:instr[:seed]] [telemetry flags]\n"
-      "      [--profile-out PATH] [--top N]\n"
+      "      [--profile-out PATH] [--top N] [--pool-workers N]\n"
+      "      [--checkpoint-out PATH --checkpoint-round N]\n"
+      "      [--restore PATH]\n"
       "      time-slice N independently randomized workloads on a shared\n"
       "      L2+DRAM hierarchy; --inject arms one seeded corruption,\n"
       "      --restart re-randomizes and restarts crashed processes\n"
       "      (docs/DEPENDABILITY.md); --profile-out writes one guest\n"
-      "      profile per tenant (PATH.pidN.json)\n"
+      "      profile per tenant (PATH.pidN.json); --pool-workers sizes the\n"
+      "      host worker pool (0 = auto; results are bit-identical);\n"
+      "      --checkpoint-out/--checkpoint-round serialize the fleet at a\n"
+      "      round boundary, --restore resumes bit-identically from it\n"
+      "      (incompatible with --profile-out)\n"
       "  serve [--tenants N] [--cores N] [--duration CYCLES]\n"
       "      [--arrival open|closed] [--interarrival CYCLES]\n"
       "      [--dist fixed|uniform|exp] [--workloads a,b,c] [--scale S]\n"
@@ -244,7 +261,7 @@ const char* usage_text() {
       "      [--inject pid:site:instr[:seed]] [--json]\n"
       "      [--latency-out PATH] [--journal-out PATH]\n"
       "      [--slo p50|p99|p999:CYCLES] [--slo-window CYCLES]\n"
-      "      [telemetry flags]\n"
+      "      [--pool-workers N] [telemetry flags]\n"
       "      request-serving latency bench (docs/ARCHITECTURE.md sec 12):\n"
       "      seeded per-tenant request streams dispatched event-driven on\n"
       "      the fleet kernel; reports per-tenant p50/p99/p999 in cycles;\n"

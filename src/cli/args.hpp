@@ -28,6 +28,13 @@ struct Args {
   uint32_t cores = 2;
   uint64_t slice = 50'000;
   uint32_t rerand = 0;
+  /// Execute-phase worker-pool size (fleet/serve); 0 = auto (cores - 1).
+  /// Host parallelism only — simulated results are bit-identical.
+  uint32_t pool_workers = 0;
+  // Checkpoint/restore (fleet) — docs/ARCHITECTURE.md §14.
+  std::string checkpoint_out;   // write fleet state here at --checkpoint-round
+  uint64_t checkpoint_round = 0;
+  std::string restore_in;       // resume from this checkpoint file
   std::string workload_list;
   bool json = false;
   bool no_baseline = false;

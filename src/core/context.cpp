@@ -1,5 +1,6 @@
 #include "core/context.hpp"
 
+#include "binary/state_io.hpp"
 #include "core/ret_bitmap.hpp"
 
 namespace vcfr::core {
@@ -26,6 +27,33 @@ uint32_t ContextManager::rerandomize_current(
   stats_.entries_flushed += flushed;
   if (bitmap_) stats_.bitmap_entries_flushed += bitmap_->flush();
   return flushed;
+}
+
+void ContextManager::save_state(binary::StateWriter& w) const {
+  w.u64(stats_.switches);
+  w.u64(stats_.entries_flushed);
+  w.u64(stats_.bitmap_entries_flushed);
+  w.u64(stats_.rerandomizations);
+  w.u32(current_.pid);
+  w.str(current_.name);
+  w.u64(current_.epoch);
+  w.b(current_.tables != nullptr);
+}
+
+void ContextManager::load_state(binary::StateReader& r) {
+  stats_.switches = r.u64();
+  stats_.entries_flushed = r.u64();
+  stats_.bitmap_entries_flushed = r.u64();
+  stats_.rerandomizations = r.u64();
+  current_.pid = r.u32();
+  current_.name = r.str();
+  current_.epoch = r.u64();
+  // The flag marks whether a context was installed; the actual pointer is
+  // rebound by the kernel once the owning process exists again. Keeping
+  // tables_ null until then makes a missed rebind fail the switch_to()
+  // same-context test instead of dereferencing a stale pointer.
+  current_.tables = nullptr;
+  (void)r.b();
 }
 
 }  // namespace vcfr::core

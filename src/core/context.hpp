@@ -21,6 +21,11 @@
 #include "binary/image.hpp"
 #include "core/drc.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::core {
 
 /// Kernel-side per-process randomization state.
@@ -66,6 +71,16 @@ class ContextManager {
 
   [[nodiscard]] const ProcessContext& current() const { return current_; }
   [[nodiscard]] const ContextStats& stats() const { return stats_; }
+
+  /// Checkpoint support. The tables pointer is process-owned and must be
+  /// rebound by the kernel after the owning process is restored — a
+  /// restored context deliberately skips the flush a switch_to() would
+  /// trigger (the DRC state was checkpointed warm).
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
+  void rebind_tables(const binary::TranslationTables* tables) {
+    current_.tables = tables;
+  }
 
  private:
   Drc& drc_;

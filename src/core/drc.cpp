@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "binary/state_io.hpp"
+
 namespace vcfr::core {
 
 Drc::Drc(const DrcConfig& config) : config_(config) {
@@ -91,6 +93,46 @@ bool Drc::contains(uint32_t key, bool derand) const {
     if (e.valid && e.key == key && e.is_derand == derand) return true;
   }
   return false;
+}
+
+void Drc::save_state(binary::StateWriter& w) const {
+  w.u64(tick_);
+  w.u32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.b(e.valid);
+    w.b(e.is_derand);
+    w.b(e.randomized_tag);
+    w.u32(e.key);
+    w.u32(e.translation);
+    w.u64(e.lru);
+  }
+  w.u64(stats_.lookups);
+  w.u64(stats_.hits);
+  w.u64(stats_.misses);
+  w.u64(stats_.derand_lookups);
+  w.u64(stats_.rand_lookups);
+}
+
+void Drc::load_state(binary::StateReader& r) {
+  tick_ = r.u64();
+  const uint32_t n = r.count(1u << 24);
+  if (n != entries_.size()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint DRC geometry mismatch");
+  }
+  for (Entry& e : entries_) {
+    e.valid = r.b();
+    e.is_derand = r.b();
+    e.randomized_tag = r.b();
+    e.key = r.u32();
+    e.translation = r.u32();
+    e.lru = r.u64();
+  }
+  stats_.lookups = r.u64();
+  stats_.hits = r.u64();
+  stats_.misses = r.u64();
+  stats_.derand_lookups = r.u64();
+  stats_.rand_lookups = r.u64();
 }
 
 void Drc::register_stats(const telemetry::Scope& scope) const {

@@ -21,6 +21,11 @@
 
 #include "telemetry/stat_registry.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::core {
 
 struct DrcConfig {
@@ -86,6 +91,10 @@ class Drc {
   /// Binds this DRC's live statistics into `scope` (plus an occupancy
   /// gauge — valid entries at sample time).
   void register_stats(const telemetry::Scope& scope) const;
+
+  /// Checkpoint support: entry array (incl. LRU ticks) + statistics.
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   struct Entry {

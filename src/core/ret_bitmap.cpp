@@ -1,5 +1,7 @@
 #include "core/ret_bitmap.hpp"
 
+#include "binary/state_io.hpp"
+
 namespace vcfr::core {
 
 RetBitmapCache::RetBitmapCache(const RetBitmapConfig& config,
@@ -41,6 +43,34 @@ uint32_t RetBitmapCache::flush() {
     e.valid = false;
   }
   return lost;
+}
+
+void RetBitmapCache::save_state(binary::StateWriter& w) const {
+  w.u64(tick_);
+  w.u32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.b(e.valid);
+    w.u32(e.region);
+    w.u64(e.lru);
+  }
+  w.u64(stats_.accesses);
+  w.u64(stats_.misses);
+}
+
+void RetBitmapCache::load_state(binary::StateReader& r) {
+  tick_ = r.u64();
+  const uint32_t n = r.count(1u << 20);
+  if (n != entries_.size()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint bitmap-cache geometry mismatch");
+  }
+  for (Entry& e : entries_) {
+    e.valid = r.b();
+    e.region = r.u32();
+    e.lru = r.u64();
+  }
+  stats_.accesses = r.u64();
+  stats_.misses = r.u64();
 }
 
 void RetBitmapCache::register_stats(const telemetry::Scope& scope) const {

@@ -15,6 +15,11 @@
 #include "cache/memhier.hpp"
 #include "telemetry/stat_registry.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::core {
 
 struct RetBitmapConfig {
@@ -55,6 +60,10 @@ class RetBitmapCache {
 
   /// Binds this bitmap cache's live statistics into `scope`.
   void register_stats(const telemetry::Scope& scope) const;
+
+  /// Checkpoint support (the MemHier reference is rebound by the owner).
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   struct Entry {

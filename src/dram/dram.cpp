@@ -1,5 +1,7 @@
 #include "dram/dram.hpp"
 
+#include "binary/state_io.hpp"
+
 namespace vcfr::dram {
 
 Dram::Dram(const DramConfig& config) : config_(config) {
@@ -51,6 +53,38 @@ uint32_t Dram::read(uint32_t addr, uint64_t now) {
 void Dram::write(uint32_t addr, uint64_t now) {
   ++stats_.writes;
   (void)service(addr, now);  // posted; occupies the bank but nobody waits
+}
+
+void Dram::save_state(binary::StateWriter& w) const {
+  w.u32(static_cast<uint32_t>(banks_.size()));
+  for (const Bank& bank : banks_) {
+    w.b(bank.open);
+    w.u32(bank.open_row);
+    w.u64(bank.busy_until);
+  }
+  w.u64(stats_.reads);
+  w.u64(stats_.writes);
+  w.u64(stats_.row_hits);
+  w.u64(stats_.row_misses);
+  w.u64(stats_.refresh_stalls);
+}
+
+void Dram::load_state(binary::StateReader& r) {
+  const uint32_t n = r.count(1u << 16);
+  if (n != banks_.size()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint DRAM bank count mismatch");
+  }
+  for (Bank& bank : banks_) {
+    bank.open = r.b();
+    bank.open_row = r.u32();
+    bank.busy_until = r.u64();
+  }
+  stats_.reads = r.u64();
+  stats_.writes = r.u64();
+  stats_.row_hits = r.u64();
+  stats_.row_misses = r.u64();
+  stats_.refresh_stalls = r.u64();
 }
 
 void Dram::register_stats(const telemetry::Scope& scope) const {

@@ -9,6 +9,11 @@
 
 #include "telemetry/stat_registry.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::dram {
 
 struct DramConfig {
@@ -58,6 +63,10 @@ class Dram {
 
   /// Binds this DRAM channel's live statistics into `scope`.
   void register_stats(const telemetry::Scope& scope) const;
+
+  /// Checkpoint support: bank row-buffer/busy state + statistics.
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   struct Bank {

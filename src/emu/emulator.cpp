@@ -1,5 +1,8 @@
 #include "emu/emulator.hpp"
 
+#include <algorithm>
+
+#include "binary/state_io.hpp"
 #include "isa/encoding.hpp"
 #include "profile/profiler.hpp"
 
@@ -420,6 +423,69 @@ bool Emulator::step(StepInfo* info) {
     prof_->on_retire(si, costs);
   }
   return true;
+}
+
+void Emulator::save_state(binary::StateWriter& w) const {
+  for (const uint32_t reg : state_.regs) w.u32(reg);
+  w.b(state_.zf);
+  w.b(state_.nf);
+  w.b(state_.cf);
+  w.b(state_.vf);
+  w.u32(state_.pc);
+  w.u64(stats_.instructions);
+  w.u64(stats_.calls);
+  w.u64(stats_.returns);
+  w.u64(stats_.indirect_transfers);
+  w.u64(stats_.derand_events);
+  w.u64(stats_.rand_events);
+  w.u64(stats_.bitmap_autoderand_loads);
+  w.u64(stats_.tag_violations);
+  w.u32(static_cast<uint32_t>(output_.size()));
+  for (const uint32_t v : output_) w.u32(v);
+  std::vector<uint32_t> bitmap(ret_bitmap_.begin(), ret_bitmap_.end());
+  std::sort(bitmap.begin(), bitmap.end());
+  w.u32(static_cast<uint32_t>(bitmap.size()));
+  for (const uint32_t addr : bitmap) w.u32(addr);
+  w.b(halted_);
+  w.u8(static_cast<uint8_t>(trap_.kind));
+  w.u32(trap_.pc);
+  w.u32(trap_.detail);
+  w.u64(trap_.instruction);
+  w.str(error_);
+  w.u64(max_output_);
+}
+
+void Emulator::load_state(binary::StateReader& r) {
+  for (uint32_t& reg : state_.regs) reg = r.u32();
+  state_.zf = r.b();
+  state_.nf = r.b();
+  state_.cf = r.b();
+  state_.vf = r.b();
+  state_.pc = r.u32();
+  stats_.instructions = r.u64();
+  stats_.calls = r.u64();
+  stats_.returns = r.u64();
+  stats_.indirect_transfers = r.u64();
+  stats_.derand_events = r.u64();
+  stats_.rand_events = r.u64();
+  stats_.bitmap_autoderand_loads = r.u64();
+  stats_.tag_violations = r.u64();
+  output_.clear();
+  const uint32_t outputs = r.count(1u << 24);
+  for (uint32_t i = 0; i < outputs; ++i) output_.push_back(r.u32());
+  ret_bitmap_.clear();
+  const uint32_t marks = r.count(1u << 24);
+  for (uint32_t i = 0; i < marks; ++i) ret_bitmap_.insert(r.u32());
+  halted_ = r.b();
+  trap_.kind = static_cast<fault::FaultKind>(r.u8());
+  trap_.pc = r.u32();
+  trap_.detail = r.u32();
+  trap_.instruction = r.u64();
+  error_ = r.str();
+  max_output_ = r.u64();
+  // Host-only decode cache: drop every fill so nothing predating the
+  // restored architectural state survives.
+  std::fill(dcache_.begin(), dcache_.end(), DecodedEntry{});
 }
 
 RunResult Emulator::run(const RunLimits& limits) {

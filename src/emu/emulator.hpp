@@ -179,6 +179,13 @@ class Emulator {
     output_ = std::move(output);
   }
 
+  /// Checkpoint support: full architectural state (registers, flags, PC,
+  /// stats, output, ret bitmap, halt/trap state). The decoded-instruction
+  /// cache is host-only and never serialized; load_state() empties it so
+  /// a reused emulator cannot serve pre-restore decodings.
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
+
   // ---- fault-injection hooks (src/fault/) --------------------------------
   /// Flips the architectural ret-bitmap state of `addr`: a marked slot
   /// loses its mark (its randomized return address will no longer be

@@ -20,6 +20,11 @@
 #include "emu/emulator.hpp"
 #include "fault/fault.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::fault {
 
 /// Where the corruption lands. Values are stable (serialized into
@@ -93,6 +98,11 @@ class FaultInjector {
   /// Returns record().applied. Idempotent: later calls are no-ops.
   bool apply(binary::Image& image, binary::Memory& mem, emu::Emulator& emu,
              const binary::Image* original = nullptr);
+
+  /// Checkpoint support: whether the plan already fired and what it did.
+  /// The plan itself is configuration and is re-supplied at construction.
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   FaultPlan plan_;

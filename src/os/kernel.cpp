@@ -1,8 +1,11 @@
 #include "os/kernel.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <functional>
+#include <istream>
 
+#include "binary/state_io.hpp"
 #include "emu/emulator.hpp"
 #include "rewriter/randomizer.hpp"
 
@@ -14,6 +17,27 @@ namespace {
 [[nodiscard]] int64_t journal_req(const Process& p) {
   return p.request_active() ? static_cast<int64_t>(p.request_id()) : -1;
 }
+
+/// FNV-1a accumulator for the checkpoint's configuration digest.
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(const std::string& s) {
+    mix(s.size());
+    for (const char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+constexpr char kCheckpointMagic[4] = {'V', 'C', 'K', 'P'};
+constexpr uint32_t kCheckpointVersion = 1;
 
 }  // namespace
 
@@ -190,8 +214,15 @@ void Kernel::setup_telemetry() {
   pool.counter_fn("rounds", [this] { return pool_rounds(); });
   pool.counter_fn("workers",
                   [this] { return static_cast<uint64_t>(pool_workers()); });
+  // Steal totals depend on host thread scheduling: real, useful for
+  // tuning, but NEVER part of a simulated (CI-diffed) section.
+  pool.counter_fn("steals",
+                  [this] { return pool_ == nullptr ? 0 : pool_->steals(); });
   kernel.counter("restarts", &restarts_);
   kernel.counter("watchdog_kills", &watchdog_kills_);
+  const telemetry::Scope ckpt = kernel.scope("checkpoint");
+  ckpt.counter("writes", &checkpoint_writes_);
+  ckpt.counter("restores", &checkpoint_restores_);
 
   // Fault-injection observability (docs/OBSERVABILITY.md): per-site
   // applied-injection counts plus the injection→trap latency histogram.
@@ -285,11 +316,169 @@ void Kernel::setup_telemetry() {
   if (tracer != nullptr) tracer->seal();
 }
 
+uint64_t Kernel::config_digest() const {
+  // Everything that shapes simulated state belongs here; host-parallelism
+  // knobs (pool_workers, and commit_shards — the sharded commit is
+  // bit-identical to the legacy path) deliberately do not.
+  Fnv d;
+  d.mix(shared_.cores());
+  d.mix(config_.sched.slice_instructions);
+  d.mix(config_.context_switch_cycles);
+  d.mix(config_.shared_l2.l2.size_bytes);
+  d.mix(config_.shared_l2.l2.assoc);
+  d.mix(config_.shared_l2.l2.line_bytes);
+  d.mix(config_.shared_l2.l2.hit_latency);
+  d.mix(config_.shared_l2.est_miss_latency);
+  d.mix(config_.shared_l2.service_cycles);
+  d.mix(config_.shared_l2.dram.banks);
+  d.mix(config_.cpu.iq_size);
+  d.mix(config_.cpu.store_buffer);
+  d.mix(config_.cpu.issue_width);
+  d.mix(procs_.size());
+  for (const auto& proc : procs_) {
+    const ProcessConfig& pc = proc->config();
+    d.mix(pc.workload);
+    d.mix(static_cast<uint64_t>(pc.scale));
+    d.mix(pc.seed);
+    d.mix(pc.max_instructions);
+    d.mix(pc.rerandomize.every_slices);
+    d.mix(pc.enforce_tags ? 1 : 0);
+    d.mix(static_cast<uint64_t>(pc.restart.mode));
+    d.mix(pc.restart.max_restarts);
+    d.mix(pc.restart.backoff_rounds);
+    d.mix(pc.watchdog_instructions);
+    d.mix(pc.inject_enabled ? 1 : 0);
+    d.mix(pc.inject.at_instruction);
+    d.mix(static_cast<uint64_t>(pc.inject.site));
+    d.mix(pc.inject.seed);
+  }
+  return d.h;
+}
+
+void Kernel::write_checkpoint() {
+  std::ofstream out(checkpoint_path_, std::ios::binary);
+  if (!out) {
+    throw binary::FormatError(binary::FormatFault::kIo,
+                              "cannot open checkpoint " + checkpoint_path_);
+  }
+  binary::StateWriter w(out);
+  for (const char c : kCheckpointMagic) w.u8(static_cast<uint8_t>(c));
+  w.u32(kCheckpointVersion);
+  w.u64(config_digest());
+  w.u64(rounds_);
+  w.u64(restarts_);
+  w.u64(watchdog_kills_);
+  w.u64(injected_faults_);
+  w.u32(static_cast<uint32_t>(pending_restarts_.size()));
+  for (const PendingRestart& pr : pending_restarts_) {
+    w.u32(pr.pid);
+    w.u64(pr.due_round);
+  }
+  sched_.save_state(w);
+  shared_.save_state(w);
+  const uint32_t cores = shared_.cores();
+  w.u32(cores);
+  for (uint32_t c = 0; c < cores; ++c) {
+    cores_[c]->save_state(w);
+    ctx_[c]->save_state(w);
+    w.i64(installed_[c].first);
+    w.i64(installed_[c].second);
+  }
+  w.u32(static_cast<uint32_t>(procs_.size()));
+  for (const auto& proc : procs_) proc->save_state(w);
+  out.flush();
+  if (!out) {
+    throw binary::FormatError(binary::FormatFault::kIo,
+                              "checkpoint write failed " + checkpoint_path_);
+  }
+  ++checkpoint_writes_;
+  if (journal_ != nullptr) {
+    journal_->log({fleet_now(), telemetry::JournalKind::kCheckpoint, 0, -1,
+                   rounds_, checkpoint_path_});
+  }
+}
+
+void Kernel::restore(std::istream& in) {
+  binary::StateReader r(in);
+  for (const char c : kCheckpointMagic) {
+    if (r.u8() != static_cast<uint8_t>(c)) {
+      throw binary::FormatError(binary::FormatFault::kBadMagic,
+                                "not a fleet checkpoint");
+    }
+  }
+  const uint32_t version = r.u32();
+  if (version != kCheckpointVersion) {
+    throw binary::FormatError(
+        binary::FormatFault::kImplausible,
+        "unsupported checkpoint version " + std::to_string(version));
+  }
+  const uint64_t digest = r.u64();
+  if (digest != config_digest()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint configuration digest mismatch");
+  }
+  rounds_ = r.u64();
+  restarts_ = r.u64();
+  watchdog_kills_ = r.u64();
+  injected_faults_ = r.u64();
+  pending_restarts_.clear();
+  const uint32_t pending = r.count(1u << 20);
+  for (uint32_t i = 0; i < pending; ++i) {
+    PendingRestart pr;
+    pr.pid = r.u32();
+    pr.due_round = r.u64();
+    pending_restarts_.push_back(pr);
+  }
+  sched_.load_state(r);
+  shared_.load_state(r);
+  const uint32_t cores = r.count(1u << 16);
+  if (cores != shared_.cores()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint core count mismatch");
+  }
+  for (uint32_t c = 0; c < cores; ++c) {
+    cores_[c]->load_state(r);
+    ctx_[c]->load_state(r);
+    installed_[c].first = r.i64();
+    installed_[c].second = r.i64();
+  }
+  const uint32_t nprocs = r.count(1u << 20);
+  if (nprocs != procs_.size()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint process count mismatch");
+  }
+  for (const auto& proc : procs_) proc->load_state(r);
+  // Every process rebuilt its walker and tables over the restored image;
+  // re-point the per-core references that used to alias the old objects.
+  for (uint32_t c = 0; c < cores; ++c) {
+    const int64_t pid = installed_[c].first;
+    if (pid >= 0 && static_cast<size_t>(pid) < procs_.size()) {
+      cores_[c]->rebind_walker(procs_[static_cast<size_t>(pid)]->walker());
+    }
+    // switch_to() only ever installs non-null tables, so switches > 0 is
+    // exactly "a context is live on this core". A missed rebind would make
+    // the next same-context dispatch flush (timing divergence) — keep the
+    // warm no-flush fast path intact.
+    if (ctx_[c]->stats().switches != 0) {
+      const uint32_t cur = ctx_[c]->current().pid;
+      if (cur < procs_.size()) {
+        ctx_[c]->rebind_tables(&procs_[cur]->randomization().vcfr.tables);
+      }
+    }
+  }
+  ++checkpoint_restores_;
+  restored_ = true;
+}
+
 FleetReport Kernel::run() {
   const uint32_t cores = shared_.cores();
   const uint64_t slice = sched_.config().slice_instructions;
   std::vector<int> running(cores, -1);
   setup_telemetry();
+  if (restored_ && journal_ != nullptr) {
+    journal_->log({fleet_now(), telemetry::JournalKind::kRestore, 0, -1,
+                   rounds_, {}});
+  }
   if (profiling_) {
     // One profiler per tenant, keyed off the original image (stable across
     // re-randomization epochs and restarts — symbols and code bytes are
@@ -338,6 +527,13 @@ FleetReport Kernel::run() {
   const std::function<void(uint32_t)> run_active = [&](uint32_t i) {
     run_slice(active[i]);
   };
+  // The shared L2 splits commit phase B across set-index shards; with a
+  // live pool the shards run on the workers (bit-identical either way —
+  // the shard order is fixed and shards touch disjoint sets).
+  const cache::ShardExecutor shard_exec =
+      [this](uint32_t n, const std::function<void(uint32_t)>& fn) {
+        pool_->run(n, fn);
+      };
 
   while (sched_.any_runnable() || !pending_restarts_.empty() ||
          (service_ != nullptr && service_->active())) {
@@ -376,19 +572,24 @@ FleetReport Kernel::run() {
       if (running[c] >= 0) active.push_back(c);
     }
     if (active.size() > 1) {
-      // First multi-core round: bring up the persistent workers. Worker w
-      // drives task w+1 and the kernel thread drives task 0, so each
-      // simulated core keeps exactly one host thread per round — the same
-      // layout the old per-round spawn/join produced, minus the spawns.
-      if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(cores - 1);
+      // First multi-core round: bring up the persistent workers. Tasks are
+      // pushed to per-participant deques (kernel thread = participant 0)
+      // and idle participants steal, so a stalled host thread no longer
+      // serializes the round; result order stays deterministic because
+      // every simulated core's state is private until commit.
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<WorkerPool>(
+            config_.pool_workers != 0 ? config_.pool_workers : cores - 1);
+      }
       pool_->run(static_cast<uint32_t>(active.size()), run_active);
+      ++pool_rounds_;
     } else if (active.size() == 1) {
       run_slice(active[0]);
     }
 
-    // -- commit (serial: authoritative shared-L2/DRAM replay) ------------
-    const std::vector<uint64_t> penalties =
-        shared_.commit_round(profiling_ ? &blame : nullptr);
+    // -- commit (serial decision, sharded tag application) ---------------
+    const std::vector<uint64_t> penalties = shared_.commit_round(
+        profiling_ ? &blame : nullptr, pool_ != nullptr ? &shard_exec : nullptr);
     for (uint32_t c = 0; c < cores; ++c) cores_[c]->stall(penalties[c]);
     if (service_ != nullptr) {
       // A commit penalty stalls the core while its tenant's request sits
@@ -514,6 +715,12 @@ FleetReport Kernel::run() {
         }
       }
       sched_.requeue(c, p.pid());
+    }
+
+    // -- checkpoint (end of round: port logs empty, all state is member
+    //    state, every core parked — the one consistent cut) ---------------
+    if (checkpoint_round_ != 0 && rounds_ == checkpoint_round_) {
+      write_checkpoint();
     }
   }
 

@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/shared_l2.hpp"
@@ -52,6 +54,12 @@ struct KernelConfig {
   bool measure_isolated = true;
   /// Safety valve for driver loops; 0 = run until every process finishes.
   uint64_t max_rounds = 0;
+  /// Host threads in the execute-phase worker pool. 0 = auto (cores - 1:
+  /// the kernel thread drives one task, each worker another). Purely a
+  /// host-parallelism knob — simulated results are bit-identical for any
+  /// value (results are collected in deterministic order; see
+  /// os/worker_pool.hpp).
+  uint32_t pool_workers = 0;
 };
 
 /// Event-driven serving extension point (src/serve/). A hook turns the
@@ -139,6 +147,34 @@ class Kernel {
   /// Runs the fleet to completion and returns the report. Single-shot.
   FleetReport run();
 
+  // ---- checkpoint / restore ----------------------------------------------
+  /// Arms a checkpoint: at the end of scheduler round `round` the full
+  /// fleet state (kernel counters, scheduler queues, shared L2 + DRAM,
+  /// every core pipeline, every process) is serialized to `path`. Round
+  /// boundaries are the only consistent cut — every port log is empty,
+  /// every core is parked, all state is member state. 0 disarms.
+  /// Unsupported in combination with profiling or a serving hook (both
+  /// hold host-side state outside the checkpoint's closure).
+  void set_checkpoint(uint64_t round, std::string path) {
+    checkpoint_round_ = round;
+    checkpoint_path_ = std::move(path);
+  }
+  /// Restores a checkpoint written by set_checkpoint. Must be called
+  /// after every spawn() (the process table re-derives images from the
+  /// same configs) and before run(); the continued run's final stats are
+  /// bit-identical to the uninterrupted run's. Throws binary::FormatError
+  /// on a corrupt stream or a configuration mismatch (the checkpoint
+  /// carries a digest of the fleet configuration — worker-pool sizing
+  /// excluded, since it cannot affect simulated state).
+  void restore(std::istream& in);
+  /// Checkpoints written / restored by this kernel (kernel.checkpoint.*).
+  [[nodiscard]] uint64_t checkpoint_writes() const {
+    return checkpoint_writes_;
+  }
+  [[nodiscard]] uint64_t checkpoint_restores() const {
+    return checkpoint_restores_;
+  }
+
   [[nodiscard]] size_t process_count() const { return procs_.size(); }
   [[nodiscard]] const Process& process(uint32_t pid) const {
     return *procs_[pid];
@@ -152,11 +188,11 @@ class Kernel {
   [[nodiscard]] const cache::SharedL2& shared_l2() const { return shared_; }
   [[nodiscard]] const KernelConfig& config() const { return config_; }
 
-  /// Rounds dispatched through the persistent worker pool (0 when the run
-  /// never had more than one active core — everything ran inline).
-  [[nodiscard]] uint64_t pool_rounds() const {
-    return pool_ == nullptr ? 0 : pool_->rounds();
-  }
+  /// Execute-phase rounds dispatched through the persistent worker pool
+  /// (0 when the run never had more than one active core — everything ran
+  /// inline). Commit-phase shard fan-outs reuse the same pool but are not
+  /// execute rounds and are not counted here.
+  [[nodiscard]] uint64_t pool_rounds() const { return pool_rounds_; }
   /// Host threads the pool owns (0 until run() first needs it).
   [[nodiscard]] uint32_t pool_workers() const {
     return pool_ == nullptr ? 0 : pool_->workers();
@@ -189,6 +225,12 @@ class Kernel {
   /// Registers every core/process/shared structure with the attached
   /// telemetry session and creates the trace lanes (run() entry).
   void setup_telemetry();
+  /// Serializes the full fleet state to checkpoint_path_ (end of round).
+  void write_checkpoint();
+  /// FNV-1a over the simulation-relevant configuration (kernel + every
+  /// process). pool_workers is excluded: restoring under a different
+  /// worker count is allowed and bit-identical.
+  [[nodiscard]] uint64_t config_digest() const;
   /// The fleet-wide clock: the slowest core's cycle horizon.
   [[nodiscard]] uint64_t fleet_now() const;
 
@@ -209,10 +251,22 @@ class Kernel {
   /// fault.detect_latency (injection → trap, in instructions); null when
   /// telemetry is not attached.
   telemetry::Histogram* detect_latency_hist_ = nullptr;
-  /// Persistent execute-phase workers, created lazily on the first round
-  /// that has two or more active cores. Replaces per-round thread
-  /// spawn/join; see os/worker_pool.hpp for the determinism argument.
+  /// Persistent workers, created lazily on the first round that has two
+  /// or more active cores; also drives the commit phase's per-shard tag
+  /// application. Replaces per-round thread spawn/join; see
+  /// os/worker_pool.hpp for the determinism argument.
   std::unique_ptr<WorkerPool> pool_;
+  /// Execute-phase pool dispatches (the pool's own rounds() also counts
+  /// commit-phase shard fan-outs).
+  uint64_t pool_rounds_ = 0;
+
+  // Checkpoint / restore (see set_checkpoint).
+  uint64_t checkpoint_round_ = 0;
+  std::string checkpoint_path_;
+  uint64_t checkpoint_writes_ = 0;
+  uint64_t checkpoint_restores_ = 0;
+  /// Set by restore(); run() journals the resumption.
+  bool restored_ = false;
 
   ServiceHook* service_ = nullptr;
 

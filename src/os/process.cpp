@@ -1,5 +1,9 @@
 #include "os/process.hpp"
 
+#include <sstream>
+
+#include "binary/serialize.hpp"
+#include "binary/state_io.hpp"
 #include "emu/rerandomize.hpp"
 #include "workloads/suite.hpp"
 
@@ -133,6 +137,99 @@ uint64_t Process::injection_gap() const {
 bool Process::apply_injection() {
   if (injector_ == nullptr) return false;
   return injector_->apply(rr_->vcfr, mem_, *emu_, &base_);
+}
+
+void Process::save_state(binary::StateWriter& w) const {
+  w.u32(pid_);
+  w.u64(epoch_);
+  w.u64(reseed_);
+  w.u32(restarts_);
+  // The live randomized image, bytes and tables included. An armed
+  // injection may have rewritten either — the checkpoint must carry the
+  // corruption, not the pristine re-derivation.
+  std::ostringstream blob;
+  binary::save(rr_->vcfr, blob);
+  const std::string bytes = blob.str();
+  w.u32(static_cast<uint32_t>(bytes.size()));
+  w.bytes(bytes.data(), bytes.size());
+  mem_.save_state(w);
+  emu_->save_state(w);
+  w.b(injector_ != nullptr);
+  if (injector_) injector_->save_state(w);
+  w.b(finished_);
+  w.u8(static_cast<uint8_t>(exit_status_.code));
+  w.u8(static_cast<uint8_t>(exit_status_.trap.kind));
+  w.u32(exit_status_.trap.pc);
+  w.u32(exit_status_.trap.detail);
+  w.u64(exit_status_.trap.instruction);
+  w.u64(life_base_);
+  w.b(req_active_);
+  w.u64(req_id_);
+  w.u64(req_run_cycles_);
+  w.u64(req_commit_cycles_);
+  w.u64(stats_.slices);
+  w.u64(stats_.instructions);
+  w.u64(stats_.context_switches);
+  w.u64(stats_.drc_entries_flushed);
+  w.u64(stats_.bitmap_entries_flushed);
+  w.u64(stats_.rerandomizations);
+  w.u64(stats_.rerandomizations_deferred);
+  w.u64(stats_.finish_cycles);
+}
+
+void Process::load_state(binary::StateReader& r) {
+  const uint32_t pid = r.u32();
+  if (pid != pid_) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint pid mismatch");
+  }
+  epoch_ = r.u64();
+  reseed_ = r.u64();
+  restarts_ = r.u32();
+  // Re-derive the full randomization for this epoch (placement map,
+  // analysis, naive image), then swap in the serialized live image so any
+  // injected corruption of code bytes or tables survives.
+  rr_ = std::make_unique<rewriter::RandomizeResult>(
+      rewriter::randomize(base_, options_for_epoch(epoch_)));
+  const uint32_t blob_size = r.count(1u << 28);
+  std::string bytes(blob_size, '\0');
+  r.bytes(bytes.data(), bytes.size());
+  std::istringstream blob(bytes);
+  rr_->vcfr = binary::load_file(blob);
+  mem_.load_state(r);
+  emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
+  emu_->set_enforce_tags(config_.enforce_tags);
+  emu_->load_state(r);
+  const bool has_injector = r.b();
+  if (has_injector != (injector_ != nullptr)) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint injector presence mismatch");
+  }
+  if (injector_) injector_->load_state(r);
+  finished_ = r.b();
+  exit_status_.code = static_cast<fault::ExitCode>(r.u8());
+  exit_status_.trap.kind = static_cast<fault::FaultKind>(r.u8());
+  exit_status_.trap.pc = r.u32();
+  exit_status_.trap.detail = r.u32();
+  exit_status_.trap.instruction = r.u64();
+  life_base_ = r.u64();
+  req_active_ = r.b();
+  req_id_ = r.u64();
+  req_run_cycles_ = r.u64();
+  req_commit_cycles_ = r.u64();
+  stats_.slices = r.u64();
+  stats_.instructions = r.u64();
+  stats_.context_switches = r.u64();
+  stats_.drc_entries_flushed = r.u64();
+  stats_.bitmap_entries_flushed = r.u64();
+  stats_.rerandomizations = r.u64();
+  stats_.rerandomizations_deferred = r.u64();
+  stats_.finish_cycles = r.u64();
+  // The tables object changed — rebuild the walker over it.
+  if (bound_mem_ != nullptr) {
+    walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
+                                                        *bound_mem_);
+  }
 }
 
 }  // namespace vcfr::os

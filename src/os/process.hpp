@@ -23,6 +23,11 @@
 #include "fault/injector.hpp"
 #include "rewriter/randomizer.hpp"
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::os {
 
 /// When to re-image the process with a fresh seed (§V-C). 0 = never.
@@ -194,6 +199,17 @@ class Process {
   /// Applies the armed corruption against the live image/memory/emulator.
   /// Returns whether it took effect (idempotent).
   bool apply_injection();
+
+  /// Checkpoint support. save_state serializes the *current* randomized
+  /// image verbatim (not just the epoch seed) so injection-corrupted code
+  /// bytes and table entries survive the round trip; load_state re-derives
+  /// the rest of the randomization deterministically from (seed, epoch,
+  /// reseed), swaps in the serialized image, restores memory, builds a
+  /// fresh emulator over them and loads its architectural state, then
+  /// rebuilds the walker over the restored tables. The caller must have
+  /// bind()-ed the process first (spawn order reproduces that).
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
   [[nodiscard]] emu::Emulator& emulator() { return *emu_; }
   [[nodiscard]] const emu::Emulator& emulator() const { return *emu_; }

@@ -1,27 +1,44 @@
 #include "os/scheduler.hpp"
 
+#include "binary/state_io.hpp"
+
 namespace vcfr::os {
 
 Scheduler::Scheduler(const SchedulerConfig& config, uint32_t cores)
-    : config_(config), queues_(cores == 0 ? 1 : cores) {}
+    : config_(config),
+      head_(cores == 0 ? 1 : cores, -1),
+      tail_(cores == 0 ? 1 : cores, -1) {}
+
+void Scheduler::push(uint32_t core, uint32_t pid) {
+  if (pid >= next_.size()) next_.resize(pid + 1, -1);
+  next_[pid] = -1;
+  if (tail_[core] < 0) {
+    head_[core] = static_cast<int32_t>(pid);
+  } else {
+    next_[static_cast<uint32_t>(tail_[core])] = static_cast<int32_t>(pid);
+  }
+  tail_[core] = static_cast<int32_t>(pid);
+  ++runnable_;
+}
 
 uint32_t Scheduler::admit(uint32_t pid) {
   const uint32_t core = next_core_;
-  queues_[core].push_back(pid);
-  next_core_ = (next_core_ + 1) % static_cast<uint32_t>(queues_.size());
+  push(core, pid);
+  next_core_ = (next_core_ + 1) % static_cast<uint32_t>(head_.size());
   return core;
 }
 
 int Scheduler::pick(uint32_t core) {
-  auto& q = queues_[core];
-  if (q.empty()) return -1;
-  const uint32_t pid = q.front();
-  q.pop_front();
-  return static_cast<int>(pid);
+  const int32_t pid = head_[core];
+  if (pid < 0) return -1;
+  head_[core] = next_[static_cast<uint32_t>(pid)];
+  if (head_[core] < 0) tail_[core] = -1;
+  --runnable_;
+  return pid;
 }
 
 void Scheduler::requeue(uint32_t core, uint32_t pid) {
-  queues_[core].push_back(pid);
+  push(core, pid);
   ++preemptions_;
 }
 
@@ -31,28 +48,58 @@ void Scheduler::block(uint32_t pid) {
 }
 
 void Scheduler::unblock(uint32_t core, uint32_t pid) {
-  queues_[core].push_back(pid);
+  push(core, pid);
   if (blocked_ > 0) --blocked_;
   ++wakeups_;
-}
-
-bool Scheduler::any_runnable() const {
-  for (const auto& q : queues_) {
-    if (!q.empty()) return true;
-  }
-  return false;
 }
 
 void Scheduler::register_stats(const telemetry::Scope& scope) const {
   scope.counter("preemptions", &preemptions_);
   scope.counter("wakeups", &wakeups_);
-  scope.gauge("runnable", [this] {
-    size_t n = 0;
-    for (const auto& q : queues_) n += q.size();
-    return static_cast<double>(n);
-  });
+  scope.gauge("runnable",
+              [this] { return static_cast<double>(runnable_); });
   scope.gauge("blocked",
               [this] { return static_cast<double>(blocked_); });
+}
+
+void Scheduler::save_state(binary::StateWriter& w) const {
+  w.u32(next_core_);
+  w.u64(preemptions_);
+  w.u64(wakeups_);
+  w.u64(blocked_);
+  w.u32(static_cast<uint32_t>(head_.size()));
+  for (uint32_t core = 0; core < head_.size(); ++core) {
+    uint32_t n = 0;
+    for (int32_t pid = head_[core]; pid >= 0;
+         pid = next_[static_cast<uint32_t>(pid)]) {
+      ++n;
+    }
+    w.u32(n);
+    for (int32_t pid = head_[core]; pid >= 0;
+         pid = next_[static_cast<uint32_t>(pid)]) {
+      w.u32(static_cast<uint32_t>(pid));
+    }
+  }
+}
+
+void Scheduler::load_state(binary::StateReader& r) {
+  next_core_ = r.u32();
+  preemptions_ = r.u64();
+  wakeups_ = r.u64();
+  blocked_ = r.u64();
+  const uint32_t cores = r.count(1u << 16);
+  if (cores != head_.size()) {
+    throw binary::FormatError(binary::FormatFault::kImplausible,
+                              "checkpoint core count mismatch");
+  }
+  next_.clear();
+  head_.assign(cores, -1);
+  tail_.assign(cores, -1);
+  runnable_ = 0;
+  for (uint32_t core = 0; core < cores; ++core) {
+    const uint32_t n = r.count(1u << 20);
+    for (uint32_t i = 0; i < n; ++i) push(core, r.u32());
+  }
 }
 
 }  // namespace vcfr::os

@@ -3,6 +3,10 @@
 namespace vcfr::os {
 
 WorkerPool::WorkerPool(uint32_t workers) {
+  deques_.reserve(workers + 1);
+  for (uint32_t p = 0; p <= workers; ++p) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
   threads_.reserve(workers);
   for (uint32_t id = 0; id < workers; ++id) {
     threads_.emplace_back([this, id] { worker_loop(id); });
@@ -25,15 +29,25 @@ void WorkerPool::run(uint32_t tasks, const std::function<void(uint32_t)>& fn) {
     for (uint32_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
+  const auto participants = static_cast<uint32_t>(deques_.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
     fn_ = &fn;
-    tasks_ = tasks;
-    pending_ = tasks - 1;  // workers 0..tasks-2 participate
+    // Distribute round-robin across participant deques *after* fn_ is
+    // set: a task is only reachable once its deque mutex is released, and
+    // any participant that pops it re-reads fn_ under mutex_ afterwards,
+    // so a stale scanner from a previous epoch that grabs a fresh task
+    // still runs the fresh dispatch's function.
+    for (uint32_t i = 0; i < tasks; ++i) {
+      Deque& d = *deques_[i % participants];
+      std::lock_guard<std::mutex> dlock(d.m);
+      d.q.push_back(i);
+    }
+    pending_ = tasks;
     ++epoch_;
   }
   work_cv_.notify_all();
-  fn(0);
+  drain(0);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -42,28 +56,69 @@ void WorkerPool::run(uint32_t tasks, const std::function<void(uint32_t)>& fn) {
   ++rounds_;
 }
 
+void WorkerPool::drain(uint32_t p) {
+  const auto participants = static_cast<uint32_t>(deques_.size());
+  while (true) {
+    int64_t task = -1;
+    {
+      Deque& own = *deques_[p];
+      std::lock_guard<std::mutex> lock(own.m);
+      if (!own.q.empty()) {
+        task = own.q.front();
+        own.q.pop_front();
+      }
+    }
+    if (task < 0) {
+      for (uint32_t k = 1; k < participants && task < 0; ++k) {
+        Deque& victim = *deques_[(p + k) % participants];
+        std::lock_guard<std::mutex> lock(victim.m);
+        if (!victim.q.empty()) {
+          task = victim.q.back();
+          victim.q.pop_back();
+          ++victim.stolen_from;
+        }
+      }
+    }
+    if (task < 0) return;
+    const std::function<void(uint32_t)>* fn = nullptr;
+    {
+      // Re-read under mutex_: holding a popped task pins pending_ > 0,
+      // which pins fn_ to the dispatch this task belongs to.
+      std::lock_guard<std::mutex> lock(mutex_);
+      fn = fn_;
+    }
+    (*fn)(static_cast<uint32_t>(task));
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = (--pending_ == 0);
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
 void WorkerPool::worker_loop(uint32_t id) {
   uint64_t seen_epoch = 0;
   while (true) {
-    const std::function<void(uint32_t)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
       if (stop_) return;
       seen_epoch = epoch_;
-      // Static assignment: this worker owns task id+1 of the current
-      // dispatch. pending_ counts only participating workers, so anyone
-      // beyond the task count sits the round out without touching it.
-      if (id + 1 >= tasks_) continue;
-      fn = fn_;
     }
-    (*fn)(id + 1);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ != 0) continue;
-    }
-    done_cv_.notify_one();
+    // A re-wake for an epoch another participant already drained just
+    // finds every deque empty and goes back to sleep.
+    drain(id + 1);
   }
+}
+
+uint64_t WorkerPool::steals() const {
+  uint64_t total = 0;
+  for (const auto& d : deques_) {
+    std::lock_guard<std::mutex> lock(d->m);
+    total += d->stolen_from;
+  }
+  return total;
 }
 
 }  // namespace vcfr::os

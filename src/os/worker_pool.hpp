@@ -1,22 +1,35 @@
-// Persistent worker pool for the fleet kernel's execute phase.
+// Persistent work-stealing worker pool for the fleet kernel's execute
+// phase (and the sharded round commit's parallel tag application).
 //
 // The kernel used to spawn and join a fresh std::thread per active core
 // every scheduler round — at smoke-scale slice lengths the spawn/join cost
 // rivals the simulation work itself. This pool creates the host threads
 // once and dispatches rounds through a condition variable.
 //
-// Task assignment is static: task i of a dispatch runs on worker i-1 and
-// task 0 on the calling thread, mirroring the former thread-per-core
-// layout. There is no work stealing, so within a round each simulated
-// core is driven by exactly one host thread and the per-lane tracing
-// contract (one writer per ring) is preserved; determinism is untouched
-// because workers only mutate their own core's private state and the
-// shared-L2 replay stays serial at round commit.
+// Task assignment is work-stealing: each of the workers()+1 participants
+// (the caller is participant 0) owns a deque; a dispatch of `tasks` tasks
+// distributes task i to deque i % participants. Participants drain their
+// own deque from the front, then steal from other deques' backs in ring
+// order. This means a slow task (deep re-rand, DRC-cold tenant) no longer
+// stalls the whole round behind one host thread, and `tasks` may exceed
+// the participant count — the old static pool silently required
+// tasks <= workers()+1.
+//
+// Determinism: which host thread runs a task is scheduling-dependent, but
+// every task runs exactly once per dispatch and run() returns only after
+// all of them complete, so any simulated state the tasks produce is
+// collected by the caller in deterministic (task-index) order. Within a
+// round each task is popped exactly once, so each simulated core is still
+// driven by exactly one host thread and the per-lane tracing contract
+// (one writer per ring) is preserved. Steal counts are host-scheduling
+// noise and must never feed a CI-diffed/simulated section.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -31,8 +44,8 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  /// Runs fn(0) .. fn(tasks-1), fn(0) on the calling thread, and returns
-  /// when every task has completed. Requires tasks <= workers() + 1.
+  /// Runs fn(0) .. fn(tasks-1), each exactly once, and returns when every
+  /// task has completed. The calling thread participates in the drain.
   /// A single task (or an empty pool) runs inline without waking anyone.
   void run(uint32_t tasks, const std::function<void(uint32_t)>& fn);
 
@@ -44,20 +57,36 @@ class WorkerPool {
   /// kernel.pool.rounds counter.
   [[nodiscard]] uint64_t rounds() const { return rounds_; }
 
+  /// Total tasks popped from a deque by a non-owning participant across
+  /// all dispatches. Host-scheduling-dependent — observability only,
+  /// never part of a deterministic report section.
+  [[nodiscard]] uint64_t steals() const;
+
  private:
+  // One per participant. The mutex protects q and stolen_from; it is
+  // mutable so steals() can stay const.
+  struct Deque {
+    mutable std::mutex m;
+    std::deque<uint32_t> q;
+    uint64_t stolen_from = 0;
+  };
+
   void worker_loop(uint32_t id);
+  /// Drains tasks as participant `p`: own deque front-first, then steal
+  /// from the other deques' backs in ring order.
+  void drain(uint32_t p);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   // Dispatch state, all guarded by mutex_.
   const std::function<void(uint32_t)>* fn_ = nullptr;
-  uint32_t tasks_ = 0;
-  uint32_t pending_ = 0;  // participating workers still running this epoch
+  uint32_t pending_ = 0;  // tasks of the current dispatch not yet completed
   uint64_t epoch_ = 0;
   bool stop_ = false;
 
   uint64_t rounds_ = 0;
+  std::vector<std::unique_ptr<Deque>> deques_;  // [0] = caller's
   std::vector<std::thread> threads_;
 };
 

@@ -502,6 +502,8 @@ ServeReport run_serve(const ServeConfig& config,
   kc.sched.slice_instructions = config.slice_instructions;
   kc.cpu.drc.entries = config.drc_entries;
   kc.measure_isolated = false;
+  kc.pool_workers = config.pool_workers;
+  kc.shared_l2.commit_shards = config.commit_shards;
   os::Kernel kernel(kc);
   if (telemetry != nullptr) kernel.attach_telemetry(telemetry);
 

@@ -57,6 +57,12 @@ struct ServeConfig {
   uint64_t slo_threshold = 0;
   /// Tumbling-window width in core-clock cycles.
   uint64_t slo_window = 50'000;
+  /// Execute-phase worker-pool size; 0 = auto (cores - 1). Host
+  /// parallelism only — simulated results are bit-identical.
+  uint32_t pool_workers = 0;
+  /// Shared-L2 commit shards (0 = legacy single-barrier replay; results
+  /// are bit-identical either way).
+  uint32_t commit_shards = 8;
 };
 
 /// One request's full lifecycle, all timestamps on the tenant's home-core

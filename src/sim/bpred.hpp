@@ -14,6 +14,11 @@
 #include <optional>
 #include <vector>
 
+namespace vcfr::binary {
+class StateWriter;
+class StateReader;
+}  // namespace vcfr::binary
+
 namespace vcfr::sim {
 
 /// An address expressed in both instruction spaces.
@@ -52,6 +57,9 @@ class Gshare {
   [[nodiscard]] bool predict(uint32_t pc) const;
   void update(uint32_t pc, bool taken);
 
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
+
  private:
   [[nodiscard]] uint32_t index(uint32_t pc) const;
   uint32_t history_mask_;
@@ -65,6 +73,9 @@ class Btb {
   explicit Btb(const BpredConfig& config);
   [[nodiscard]] std::optional<AddrPair> lookup(uint32_t pc);
   void update(uint32_t pc, AddrPair target);
+
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   struct Entry {
@@ -84,6 +95,9 @@ class Ras {
   explicit Ras(const BpredConfig& config) : capacity_(config.ras_entries) {}
   void push(AddrPair pair);
   [[nodiscard]] std::optional<AddrPair> pop();
+
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
 
  private:
   uint32_t capacity_;

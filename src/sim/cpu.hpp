@@ -153,6 +153,17 @@ class CpuCore {
   /// SimResult form (app/layout/halted/error left for the caller).
   [[nodiscard]] SimResult harvest() const;
 
+  /// Checkpoint support: the full structural + pipeline state. The walker
+  /// pointer is process-owned and is NOT serialized — after load_state the
+  /// kernel rebinds it with rebind_walker() (install() would reset the
+  /// transient pipeline and diverge timing).
+  void save_state(binary::StateWriter& w) const;
+  void load_state(binary::StateReader& r);
+  /// Swaps the translation walker without touching pipeline state (the
+  /// restored core resumes mid-stream against the restored process's
+  /// rebuilt walker).
+  void rebind_walker(core::TranslationWalker* walker) { walker_ = walker; }
+
   // ---- telemetry (all optional; disabled = a null-pointer test) --------
   /// Binds every structural statistic into `scope` (pipeline counters,
   /// the whole memory hierarchy, DRC, predictors, return bitmap) and

@@ -20,6 +20,10 @@ const char* journal_kind_name(JournalKind kind) {
       return "rerand_epoch";
     case JournalKind::kTenantDown:
       return "tenant_down";
+    case JournalKind::kCheckpoint:
+      return "checkpoint";
+    case JournalKind::kRestore:
+      return "restore";
   }
   return "?";
 }

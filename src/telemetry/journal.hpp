@@ -26,6 +26,8 @@ enum class JournalKind : uint8_t {
   kRestart,      // kernel restarted the process (arg = restart count)
   kRerandEpoch,  // live re-randomization epoch bump (arg = new epoch)
   kTenantDown,   // tenant unrecoverable (arg = queued requests dropped)
+  kCheckpoint,   // fleet state serialized (arg = scheduler round)
+  kRestore,      // run resumed from a checkpoint (arg = scheduler round)
 };
 
 [[nodiscard]] const char* journal_kind_name(JournalKind kind);

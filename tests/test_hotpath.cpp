@@ -4,6 +4,7 @@
 // bit-identical with them exercised or bypassed. These tests pin that.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
 
@@ -295,27 +296,26 @@ TEST(WorkerPoolTest, PersistentThreadsRunEveryTask) {
   os::WorkerPool pool(3);
   EXPECT_EQ(pool.workers(), 3u);
 
-  std::vector<std::thread::id> first_round(4);
+  // Work-stealing pool: WHICH host thread runs a task varies with host
+  // scheduling (that's the point — an idle participant takes a stalled
+  // one's work), but every task runs exactly once per round and run()
+  // does not return before all of them completed.
   std::atomic<uint64_t> runs{0};
   for (int round = 0; round < 200; ++round) {
-    std::vector<std::thread::id> ids(4);
+    std::array<std::atomic<uint32_t>, 4> per_task{};
     pool.run(4, [&](uint32_t task) {
-      ids[task] = std::this_thread::get_id();
+      per_task[task].fetch_add(1, std::memory_order_relaxed);
       runs.fetch_add(1, std::memory_order_relaxed);
     });
-    EXPECT_EQ(ids[0], std::this_thread::get_id()) << "caller runs task 0";
-    if (round == 0) {
-      first_round = ids;
-    } else {
-      // Persistent pool: the same host thread drives the same task slot
-      // every round (static assignment, no respawn).
-      EXPECT_EQ(ids, first_round) << "round " << round;
+    for (uint32_t t = 0; t < 4; ++t) {
+      EXPECT_EQ(per_task[t].load(), 1u) << "task " << t << " round " << round;
     }
   }
   EXPECT_EQ(runs.load(), 4u * 200u);
   EXPECT_EQ(pool.rounds(), 200u);
 
-  // Single-task dispatches run inline and are not pool rounds.
+  // Single-task dispatches run inline on the caller and are not pool
+  // rounds.
   pool.run(1, [&](uint32_t task) {
     EXPECT_EQ(task, 0u);
     EXPECT_EQ(std::this_thread::get_id(), std::this_thread::get_id());
@@ -330,6 +330,35 @@ TEST(WorkerPoolTest, FewerTasksThanWorkers) {
     pool.run(3, [&](uint32_t) { runs.fetch_add(1); });
   }
   EXPECT_EQ(runs.load(), 150u);
+}
+
+TEST(WorkerPoolTest, MoreTasksThanParticipants) {
+  // The old static-assignment pool silently required tasks <= workers + 1;
+  // the deque-based pool queues any excess and drains it.
+  os::WorkerPool pool(2);
+  std::array<std::atomic<uint32_t>, 17> per_task{};
+  std::atomic<uint64_t> runs{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.run(17, [&](uint32_t task) {
+      per_task[task].fetch_add(1, std::memory_order_relaxed);
+      runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(runs.load(), 17u * 20u);
+  for (uint32_t t = 0; t < 17; ++t) EXPECT_EQ(per_task[t].load(), 20u);
+  EXPECT_EQ(pool.rounds(), 20u);
+}
+
+TEST(WorkerPoolTest, StealCounterIsMonotonic) {
+  os::WorkerPool pool(3);
+  EXPECT_EQ(pool.steals(), 0u);
+  uint64_t last = 0;
+  for (int round = 0; round < 50; ++round) {
+    pool.run(8, [&](uint32_t) {});
+    const uint64_t s = pool.steals();
+    EXPECT_GE(s, last);
+    last = s;
+  }
 }
 
 TEST(WorkerPoolTest, KernelUsesPoolOnlyWhenMultiCore) {

@@ -1,0 +1,233 @@
+// Scale-out invariants (ARCHITECTURE.md §14): the sharded round commit
+// and the work-stealing worker pool are host-side reorganizations of the
+// same simulated machine, so every observable report must be
+// byte-identical to the legacy single-barrier, caller-runs paths. Also
+// covers checkpoint/restore: a run resumed from a mid-campaign
+// checkpoint must finish with the exact bytes of the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "binary/state_io.hpp"
+#include "fault/injector.hpp"
+#include "os/kernel.hpp"
+#include "serve/server.hpp"
+
+namespace vcfr {
+namespace {
+
+constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+
+os::ProcessConfig tenant(const char* workload, uint64_t seed) {
+  os::ProcessConfig pc;
+  pc.workload = workload;
+  pc.scale = 0;
+  pc.seed = seed;
+  pc.max_instructions = 20'000;
+  return pc;
+}
+
+os::KernelConfig fleet_config(uint32_t cores, uint32_t commit_shards,
+                              uint32_t pool_workers = 0) {
+  os::KernelConfig kc;
+  kc.cores = cores;
+  kc.sched.slice_instructions = 2'000;
+  kc.measure_isolated = false;
+  kc.shared_l2.commit_shards = commit_shards;
+  kc.pool_workers = pool_workers;
+  return kc;
+}
+
+void spawn_mix(os::Kernel& kernel, uint32_t procs, uint64_t seed,
+               bool inject_pid1 = false) {
+  const char* mix[] = {"bzip2", "gcc", "mcf", "hmmer"};
+  for (uint32_t i = 0; i < procs; ++i) {
+    os::ProcessConfig pc = tenant(mix[i % 4], seed ^ (kSeedMix * (i + 1)));
+    if (inject_pid1) {
+      pc.restart.mode = os::RestartPolicy::Mode::kOnFault;
+      pc.restart.backoff_rounds = 2;
+      if (i == 1) {
+        pc.inject.site = fault::FaultSite::kPayload;
+        pc.inject.at_instruction = 5'000;
+        pc.inject.seed = 3;
+        pc.inject_enabled = true;
+      }
+    }
+    kernel.spawn(pc);
+  }
+}
+
+std::string fleet_json(uint32_t cores, uint32_t procs, uint64_t seed,
+                       uint32_t commit_shards, uint32_t pool_workers = 0,
+                       bool inject_pid1 = false) {
+  os::Kernel kernel(fleet_config(cores, commit_shards, pool_workers));
+  spawn_mix(kernel, procs, seed, inject_pid1);
+  return kernel.run().to_json();
+}
+
+// ----------------------------------------- sharded-commit differentials --
+
+// The sharded commit (commit_shards > 0) must reproduce the legacy
+// single-barrier replay byte-for-byte across seeds, core counts, and
+// shard counts (including a non-power-of-two).
+TEST(ShardedCommitTest, FleetReportMatchesLegacyAcrossConfigs) {
+  for (const uint32_t cores : {2u, 4u}) {
+    for (const uint64_t seed : {7ull, 1234ull}) {
+      const std::string legacy = fleet_json(cores, 2 * cores, seed, 0);
+      for (const uint32_t shards : {1u, 3u, 8u}) {
+        EXPECT_EQ(legacy, fleet_json(cores, 2 * cores, seed, shards))
+            << "cores=" << cores << " seed=" << seed << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// Fault injection + restart exercises the blame/penalty bookkeeping in
+// the serial phase; the sharded path must still match.
+TEST(ShardedCommitTest, FleetReportMatchesLegacyUnderInjection) {
+  const std::string legacy = fleet_json(4, 8, 7, 0, 0, true);
+  const std::string sharded = fleet_json(4, 8, 7, 8, 0, true);
+  EXPECT_EQ(legacy, sharded);
+}
+
+// The full scale-out shape: 64 cores, 128 tenants, sharded vs legacy.
+TEST(ShardedCommitTest, SixtyFourCoreFleetMatchesLegacy) {
+  EXPECT_EQ(fleet_json(64, 128, 7, 0), fleet_json(64, 128, 7, 8));
+}
+
+// Worker-pool sizing is pure host parallelism: any pool size must leave
+// the report bytes untouched.
+TEST(ShardedCommitTest, PoolWorkerCountDoesNotChangeReport) {
+  const std::string one = fleet_json(4, 8, 7, 8, 1);
+  for (const uint32_t workers : {2u, 4u}) {
+    EXPECT_EQ(one, fleet_json(4, 8, 7, 8, workers)) << workers << " workers";
+  }
+}
+
+// The serve path drives the same kernel; its report must be equally
+// indifferent to commit sharding and pool sizing.
+TEST(ShardedCommitTest, ServeReportMatchesLegacy) {
+  serve::ServeConfig sc;
+  sc.tenants = 8;
+  sc.cores = 4;
+  sc.duration = 100'000;
+  sc.mean_interarrival = 10'000;
+  sc.seed = 7;
+  sc.commit_shards = 0;
+  sc.pool_workers = 1;
+  const std::string legacy = serve::run_serve(sc).to_json();
+  sc.commit_shards = 8;
+  sc.pool_workers = 3;
+  EXPECT_EQ(legacy, serve::run_serve(sc).to_json());
+}
+
+// ------------------------------------------------- checkpoint / restore --
+
+struct CheckpointRun {
+  std::string baseline;     // uninterrupted, no checkpoint armed
+  std::string with_write;   // uninterrupted, checkpoint written mid-run
+  std::string resumed;      // fresh kernel restored from the checkpoint
+  uint64_t writes = 0;
+  uint64_t restores = 0;
+};
+
+CheckpointRun checkpoint_roundtrip(const std::string& path, bool inject_pid1,
+                                   uint32_t restore_pool_workers = 0) {
+  CheckpointRun out;
+  {
+    os::Kernel kernel(fleet_config(4, 8));
+    spawn_mix(kernel, 8, 7, inject_pid1);
+    out.baseline = kernel.run().to_json();
+  }
+  {
+    os::Kernel kernel(fleet_config(4, 8));
+    spawn_mix(kernel, 8, 7, inject_pid1);
+    kernel.set_checkpoint(8, path);
+    out.with_write = kernel.run().to_json();
+    out.writes = kernel.checkpoint_writes();
+  }
+  {
+    os::Kernel kernel(fleet_config(4, 8, restore_pool_workers));
+    spawn_mix(kernel, 8, 7, inject_pid1);
+    std::ifstream in(path, std::ios::binary);
+    kernel.restore(in);
+    out.resumed = kernel.run().to_json();
+    out.restores = kernel.checkpoint_restores();
+  }
+  return out;
+}
+
+// Resume-equals-uninterrupted: serializing at a round boundary and
+// continuing in a fresh kernel reproduces the final report bytes, and
+// writing the checkpoint never perturbs the run that wrote it.
+TEST(CheckpointRestoreTest, ResumedRunIsBitIdentical) {
+  const CheckpointRun r =
+      checkpoint_roundtrip(testing::TempDir() + "vcfr_ckpt_plain.bin", false);
+  EXPECT_EQ(r.writes, 1u);
+  EXPECT_EQ(r.restores, 1u);
+  EXPECT_EQ(r.baseline, r.with_write);
+  EXPECT_EQ(r.baseline, r.resumed);
+}
+
+// Same under injection + restart: the checkpoint carries the corrupted
+// live image, pending-restart queue, and containment counters.
+TEST(CheckpointRestoreTest, ResumedRunIsBitIdenticalUnderInjection) {
+  const CheckpointRun r =
+      checkpoint_roundtrip(testing::TempDir() + "vcfr_ckpt_inject.bin", true);
+  EXPECT_EQ(r.writes, 1u);
+  EXPECT_EQ(r.baseline, r.with_write);
+  EXPECT_EQ(r.baseline, r.resumed);
+}
+
+// The digest excludes worker-pool sizing, so restoring under a different
+// host parallelism is legal and bit-identical.
+TEST(CheckpointRestoreTest, RestoreWithDifferentPoolWorkersIsIdentical) {
+  const CheckpointRun r = checkpoint_roundtrip(
+      testing::TempDir() + "vcfr_ckpt_pool.bin", false, /*pool_workers=*/2);
+  EXPECT_EQ(r.baseline, r.resumed);
+}
+
+// A checkpoint from a differently-configured fleet must be rejected by
+// the configuration digest, not silently resumed into the wrong machine.
+TEST(CheckpointRestoreTest, RestoreRejectsMismatchedConfig) {
+  const std::string path = testing::TempDir() + "vcfr_ckpt_digest.bin";
+  {
+    os::Kernel kernel(fleet_config(4, 8));
+    spawn_mix(kernel, 8, 7);
+    kernel.set_checkpoint(8, path);
+    (void)kernel.run();
+    ASSERT_EQ(kernel.checkpoint_writes(), 1u);
+  }
+  os::Kernel other(fleet_config(4, 8));
+  spawn_mix(other, 8, /*seed=*/99);  // different tenant seeds -> new digest
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_THROW(other.restore(in), binary::FormatError);
+}
+
+// Truncated streams fail loudly with a typed fault, never a partial load.
+TEST(CheckpointRestoreTest, RestoreRejectsTruncatedStream) {
+  const std::string path = testing::TempDir() + "vcfr_ckpt_trunc.bin";
+  {
+    os::Kernel kernel(fleet_config(4, 8));
+    spawn_mix(kernel, 8, 7);
+    kernel.set_checkpoint(8, path);
+    (void)kernel.run();
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  std::istringstream cut(bytes.substr(0, bytes.size() / 2));
+  os::Kernel kernel(fleet_config(4, 8));
+  spawn_mix(kernel, 8, 7);
+  EXPECT_THROW(kernel.restore(cut), binary::FormatError);
+}
+
+}  // namespace
+}  // namespace vcfr

@@ -548,6 +548,18 @@ int cmd_fleet(const Args& args) {
   kc.sched.slice_instructions = args.slice;
   kc.cpu.drc.entries = args.drc;
   kc.measure_isolated = !args.no_baseline;
+  kc.pool_workers = args.pool_workers;
+  if ((args.checkpoint_out.empty()) != (args.checkpoint_round == 0)) {
+    throw std::runtime_error(
+        "--checkpoint-out and --checkpoint-round go together");
+  }
+  if (!args.checkpoint_out.empty() && !args.profile_out.empty()) {
+    throw std::runtime_error("--checkpoint-out is incompatible with "
+                             "--profile-out");
+  }
+  if (!args.restore_in.empty() && !args.profile_out.empty()) {
+    throw std::runtime_error("--restore is incompatible with --profile-out");
+  }
 
   // Workloads: explicit comma-separated list, or cycle the SPEC-like
   // suite in the paper's order.
@@ -589,6 +601,17 @@ int cmd_fleet(const Args& args) {
   if (inject && inject->pid >= args.procs) {
     throw std::runtime_error("--inject pid out of range (procs=" +
                              std::to_string(args.procs) + ")");
+  }
+  if (!args.checkpoint_out.empty()) {
+    kernel.set_checkpoint(args.checkpoint_round, args.checkpoint_out);
+  }
+  if (!args.restore_in.empty()) {
+    std::ifstream in(args.restore_in, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open checkpoint: " + args.restore_in);
+    }
+    kernel.restore(in);
+    std::fprintf(stderr, "restored: %s\n", args.restore_in.c_str());
   }
 
   const os::FleetReport report = kernel.run();
@@ -676,6 +699,7 @@ int cmd_serve(const Args& args) {
 
   if (!args.slo.empty()) parse_slo(args.slo, sc);
   sc.slo_window = args.slo_window;
+  sc.pool_workers = args.pool_workers;
 
   // The flight recorder is always on for serve — the journal is bounded
   // and cheap, and a tenant going down without one means the post-mortem
