@@ -11,8 +11,9 @@
 // keys — deterministic across platforms and standard libraries, unlike
 // unordered_map. store_tables() and the VXE serializer rely on this.
 //
-// Erase is deliberately unsupported: the tables are built once per
-// randomization epoch and then only read.
+// FlatMap32 supports erase (backward-shift deletion, no tombstones) so
+// the incremental re-randomizer can retire individual derand entries in
+// place; FlatSet32 remains insert/lookup only.
 #pragma once
 
 #include <cstddef>
@@ -33,7 +34,7 @@ inline uint32_t mix32(uint32_t x) {
   return x;
 }
 
-/// Open-addressing uint32 -> uint32 map (insert/lookup only, no erase).
+/// Open-addressing uint32 -> uint32 map with backward-shift erase.
 class FlatMap32 {
  public:
   using value_type = std::pair<uint32_t, uint32_t>;
@@ -121,6 +122,33 @@ class FlatMap32 {
     slots_[idx] = {key, 0};
     ++size_;
     return slots_[idx].second;
+  }
+
+  /// Backward-shift deletion: no tombstones, so probe chains stay exactly
+  /// as a fresh insert-only build would lay them out — iteration order
+  /// after an erase is still a pure function of the surviving keys'
+  /// insertion history, keeping serialized table renderings deterministic.
+  bool erase(uint32_t key) {
+    if (size_ == 0) return false;
+    size_t idx = mix32(key) & mask_;
+    while (used_[idx] != 0 && slots_[idx].first != key) {
+      idx = (idx + 1) & mask_;
+    }
+    if (used_[idx] == 0) return false;
+    size_t hole = idx;
+    size_t next = (hole + 1) & mask_;
+    while (used_[next] != 0) {
+      const size_t home = mix32(slots_[next].first) & mask_;
+      if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+        slots_[hole] = slots_[next];
+        hole = next;
+      }
+      next = (next + 1) & mask_;
+    }
+    used_[hole] = 0;
+    slots_[hole] = {};
+    --size_;
+    return true;
   }
 
   void reserve(size_t n) { grow_for(n); }

@@ -60,6 +60,20 @@ Args parse_args(int argc, char** argv) {
       args.slice = std::stoull(value());
     } else if (a == "--rerand") {
       args.rerand = static_cast<uint32_t>(std::stoul(value()));
+    } else if (a == "--rerand-mode") {
+      args.rerand_mode = value();
+      if (args.rerand_mode != "full" && args.rerand_mode != "incremental") {
+        throw std::runtime_error("--rerand-mode must be full or incremental");
+      }
+    } else if (a == "--rerand-on-trap") {
+      args.rerand_on_trap = boolean();
+    } else if (a == "--rerand-scope") {
+      args.rerand_scope = value();
+      if (args.rerand_scope != "proc" && args.rerand_scope != "fleet") {
+        throw std::runtime_error("--rerand-scope must be proc or fleet");
+      }
+    } else if (a == "--rerand-max-defer") {
+      args.rerand_max_defer = static_cast<uint32_t>(std::stoul(value()));
     } else if (a == "--pool-workers") {
       args.pool_workers = static_cast<uint32_t>(std::stoul(value()));
     } else if (a == "--checkpoint-out") {
@@ -165,7 +179,9 @@ void validate_flags(const std::string& cmd, const Args& args) {
       {"cfg", {}},
       {"entropy", {"--seed", "--page-confined"}},
       {"fleet",
-       {"--procs", "--cores", "--slice", "--rerand", "--workloads", "--scale",
+       {"--procs", "--cores", "--slice", "--rerand", "--rerand-mode",
+        "--rerand-on-trap", "--rerand-scope", "--rerand-max-defer",
+        "--workloads", "--scale",
         "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
         "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
         "--stats-json", "--trace-out", "--trace-capacity", "--journal-out",
@@ -180,7 +196,9 @@ void validate_flags(const std::string& cmd, const Args& args) {
         "--layouts", "--sites", "--json", "--output", "--stats-json"}},
       {"serve",
        {"--tenants", "--cores", "--duration", "--arrival", "--interarrival",
-        "--dist", "--workloads", "--scale", "--seed", "--slice", "--drc",
+        "--dist", "--rerand", "--rerand-mode", "--rerand-on-trap",
+        "--rerand-scope", "--rerand-max-defer",
+        "--workloads", "--scale", "--seed", "--slice", "--drc",
         "--max-instr", "--restart", "--max-restarts", "--backoff",
         "--watchdog", "--inject", "--json", "--latency-out", "--stats-json",
         "--trace-out", "--trace-capacity", "--journal-out",
@@ -235,6 +253,8 @@ const char* usage_text() {
       "  entropy <img.vxe> [--seed N] [--page-confined]\n"
       "      SV-C entropy report\n"
       "  fleet [--procs N] [--cores N] [--slice N] [--rerand N]\n"
+      "      [--rerand-mode full|incremental] [--rerand-on-trap]\n"
+      "      [--rerand-scope proc|fleet] [--rerand-max-defer K]\n"
       "      [--workloads a,b,c] [--scale S] [--seed N] [--drc N]\n"
       "      [--max-instr N] [--json] [--no-baseline]\n"
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
@@ -244,7 +264,15 @@ const char* usage_text() {
       "      [--checkpoint-out PATH --checkpoint-round N]\n"
       "      [--restore PATH]\n"
       "      time-slice N independently randomized workloads on a shared\n"
-      "      L2+DRAM hierarchy; --inject arms one seeded corruption,\n"
+      "      L2+DRAM hierarchy; --rerand re-randomizes every N slices;\n"
+      "      --rerand-mode incremental patches only a deterministic subset\n"
+      "      of code regions per firing with epoch-tagged (lazy) cache\n"
+      "      invalidation instead of a full rebuild + flush;\n"
+      "      --rerand-on-trap schedules a fresh placement when a tenant\n"
+      "      takes an attack-signal trap (--rerand-scope fleet also moves\n"
+      "      every co-tenant); --rerand-max-defer K forces quiescence after\n"
+      "      K consecutive pinned-register deferrals (0 = defer forever);\n"
+      "      --inject arms one seeded corruption,\n"
       "      --restart re-randomizes and restarts crashed processes\n"
       "      (docs/DEPENDABILITY.md); --profile-out writes one guest\n"
       "      profile per tenant (PATH.pidN.json); --pool-workers sizes the\n"
@@ -254,6 +282,9 @@ const char* usage_text() {
       "      (incompatible with --profile-out)\n"
       "  serve [--tenants N] [--cores N] [--duration CYCLES]\n"
       "      [--arrival open|closed] [--interarrival CYCLES]\n"
+      "      [--rerand N] [--rerand-mode full|incremental]\n"
+      "      [--rerand-on-trap] [--rerand-scope proc|fleet]\n"
+      "      [--rerand-max-defer K]\n"
       "      [--dist fixed|uniform|exp] [--workloads a,b,c] [--scale S]\n"
       "      [--seed N] [--slice N] [--drc N] [--max-instr N]\n"
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
@@ -272,7 +303,9 @@ const char* usage_text() {
       "      --slo sets a windowed latency objective (--slo-window wide,\n"
       "      default 50000 cycles) — exit status 2 when the overall\n"
       "      percentile exceeds it; --max-instr is the per-request\n"
-      "      instruction budget\n"
+      "      instruction budget; the --rerand* family re-randomizes live\n"
+      "      tenants under load exactly as in `fleet` (moving target while\n"
+      "      serving)\n"
       "  trace-report <latency.csv> [--trace trace.json] [--top N]\n"
       "      per-request critical-path breakdown from a serve\n"
       "      --latency-out CSV: per-tenant queue/run/restart_loss/\n"

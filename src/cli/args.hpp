@@ -28,6 +28,11 @@ struct Args {
   uint32_t cores = 2;
   uint64_t slice = 50'000;
   uint32_t rerand = 0;
+  // Continuous re-randomization (fleet/serve) — docs/DEPENDABILITY.md.
+  std::string rerand_mode;        // "" (= full) | full | incremental
+  bool rerand_on_trap = false;    // fresh placement on attack-signal traps
+  std::string rerand_scope;       // "" (= proc) | proc | fleet
+  uint32_t rerand_max_defer = 0;  // forced quiescence after K deferrals
   /// Execute-phase worker-pool size (fleet/serve); 0 = auto (cores - 1).
   /// Host parallelism only — simulated results are bit-identical.
   uint32_t pool_workers = 0;

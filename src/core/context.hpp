@@ -66,8 +66,14 @@ class ContextManager {
   uint32_t switch_to(const ProcessContext& next);
 
   /// Registers a re-randomization of the *current* process: new tables,
-  /// bumped epoch, mandatory flush (the old translations are dead).
-  uint32_t rerandomize_current(const binary::TranslationTables& new_tables);
+  /// bumped epoch. Legacy (`epoch_tags` false): mandatory flush — the old
+  /// translations are dead. Epoch-tagged (`epoch_tags` true, incremental
+  /// in-place re-rand): no flush; the DRC epoch is bumped and stale lines
+  /// revalidate lazily against `new_tables` on their next lookup, and the
+  /// bitmap cache keeps its fragments (stack slot addresses are epoch-
+  /// invariant). Returns the number of translations lost (0 when tagged).
+  uint32_t rerandomize_current(const binary::TranslationTables& new_tables,
+                               bool epoch_tags = false);
 
   [[nodiscard]] const ProcessContext& current() const { return current_; }
   [[nodiscard]] const ContextStats& stats() const { return stats_; }
@@ -80,6 +86,9 @@ class ContextManager {
   void load_state(binary::StateReader& r);
   void rebind_tables(const binary::TranslationTables* tables) {
     current_.tables = tables;
+    // If epoch revalidation was armed at checkpoint time, the restored
+    // process's reallocated tables are the live revalidation source.
+    drc_.rebind_reval(tables);
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "binary/image.hpp"
 #include "binary/state_io.hpp"
 
 namespace vcfr::core {
@@ -37,6 +38,32 @@ std::optional<DrcEntryValue> Drc::lookup(uint32_t key, bool derand) {
   for (uint32_t w = 0; w < config_.assoc; ++w) {
     Entry& e = entries_[set * config_.assoc + w];
     if (e.valid && e.key == key && e.is_derand == derand) {
+      if (e.epoch != epoch_) {
+        // Epoch-tagged lazy revalidation: check the stale entry against
+        // the live (post-incremental-rerand) tables instead of having
+        // flushed it eagerly. Mirrors TranslationWalker::walk().
+        bool still_valid = false;
+        if (reval_ != nullptr) {
+          DrcEntryValue live;
+          if (derand) {
+            live.translation = reval_->to_original(key);
+            live.randomized_tag = reval_->is_randomized_addr(key);
+          } else {
+            live.translation = reval_->to_randomized(key);
+            live.randomized_tag = live.translation != key;
+          }
+          still_valid = live.translation == e.translation &&
+                        live.randomized_tag == e.randomized_tag;
+        }
+        if (!still_valid) {
+          e.valid = false;
+          ++stats_.epoch_invalidations;
+          ++stats_.misses;
+          return std::nullopt;
+        }
+        e.epoch = epoch_;
+        ++stats_.epoch_promotions;
+      }
       ++stats_.hits;
       e.lru = ++tick_;
       return DrcEntryValue{e.translation, e.randomized_tag};
@@ -67,6 +94,7 @@ void Drc::insert(uint32_t key, bool derand, DrcEntryValue value) {
   victim->key = key;
   victim->translation = value.translation;
   victim->lru = ++tick_;
+  victim->epoch = epoch_;
 }
 
 uint32_t Drc::flush() {
@@ -75,6 +103,8 @@ uint32_t Drc::flush() {
     if (e.valid) ++flushed;
     e.valid = false;
   }
+  reval_ = nullptr;
+  reval_armed_ = false;
   return flushed;
 }
 
@@ -105,12 +135,19 @@ void Drc::save_state(binary::StateWriter& w) const {
     w.u32(e.key);
     w.u32(e.translation);
     w.u64(e.lru);
+    w.u64(e.epoch);
   }
   w.u64(stats_.lookups);
   w.u64(stats_.hits);
   w.u64(stats_.misses);
   w.u64(stats_.derand_lookups);
   w.u64(stats_.rand_lookups);
+  w.u64(stats_.epoch_promotions);
+  w.u64(stats_.epoch_invalidations);
+  w.u64(epoch_);
+  // The reval tables pointer is process-owned; the kernel re-points it
+  // through rebind_reval() once the owning process is restored.
+  w.b(reval_armed_);
 }
 
 void Drc::load_state(binary::StateReader& r) {
@@ -127,12 +164,18 @@ void Drc::load_state(binary::StateReader& r) {
     e.key = r.u32();
     e.translation = r.u32();
     e.lru = r.u64();
+    e.epoch = r.u64();
   }
   stats_.lookups = r.u64();
   stats_.hits = r.u64();
   stats_.misses = r.u64();
   stats_.derand_lookups = r.u64();
   stats_.rand_lookups = r.u64();
+  stats_.epoch_promotions = r.u64();
+  stats_.epoch_invalidations = r.u64();
+  epoch_ = r.u64();
+  reval_armed_ = r.b();
+  reval_ = nullptr;  // rebound via rebind_reval() after processes restore
 }
 
 void Drc::register_stats(const telemetry::Scope& scope) const {
@@ -141,6 +184,8 @@ void Drc::register_stats(const telemetry::Scope& scope) const {
   scope.counter("misses", &stats_.misses);
   scope.counter("derand_lookups", &stats_.derand_lookups);
   scope.counter("rand_lookups", &stats_.rand_lookups);
+  scope.counter("epoch_promotions", &stats_.epoch_promotions);
+  scope.counter("epoch_invalidations", &stats_.epoch_invalidations);
   scope.gauge("miss_rate", [this] { return stats_.miss_rate(); });
   scope.gauge("occupancy", [this] {
     return static_cast<double>(valid_entries());

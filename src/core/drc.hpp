@@ -24,6 +24,7 @@
 namespace vcfr::binary {
 class StateWriter;
 class StateReader;
+struct TranslationTables;
 }  // namespace vcfr::binary
 
 namespace vcfr::core {
@@ -46,6 +47,11 @@ struct DrcStats {
   uint64_t misses = 0;
   uint64_t derand_lookups = 0;
   uint64_t rand_lookups = 0;
+  /// Epoch-tagged invalidation (continuous re-rand): stale-epoch entries
+  /// whose translation still matched the live tables, promoted in place.
+  uint64_t epoch_promotions = 0;
+  /// Stale-epoch entries whose translation moved; dropped on lookup.
+  uint64_t epoch_invalidations = 0;
 
   [[nodiscard]] double miss_rate() const {
     return lookups == 0 ? 0.0
@@ -77,7 +83,27 @@ class Drc {
 
   /// Invalidates every entry (process context switch, §IV-B: translations
   /// are per-process secrets). Returns how many valid entries were lost.
+  /// Also disarms epoch revalidation (the tables are gone).
   uint32_t flush();
+
+  /// Epoch-tagged invalidation (continuous re-rand): instead of flushing
+  /// after an in-place incremental re-randomization, bump the epoch and
+  /// keep `tables` (the live, just-patched tables) for lazy revalidation.
+  /// A stale-epoch entry that still matches the tables is promoted on its
+  /// next lookup (a hit — the tag check rides the existing pipeline); one
+  /// that moved is dropped (a miss, serviced by the normal walk). `tables`
+  /// must stay valid until the next flush()/bump_epoch()/rebind_reval().
+  void bump_epoch(const binary::TranslationTables* tables) {
+    ++epoch_;
+    reval_ = tables;
+    reval_armed_ = true;
+  }
+
+  /// Re-points the revalidation tables without touching the epoch
+  /// (checkpoint restore: the owning process's tables were reallocated).
+  void rebind_reval(const binary::TranslationTables* tables) {
+    if (reval_armed_) reval_ = tables;
+  }
 
   [[nodiscard]] uint32_t valid_entries() const;
 
@@ -104,6 +130,7 @@ class Drc {
     uint32_t key = 0;
     uint32_t translation = 0;
     uint64_t lru = 0;
+    uint64_t epoch = 0;  // re-rand epoch at fill time (epoch-tagged inval)
   };
 
   [[nodiscard]] uint32_t set_of(uint32_t key) const;
@@ -113,6 +140,11 @@ class Drc {
   std::vector<Entry> entries_;
   uint64_t tick_ = 0;
   DrcStats stats_;
+  // Epoch-tagged invalidation state (legacy runs never bump the epoch, so
+  // every entry matches epoch_ == 0 and lookups behave exactly as before).
+  uint64_t epoch_ = 0;
+  const binary::TranslationTables* reval_ = nullptr;
+  bool reval_armed_ = false;
 };
 
 }  // namespace vcfr::core

@@ -55,6 +55,7 @@ void RetBitmapCache::save_state(binary::StateWriter& w) const {
   }
   w.u64(stats_.accesses);
   w.u64(stats_.misses);
+  w.u64(stats_.rerand_retained);
 }
 
 void RetBitmapCache::load_state(binary::StateReader& r) {
@@ -71,11 +72,13 @@ void RetBitmapCache::load_state(binary::StateReader& r) {
   }
   stats_.accesses = r.u64();
   stats_.misses = r.u64();
+  stats_.rerand_retained = r.u64();
 }
 
 void RetBitmapCache::register_stats(const telemetry::Scope& scope) const {
   scope.counter("accesses", &stats_.accesses);
   scope.counter("misses", &stats_.misses);
+  scope.counter("rerand_retained", &stats_.rerand_retained);
   scope.gauge("miss_rate", [this] { return stats_.miss_rate(); });
 }
 

@@ -35,6 +35,9 @@ struct RetBitmapConfig {
 struct RetBitmapStats {
   uint64_t accesses = 0;
   uint64_t misses = 0;
+  /// Valid lines carried across an epoch-tagged re-randomization instead
+  /// of being flushed (note_rerand).
+  uint64_t rerand_retained = 0;
 
   [[nodiscard]] double miss_rate() const {
     return accesses == 0 ? 0.0
@@ -54,6 +57,16 @@ class RetBitmapCache {
   /// Invalidates every cached fragment (context switch: the bitmap is
   /// per-process state, §IV-C). Returns how many valid lines were lost.
   uint32_t flush();
+
+  /// Epoch-tagged re-randomization: the incremental patcher rewrites the
+  /// *values* of marked stack slots in place, but which slots are marked
+  /// does not change — so cached fragments stay valid. Records how many
+  /// lines were retained (the warm state a legacy flush would have lost).
+  void note_rerand() {
+    for (const auto& e : entries_) {
+      if (e.valid) ++stats_.rerand_retained;
+    }
+  }
 
   [[nodiscard]] const RetBitmapStats& stats() const { return stats_; }
   [[nodiscard]] const RetBitmapConfig& config() const { return config_; }

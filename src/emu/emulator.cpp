@@ -127,7 +127,17 @@ bool Emulator::step(StepInfo* info) {
     const uint32_t idx =
         (rpc * 0x9e3779b9u) >> (32 - kDecodeCacheBits);
     slot = &dcache_[idx];
-    if (slot->rpc == rpc && slot->gen == gen && rpc != 0xffffffffu) {
+    bool hit = slot->rpc == rpc && slot->gen == gen && rpc != 0xffffffffu;
+    if (!hit && rerand_note_ && slot->rpc == rpc && rpc != 0xffffffffu &&
+        slot->gen == rerand_prev_gen_ && gen == rerand_new_gen_ &&
+        !rerand_dirty_.contains(rpc)) {
+      // Epoch promotion: the incremental re-randomization left this rpc's
+      // translation, bytes, and sequential successor untouched.
+      slot->gen = gen;
+      ++dcache_stats_.rerand_promotions;
+      hit = true;
+    }
+    if (hit) {
       ++dcache_stats_.hits;
     } else {
       if (slot->rpc != 0xffffffffu && slot->gen != gen) {
@@ -486,6 +496,8 @@ void Emulator::load_state(binary::StateReader& r) {
   // Host-only decode cache: drop every fill so nothing predating the
   // restored architectural state survives.
   std::fill(dcache_.begin(), dcache_.end(), DecodedEntry{});
+  rerand_note_ = false;
+  rerand_dirty_.clear();
 }
 
 RunResult Emulator::run(const RunLimits& limits) {

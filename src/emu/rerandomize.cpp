@@ -1,6 +1,10 @@
 #include "emu/rerandomize.hpp"
 
+#include <algorithm>
+#include <random>
 #include <stdexcept>
+
+#include "isa/encoding.hpp"
 
 namespace vcfr::emu {
 
@@ -57,6 +61,231 @@ std::unique_ptr<Emulator> rerandomize_live(
   fresh->restore(state, running.ret_bitmap(),
                  std::vector<uint32_t>(running.output()));
   return fresh;
+}
+
+bool rerandomize_incremental(const rewriter::Cfg& cfg,
+                             rewriter::RandomizeResult& rr,
+                             binary::Memory& mem, Emulator& running,
+                             const IncrementalRerandOptions& options,
+                             IncrementalRerandStats* stats) {
+  binary::Image& img = rr.vcfr;
+  if (img.layout != binary::Layout::kVcfr) {
+    throw std::invalid_argument(
+        "rerandomize_incremental: requires a VCFR image");
+  }
+  if (options.slot_bytes == 0 || img.rand_size == 0 ||
+      img.rand_size % options.slot_bytes != 0) {
+    throw std::invalid_argument(
+        "rerandomize_incremental: requires kFullSpread slot geometry");
+  }
+  const uint32_t slot_count = img.rand_size / options.slot_bytes;
+  auto slot_of = [&](uint32_t ra) {
+    if (ra < options.rand_base ||
+        (ra - options.rand_base) / options.slot_bytes >= slot_count) {
+      throw std::invalid_argument(
+          "rerandomize_incremental: placement outside the slot pool "
+          "(kPageConfined image?)");
+    }
+    return (ra - options.rand_base) / options.slot_bytes;
+  };
+
+  IncrementalRerandStats local;
+  IncrementalRerandStats& st = stats ? *stats : local;
+  st = IncrementalRerandStats{};
+
+  // --- candidate pages: original 4 KiB pages holding movable instrs -------
+  constexpr uint32_t kPage = 4096;
+  const auto& unrandomized = rr.analysis.unrandomized;
+  std::vector<size_t> movable;
+  movable.reserve(cfg.instrs.size());
+  std::vector<uint32_t> pages;
+  for (size_t i = 0; i < cfg.instrs.size(); ++i) {
+    const uint32_t addr = cfg.instrs[i].addr;
+    if (unrandomized.contains(addr)) continue;
+    movable.push_back(i);
+    const uint32_t page = (addr - img.code_base) / kPage;
+    if (pages.empty() || pages.back() != page) pages.push_back(page);
+  }
+  if (movable.empty()) return true;  // nothing randomized: trivial success
+
+  std::mt19937_64 rng(options.seed);
+  std::vector<uint32_t> selected = pages;
+  if (!options.all_regions && options.region_percent < 100) {
+    std::shuffle(selected.begin(), selected.end(), rng);
+    const size_t count = std::max<size_t>(
+        1, (pages.size() * options.region_percent + 99) / 100);
+    selected.resize(std::min(count, selected.size()));
+    std::sort(selected.begin(), selected.end());
+  }
+  binary::FlatSet32 selected_pages;
+  selected_pages.reserve(selected.size());
+  for (const uint32_t p : selected) selected_pages.insert(p);
+  st.regions_selected = static_cast<uint32_t>(selected.size());
+
+  binary::FlatSet32 pinned;
+  pinned.reserve(options.pinned.size());
+  for (const uint32_t v : options.pinned) pinned.insert(v);
+
+  // --- phase 1: draw fresh slots (any failure leaves rr untouched) --------
+  std::vector<size_t> moved;
+  binary::FlatSet32 moved_orig;
+  for (const size_t idx : movable) {
+    const uint32_t addr = cfg.instrs[idx].addr;
+    if (!selected_pages.contains((addr - img.code_base) / kPage)) continue;
+    moved.push_back(idx);
+    moved_orig.insert(addr);
+  }
+
+  // Slot occupancy: placements staying put, plus pinned (alias) keys. A
+  // moved instruction frees its old slot unless an alias pins it.
+  binary::FlatSet32 occupied;
+  occupied.reserve(rr.placement.size() + options.pinned.size());
+  for (const auto& [orig, ra] : rr.placement) {
+    if (moved_orig.contains(orig) && !pinned.contains(ra)) continue;
+    occupied.insert(slot_of(ra));
+  }
+  for (const uint32_t v : options.pinned) {
+    if (img.tables.derand.contains(v)) occupied.insert(slot_of(v));
+  }
+
+  struct Assign {
+    size_t idx = 0;       // cfg.instrs index
+    uint32_t old_ra = 0;
+    uint32_t new_ra = 0;
+  };
+  std::vector<Assign> assign;
+  assign.reserve(moved.size());
+  for (const size_t idx : moved) {
+    const auto& e = cfg.instrs[idx];
+    uint32_t slot = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 64 && !found; ++attempt) {
+      const auto s = static_cast<uint32_t>(rng() % slot_count);
+      if (!occupied.contains(s)) {
+        slot = s;
+        found = true;
+      }
+    }
+    if (!found) {
+      // Dense pool: fall back to a deterministic linear probe.
+      const auto s0 = static_cast<uint32_t>(rng() % slot_count);
+      for (uint32_t d = 0; d < slot_count; ++d) {
+        const uint32_t s = (s0 + d) % slot_count;
+        if (!occupied.contains(s)) {
+          slot = s;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return false;  // pool exhausted: the caller defers
+    occupied.insert(slot);
+    const auto jitter = static_cast<uint32_t>(
+        rng() % (options.slot_bytes - e.instr.length + 1));
+    const uint32_t* old_ra = img.tables.rand.lookup(e.addr);
+    if (old_ra == nullptr) {
+      throw std::logic_error(
+          "rerandomize_incremental: movable instruction has no placement");
+    }
+    assign.push_back(
+        {idx, *old_ra,
+         options.rand_base + slot * options.slot_bytes + jitter});
+  }
+
+  // --- phase 2: apply in place --------------------------------------------
+  // Bump before the first table/code write so no decode-cache entry from
+  // the old generation can be mistaken for current state.
+  mem.bump_code_version();
+  binary::TranslationTables& tables = img.tables;
+  binary::FlatMap32 old2new;
+  old2new.reserve(assign.size());
+
+  // Erase every retiring derand key first: a fresh draw may land exactly
+  // on another moved instruction's freed slot (and jitter may reproduce
+  // its old address), so inserts must only see surviving keys.
+  for (const Assign& a : assign) {
+    old2new.emplace(a.old_ra, a.new_ra);
+    st.decode_dirty.insert(a.old_ra);
+    st.decode_dirty.insert(a.new_ra);
+    if (!pinned.contains(a.old_ra)) tables.derand.erase(a.old_ra);
+  }
+  for (const Assign& a : assign) {
+    const uint32_t orig = cfg.instrs[a.idx].addr;
+    tables.rand[orig] = a.new_ra;
+    tables.derand.emplace(a.new_ra, orig);
+    rr.placement[orig] = a.new_ra;
+    ++st.instrs_moved;
+  }
+
+  // Cached seq_next of the linear predecessor of each moved instruction
+  // pointed at the old address: mark its current RPC stale too.
+  for (const Assign& a : assign) {
+    if (a.idx == 0) continue;
+    st.decode_dirty.insert(
+        tables.to_randomized(cfg.instrs[a.idx - 1].addr));
+  }
+
+  // Referring sites: direct transfers, software-rewrite return pushes,
+  // and proven code-pointer movs whose (original-space) target moved.
+  const auto& code_imm_sites = rr.analysis.code_imm_sites;
+  for (const auto& e : cfg.instrs) {
+    const bool qualifies =
+        e.instr.is_direct_transfer() || e.instr.op == isa::Op::kPushI ||
+        (e.instr.op == isa::Op::kMovRI && code_imm_sites.contains(e.addr));
+    if (!qualifies || !moved_orig.contains(e.instr.imm)) continue;
+    isa::Instr patched = e.instr;
+    patched.imm = rr.placement.at(e.instr.imm);
+    const std::vector<uint8_t> bytes = isa::encode(patched);
+    if (bytes.size() != e.instr.length) {
+      throw std::logic_error(
+          "rerandomize_incremental: re-encoded length changed");
+    }
+    const size_t off = e.addr - img.code_base;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      img.code[off + i] = bytes[i];
+      mem.write8(e.addr + static_cast<uint32_t>(i), bytes[i]);
+    }
+    ++st.sites_patched;
+    st.decode_dirty.insert(tables.to_randomized(e.addr));
+  }
+
+  // Jump-table / stored-code-pointer slots: live memory and the image
+  // copy (rearm() re-images data from the latter).
+  for (const auto& r : img.relocs) {
+    const uint32_t* nv = old2new.lookup(mem.read32(r.data_addr));
+    if (nv != nullptr) {
+      mem.write32(r.data_addr, *nv);
+      ++st.reloc_slots_patched;
+    }
+    const uint32_t* iv = old2new.lookup(img.read_data32(r.data_addr));
+    if (iv != nullptr) img.write_data32(r.data_addr, *iv);
+  }
+
+  // Bitmap-marked stack slots holding a moved return address.
+  for (const uint32_t slot : running.ret_bitmap()) {
+    const uint32_t* nv = old2new.lookup(mem.read32(slot));
+    if (nv != nullptr) {
+      mem.write32(slot, *nv);
+      ++st.stack_slots_translated;
+    }
+  }
+
+  // Architectural PC.
+  if (const uint32_t* nv = old2new.lookup(running.state().pc)) {
+    running.state().pc = *nv;
+    st.pc_translated = true;
+  }
+
+  binary::store_tables(tables, mem);
+
+  // Surviving aliases: pinned keys whose instruction now lives elsewhere.
+  for (const uint32_t v : options.pinned) {
+    const uint32_t* orig = tables.derand.lookup(v);
+    if (orig == nullptr) continue;
+    const uint32_t* ra = tables.rand.lookup(*orig);
+    if (ra != nullptr && *ra != v) st.alias_keys.push_back(v);
+  }
+  return true;
 }
 
 }  // namespace vcfr::emu

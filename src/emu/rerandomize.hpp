@@ -26,7 +26,9 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "binary/flat_map.hpp"
 #include "binary/loader.hpp"
 #include "emu/emulator.hpp"
 #include "rewriter/randomizer.hpp"
@@ -48,5 +50,74 @@ struct LiveRerandomizeStats {
     const rewriter::RandomizeResult& old_rr,
     const rewriter::RandomizeResult& new_rr,
     LiveRerandomizeStats* stats = nullptr);
+
+// ---- incremental re-randomization (continuous re-rand, MARDU-style) ----
+//
+// Instead of rebuilding the whole placement and flushing every cache, the
+// incremental path re-places only a deterministic selection of original
+// 4 KiB code pages and patches the live RandomizeResult *in place*: the
+// TranslationTables object keeps its identity (walkers stay bound), only
+// the moved instructions' derand/rand entries change, and only the code
+// bytes of referring sites are re-encoded. The caller keeps the same
+// Emulator — no state transplant.
+//
+// Forced quiescence: addresses listed in `pinned` (register-held
+// randomized values) keep their derand entry alive as an *alias* of the
+// instruction's original address even after the instruction moves, so a
+// later indirect transfer through the stale register still de-randomizes
+// correctly. Alias slots stay occupied until the caller drops them.
+//
+// Requires kFullSpread geometry (the Process layer's only policy): the
+// image's rand_size / slot_bytes gives the slot pool the original
+// randomize() drew from.
+
+struct IncrementalRerandOptions {
+  /// Epoch seed: drives page selection, slot draws, and jitter.
+  uint64_t seed = 1;
+  /// Percent of candidate code pages re-placed per firing (>= 100 = all).
+  uint32_t region_percent = 25;
+  /// Re-place every movable page (fresh placement after a trap).
+  bool all_regions = false;
+  uint32_t slot_bytes = 64;
+  uint32_t rand_base = binary::kDefaultRandBase;
+  /// Randomized addresses whose derand entries must survive as aliases
+  /// (register-held values under forced quiescence). Sorted + deduped.
+  std::vector<uint32_t> pinned;
+};
+
+struct IncrementalRerandStats {
+  uint32_t regions_selected = 0;
+  uint32_t instrs_moved = 0;
+  uint32_t sites_patched = 0;
+  uint32_t reloc_slots_patched = 0;
+  uint32_t stack_slots_translated = 0;
+  bool pc_translated = false;
+  /// Pinned keys left behind as stale aliases (rand[orig] moved away).
+  std::vector<uint32_t> alias_keys;
+  /// RPCs whose previous-generation decode-cache entries are stale: old
+  /// and new randomized addresses of moved instructions, their linear
+  /// predecessors (cached seq_next), and re-encoded referring sites.
+  binary::FlatSet32 decode_dirty;
+
+  /// Table/image entries touched — the unit the kernel charges re-rand
+  /// latency in (and the full path reports the same way).
+  [[nodiscard]] uint64_t entries() const {
+    return uint64_t{2} * instrs_moved + sites_patched + reloc_slots_patched +
+           stack_slots_translated + (pc_translated ? 1 : 0);
+  }
+};
+
+/// Re-places a deterministic subset of `rr`'s movable code pages in
+/// place, patching tables, code bytes, data slots, marked stack slots,
+/// and the PC of `running`. `cfg` must be the control-flow graph of the
+/// *original* (pre-randomization) image `rr` came from. Returns false —
+/// with `rr`, `mem`, and `running` untouched — when the slot pool cannot
+/// host the re-placement (caller defers); true on success.
+[[nodiscard]] bool rerandomize_incremental(const rewriter::Cfg& cfg,
+                                           rewriter::RandomizeResult& rr,
+                                           binary::Memory& mem,
+                                           Emulator& running,
+                                           const IncrementalRerandOptions& options,
+                                           IncrementalRerandStats* stats = nullptr);
 
 }  // namespace vcfr::emu

@@ -72,6 +72,12 @@ struct FleetReport {
   uint64_t restarts = 0;
   uint64_t watchdog_kills = 0;
   uint64_t injected_faults = 0;
+  /// Live re-randomization work (struct-only — deliberately absent from
+  /// to_json so legacy report renderings stay byte-identical): forced
+  /// firings, and total regions/entries the placement swaps patched.
+  uint64_t rerand_forced = 0;
+  uint64_t rerand_regions_patched = 0;
+  uint64_t rerand_entries_patched = 0;
   uint64_t fleet_cycles = 0;  // slowest core's clock
   uint64_t fleet_instructions = 0;
   double fleet_ipc = 0.0;

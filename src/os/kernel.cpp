@@ -112,16 +112,45 @@ void Kernel::dispatch(uint32_t core, Process& proc) {
   }
 }
 
+namespace {
+
+/// Trap kinds that read as an attack / corruption signal (§IV-A): the
+/// re-rand-on-trap policy treats these — and only these — as evidence the
+/// current placement leaked or was probed.
+[[nodiscard]] bool attack_signal(fault::FaultKind kind) {
+  return kind == fault::FaultKind::kBadOpcode ||
+         kind == fault::FaultKind::kUnmappedFetch ||
+         kind == fault::FaultKind::kTranslationMismatch;
+}
+
+}  // namespace
+
 void Kernel::consider_restart(const Process& proc) {
   const RestartPolicy& policy = proc.config().restart;
+  // Re-rand-on-trap: an attack-signal trap makes the victim eligible for a
+  // fresh placement (the restart IS the re-randomization) even when its
+  // restart policy alone would leave it down.
+  const bool trap_rerand = proc.config().rerandomize.on_trap &&
+                           proc.exit_status().crashed() &&
+                           attack_signal(proc.exit_status().trap.kind);
   const bool eligible =
       policy.mode == RestartPolicy::Mode::kAlways ||
       (policy.mode == RestartPolicy::Mode::kOnFault &&
-       proc.exit_status().crashed());
+       proc.exit_status().crashed()) ||
+      trap_rerand;
   if (!eligible || proc.restarts() >= policy.max_restarts) return;
   // Exponential backoff in scheduler rounds, capped well below overflow.
   const uint32_t shift = std::min<uint32_t>(proc.restarts(), 32);
-  const uint64_t delay = policy.backoff_rounds << shift;
+  uint64_t delay = policy.backoff_rounds << shift;
+  if (trap_rerand) {
+    // Expedite: the first attack signal re-images immediately (a moving
+    // target must move *now*), repeated signals back off exponentially on
+    // their own schedule so a trap loop cannot thrash the core.
+    const uint32_t t = std::min<uint32_t>(proc.trap_rerands(), 32);
+    const uint64_t expedited =
+        t == 0 ? 0 : (uint64_t{1} << (t - 1)) - 1;
+    delay = std::min(delay, expedited);
+  }
   pending_restarts_.push_back(PendingRestart{proc.pid(), rounds_ + delay});
 }
 
@@ -220,6 +249,7 @@ void Kernel::setup_telemetry() {
                   [this] { return pool_ == nullptr ? 0 : pool_->steals(); });
   kernel.counter("restarts", &restarts_);
   kernel.counter("watchdog_kills", &watchdog_kills_);
+  kernel.scope("rerand").counter("forced", &rerand_forced_);
   const telemetry::Scope ckpt = kernel.scope("checkpoint");
   ckpt.counter("writes", &checkpoint_writes_);
   ckpt.counter("restores", &checkpoint_restores_);
@@ -257,6 +287,21 @@ void Kernel::setup_telemetry() {
     detect_latency_hist_ = fault_scope.histogram("detect_latency");
   }
 
+  // Live re-randomization observability (docs/OBSERVABILITY.md): per-firing
+  // cost histograms, created only when some process arms a re-rand policy
+  // (periodic or on-trap) so legacy registries stay byte-identical.
+  bool any_rerand = false;
+  for (const auto& proc : procs_) {
+    const RerandomizePolicy& rp = proc->config().rerandomize;
+    if (rp.every_slices != 0 || rp.on_trap) any_rerand = true;
+  }
+  if (any_rerand) {
+    const telemetry::Scope rerand = telemetry_->root().scope("rerand");
+    rerand_latency_hist_ = rerand.histogram("latency");
+    rerand_regions_hist_ = rerand.histogram("regions_patched");
+    rerand_entries_hist_ = rerand.histogram("entries_patched");
+  }
+
   lanes_.assign(cores, nullptr);
   telemetry::Tracer* tracer = telemetry_->tracer();
   for (uint32_t c = 0; c < cores; ++c) {
@@ -292,6 +337,8 @@ void Kernel::setup_telemetry() {
     scope.counter("rerandomizations", &p.stats().rerandomizations);
     scope.counter("rerandomizations_deferred",
                   &p.stats().rerandomizations_deferred);
+    scope.counter("rerandomizations_forced",
+                  &p.stats().rerandomizations_forced);
     scope.counter_fn("epoch", [&p] { return p.epoch(); });
     if (tracer != nullptr) {
       tracer->name_asid(static_cast<uint32_t>(p.core()), p.pid(),
@@ -334,6 +381,7 @@ uint64_t Kernel::config_digest() const {
   d.mix(config_.cpu.iq_size);
   d.mix(config_.cpu.store_buffer);
   d.mix(config_.cpu.issue_width);
+  d.mix(config_.rerand_cost_per_entry);
   d.mix(procs_.size());
   for (const auto& proc : procs_) {
     const ProcessConfig& pc = proc->config();
@@ -342,6 +390,12 @@ uint64_t Kernel::config_digest() const {
     d.mix(pc.seed);
     d.mix(pc.max_instructions);
     d.mix(pc.rerandomize.every_slices);
+    d.mix(static_cast<uint64_t>(pc.rerandomize.rebuild));
+    d.mix(pc.rerandomize.region_percent);
+    d.mix(pc.rerandomize.epoch_tags ? 1 : 0);
+    d.mix(pc.rerandomize.on_trap ? 1 : 0);
+    d.mix(static_cast<uint64_t>(pc.rerandomize.scope));
+    d.mix(pc.rerandomize.max_defer);
     d.mix(pc.enforce_tags ? 1 : 0);
     d.mix(static_cast<uint64_t>(pc.restart.mode));
     d.mix(pc.restart.max_restarts);
@@ -369,6 +423,9 @@ void Kernel::write_checkpoint() {
   w.u64(restarts_);
   w.u64(watchdog_kills_);
   w.u64(injected_faults_);
+  w.u64(rerand_forced_);
+  w.u64(rerand_regions_total_);
+  w.u64(rerand_entries_total_);
   w.u32(static_cast<uint32_t>(pending_restarts_.size()));
   for (const PendingRestart& pr : pending_restarts_) {
     w.u32(pr.pid);
@@ -421,6 +478,9 @@ void Kernel::restore(std::istream& in) {
   restarts_ = r.u64();
   watchdog_kills_ = r.u64();
   injected_faults_ = r.u64();
+  rerand_forced_ = r.u64();
+  rerand_regions_total_ = r.u64();
+  rerand_entries_total_ = r.u64();
   pending_restarts_.clear();
   const uint32_t pending = r.count(1u << 20);
   for (uint32_t i = 0; i < pending; ++i) {
@@ -645,6 +705,22 @@ FleetReport Kernel::run() {
           detect_latency_hist_->record(exit.trap.instruction -
                                        inj->record().at_instruction);
         }
+        // Moving-target trigger: an attack-signal trap schedules a fresh
+        // placement. The victim's restart (consider_restart below,
+        // expedited) IS its re-randomization; fleet scope additionally
+        // marks every live co-tenant, whose pending re-rand fires at its
+        // next slice boundary.
+        const RerandomizePolicy& trap_rp = p.config().rerandomize;
+        if (trap_rp.on_trap && attack_signal(exit.trap.kind)) {
+          p.schedule_rerand(true);
+          if (trap_rp.scope == RerandomizePolicy::Scope::kFleet) {
+            for (const auto& other : procs_) {
+              if (other->pid() != p.pid() && !other->finished()) {
+                other->schedule_rerand(false);
+              }
+            }
+          }
+        }
       } else if (emu.halted()) {
         if (service_ != nullptr) {
           // A serving tenant's halt is a request boundary, not an exit:
@@ -688,9 +764,19 @@ FleetReport Kernel::run() {
         consider_restart(p);
         continue;
       }
-      const uint32_t every = p.config().rerandomize.every_slices;
-      if (every != 0 && p.stats().slices % every == 0) {
-        if (p.try_rerandomize()) {
+      const RerandomizePolicy& rp = p.config().rerandomize;
+      const bool rerand_due =
+          (rp.every_slices != 0 && p.stats().slices % rp.every_slices == 0) ||
+          p.rerand_pending();
+      if (rerand_due && p.try_rerandomize()) {
+        const RerandWork& work = p.last_rerand_work();
+        if (rp.epoch_tags) {
+          // Epoch-tagged invalidation: warm DRC/bitmap state survives the
+          // swap; stale lines revalidate lazily against the patched
+          // tables on their next lookup, and the decode cache promotes
+          // clean entries across the generation bump.
+          ctx_[c]->rerandomize_current(p.randomization().vcfr.tables, true);
+        } else {
           // Epoch bump: every cached translation of the old placement is
           // dead (§V-C). ContextManager records the flush; the pipeline
           // re-installs over the fresh walker at the next dispatch (the
@@ -703,15 +789,45 @@ FleetReport Kernel::run() {
               ctx_[c]->stats().entries_flushed - drc_before;
           p.stats().bitmap_entries_flushed +=
               ctx_[c]->stats().bitmap_entries_flushed - bmp_before;
-          if (!lanes_.empty() && lanes_[c] != nullptr) {
-            lanes_[c]->instant(telemetry::TraceEventType::kRerandEpoch,
-                               p.pid(), cores_[c]->cycles(), p.epoch());
+        }
+        // The rewrite itself stalls the victim core in proportion to the
+        // entries it patched — the lever that makes an incremental
+        // rebuild cheaper than a full one. 0 (default) keeps the legacy
+        // free-rerand timing bit-exactly.
+        const uint64_t cost = config_.rerand_cost_per_entry * work.entries;
+        if (cost != 0) {
+          cores_[c]->stall(cost);
+          if (profiling_) {
+            profilers_[p.pid()]->add_external(profile::Cause::kContextSwitch,
+                                              cost);
           }
+          if (service_ != nullptr && p.request_active()) {
+            p.add_request_run(cost);
+          }
+        }
+        rerand_regions_total_ += work.regions;
+        rerand_entries_total_ += work.entries;
+        if (rerand_latency_hist_ != nullptr) {
+          rerand_latency_hist_->record(cost);
+          rerand_regions_hist_->record(work.regions);
+          rerand_entries_hist_->record(work.entries);
+        }
+        if (work.forced) {
+          ++rerand_forced_;
           if (journal_ != nullptr) {
             journal_->log({cores_[c]->cycles(),
-                           telemetry::JournalKind::kRerandEpoch, p.pid(),
-                           journal_req(p), p.epoch(), {}});
+                           telemetry::JournalKind::kRerandForced, p.pid(),
+                           journal_req(p), rp.max_defer, {}});
           }
+        }
+        if (!lanes_.empty() && lanes_[c] != nullptr) {
+          lanes_[c]->instant(telemetry::TraceEventType::kRerandEpoch,
+                             p.pid(), cores_[c]->cycles(), work.regions);
+        }
+        if (journal_ != nullptr) {
+          journal_->log({cores_[c]->cycles(),
+                         telemetry::JournalKind::kRerandEpoch, p.pid(),
+                         journal_req(p), work.regions, {}});
         }
       }
       sched_.requeue(c, p.pid());
@@ -731,6 +847,9 @@ FleetReport Kernel::run() {
   report.restarts = restarts_;
   report.watchdog_kills = watchdog_kills_;
   report.injected_faults = injected_faults_;
+  report.rerand_forced = rerand_forced_;
+  report.rerand_regions_patched = rerand_regions_total_;
+  report.rerand_entries_patched = rerand_entries_total_;
   for (uint32_t c = 0; c < cores; ++c) {
     const auto& cs = ctx_[c]->stats();
     report.context_switches += cs.switches;

@@ -60,6 +60,11 @@ struct KernelConfig {
   /// value (results are collected in deterministic order; see
   /// os/worker_pool.hpp).
   uint32_t pool_workers = 0;
+  /// Victim-core stall cycles charged per translation/code/stack entry a
+  /// re-randomization patched (the simulated cost of the rewrite itself —
+  /// what makes incremental rebuild cheaper than a full one). 0 keeps the
+  /// legacy free-rerand timing model bit-exactly.
+  uint64_t rerand_cost_per_entry = 0;
 };
 
 /// Event-driven serving extension point (src/serve/). A hook turns the
@@ -202,6 +207,9 @@ class Kernel {
   [[nodiscard]] uint64_t restarts() const { return restarts_; }
   /// Processes killed for exceeding their watchdog instruction budget.
   [[nodiscard]] uint64_t watchdog_kills() const { return watchdog_kills_; }
+  /// Forced-quiescence re-randomizations (deferral cap expired and the
+  /// placement swap proceeded around pinned registers; kernel.rerand.forced).
+  [[nodiscard]] uint64_t rerand_forced() const { return rerand_forced_; }
 
  private:
   /// A crashed (or, under kAlways, halted) process waiting out its
@@ -245,12 +253,23 @@ class Kernel {
   uint64_t rounds_ = 0;
   uint64_t restarts_ = 0;
   uint64_t watchdog_kills_ = 0;
+  uint64_t rerand_forced_ = 0;
+  /// Total regions / entries live re-randomizations patched (fleet-wide;
+  /// the per-firing distribution is in the rerand.* histograms).
+  uint64_t rerand_regions_total_ = 0;
+  uint64_t rerand_entries_total_ = 0;
   /// Injections that took effect (fault.injected.* counts by site).
   uint64_t injected_faults_ = 0;
   std::vector<PendingRestart> pending_restarts_;
   /// fault.detect_latency (injection → trap, in instructions); null when
   /// telemetry is not attached.
   telemetry::Histogram* detect_latency_hist_ = nullptr;
+  /// rerand.{latency,regions_patched,entries_patched} — per-firing cost of
+  /// live re-randomization (null unless telemetry is attached and some
+  /// process has a re-rand policy armed).
+  telemetry::Histogram* rerand_latency_hist_ = nullptr;
+  telemetry::Histogram* rerand_regions_hist_ = nullptr;
+  telemetry::Histogram* rerand_entries_hist_ = nullptr;
   /// Persistent workers, created lazily on the first round that has two
   /// or more active cores; also drives the commit phase's per-shard tag
   /// application. Replaces per-round thread spawn/join; see

@@ -1,5 +1,6 @@
 #include "os/process.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "binary/serialize.hpp"
@@ -60,27 +61,139 @@ bool Process::try_rerandomize() {
     exit_status_.trap = emu_->trap();
     return false;
   }
-  // Quiescence check (§V-C): the live swap re-translates the PC and every
+  // Quiescence check (§V-C): the swap re-translates the PC and every
   // bitmap-marked stack slot, but a randomized code pointer sitting in a
   // general-purpose register would silently go stale. A preemption point is
   // an arbitrary instruction boundary, so defer until the registers are
-  // clean of randomized-space addresses.
+  // clean of randomized-space addresses — unless the deferral cap says the
+  // policy has starved long enough, in which case the held addresses are
+  // pinned as derand aliases and the swap proceeds (forced quiescence).
+  std::vector<uint32_t> pinned;
   for (const uint32_t reg : emu_->state().regs) {
-    if (rr_->vcfr.tables.is_randomized_addr(reg)) {
+    if (rr_->vcfr.tables.is_randomized_addr(reg)) pinned.push_back(reg);
+  }
+  bool force = false;
+  if (!pinned.empty()) {
+    const uint32_t cap = config_.rerandomize.max_defer;
+    if (cap == 0 || defer_streak_ + 1 < cap) {
       ++stats_.rerandomizations_deferred;
+      ++defer_streak_;
       return false;
     }
+    force = true;
+    std::sort(pinned.begin(), pinned.end());
+    pinned.erase(std::unique(pinned.begin(), pinned.end()), pinned.end());
   }
-  auto next = std::make_unique<rewriter::RandomizeResult>(
-      rewriter::randomize(base_, options_for_epoch(epoch_ + 1)));
-  emu_ = emu::rerandomize_live(*emu_, mem_, *rr_, *next);
-  emu_->set_enforce_tags(config_.enforce_tags);
-  rr_ = std::move(next);
+
+  const bool incremental = config_.rerandomize.rebuild ==
+                           RerandomizePolicy::Rebuild::kIncremental;
+  const bool ok = incremental ? rerandomize_incremental_step(pinned, force)
+                              : rerandomize_full(pinned, force);
+  if (!ok) return false;
   ++epoch_;
   ++stats_.rerandomizations;
+  if (force) ++stats_.rerandomizations_forced;
+  last_work_.forced = force;
+  last_work_.incremental = incremental;
+  defer_streak_ = 0;
+  rerand_pending_ = false;
+  return true;
+}
+
+bool Process::rerandomize_full(const std::vector<uint32_t>& pinned,
+                               bool force) {
+  auto next = std::make_unique<rewriter::RandomizeResult>(
+      rewriter::randomize(base_, options_for_epoch(epoch_ + 1)));
+  if (force) {
+    // Forced quiescence: every register-held randomized address keeps a
+    // derand alias to its instruction's original address in the fresh
+    // tables, so an indirect transfer through the stale register still
+    // lands correctly after the swap.
+    for (const uint32_t v : pinned) {
+      const uint32_t orig = rr_->vcfr.tables.to_original(v);
+      const uint32_t* existing = next->vcfr.tables.derand.lookup(v);
+      if (existing != nullptr && *existing != orig) {
+        // The fresh placement put a different instruction exactly at the
+        // pinned address — aliasing would be ambiguous. Defer this firing
+        // deterministically; the next epoch draws another layout.
+        ++stats_.rerandomizations_deferred;
+        return false;
+      }
+      if (existing == nullptr) next->vcfr.tables.derand.emplace(v, orig);
+    }
+  }
+  emu::LiveRerandomizeStats st;
+  emu_ = emu::rerandomize_live(*emu_, mem_, *rr_, *next, &st);
+  emu_->set_enforce_tags(config_.enforce_tags);
+  rr_ = std::move(next);
   // The tables object was replaced — rebuild the walker over it.
   walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
                                                       *bound_mem_);
+  // Full-rebuild work: every table entry rewritten plus the patched data/
+  // stack/PC slots; regions = all code pages.
+  const auto& tables = rr_->vcfr.tables;
+  last_work_.regions = static_cast<uint32_t>(
+      (rr_->vcfr.code.size() + 4095) / 4096);
+  last_work_.entries = tables.derand.size() + tables.rand.size() +
+                       st.reloc_slots_patched + st.stack_slots_translated +
+                       (st.pc_translated ? 1 : 0);
+  // Aliases of earlier epochs died with the old tables; the survivors are
+  // exactly the pinned keys whose instruction lives elsewhere now.
+  aliases_.clear();
+  for (const uint32_t v : pinned) {
+    const uint32_t* orig = tables.derand.lookup(v);
+    if (orig == nullptr) continue;
+    const uint32_t* ra = tables.rand.lookup(*orig);
+    if (ra != nullptr && *ra != v) aliases_.push_back(v);
+  }
+  return true;
+}
+
+bool Process::rerandomize_incremental_step(
+    const std::vector<uint32_t>& pinned, bool force) {
+  if (cfg_ == nullptr) {
+    cfg_ = std::make_unique<rewriter::Cfg>(rewriter::build_cfg(base_));
+  }
+  auto& tables = rr_->vcfr.tables;
+  // Retire aliases from earlier forced swaps that no register holds any
+  // more. (Reaching here with an alias still register-held implies it is
+  // in `pinned` — a held alias fails the quiescence check.)
+  std::vector<uint32_t> dropped;
+  for (const uint32_t a : aliases_) {
+    if (std::binary_search(pinned.begin(), pinned.end(), a)) continue;
+    const uint32_t* orig = tables.derand.lookup(a);
+    if (orig == nullptr) continue;
+    const uint32_t* ra = tables.rand.lookup(*orig);
+    if (ra != nullptr && *ra != a) {
+      tables.derand.erase(a);
+      dropped.push_back(a);
+    }
+  }
+  emu::IncrementalRerandOptions opt;
+  opt.seed = options_for_epoch(epoch_ + 1).seed;
+  opt.region_percent = config_.rerandomize.region_percent;
+  // A trap-scheduled firing is a fresh placement: the attacker proved
+  // knowledge of the current layout, so every movable page moves.
+  opt.all_regions = rerand_pending_;
+  opt.pinned = pinned;
+  emu::IncrementalRerandStats st;
+  const uint64_t prev_gen = mem_.code_version();
+  if (!emu::rerandomize_incremental(*cfg_, *rr_, mem_, *emu_, opt, &st)) {
+    // Slot pool exhausted — defer; the next epoch draws different slots.
+    ++stats_.rerandomizations_deferred;
+    return false;
+  }
+  // Tables, image, memory, and PC were patched in place; walker and
+  // emulator identities are preserved. Arm lazy decode revalidation for
+  // everything the patch provably did not touch.
+  for (const uint32_t a : dropped) st.decode_dirty.insert(a);
+  if (st.instrs_moved != 0) {
+    emu_->note_rerand(prev_gen, mem_.code_version(),
+                      std::move(st.decode_dirty));
+  }
+  aliases_ = st.alias_keys;
+  last_work_.regions = st.regions_selected;
+  last_work_.entries = st.entries();
   return true;
 }
 
@@ -110,6 +223,12 @@ void Process::restart() {
   finished_ = false;
   exit_status_ = fault::ExitStatus{};
   life_base_ = stats_.instructions;
+  // The restart *is* a fresh placement: a pending trap-scheduled re-rand
+  // is satisfied, the deferral streak resets, and the old layout's
+  // forced-quiescence aliases died with its tables.
+  rerand_pending_ = false;
+  defer_streak_ = 0;
+  aliases_.clear();
   // An already-fired injection stays consumed: the replacement runs clean.
 }
 
@@ -175,6 +294,14 @@ void Process::save_state(binary::StateWriter& w) const {
   w.u64(stats_.rerandomizations);
   w.u64(stats_.rerandomizations_deferred);
   w.u64(stats_.finish_cycles);
+  // Continuous re-rand state (appended; the checkpoint format is
+  // internal-only and versioned by config digest).
+  w.u64(stats_.rerandomizations_forced);
+  w.u32(defer_streak_);
+  w.b(rerand_pending_);
+  w.u32(trap_rerands_);
+  w.u32(static_cast<uint32_t>(aliases_.size()));
+  for (const uint32_t a : aliases_) w.u32(a);
 }
 
 void Process::load_state(binary::StateReader& r) {
@@ -225,6 +352,21 @@ void Process::load_state(binary::StateReader& r) {
   stats_.rerandomizations = r.u64();
   stats_.rerandomizations_deferred = r.u64();
   stats_.finish_cycles = r.u64();
+  stats_.rerandomizations_forced = r.u64();
+  defer_streak_ = r.u32();
+  rerand_pending_ = r.b();
+  trap_rerands_ = r.u32();
+  aliases_.clear();
+  const uint32_t aliases = r.count(1u << 20);
+  for (uint32_t i = 0; i < aliases; ++i) aliases_.push_back(r.u32());
+  // Incremental epochs diverge from what randomize(epoch seed) would
+  // produce, so the re-derived placement is wrong whenever incremental
+  // re-randomization ran. The serialized tables are the ground truth —
+  // rebuild the placement from them (a no-op for full-rebuild lineages).
+  rr_->placement.clear();
+  for (const auto& [orig, ra] : rr_->vcfr.tables.rand) {
+    rr_->placement[orig] = ra;
+  }
   // The tables object changed — rebuild the walker over it.
   if (bound_mem_ != nullptr) {
     walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,

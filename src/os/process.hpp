@@ -30,9 +30,58 @@ class StateReader;
 
 namespace vcfr::os {
 
-/// When to re-image the process with a fresh seed (§V-C). 0 = never.
+/// When and how to re-randomize the process (§V-C + continuous re-rand).
+/// Defaults reproduce the legacy behavior bit-exactly: periodic-only
+/// trigger, full rebuild, eager flush, unlimited deferrals.
 struct RerandomizePolicy {
+  /// Periodic trigger: fire every N slices. 0 = never.
   uint32_t every_slices = 0;
+
+  /// How a firing rebuilds the placement.
+  enum class Rebuild : uint8_t {
+    /// Legacy: fresh full placement, stop-the-world table swap.
+    kFull = 0,
+    /// Continuous (MARDU-style): re-place only a deterministic selection
+    /// of code pages, patching the live tables/image in place. The
+    /// walker, emulator, and tables object keep their identity.
+    kIncremental = 1,
+  };
+  Rebuild rebuild = Rebuild::kFull;
+
+  /// Incremental only: percent of movable code pages re-placed per
+  /// periodic firing (>= 100 = all). Trap-triggered firings always
+  /// re-place everything.
+  uint32_t region_percent = 25;
+
+  /// Keep warm micro-architectural state across a firing: DRC lines and
+  /// decode-cache entries carry a re-rand epoch tag and revalidate lazily
+  /// on lookup instead of being flushed eagerly. Off = legacy full flush.
+  bool epoch_tags = false;
+
+  /// Re-rand-on-trap: an attack-signal fault (kBadOpcode, kUnmappedFetch,
+  /// kTranslationMismatch) schedules an immediate fresh placement for the
+  /// victim's next life/slice.
+  bool on_trap = false;
+
+  /// Who re-randomizes when a trap fires.
+  enum class Scope : uint8_t {
+    kProc = 0,   // the victim only
+    kFleet = 1,  // the victim plus every live co-tenant
+  };
+  Scope scope = Scope::kProc;
+
+  /// Deferral cap: after K consecutive quiescence deferrals the next
+  /// firing forces the swap, keeping register-held randomized addresses
+  /// alive as derand aliases. 0 = defer forever (legacy starvation).
+  uint32_t max_defer = 0;
+};
+
+/// Work accounting for the most recent successful re-randomization.
+struct RerandWork {
+  uint32_t regions = 0;  // code pages re-placed
+  uint64_t entries = 0;  // table/code/data/stack entries patched
+  bool forced = false;   // deferral cap forced quiescence via aliases
+  bool incremental = false;
 };
 
 /// What the kernel does when a process leaves the fleet (MARDU-style
@@ -89,6 +138,9 @@ struct ProcessStats {
   /// Policy firings skipped because a register held a randomized-space
   /// code pointer (not a quiescent point — retried next slice).
   uint64_t rerandomizations_deferred = 0;
+  /// Firings that hit the deferral cap and forced quiescence by keeping
+  /// the register-held addresses alive as derand aliases.
+  uint64_t rerandomizations_forced = 0;
   /// Core clock at the moment the process finished (for slowdown vs an
   /// isolated run).
   uint64_t finish_cycles = 0;
@@ -113,11 +165,37 @@ class Process {
 
   /// Attempts the §V-C live re-randomization at the current point. Returns
   /// false (and counts a deferral) when any general-purpose register holds
-  /// a randomized-space address — not a quiescent point. On success the
-  /// image, tables, walker, and emulator are swapped and the epoch bumps.
-  /// Calling this before bind() is kernel misuse and surfaces as a typed
-  /// kRerandFailure fault on the process (never an exception).
+  /// a randomized-space address — not a quiescent point — unless the
+  /// policy's deferral cap forces the swap (the held addresses survive as
+  /// derand aliases). On success the epoch bumps; the full path swaps
+  /// image, tables, walker, and emulator while the incremental path
+  /// patches them in place (identities preserved). Calling this before
+  /// bind() is kernel misuse and surfaces as a typed kRerandFailure fault
+  /// on the process (never an exception).
   bool try_rerandomize();
+
+  /// Schedules an immediate fresh placement (re-rand-on-trap): the next
+  /// policy evaluation fires regardless of the periodic counter, and an
+  /// incremental rebuild re-places every movable page. `from_trap` marks
+  /// the victim itself (drives restart-backoff expediting) as opposed to a
+  /// fleet-scope co-tenant.
+  void schedule_rerand(bool from_trap) {
+    rerand_pending_ = true;
+    if (from_trap) ++trap_rerands_;
+  }
+  [[nodiscard]] bool rerand_pending() const { return rerand_pending_; }
+  /// Attack-signal traps this process has answered with a re-randomization
+  /// schedule (restart backoff shrinks as evidence of attack mounts).
+  [[nodiscard]] uint32_t trap_rerands() const { return trap_rerands_; }
+  /// Work done by the most recent successful re-randomization.
+  [[nodiscard]] const RerandWork& last_rerand_work() const {
+    return last_work_;
+  }
+  /// Stale derand aliases currently kept alive for register-held
+  /// addresses (forced-quiescence residue; dropped once unreferenced).
+  [[nodiscard]] const std::vector<uint32_t>& rerand_aliases() const {
+    return aliases_;
+  }
 
   /// Marks the process finished with a typed exit and records the core
   /// clock.
@@ -225,6 +303,9 @@ class Process {
  private:
   [[nodiscard]] rewriter::RandomizeOptions options_for_epoch(
       uint64_t epoch) const;
+  bool rerandomize_full(const std::vector<uint32_t>& pinned, bool force);
+  bool rerandomize_incremental_step(const std::vector<uint32_t>& pinned,
+                                    bool force);
 
   uint32_t pid_;
   ProcessConfig config_;
@@ -251,6 +332,17 @@ class Process {
   uint64_t req_commit_cycles_ = 0;
   std::unique_ptr<fault::FaultInjector> injector_;
   ProcessStats stats_;
+  // Continuous re-randomization state.
+  uint32_t defer_streak_ = 0;   // consecutive quiescence deferrals
+  bool rerand_pending_ = false; // trap-scheduled fresh placement due
+  uint32_t trap_rerands_ = 0;   // attack-signal traps answered
+  /// Derand aliases kept alive for register-held addresses across forced
+  /// swaps; retired at later successful re-randomizations.
+  std::vector<uint32_t> aliases_;
+  RerandWork last_work_;
+  /// CFG of base_, built lazily the first time the incremental path runs
+  /// (deterministic, so never serialized).
+  std::unique_ptr<rewriter::Cfg> cfg_;
 };
 
 }  // namespace vcfr::os

@@ -504,6 +504,7 @@ ServeReport run_serve(const ServeConfig& config,
   kc.measure_isolated = false;
   kc.pool_workers = config.pool_workers;
   kc.shared_l2.commit_shards = config.commit_shards;
+  kc.rerand_cost_per_entry = config.rerand_cost_per_entry;
   os::Kernel kernel(kc);
   if (telemetry != nullptr) kernel.attach_telemetry(telemetry);
 
@@ -516,6 +517,7 @@ ServeReport run_serve(const ServeConfig& config,
     pc.max_instructions = config.request_budget;
     pc.enforce_tags = config.enforce_tags;
     pc.restart = config.restart;
+    pc.rerandomize = config.rerandomize;
     pc.watchdog_instructions = config.watchdog_instructions;
     for (const auto& [pid, plan] : config.injections) {
       if (pid == i) {

@@ -47,6 +47,12 @@ struct ServeConfig {
   uint64_t watchdog_instructions = 0;
   bool enforce_tags = true;
   os::RestartPolicy restart{};
+  /// Continuous re-randomization under load (moving target while serving);
+  /// defaults (all off) keep legacy serving byte-identical.
+  os::RerandomizePolicy rerandomize{};
+  /// Victim-core stall cycles per patched entry (os::KernelConfig knob);
+  /// 0 keeps the legacy free-rerand timing model.
+  uint64_t rerand_cost_per_entry = 0;
   /// Armed corruptions, per tenant pid (same shape as `vcfr fleet`).
   std::vector<std::pair<uint32_t, fault::FaultPlan>> injections;
   // ---- rolling-window SLO monitor (0 = off) ------------------------------

@@ -24,6 +24,8 @@ const char* journal_kind_name(JournalKind kind) {
       return "checkpoint";
     case JournalKind::kRestore:
       return "restore";
+    case JournalKind::kRerandForced:
+      return "rerand_forced";
   }
   return "?";
 }

@@ -24,10 +24,13 @@ enum class JournalKind : uint8_t {
   kWatchdog,     // watchdog kill (arg = life instructions at the kill)
   kBudget,       // instruction budget exhausted (arg = total instructions)
   kRestart,      // kernel restarted the process (arg = restart count)
-  kRerandEpoch,  // live re-randomization epoch bump (arg = new epoch)
+  kRerandEpoch,  // live re-randomization epoch bump (arg = regions patched)
   kTenantDown,   // tenant unrecoverable (arg = queued requests dropped)
   kCheckpoint,   // fleet state serialized (arg = scheduler round)
   kRestore,      // run resumed from a checkpoint (arg = scheduler round)
+  kRerandForced, // forced-quiescence re-rand: the deferral cap expired and
+                 // the kernel re-randomized around pinned registers via
+                 // alias translation entries (arg = deferral streak broken)
 };
 
 [[nodiscard]] const char* journal_kind_name(JournalKind kind);

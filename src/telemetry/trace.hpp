@@ -36,7 +36,7 @@ enum class TraceEventType : uint8_t {
   kBitmapMiss,     // return-bitmap cache miss; dur = refill latency
   kSlice,          // scheduler time slice; dur = slice cycles, arg = instrs
   kContextSwitch,  // address-space change; dur = switch overhead
-  kRerandEpoch,    // live re-randomization epoch bump (arg = new epoch)
+  kRerandEpoch,    // live re-randomization epoch bump (arg = regions patched)
   kRoundCommit,    // shared-L2 round commit (arg = round number)
   kFaultInject,    // injected corruption landed (instant; arg = address)
   kRestart,        // kernel restarted a process (arg = restart count)

@@ -236,11 +236,69 @@ TEST(CliFlagsTest, ServeOnlyFlagsRejectedElsewhere) {
 }
 
 TEST(CliFlagsTest, ServeRejectsForeignFlags) {
-  for (const char* flag : {"--procs=4", "--rerand=2", "--naive",
-                           "--profile-out=p.json", "--trials=3"}) {
+  // --rerand used to be fleet-only but serve now re-randomizes under
+  // load, so it no longer belongs in this rejection list.
+  for (const char* flag :
+       {"--procs=4", "--naive", "--profile-out=p.json", "--trials=3"}) {
     const Args args = parse({flag});
     EXPECT_THROW(validate_flags("serve", args), std::runtime_error)
         << "serve should reject " << flag;
+  }
+}
+
+TEST(CliFlagsTest, RerandFlagsParseBothSpellings) {
+  const Args spaced =
+      parse({"--rerand", "4", "--rerand-mode", "incremental",
+             "--rerand-on-trap", "--rerand-scope", "fleet",
+             "--rerand-max-defer", "3"});
+  const Args inlined =
+      parse({"--rerand=4", "--rerand-mode=incremental", "--rerand-on-trap",
+             "--rerand-scope=fleet", "--rerand-max-defer=3"});
+  for (const Args* a : {&spaced, &inlined}) {
+    EXPECT_EQ(a->rerand, 4u);
+    EXPECT_EQ(a->rerand_mode, "incremental");
+    EXPECT_TRUE(a->rerand_on_trap);
+    EXPECT_EQ(a->rerand_scope, "fleet");
+    EXPECT_EQ(a->rerand_max_defer, 3u);
+  }
+  EXPECT_EQ(spaced.seen, inlined.seen);
+}
+
+TEST(CliFlagsTest, RerandFlagDefaultsMatchLegacy) {
+  const Args args = parse({});
+  EXPECT_EQ(args.rerand, 0u);
+  EXPECT_TRUE(args.rerand_mode.empty());  // empty = full rebuild
+  EXPECT_FALSE(args.rerand_on_trap);
+  EXPECT_TRUE(args.rerand_scope.empty());  // empty = proc
+  EXPECT_EQ(args.rerand_max_defer, 0u);
+}
+
+TEST(CliFlagsTest, RerandModeAndScopeRejectUnknownValues) {
+  EXPECT_THROW(parse({"--rerand-mode=eager"}), std::runtime_error);
+  EXPECT_THROW(parse({"--rerand-scope=core"}), std::runtime_error);
+  EXPECT_THROW(parse({"--rerand-on-trap=yes"}), std::runtime_error);
+}
+
+TEST(CliFlagsTest, RerandFlagsAcceptedOnFleetAndServeOnly) {
+  for (const char* flag :
+       {"--rerand=2", "--rerand-mode=incremental", "--rerand-on-trap",
+        "--rerand-scope=fleet", "--rerand-max-defer=3"}) {
+    const Args args = parse({flag});
+    EXPECT_NO_THROW(validate_flags("fleet", args)) << flag;
+    EXPECT_NO_THROW(validate_flags("serve", args)) << flag;
+    for (const char* cmd : {"run", "sim", "faultcamp", "workload"}) {
+      EXPECT_THROW(validate_flags(cmd, args), std::runtime_error)
+          << cmd << " should reject " << flag;
+    }
+  }
+}
+
+TEST(CliFlagsTest, UsageCoversRerand) {
+  const std::string usage = usage_text();
+  for (const char* needle : {"--rerand-mode full|incremental",
+                             "--rerand-on-trap", "--rerand-scope proc|fleet",
+                             "--rerand-max-defer"}) {
+    EXPECT_NE(usage.find(needle), std::string::npos) << needle;
   }
 }
 

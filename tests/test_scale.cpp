@@ -42,10 +42,12 @@ os::KernelConfig fleet_config(uint32_t cores, uint32_t commit_shards,
 }
 
 void spawn_mix(os::Kernel& kernel, uint32_t procs, uint64_t seed,
-               bool inject_pid1 = false) {
+               bool inject_pid1 = false,
+               const os::RerandomizePolicy* rerand = nullptr) {
   const char* mix[] = {"bzip2", "gcc", "mcf", "hmmer"};
   for (uint32_t i = 0; i < procs; ++i) {
     os::ProcessConfig pc = tenant(mix[i % 4], seed ^ (kSeedMix * (i + 1)));
+    if (rerand != nullptr) pc.rerandomize = *rerand;
     if (inject_pid1) {
       pc.restart.mode = os::RestartPolicy::Mode::kOnFault;
       pc.restart.backoff_rounds = 2;
@@ -135,23 +137,25 @@ struct CheckpointRun {
 };
 
 CheckpointRun checkpoint_roundtrip(const std::string& path, bool inject_pid1,
-                                   uint32_t restore_pool_workers = 0) {
+                                   uint32_t restore_pool_workers = 0,
+                                   const os::RerandomizePolicy* rerand =
+                                       nullptr) {
   CheckpointRun out;
   {
     os::Kernel kernel(fleet_config(4, 8));
-    spawn_mix(kernel, 8, 7, inject_pid1);
+    spawn_mix(kernel, 8, 7, inject_pid1, rerand);
     out.baseline = kernel.run().to_json();
   }
   {
     os::Kernel kernel(fleet_config(4, 8));
-    spawn_mix(kernel, 8, 7, inject_pid1);
+    spawn_mix(kernel, 8, 7, inject_pid1, rerand);
     kernel.set_checkpoint(8, path);
     out.with_write = kernel.run().to_json();
     out.writes = kernel.checkpoint_writes();
   }
   {
     os::Kernel kernel(fleet_config(4, 8, restore_pool_workers));
-    spawn_mix(kernel, 8, 7, inject_pid1);
+    spawn_mix(kernel, 8, 7, inject_pid1, rerand);
     std::ifstream in(path, std::ios::binary);
     kernel.restore(in);
     out.resumed = kernel.run().to_json();
@@ -178,6 +182,27 @@ TEST(CheckpointRestoreTest, ResumedRunIsBitIdenticalUnderInjection) {
   const CheckpointRun r =
       checkpoint_roundtrip(testing::TempDir() + "vcfr_ckpt_inject.bin", true);
   EXPECT_EQ(r.writes, 1u);
+  EXPECT_EQ(r.baseline, r.with_write);
+  EXPECT_EQ(r.baseline, r.resumed);
+}
+
+// Continuous re-randomization is the hardest checkpoint client: the cut
+// can land mid-deferral-streak with alias entries live and a trap-
+// scheduled swap pending, and incremental epochs cannot be re-derived
+// from the seed alone (the serialized tables are the ground truth). The
+// resumed run must still finish bit-identical.
+TEST(CheckpointRestoreTest, ResumedRunIsBitIdenticalUnderContinuousRerand) {
+  os::RerandomizePolicy rp;
+  rp.every_slices = 3;
+  rp.rebuild = os::RerandomizePolicy::Rebuild::kIncremental;
+  rp.epoch_tags = true;
+  rp.on_trap = true;
+  rp.max_defer = 2;
+  const CheckpointRun r =
+      checkpoint_roundtrip(testing::TempDir() + "vcfr_ckpt_rerand.bin",
+                           /*inject_pid1=*/true, 0, &rp);
+  EXPECT_EQ(r.writes, 1u);
+  EXPECT_EQ(r.restores, 1u);
   EXPECT_EQ(r.baseline, r.with_write);
   EXPECT_EQ(r.baseline, r.resumed);
 }

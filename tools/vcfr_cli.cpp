@@ -467,6 +467,24 @@ std::vector<std::string> split_list(const std::string& csv) {
   return items;
 }
 
+/// Folds the --rerand* flag family into a re-randomization policy.
+/// --rerand-mode incremental also turns on epoch-tagged invalidation —
+/// lazily revalidating warm caches is the point of patching in place.
+os::RerandomizePolicy parse_rerand_policy(const cli::Args& args) {
+  os::RerandomizePolicy rp;
+  rp.every_slices = args.rerand;
+  if (args.rerand_mode == "incremental") {
+    rp.rebuild = os::RerandomizePolicy::Rebuild::kIncremental;
+    rp.epoch_tags = true;
+  }
+  rp.on_trap = args.rerand_on_trap;
+  if (args.rerand_scope == "fleet") {
+    rp.scope = os::RerandomizePolicy::Scope::kFleet;
+  }
+  rp.max_defer = args.rerand_max_defer;
+  return rp;
+}
+
 os::RestartPolicy::Mode parse_restart_mode(const std::string& name) {
   if (name == "never") return os::RestartPolicy::Mode::kNever;
   if (name == "on-fault") return os::RestartPolicy::Mode::kOnFault;
@@ -589,7 +607,7 @@ int cmd_fleet(const Args& args) {
     // Distinct placement per process even under one fleet seed.
     pc.seed = args.seed ^ (0x9e3779b97f4a7c15ull * (i + 1));
     pc.max_instructions = args.max_instr;
-    pc.rerandomize.every_slices = args.rerand;
+    pc.rerandomize = parse_rerand_policy(args);
     pc.restart = restart;
     pc.watchdog_instructions = args.watchdog;
     if (inject && inject->pid == i) {
@@ -688,6 +706,7 @@ int cmd_serve(const Args& args) {
   if (!args.restart.empty()) sc.restart.mode = parse_restart_mode(args.restart);
   sc.restart.max_restarts = args.max_restarts;
   sc.restart.backoff_rounds = args.backoff;
+  sc.rerandomize = parse_rerand_policy(args);
   if (!args.inject.empty()) {
     const InjectSpec spec = parse_inject(args.inject);
     if (spec.pid >= sc.tenants) {
