@@ -67,6 +67,10 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (a == "--rerand-on-trap") {
       args.rerand_on_trap = boolean();
+    } else if (a == "--rerand-on-leak") {
+      args.rerand_on_leak = boolean();
+    } else if (a == "--taint") {
+      args.taint = boolean();
     } else if (a == "--rerand-scope") {
       args.rerand_scope = value();
       if (args.rerand_scope != "proc" && args.rerand_scope != "fleet") {
@@ -128,6 +132,10 @@ Args parse_args(int argc, char** argv) {
       args.trace_capacity = std::stoull(value());
     } else if (a == "--journal-out") {
       args.journal_out = value();
+    } else if (a == "--journal-capacity") {
+      args.journal_capacity = std::stoull(value());
+    } else if (a == "--journal") {
+      args.journal_in = value();
     } else if (a == "--slo") {
       args.slo = value();
     } else if (a == "--slo-window") {
@@ -164,9 +172,9 @@ void validate_flags(const std::string& cmd, const Args& args) {
        {"--output", "--seed", "--naive", "--software-returns",
         "--page-confined"}},
       {"run",
-       {"--enforce-tags", "--max-instr", "--stats-json", "--trace-out",
-        "--trace-capacity", "--sample-interval", "--sample-out",
-        "--profile-out", "--flame-out", "--top"}},
+       {"--enforce-tags", "--taint", "--max-instr", "--stats-json",
+        "--trace-out", "--trace-capacity", "--sample-interval",
+        "--sample-out", "--profile-out", "--flame-out", "--top"}},
       {"sim",
        {"--drc", "--max-instr", "--stats-json", "--trace-out",
         "--trace-capacity", "--sample-interval", "--sample-out",
@@ -181,10 +189,11 @@ void validate_flags(const std::string& cmd, const Args& args) {
       {"fleet",
        {"--procs", "--cores", "--slice", "--rerand", "--rerand-mode",
         "--rerand-on-trap", "--rerand-scope", "--rerand-max-defer",
-        "--workloads", "--scale",
+        "--taint", "--rerand-on-leak", "--workloads", "--scale",
         "--seed", "--json", "--no-baseline", "--drc", "--max-instr",
         "--restart", "--max-restarts", "--backoff", "--watchdog", "--inject",
         "--stats-json", "--trace-out", "--trace-capacity", "--journal-out",
+        "--journal-capacity",
         "--sample-interval", "--sample-out", "--profile-out", "--top",
         "--pool-workers", "--checkpoint-out", "--checkpoint-round",
         "--restore"}},
@@ -198,13 +207,16 @@ void validate_flags(const std::string& cmd, const Args& args) {
        {"--tenants", "--cores", "--duration", "--arrival", "--interarrival",
         "--dist", "--rerand", "--rerand-mode", "--rerand-on-trap",
         "--rerand-scope", "--rerand-max-defer",
+        "--taint", "--rerand-on-leak",
         "--workloads", "--scale", "--seed", "--slice", "--drc",
         "--max-instr", "--restart", "--max-restarts", "--backoff",
         "--watchdog", "--inject", "--json", "--latency-out", "--stats-json",
         "--trace-out", "--trace-capacity", "--journal-out",
+        "--journal-capacity",
         "--sample-interval", "--sample-out", "--slo", "--slo-window",
         "--pool-workers"}},
-      {"trace-report", {"--trace", "--top"}},
+      {"trace-report", {"--trace", "--journal", "--top"}},
+      {"leaks", {"--seed", "--trials", "--json", "--output"}},
   };
   const auto it = kAllowed.find(cmd);
   if (it == kAllowed.end()) return;  // unknown command: usage() handles it
@@ -235,10 +247,11 @@ const char* usage_text() {
       "      [--software-returns] [--page-confined]\n"
       "      ILR-randomize; default output is the VCFR image, --naive the\n"
       "      relocated one\n"
-      "  run <img.vxe> [--enforce-tags] [--max-instr N] [telemetry flags]\n"
-      "      [profile flags]\n"
+      "  run <img.vxe> [--enforce-tags] [--taint] [--max-instr N]\n"
+      "      [telemetry flags] [profile flags]\n"
       "      golden-model (functional) run; telemetry stamps events with\n"
-      "      the instruction index\n"
+      "      the instruction index; --taint shadow-tracks randomized-layout\n"
+      "      secrets and reports any that reach program output\n"
       "  sim <img.vxe> [--drc N] [--max-instr N] [telemetry flags]\n"
       "      [profile flags]\n"
       "      cycle simulation on one core\n"
@@ -255,6 +268,7 @@ const char* usage_text() {
       "  fleet [--procs N] [--cores N] [--slice N] [--rerand N]\n"
       "      [--rerand-mode full|incremental] [--rerand-on-trap]\n"
       "      [--rerand-scope proc|fleet] [--rerand-max-defer K]\n"
+      "      [--taint] [--rerand-on-leak]\n"
       "      [--workloads a,b,c] [--scale S] [--seed N] [--drc N]\n"
       "      [--max-instr N] [--json] [--no-baseline]\n"
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
@@ -279,12 +293,15 @@ const char* usage_text() {
       "      host worker pool (0 = auto; results are bit-identical);\n"
       "      --checkpoint-out/--checkpoint-round serialize the fleet at a\n"
       "      round boundary, --restore resumes bit-identically from it\n"
-      "      (incompatible with --profile-out)\n"
+      "      (incompatible with --profile-out); --taint shadow-tracks\n"
+      "      randomized-layout secrets per tenant and journals any leak\n"
+      "      with provenance; --rerand-on-leak treats a leak as an attack\n"
+      "      signal (fresh placement, --rerand-scope honored)\n"
       "  serve [--tenants N] [--cores N] [--duration CYCLES]\n"
       "      [--arrival open|closed] [--interarrival CYCLES]\n"
       "      [--rerand N] [--rerand-mode full|incremental]\n"
       "      [--rerand-on-trap] [--rerand-scope proc|fleet]\n"
-      "      [--rerand-max-defer K]\n"
+      "      [--rerand-max-defer K] [--taint] [--rerand-on-leak]\n"
       "      [--dist fixed|uniform|exp] [--workloads a,b,c] [--scale S]\n"
       "      [--seed N] [--slice N] [--drc N] [--max-instr N]\n"
       "      [--restart never|on-fault|always] [--max-restarts N]\n"
@@ -305,14 +322,25 @@ const char* usage_text() {
       "      percentile exceeds it; --max-instr is the per-request\n"
       "      instruction budget; the --rerand* family re-randomizes live\n"
       "      tenants under load exactly as in `fleet` (moving target while\n"
-      "      serving)\n"
-      "  trace-report <latency.csv> [--trace trace.json] [--top N]\n"
+      "      serving); --taint attributes taint-sink leaks to requests\n"
+      "      (extra CSV columns + report fields) and --rerand-on-leak\n"
+      "      re-keys the leaking tenant at its next request boundary\n"
+      "  trace-report <latency.csv> [--trace trace.json]\n"
+      "      [--journal journal.jsonl] [--top N]\n"
       "      per-request critical-path breakdown from a serve\n"
       "      --latency-out CSV: per-tenant queue/run/restart_loss/\n"
       "      commit_stall totals, the top-N slowest requests, and an exact\n"
       "      conservation check (components must sum to the latency;\n"
       "      exit 1 otherwise); --trace also cross-checks the flow events\n"
-      "      in a --trace-out JSON\n"
+      "      in a --trace-out JSON; --journal ingests the flight recorder\n"
+      "      and adds a per-tenant leak forensics section, cross-checked\n"
+      "      against the CSV leak counts (exit 1 on mismatch)\n"
+      "  leaks [--seed N] [--trials N] [--json] [-o report.json]\n"
+      "      leak-observability gate: drive the over-reading leaky server\n"
+      "      under taint tracking across layouts x seeds; VCFR must detect\n"
+      "      the planted exfiltration with provenance while the native\n"
+      "      layout stays silent (no randomized secrets to steal), and\n"
+      "      --rerand-on-leak must re-key the victim within one round\n"
       "  prof <img.vxe> [--seed N] [--drc N] [--max-instr N] [--top N]\n"
       "      [--profile-out PATH] [--flame-out PATH]\n"
       "      guest-level cycle-attribution profile (docs/OBSERVABILITY.md);\n"
@@ -334,6 +362,10 @@ const char* usage_text() {
       "  --trace-capacity N      per-lane trace ring capacity in events\n"
       "                          (default 65536; oldest events drop when\n"
       "                          full — a warning reports drops at export)\n"
+      "  --journal-capacity N    flight-recorder ring capacity in entries\n"
+      "                          (fleet/serve; default 4096; oldest entries\n"
+      "                          drop when full — a warning reports drops\n"
+      "                          at export)\n"
       "  --sample-interval N     snapshot the registry every N cycles\n"
       "  --sample-out PATH       time-series destination; .json for JSON,\n"
       "                          anything else for CSV (requires\n"

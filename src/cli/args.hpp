@@ -33,6 +33,9 @@ struct Args {
   bool rerand_on_trap = false;    // fresh placement on attack-signal traps
   std::string rerand_scope;       // "" (= proc) | proc | fleet
   uint32_t rerand_max_defer = 0;  // forced quiescence after K deferrals
+  // Leak observability (run/fleet/serve) — docs/OBSERVABILITY.md.
+  bool taint = false;             // shadow taint tracking of layout secrets
+  bool rerand_on_leak = false;    // fresh placement when a taint sink fires
   /// Execute-phase worker-pool size (fleet/serve); 0 = auto (cores - 1).
   /// Host parallelism only — simulated results are bit-identical.
   uint32_t pool_workers = 0;
@@ -68,6 +71,10 @@ struct Args {
   uint64_t trace_capacity = 0;
   /// Flight-recorder JSONL destination (serve/fleet).
   std::string journal_out;
+  /// Journal ring capacity in entries; 0 keeps the default (4096).
+  uint64_t journal_capacity = 0;
+  /// Flight-recorder JSONL input (trace-report --journal PATH).
+  std::string journal_in;
   // SLO monitor (serve) + trace-report inputs.
   std::string slo;          // p50|p99|p999:<cycles>
   uint64_t slo_window = 50'000;

@@ -108,6 +108,167 @@ uint32_t Emulator::pop32() {
   return mem_.read32(sp);
 }
 
+void Emulator::taint_sink(LeakSink sink, const TaintTag& tag,
+                          uint32_t sink_rpc) {
+  if (!tag.tainted) return;
+  ++taint_stats_.leaks;
+  if (leaks_.size() >= kMaxLeakRecords) return;
+  LeakRecord rec;
+  rec.origin = tag.origin;
+  rec.origin_rpc = tag.origin_rpc;
+  rec.epoch = taint_epoch_;
+  rec.depth = tag.depth;
+  rec.sink = sink;
+  rec.sink_rpc = sink_rpc;
+  rec.instruction = stats_.instructions;  // 0-based index of the sink
+  leaks_.push_back(rec);
+}
+
+void Emulator::track_taint(const StepInfo& si, const Instr& in) {
+  TaintStats& st = taint_stats_;
+  const auto note_depth = [&](const TaintTag& t) {
+    if (t.depth > st.max_depth) st.max_depth = t.depth;
+  };
+  // Every data-flow hop (move, load, store, ALU combine) is one more
+  // propagation step away from the source.
+  const auto bump = [](TaintTag t) {
+    if (t.tainted) ++t.depth;
+    return t;
+  };
+  // Two-source combine keeps the deeper chain (deterministic tiebreak:
+  // the destination's own tag wins at equal depth).
+  const auto combine = [](const TaintTag& a, const TaintTag& b) {
+    if (!a.tainted) return b;
+    if (!b.tainted) return a;
+    return a.depth >= b.depth ? a : b;
+  };
+  const auto set_reg = [&](uint8_t rd, const TaintTag& t) {
+    if (t.tainted) {
+      ++st.propagations;
+      note_depth(t);
+      reg_taint_[rd] = t;
+    } else {
+      reg_taint_[rd].tainted = false;
+    }
+  };
+  // Word granularity: a tainted byte taints its whole word.
+  const auto mem_at = [&](uint32_t addr) -> TaintTag {
+    const auto it = mem_taint_.find(addr & ~3u);
+    return it == mem_taint_.end() ? TaintTag{} : it->second;
+  };
+  const auto set_mem = [&](uint32_t addr, const TaintTag& t) {
+    if (t.tainted) {
+      ++st.propagations;
+      note_depth(t);
+      mem_taint_[addr & ~3u] = t;
+    } else {
+      mem_taint_.erase(addr & ~3u);
+    }
+  };
+  const auto seed_mem = [&](uint32_t addr, TaintOrigin origin,
+                            uint32_t value) {
+    ++st.sources;
+    mem_taint_[addr & ~3u] = TaintTag{true, origin, value, 0};
+  };
+
+  switch (in.op) {
+    case Op::kOut:
+      taint_sink(LeakSink::kOut, reg_taint_[in.rd], si.rpc);
+      break;
+    case Op::kSys:
+      if (in.imm == 1) taint_sink(LeakSink::kSys, reg_taint_[0], si.rpc);
+      break;
+    case Op::kMovRR:
+      set_reg(in.rd, bump(reg_taint_[in.rs]));
+      break;
+    case Op::kMovRI:
+      set_reg(in.rd, TaintTag{});
+      break;
+    case Op::kLd: {
+      // §IV-C auto-de-randomization strips the secret: the loaded value is
+      // the original-space address, not randomized-layout information.
+      TaintTag t = si.bitmap_load
+                       ? TaintTag{}
+                       : combine(mem_at(si.mem_addr), mem_at(si.mem_addr + 3));
+      set_reg(in.rd, bump(t));
+      break;
+    }
+    case Op::kLdb:
+      set_reg(in.rd, bump(mem_at(si.mem_addr)));
+      break;
+    case Op::kSt: {
+      const TaintTag t = bump(reg_taint_[in.rd]);
+      if (t.tainted) {
+        set_mem(si.mem_addr, t);
+        if (((si.mem_addr + 3) & ~3u) != (si.mem_addr & ~3u)) {
+          set_mem(si.mem_addr + 3, t);
+        }
+      } else if ((si.mem_addr & 3u) == 0) {
+        set_mem(si.mem_addr, TaintTag{});  // word fully overwritten
+      }
+      break;
+    }
+    case Op::kStb:
+      // A clean byte store cannot untaint the rest of its word.
+      if (reg_taint_[in.rd].tainted) {
+        set_mem(si.mem_addr, bump(reg_taint_[in.rd]));
+      }
+      break;
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kAndRR:
+    case Op::kOrRR:
+    case Op::kXorRR:
+    case Op::kShlRR:
+    case Op::kShrRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+      set_reg(in.rd, bump(combine(reg_taint_[in.rd], reg_taint_[in.rs])));
+      break;
+    case Op::kAddRI:
+    case Op::kSubRI:
+    case Op::kAndRI:
+    case Op::kOrRI:
+    case Op::kXorRI:
+    case Op::kShlRI:
+    case Op::kShrRI:
+    case Op::kMulRI:
+      set_reg(in.rd, bump(reg_taint_[in.rd]));
+      break;
+    case Op::kPushR:
+      set_mem(si.mem_addr, bump(reg_taint_[in.rd]));
+      break;
+    case Op::kPushI:
+      if (image_.layout == Layout::kVcfr &&
+          image_.tables.is_randomized_addr(in.imm)) {
+        seed_mem(si.mem_addr, TaintOrigin::kSwRandPush, in.imm);
+      } else {
+        set_mem(si.mem_addr, TaintTag{});
+      }
+      break;
+    case Op::kPopR: {
+      // Pop reads but does not clear the word (the bytes survive below sp
+      // until overwritten — exactly the survivability a leak hunts for).
+      const TaintTag t =
+          si.bitmap_load ? TaintTag{} : bump(mem_at(si.mem_addr));
+      set_reg(in.rd, t);
+      break;
+    }
+    case Op::kCall:
+    case Op::kCallR:
+      if (si.needs_rand) {
+        // The hardware just pushed a randomized return address — the
+        // canonical layout secret (and the leaky-server target).
+        seed_mem(si.mem_addr, TaintOrigin::kRetPush, si.call_push_value);
+      } else {
+        set_mem(si.mem_addr, TaintTag{});
+      }
+      break;
+    default:
+      break;  // nop/halt/jmp/jcc/jmpr/ret/cmp/test: no data-flow change
+  }
+}
+
 bool Emulator::step(StepInfo* info) {
   if (halted_ || !trap_.ok()) return false;
 
@@ -410,6 +571,10 @@ bool Emulator::step(StepInfo* info) {
     }
   }
 
+  // Shadow-only taint bookkeeping; lives in the execute half so the
+  // decode-cache fast path is identical with tracking on or off.
+  if (taint_on_) track_taint(si, in);
+
   ++stats_.instructions;
   if (tag_fault) {
     raise(fault::FaultKind::kTranslationMismatch, next);
@@ -463,6 +628,40 @@ void Emulator::save_state(binary::StateWriter& w) const {
   w.u64(trap_.instruction);
   w.str(error_);
   w.u64(max_output_);
+  // Taint shadow state (appended so pre-taint readers never existed for
+  // this format version; the kernel's config digest guards compatibility).
+  const auto tag_out = [&w](const TaintTag& t) {
+    w.b(t.tainted);
+    w.u8(static_cast<uint8_t>(t.origin));
+    w.u32(t.origin_rpc);
+    w.u32(t.depth);
+  };
+  w.b(taint_on_);
+  w.u64(taint_epoch_);
+  w.u64(taint_stats_.sources);
+  w.u64(taint_stats_.propagations);
+  w.u64(taint_stats_.leaks);
+  w.u64(taint_stats_.max_depth);
+  for (const TaintTag& t : reg_taint_) tag_out(t);
+  std::vector<std::pair<uint32_t, TaintTag>> words(mem_taint_.begin(),
+                                                   mem_taint_.end());
+  std::sort(words.begin(), words.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u32(static_cast<uint32_t>(words.size()));
+  for (const auto& [addr, tag] : words) {
+    w.u32(addr);
+    tag_out(tag);
+  }
+  w.u32(static_cast<uint32_t>(leaks_.size()));
+  for (const LeakRecord& rec : leaks_) {
+    w.u8(static_cast<uint8_t>(rec.origin));
+    w.u32(rec.origin_rpc);
+    w.u64(rec.epoch);
+    w.u32(rec.depth);
+    w.u8(static_cast<uint8_t>(rec.sink));
+    w.u32(rec.sink_rpc);
+    w.u64(rec.instruction);
+  }
 }
 
 void Emulator::load_state(binary::StateReader& r) {
@@ -493,6 +692,40 @@ void Emulator::load_state(binary::StateReader& r) {
   trap_.instruction = r.u64();
   error_ = r.str();
   max_output_ = r.u64();
+  const auto tag_in = [&r] {
+    TaintTag t;
+    t.tainted = r.b();
+    t.origin = static_cast<TaintOrigin>(r.u8());
+    t.origin_rpc = r.u32();
+    t.depth = r.u32();
+    return t;
+  };
+  taint_on_ = r.b();
+  taint_epoch_ = r.u64();
+  taint_stats_.sources = r.u64();
+  taint_stats_.propagations = r.u64();
+  taint_stats_.leaks = r.u64();
+  taint_stats_.max_depth = r.u64();
+  for (TaintTag& t : reg_taint_) t = tag_in();
+  mem_taint_.clear();
+  const uint32_t words = r.count(1u << 24);
+  for (uint32_t i = 0; i < words; ++i) {
+    const uint32_t addr = r.u32();
+    mem_taint_[addr] = tag_in();
+  }
+  leaks_.clear();
+  const uint32_t leak_count = r.count(1u << 24);
+  for (uint32_t i = 0; i < leak_count; ++i) {
+    LeakRecord rec;
+    rec.origin = static_cast<TaintOrigin>(r.u8());
+    rec.origin_rpc = r.u32();
+    rec.epoch = r.u64();
+    rec.depth = r.u32();
+    rec.sink = static_cast<LeakSink>(r.u8());
+    rec.sink_rpc = r.u32();
+    rec.instruction = r.u64();
+    leaks_.push_back(rec);
+  }
   // Host-only decode cache: drop every fill so nothing predating the
   // restored architectural state survives.
   std::fill(dcache_.begin(), dcache_.end(), DecodedEntry{});

@@ -20,12 +20,14 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "binary/flat_map.hpp"
 #include "binary/image.hpp"
 #include "binary/loader.hpp"
+#include "emu/taint.hpp"
 #include "fault/fault.hpp"
 #include "isa/isa.hpp"
 
@@ -142,6 +144,34 @@ class Emulator {
     return dcache_stats_;
   }
 
+  /// Toggles address-taint tracking (off by default; emu/taint.hpp).
+  /// Pure shadow state: architectural results, outputs, and simulated
+  /// cycles are byte-identical with tracking on or off — the tracker only
+  /// *observes* randomized-layout secrets flowing toward program output.
+  /// Turning tracking on clears any previous shadow state.
+  void set_taint_tracking(bool on) {
+    taint_on_ = on;
+    if (on) {
+      reg_taint_.fill(TaintTag{});
+      mem_taint_.clear();
+      leaks_.clear();
+    }
+  }
+  [[nodiscard]] bool taint_tracking() const { return taint_on_; }
+  /// Stamps subsequently-seeded tags with the owning placement epoch so a
+  /// leak's provenance names the placement whose secret escaped.
+  void set_taint_epoch(uint64_t epoch) { taint_epoch_ = epoch; }
+  [[nodiscard]] const TaintStats& taint_stats() const { return taint_stats_; }
+  /// Leak records since the last drain (bounded; see kMaxLeakRecords).
+  [[nodiscard]] const std::vector<LeakRecord>& leaks() const { return leaks_; }
+  /// Moves the pending leak records out (the kernel drains each
+  /// bookkeeping pass and attaches pid/request provenance).
+  [[nodiscard]] std::vector<LeakRecord> drain_leaks() {
+    std::vector<LeakRecord> out = std::move(leaks_);
+    leaks_.clear();
+    return out;
+  }
+
   /// Attaches (or detaches, with nullptr) a guest profiler. The functional
   /// model has no clock, so each retired instruction is reported as one
   /// cycle of issue time; cycle-level attribution comes from sim::CpuCore.
@@ -239,7 +269,17 @@ class Emulator {
   };
   static constexpr uint32_t kDecodeCacheBits = 12;  // 4096 entries
 
+  /// Leak-record ring bound: stats keep exact counts past the cap, only
+  /// the per-record provenance is dropped (fleet callers drain every
+  /// bookkeeping pass, far below this).
+  static constexpr size_t kMaxLeakRecords = 1u << 16;
+
   void raise(fault::FaultKind kind, uint32_t detail);
+  /// Shadow-state bookkeeping for one retired instruction; called from
+  /// the execute half of step() only when taint_on_ (the decode-cache
+  /// front half is untouched either way).
+  void track_taint(const StepInfo& si, const isa::Instr& in);
+  void taint_sink(LeakSink sink, const TaintTag& tag, uint32_t sink_rpc);
   [[nodiscard]] uint32_t to_upc(uint32_t rpc) const;
   [[nodiscard]] uint32_t sequential_next(uint32_t rpc, uint32_t upc,
                                          uint8_t len) const;
@@ -274,6 +314,15 @@ class Emulator {
   uint64_t rerand_new_gen_ = 0;
   binary::FlatSet32 rerand_dirty_;
   profile::Profiler* prof_ = nullptr;
+
+  // ---- address-taint shadow state (emu/taint.hpp) -----------------------
+  bool taint_on_ = false;
+  uint64_t taint_epoch_ = 0;
+  std::array<TaintTag, isa::kNumRegs> reg_taint_{};
+  /// Tracked memory words, keyed by word-aligned address (addr & ~3).
+  std::unordered_map<uint32_t, TaintTag> mem_taint_;
+  TaintStats taint_stats_;
+  std::vector<LeakRecord> leaks_;
 };
 
 /// Convenience: load + run an image on a fresh memory.

@@ -1,0 +1,92 @@
+// Address-taint telemetry types (docs/OBSERVABILITY.md).
+//
+// The leak class tracked here is the precursor of every derandomization
+// attack on an ILR system: a randomized-space address — minted by the
+// translation machinery and meaningless outside the current placement —
+// flowing through data computation into program output, where an external
+// observer can harvest it (the static+dynamic AddrLeaks split, and the
+// JIT-ROP disclosure model that MARDU-style re-keying answers).
+//
+// Taint is pure shadow state layered over emu::Emulator: it never changes
+// an architectural result, a simulated cycle, or an output byte. The
+// tracked secrets are the values the VCFR hardware itself randomizes —
+// return addresses pushed by calls at randomized sites (§IV-C) and
+// software-randomization pushes of translated addresses — so on a native
+// (kOriginal) image no source ever seeds and the tracker is silent by
+// construction.
+#pragma once
+
+#include <cstdint>
+
+namespace vcfr::emu {
+
+/// Where a taint tag was born (the kind of randomized-layout secret).
+enum class TaintOrigin : uint8_t {
+  /// A call at a randomized site pushed the randomized return address and
+  /// marked the slot in the ret bitmap (§IV-A option 2 / §IV-C).
+  kRetPush = 0,
+  /// A pushi of a randomized-space immediate (software return-address
+  /// randomization, §IV-C software option).
+  kSwRandPush = 1,
+};
+
+/// Which output channel a tainted value escaped through.
+enum class LeakSink : uint8_t {
+  kOut = 0,  // `out rd`
+  kSys = 1,  // `sys 1` (write syscall, r0)
+};
+
+// Plain C strings (not string_view) so call sites may pass them straight
+// through printf-style varargs.
+[[nodiscard]] constexpr const char* taint_origin_name(TaintOrigin o) {
+  switch (o) {
+    case TaintOrigin::kRetPush: return "ret_push";
+    case TaintOrigin::kSwRandPush: return "swrand_push";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* leak_sink_name(LeakSink s) {
+  switch (s) {
+    case LeakSink::kOut: return "out";
+    case LeakSink::kSys: return "sys";
+  }
+  return "?";
+}
+
+/// Shadow tag carried per guest register and per tracked memory word.
+/// Word granularity for memory (addr & ~3): a tainted byte taints its
+/// word — a deterministic over-approximation, never an omission.
+struct TaintTag {
+  bool tainted = false;
+  TaintOrigin origin = TaintOrigin::kRetPush;
+  /// The randomized-space value whose bits the tag shadows (for a return
+  /// push: the randomized return address itself).
+  uint32_t origin_rpc = 0;
+  /// Data-flow hops from the source (0 at the seed; +1 per move, load,
+  /// store, or ALU combine).
+  uint32_t depth = 0;
+};
+
+/// Deterministic counters for the tracker (exported as emu.taint.*).
+struct TaintStats {
+  uint64_t sources = 0;       // tags seeded at randomized-secret births
+  uint64_t propagations = 0;  // tag writes through moves/loads/stores/ALU
+  uint64_t leaks = 0;         // tainted values that reached a sink
+  uint64_t max_depth = 0;     // deepest propagation chain seen
+};
+
+/// Full provenance for one sink firing. The owning pid/request id are
+/// attached by the kernel when it drains the emulator (the emulator knows
+/// neither).
+struct LeakRecord {
+  TaintOrigin origin = TaintOrigin::kRetPush;
+  uint32_t origin_rpc = 0;  // the leaked randomized-space value
+  uint64_t epoch = 0;       // placement epoch the secret belongs to
+  uint32_t depth = 0;       // propagation depth at the sink
+  LeakSink sink = LeakSink::kOut;
+  uint32_t sink_rpc = 0;       // architectural pc of the sink instruction
+  uint64_t instruction = 0;    // instruction index at the sink
+};
+
+}  // namespace vcfr::emu

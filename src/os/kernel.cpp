@@ -1,12 +1,14 @@
 #include "os/kernel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <istream>
 
 #include "binary/state_io.hpp"
 #include "emu/emulator.hpp"
+#include "emu/taint.hpp"
 #include "rewriter/randomizer.hpp"
 
 namespace vcfr::os {
@@ -16,6 +18,18 @@ namespace {
 /// The in-flight request id for a journal entry, or -1 when none.
 [[nodiscard]] int64_t journal_req(const Process& p) {
   return p.request_active() ? static_cast<int64_t>(p.request_id()) : -1;
+}
+
+/// Journal detail string carrying a leak's full provenance chain:
+/// which secret escaped (origin + the randomized address it guarded),
+/// the placement generation it belonged to, and the exit door.
+[[nodiscard]] std::string leak_detail(const emu::LeakRecord& leak) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "origin=%s rpc=0x%x epoch=%llu sink=%s",
+                emu::taint_origin_name(leak.origin), leak.origin_rpc,
+                static_cast<unsigned long long>(leak.epoch),
+                emu::leak_sink_name(leak.sink));
+  return buf;
 }
 
 /// FNV-1a accumulator for the checkpoint's configuration digest.
@@ -302,6 +316,20 @@ void Kernel::setup_telemetry() {
     rerand_entries_hist_ = rerand.histogram("entries_patched");
   }
 
+  // Leak observability (docs/OBSERVABILITY.md): fleet.leak.* exists only
+  // when some process arms taint tracking, so untainted registries stay
+  // byte-identical (observer neutrality extends to the stats snapshot).
+  bool any_taint = false;
+  for (const auto& proc : procs_) {
+    if (proc->config().taint) any_taint = true;
+  }
+  if (any_taint) {
+    const telemetry::Scope leak = fleet.scope("leak");
+    leak.counter("detected", &leaks_detected_);
+    leak.counter("rerands", &leak_rerands_);
+    leak_depth_hist_ = leak.histogram("depth");
+  }
+
   lanes_.assign(cores, nullptr);
   telemetry::Tracer* tracer = telemetry_->tracer();
   for (uint32_t c = 0; c < cores; ++c) {
@@ -405,6 +433,8 @@ uint64_t Kernel::config_digest() const {
     d.mix(pc.inject.at_instruction);
     d.mix(static_cast<uint64_t>(pc.inject.site));
     d.mix(pc.inject.seed);
+    d.mix(pc.taint ? 1 : 0);
+    d.mix(pc.rerandomize.on_leak ? 1 : 0);
   }
   return d.h;
 }
@@ -426,6 +456,8 @@ void Kernel::write_checkpoint() {
   w.u64(rerand_forced_);
   w.u64(rerand_regions_total_);
   w.u64(rerand_entries_total_);
+  w.u64(leaks_detected_);
+  w.u64(leak_rerands_);
   w.u32(static_cast<uint32_t>(pending_restarts_.size()));
   for (const PendingRestart& pr : pending_restarts_) {
     w.u32(pr.pid);
@@ -481,6 +513,8 @@ void Kernel::restore(std::istream& in) {
   rerand_forced_ = r.u64();
   rerand_regions_total_ = r.u64();
   rerand_entries_total_ = r.u64();
+  leaks_detected_ = r.u64();
+  leak_rerands_ = r.u64();
   pending_restarts_.clear();
   const uint32_t pending = r.count(1u << 20);
   for (uint32_t i = 0; i < pending; ++i) {
@@ -594,6 +628,74 @@ FleetReport Kernel::run() {
       [this](uint32_t n, const std::function<void(uint32_t)>& fn) {
         pool_->run(n, fn);
       };
+  // Applies an already-performed re-randomization (p.try_rerandomize()
+  // returned true) to core `c`: cache invalidation, rewrite-cost stall,
+  // counters/histograms, and the epoch journal/trace events. Shared by
+  // the slice-boundary path below and the leak-triggered firing at a
+  // serving tenant's halt boundary.
+  const auto fire_rerand = [this](uint32_t c, Process& p) {
+    const RerandomizePolicy& rp = p.config().rerandomize;
+    const RerandWork& work = p.last_rerand_work();
+    if (rp.epoch_tags) {
+      // Epoch-tagged invalidation: warm DRC/bitmap state survives the
+      // swap; stale lines revalidate lazily against the patched
+      // tables on their next lookup, and the decode cache promotes
+      // clean entries across the generation bump.
+      ctx_[c]->rerandomize_current(p.randomization().vcfr.tables, true);
+    } else {
+      // Epoch bump: every cached translation of the old placement is
+      // dead (§V-C). ContextManager records the flush; the pipeline
+      // re-installs over the fresh walker at the next dispatch (the
+      // installed (pid, epoch) pair no longer matches).
+      const uint64_t drc_before = ctx_[c]->stats().entries_flushed;
+      const uint64_t bmp_before =
+          ctx_[c]->stats().bitmap_entries_flushed;
+      ctx_[c]->rerandomize_current(p.randomization().vcfr.tables);
+      p.stats().drc_entries_flushed +=
+          ctx_[c]->stats().entries_flushed - drc_before;
+      p.stats().bitmap_entries_flushed +=
+          ctx_[c]->stats().bitmap_entries_flushed - bmp_before;
+    }
+    // The rewrite itself stalls the victim core in proportion to the
+    // entries it patched — the lever that makes an incremental
+    // rebuild cheaper than a full one. 0 (default) keeps the legacy
+    // free-rerand timing bit-exactly.
+    const uint64_t cost = config_.rerand_cost_per_entry * work.entries;
+    if (cost != 0) {
+      cores_[c]->stall(cost);
+      if (profiling_) {
+        profilers_[p.pid()]->add_external(profile::Cause::kContextSwitch,
+                                          cost);
+      }
+      if (service_ != nullptr && p.request_active()) {
+        p.add_request_run(cost);
+      }
+    }
+    rerand_regions_total_ += work.regions;
+    rerand_entries_total_ += work.entries;
+    if (rerand_latency_hist_ != nullptr) {
+      rerand_latency_hist_->record(cost);
+      rerand_regions_hist_->record(work.regions);
+      rerand_entries_hist_->record(work.entries);
+    }
+    if (work.forced) {
+      ++rerand_forced_;
+      if (journal_ != nullptr) {
+        journal_->log({cores_[c]->cycles(),
+                       telemetry::JournalKind::kRerandForced, p.pid(),
+                       journal_req(p), rp.max_defer, {}});
+      }
+    }
+    if (!lanes_.empty() && lanes_[c] != nullptr) {
+      lanes_[c]->instant(telemetry::TraceEventType::kRerandEpoch,
+                         p.pid(), cores_[c]->cycles(), work.regions);
+    }
+    if (journal_ != nullptr) {
+      journal_->log({cores_[c]->cycles(),
+                     telemetry::JournalKind::kRerandEpoch, p.pid(),
+                     journal_req(p), work.regions, {}});
+    }
+  };
 
   while (sched_.any_runnable() || !pending_restarts_.empty() ||
          (service_ != nullptr && service_->active())) {
@@ -687,6 +789,42 @@ FleetReport Kernel::run() {
                              p.injector()->record().address);
         }
       }
+      // Taint sinks that fired during the slice surface here, in the
+      // serial phase: attribute each leak to the in-flight request,
+      // stamp the lane and journal with full provenance, and (under
+      // --rerand-on-leak) treat the exfiltration as an attack signal
+      // for the moving-target path — same scope semantics as on_trap.
+      if (p.config().taint) {
+        for (const emu::LeakRecord& leak : p.emulator().drain_leaks()) {
+          ++leaks_detected_;
+          if (leak_depth_hist_ != nullptr) {
+            leak_depth_hist_->record(leak.depth);
+          }
+          if (p.request_active()) p.note_request_leak(leak.depth);
+          if (!lanes_.empty() && lanes_[c] != nullptr) {
+            lanes_[c]->instant(telemetry::TraceEventType::kLeak, p.pid(),
+                               cores_[c]->cycles(), leak.depth);
+          }
+          if (journal_ != nullptr) {
+            journal_->log({cores_[c]->cycles(),
+                           telemetry::JournalKind::kLeak, p.pid(),
+                           journal_req(p), leak.depth,
+                           leak_detail(leak)});
+          }
+          const RerandomizePolicy& leak_rp = p.config().rerandomize;
+          if (leak_rp.on_leak && !p.rerand_pending()) {
+            ++leak_rerands_;
+            p.schedule_rerand(true);
+            if (leak_rp.scope == RerandomizePolicy::Scope::kFleet) {
+              for (const auto& other : procs_) {
+                if (other->pid() != p.pid() && !other->finished()) {
+                  other->schedule_rerand(false);
+                }
+              }
+            }
+          }
+        }
+      }
       const auto& emu = p.emulator();
       fault::ExitStatus exit;
       if (emu.faulted()) {
@@ -723,6 +861,16 @@ FleetReport Kernel::run() {
         }
       } else if (emu.halted()) {
         if (service_ != nullptr) {
+          // Leak-triggered re-randomization fires at the victim's halt
+          // boundary — the request just finished, so the fresh placement
+          // lands before the tenant rearms for its next request ("re-key
+          // within one round") and the swap cannot invalidate an
+          // in-flight rearm payload. Gated on on_leak so the on_trap /
+          // periodic paths keep their existing slice-boundary timing.
+          if (p.config().rerandomize.on_leak && p.rerand_pending() &&
+              p.try_rerandomize()) {
+            fire_rerand(c, p);
+          }
           // A serving tenant's halt is a request boundary, not an exit:
           // the hook records the completion and either delivers the next
           // queued request (rearm happened inside on_halt) or parks the
@@ -768,68 +916,7 @@ FleetReport Kernel::run() {
       const bool rerand_due =
           (rp.every_slices != 0 && p.stats().slices % rp.every_slices == 0) ||
           p.rerand_pending();
-      if (rerand_due && p.try_rerandomize()) {
-        const RerandWork& work = p.last_rerand_work();
-        if (rp.epoch_tags) {
-          // Epoch-tagged invalidation: warm DRC/bitmap state survives the
-          // swap; stale lines revalidate lazily against the patched
-          // tables on their next lookup, and the decode cache promotes
-          // clean entries across the generation bump.
-          ctx_[c]->rerandomize_current(p.randomization().vcfr.tables, true);
-        } else {
-          // Epoch bump: every cached translation of the old placement is
-          // dead (§V-C). ContextManager records the flush; the pipeline
-          // re-installs over the fresh walker at the next dispatch (the
-          // installed (pid, epoch) pair no longer matches).
-          const uint64_t drc_before = ctx_[c]->stats().entries_flushed;
-          const uint64_t bmp_before =
-              ctx_[c]->stats().bitmap_entries_flushed;
-          ctx_[c]->rerandomize_current(p.randomization().vcfr.tables);
-          p.stats().drc_entries_flushed +=
-              ctx_[c]->stats().entries_flushed - drc_before;
-          p.stats().bitmap_entries_flushed +=
-              ctx_[c]->stats().bitmap_entries_flushed - bmp_before;
-        }
-        // The rewrite itself stalls the victim core in proportion to the
-        // entries it patched — the lever that makes an incremental
-        // rebuild cheaper than a full one. 0 (default) keeps the legacy
-        // free-rerand timing bit-exactly.
-        const uint64_t cost = config_.rerand_cost_per_entry * work.entries;
-        if (cost != 0) {
-          cores_[c]->stall(cost);
-          if (profiling_) {
-            profilers_[p.pid()]->add_external(profile::Cause::kContextSwitch,
-                                              cost);
-          }
-          if (service_ != nullptr && p.request_active()) {
-            p.add_request_run(cost);
-          }
-        }
-        rerand_regions_total_ += work.regions;
-        rerand_entries_total_ += work.entries;
-        if (rerand_latency_hist_ != nullptr) {
-          rerand_latency_hist_->record(cost);
-          rerand_regions_hist_->record(work.regions);
-          rerand_entries_hist_->record(work.entries);
-        }
-        if (work.forced) {
-          ++rerand_forced_;
-          if (journal_ != nullptr) {
-            journal_->log({cores_[c]->cycles(),
-                           telemetry::JournalKind::kRerandForced, p.pid(),
-                           journal_req(p), rp.max_defer, {}});
-          }
-        }
-        if (!lanes_.empty() && lanes_[c] != nullptr) {
-          lanes_[c]->instant(telemetry::TraceEventType::kRerandEpoch,
-                             p.pid(), cores_[c]->cycles(), work.regions);
-        }
-        if (journal_ != nullptr) {
-          journal_->log({cores_[c]->cycles(),
-                         telemetry::JournalKind::kRerandEpoch, p.pid(),
-                         journal_req(p), work.regions, {}});
-        }
-      }
+      if (rerand_due && p.try_rerandomize()) fire_rerand(c, p);
       sched_.requeue(c, p.pid());
     }
 

@@ -210,6 +210,11 @@ class Kernel {
   /// Forced-quiescence re-randomizations (deferral cap expired and the
   /// placement swap proceeded around pinned registers; kernel.rerand.forced).
   [[nodiscard]] uint64_t rerand_forced() const { return rerand_forced_; }
+  /// Taint-sink firings drained from tainted tenants (fleet.leak.detected).
+  [[nodiscard]] uint64_t leaks_detected() const { return leaks_detected_; }
+  /// Re-randomizations scheduled because a leak fired (fleet.leak.rerands;
+  /// the victim only — fleet-scope co-tenant re-keys are not counted).
+  [[nodiscard]] uint64_t leak_rerands() const { return leak_rerands_; }
 
  private:
   /// A crashed (or, under kAlways, halted) process waiting out its
@@ -254,6 +259,10 @@ class Kernel {
   uint64_t restarts_ = 0;
   uint64_t watchdog_kills_ = 0;
   uint64_t rerand_forced_ = 0;
+  /// Leak observability (emu/taint.hpp): sink firings drained and the
+  /// re-rands they scheduled under RerandomizePolicy::on_leak.
+  uint64_t leaks_detected_ = 0;
+  uint64_t leak_rerands_ = 0;
   /// Total regions / entries live re-randomizations patched (fleet-wide;
   /// the per-firing distribution is in the rerand.* histograms).
   uint64_t rerand_regions_total_ = 0;
@@ -270,6 +279,9 @@ class Kernel {
   telemetry::Histogram* rerand_latency_hist_ = nullptr;
   telemetry::Histogram* rerand_regions_hist_ = nullptr;
   telemetry::Histogram* rerand_entries_hist_ = nullptr;
+  /// fleet.leak.depth — propagation depth of each drained leak (null
+  /// unless telemetry is attached and some process has taint armed).
+  telemetry::Histogram* leak_depth_hist_ = nullptr;
   /// Persistent workers, created lazily on the first round that has two
   /// or more active cores; also drives the commit phase's per-shard tag
   /// application. Replaces per-round thread spawn/join; see

@@ -25,9 +25,16 @@ Process::Process(uint32_t pid, const ProcessConfig& config)
   binary::load(rr_->vcfr, mem_);
   emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
   emu_->set_enforce_tags(config_.enforce_tags);
+  apply_taint_config();
   if (config_.inject_enabled) {
     injector_ = std::make_unique<fault::FaultInjector>(config_.inject);
   }
+}
+
+void Process::apply_taint_config() {
+  if (!config_.taint) return;
+  emu_->set_taint_tracking(true);
+  emu_->set_taint_epoch(epoch_);
 }
 
 rewriter::RandomizeOptions Process::options_for_epoch(uint64_t epoch) const {
@@ -91,6 +98,11 @@ bool Process::try_rerandomize() {
                               : rerandomize_full(pinned, force);
   if (!ok) return false;
   ++epoch_;
+  // Re-stamp the taint epoch so secrets seeded from here on carry the new
+  // placement's identity. The full path started a clean shadow state (the
+  // re-keyed layout has no old secrets); the incremental path keeps its
+  // taint — partially-moved layouts still leak partially-valid addresses.
+  if (config_.taint) emu_->set_taint_epoch(epoch_);
   ++stats_.rerandomizations;
   if (force) ++stats_.rerandomizations_forced;
   last_work_.forced = force;
@@ -125,6 +137,7 @@ bool Process::rerandomize_full(const std::vector<uint32_t>& pinned,
   emu::LiveRerandomizeStats st;
   emu_ = emu::rerandomize_live(*emu_, mem_, *rr_, *next, &st);
   emu_->set_enforce_tags(config_.enforce_tags);
+  apply_taint_config();
   rr_ = std::move(next);
   // The tables object was replaced — rebuild the walker over it.
   walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
@@ -150,7 +163,7 @@ bool Process::rerandomize_full(const std::vector<uint32_t>& pinned,
 }
 
 bool Process::rerandomize_incremental_step(
-    const std::vector<uint32_t>& pinned, bool force) {
+    const std::vector<uint32_t>& pinned, bool /*force*/) {
   if (cfg_ == nullptr) {
     cfg_ = std::make_unique<rewriter::Cfg>(rewriter::build_cfg(base_));
   }
@@ -216,6 +229,7 @@ void Process::restart() {
   binary::load(rr_->vcfr, mem_);
   emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
   emu_->set_enforce_tags(config_.enforce_tags);
+  apply_taint_config();
   if (bound_mem_ != nullptr) {
     walker_ = std::make_unique<core::TranslationWalker>(rr_->vcfr.tables,
                                                         *bound_mem_);
@@ -241,6 +255,7 @@ void Process::rearm(const std::vector<uint8_t>& payload,
   }
   emu_ = std::make_unique<emu::Emulator>(rr_->vcfr, mem_);
   emu_->set_enforce_tags(config_.enforce_tags);
+  apply_taint_config();
   finished_ = false;
   exit_status_ = fault::ExitStatus{};
   life_base_ = stats_.instructions;
@@ -302,6 +317,10 @@ void Process::save_state(binary::StateWriter& w) const {
   w.u32(trap_rerands_);
   w.u32(static_cast<uint32_t>(aliases_.size()));
   for (const uint32_t a : aliases_) w.u32(a);
+  // Leak attribution for an in-flight request (appended; the emulator's
+  // own taint shadow state rides inside emu_->save_state above).
+  w.u64(req_leaks_);
+  w.u32(req_leak_depth_);
 }
 
 void Process::load_state(binary::StateReader& r) {
@@ -359,6 +378,8 @@ void Process::load_state(binary::StateReader& r) {
   aliases_.clear();
   const uint32_t aliases = r.count(1u << 20);
   for (uint32_t i = 0; i < aliases; ++i) aliases_.push_back(r.u32());
+  req_leaks_ = r.u64();
+  req_leak_depth_ = r.u32();
   // Incremental epochs diverge from what randomize(epoch seed) would
   // produce, so the re-derived placement is wrong whenever incremental
   // re-randomization ran. The serialized tables are the ground truth —

@@ -63,6 +63,13 @@ struct RerandomizePolicy {
   /// victim's next life/slice.
   bool on_trap = false;
 
+  /// Re-rand-on-leak: a taint sink firing (a randomized-layout secret
+  /// reached program output — the disclosure that precedes a
+  /// derandomization attack) schedules a fresh placement exactly as a
+  /// trap does, re-keying the disclosed layout before it can be used.
+  /// Requires taint tracking (ProcessConfig.taint); scope is honored.
+  bool on_leak = false;
+
   /// Who re-randomizes when a trap fires.
   enum class Scope : uint8_t {
     kProc = 0,   // the victim only
@@ -122,6 +129,10 @@ struct ProcessConfig {
   /// instructions of the first life).
   fault::FaultPlan inject{};
   bool inject_enabled = false;
+  /// Address-taint tracking (emu/taint.hpp): observer-neutral shadow
+  /// state over every emulator this process creates; leaks surface
+  /// through the kernel's per-pass drain. Off by default (zero cost).
+  bool taint = false;
 };
 
 struct ProcessStats {
@@ -251,6 +262,8 @@ class Process {
     req_id_ = id;
     req_run_cycles_ = 0;
     req_commit_cycles_ = 0;
+    req_leaks_ = 0;
+    req_leak_depth_ = 0;
   }
   void end_request() { req_active_ = false; }
   [[nodiscard]] bool request_active() const { return req_active_; }
@@ -261,6 +274,15 @@ class Process {
   }
   void add_request_run(uint64_t cycles) { req_run_cycles_ += cycles; }
   void add_request_commit(uint64_t cycles) { req_commit_cycles_ += cycles; }
+  /// Leak attribution: the kernel calls this per drained leak record while
+  /// a request is in flight, so the serve CSV can name the request that
+  /// disclosed the layout.
+  void note_request_leak(uint32_t depth) {
+    ++req_leaks_;
+    if (depth > req_leak_depth_) req_leak_depth_ = depth;
+  }
+  [[nodiscard]] uint64_t request_leaks() const { return req_leaks_; }
+  [[nodiscard]] uint32_t request_leak_depth() const { return req_leak_depth_; }
 
   // ---- fault injection (config.inject) -----------------------------------
   [[nodiscard]] const fault::FaultInjector* injector() const {
@@ -303,6 +325,10 @@ class Process {
  private:
   [[nodiscard]] rewriter::RandomizeOptions options_for_epoch(
       uint64_t epoch) const;
+  /// Applies config_.taint to the current emulator (every construction
+  /// site calls this; a full re-randomization starts the new emulator's
+  /// shadow state clean — the re-keyed placement has no old secrets).
+  void apply_taint_config();
   bool rerandomize_full(const std::vector<uint32_t>& pinned, bool force);
   bool rerandomize_incremental_step(const std::vector<uint32_t>& pinned,
                                     bool force);
@@ -330,6 +356,8 @@ class Process {
   uint64_t req_id_ = 0;
   uint64_t req_run_cycles_ = 0;
   uint64_t req_commit_cycles_ = 0;
+  uint64_t req_leaks_ = 0;
+  uint32_t req_leak_depth_ = 0;
   std::unique_ptr<fault::FaultInjector> injector_;
   ProcessStats stats_;
   // Continuous re-randomization state.

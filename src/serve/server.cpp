@@ -32,7 +32,9 @@ class ServeDriver : public os::ServiceHook {
       t.pid = pid;
       t.core = static_cast<uint32_t>(p.core());
       t.workload = p.config().workload;
-      t.is_server = t.workload == "server";
+      // "leaky" is the over-reading sibling of the §V-A handler: same
+      // request framing / @request mailbox, so it joins the served set.
+      t.is_server = t.workload == "server" || t.workload == "leaky";
       LoadGenConfig lg;
       lg.dist = config.dist;
       lg.mean = config.mean_interarrival;
@@ -272,6 +274,10 @@ class ServeDriver : public os::ServiceHook {
                                static_cast<double>(latencies.size());
       tr.slo_windows = t.slo_windows;
       tr.slo_breaches = t.slo_breaches;
+      for (const RequestRecord& r : t.records) {
+        tr.leaks += r.leaks;
+        tr.leak_depth_max = std::max(tr.leak_depth_max, r.leak_depth);
+      }
       tr.records = t.records;
       if (t.down) ++out.tenants_down;
       all_latencies.insert(all_latencies.end(), latencies.begin(),
@@ -419,6 +425,8 @@ class ServeDriver : public os::ServiceHook {
   void finish_record(Tenant& t, os::Process& p, RequestRecord& r) {
     r.run_cycles = p.request_run_cycles();
     r.commit_stall_cycles = p.request_commit_cycles();
+    r.leaks = p.request_leaks();
+    r.leak_depth = p.request_leak_depth();
     r.restart_loss_cycles = down_overlap(t, r.arrival, r.completion);
     const uint64_t latency = r.completion - r.arrival;
     const uint64_t accounted =
@@ -519,6 +527,7 @@ ServeReport run_serve(const ServeConfig& config,
     pc.restart = config.restart;
     pc.rerandomize = config.rerandomize;
     pc.watchdog_instructions = config.watchdog_instructions;
+    pc.taint = config.taint;
     for (const auto& [pid, plan] : config.injections) {
       if (pid == i) {
         pc.inject = plan;
@@ -535,6 +544,11 @@ ServeReport run_serve(const ServeConfig& config,
   ServeReport report;
   report.rounds = fr.rounds;
   report.fleet_cycles = fr.fleet_cycles;
+  if (config.taint) {
+    report.taint_enabled = true;
+    report.leaks = kernel.leaks_detected();
+    report.leak_rerands = kernel.leak_rerands();
+  }
   driver.fill_report(report);
   return report;
 }
@@ -567,6 +581,14 @@ std::string ServeReport::to_json() const {
     w.key("violated").value(slo_violated);
     w.end_object();
   }
+  if (taint_enabled) {
+    // Present only when taint tracking was on, so untainted runs (and the
+    // committed BENCH_serve.json) render byte-identically.
+    w.key("taint").begin_object();
+    w.key("leaks").value(leaks);
+    w.key("leak_rerands").value(leak_rerands);
+    w.end_object();
+  }
   w.key("tenants").begin_array(JsonWriter::Style::kPretty);
   for (const TenantReport& t : tenants) {
     w.begin_object();
@@ -589,6 +611,10 @@ std::string ServeReport::to_json() const {
       w.key("slo_windows").value(t.slo_windows);
       w.key("slo_breaches").value(t.slo_breaches);
     }
+    if (taint_enabled) {
+      w.key("leaks").value(t.leaks);
+      w.key("leak_depth_max").value(t.leak_depth_max);
+    }
     w.end_object();
   }
   w.end_array();
@@ -599,7 +625,11 @@ std::string ServeReport::to_json() const {
 std::string ServeReport::latency_csv() const {
   std::string csv =
       "tenant,request,arrival,dispatch,completion,latency,wait,"
-      "queue,run,restart_loss,commit_stall,instructions,status\n";
+      "queue,run,restart_loss,commit_stall,instructions,status";
+  // Leak columns appear only under --taint, keeping untainted CSVs (and
+  // every consumer keyed on the legacy header) byte-identical.
+  if (taint_enabled) csv += ",leaks,leak_depth";
+  csv += '\n';
   for (const TenantReport& t : tenants) {
     // Records are appended in completion order; the contract is
     // (tenant, request id) order.
@@ -634,6 +664,12 @@ std::string ServeReport::latency_csv() const {
       csv += std::to_string(r.instructions);
       csv += ',';
       csv += r.failed ? "failed" : "ok";
+      if (taint_enabled) {
+        csv += ',';
+        csv += std::to_string(r.leaks);
+        csv += ',';
+        csv += std::to_string(r.leak_depth);
+      }
       csv += '\n';
     }
   }
@@ -661,6 +697,14 @@ std::string ServeReport::summary() const {
          " windows breached (burn rate " +
          telemetry::json_double(slo_burn_rate) + ", window " +
          std::to_string(slo_window) + " cycles)\n";
+  }
+  if (taint_enabled) {
+    s += "  taint: " + std::to_string(leaks) + " leak(s) detected";
+    if (leak_rerands != 0) {
+      s += ", " + std::to_string(leak_rerands) +
+           " leak-triggered re-randomization(s)";
+    }
+    s += "\n";
   }
   for (const TenantReport& t : tenants) {
     s += "  pid " + std::to_string(t.pid) + " (" + t.workload + ", core " +

@@ -53,6 +53,11 @@ struct ServeConfig {
   /// Victim-core stall cycles per patched entry (os::KernelConfig knob);
   /// 0 keeps the legacy free-rerand timing model.
   uint64_t rerand_cost_per_entry = 0;
+  /// Shadow taint tracking on every tenant (--taint): leaks of
+  /// randomized-layout secrets are detected, attributed to the in-flight
+  /// request, and journaled with provenance. Off keeps legacy serving
+  /// byte-identical (report/CSV render no taint fields).
+  bool taint = false;
   /// Armed corruptions, per tenant pid (same shape as `vcfr fleet`).
   std::vector<std::pair<uint32_t, fault::FaultPlan>> injections;
   // ---- rolling-window SLO monitor (0 = off) ------------------------------
@@ -86,6 +91,10 @@ struct RequestRecord {
   uint64_t run_cycles = 0;           // slices + dispatch overhead
   uint64_t restart_loss_cycles = 0;  // crash->restart downtime overlap
   uint64_t commit_stall_cycles = 0;  // shared-L2 round-commit penalties
+  // Taint-sink firings attributed to this request (ServeConfig.taint
+  // only; both stay 0 otherwise).
+  uint64_t leaks = 0;
+  uint32_t leak_depth = 0;  // deepest propagation chain among them
 };
 
 struct TenantReport {
@@ -110,6 +119,9 @@ struct TenantReport {
   /// SLO windows evaluated / breached for this tenant (0 when no SLO set).
   uint64_t slo_windows = 0;
   uint64_t slo_breaches = 0;
+  /// Request-attributed taint-sink firings (ServeConfig.taint only).
+  uint64_t leaks = 0;
+  uint32_t leak_depth_max = 0;
   std::vector<RequestRecord> records;
 };
 
@@ -138,6 +150,14 @@ struct ServeReport {
   uint64_t slo_overall = 0;
   /// slo_overall > slo_threshold — gates `vcfr serve` exit status (2).
   bool slo_violated = false;
+
+  // ---- leak telemetry (rendered only when ServeConfig.taint was set, so
+  // an untainted run's JSON/CSV — BENCH_serve.json — is byte-unchanged) --
+  bool taint_enabled = false;
+  /// Kernel-wide sink firings (includes boot-life leaks outside requests).
+  uint64_t leaks = 0;
+  /// Fresh placements scheduled by --rerand-on-leak.
+  uint64_t leak_rerands = 0;
 
   std::vector<TenantReport> tenants;
 

@@ -26,6 +26,8 @@ const char* journal_kind_name(JournalKind kind) {
       return "restore";
     case JournalKind::kRerandForced:
       return "rerand_forced";
+    case JournalKind::kLeak:
+      return "leak";
   }
   return "?";
 }

@@ -31,6 +31,9 @@ enum class JournalKind : uint8_t {
   kRerandForced, // forced-quiescence re-rand: the deferral cap expired and
                  // the kernel re-randomized around pinned registers via
                  // alias translation entries (arg = deferral streak broken)
+  kLeak,         // taint sink fired: a randomized-layout secret reached
+                 // program output (arg = propagation depth; detail =
+                 // origin/rpc/epoch/sink provenance)
 };
 
 [[nodiscard]] const char* journal_kind_name(JournalKind kind);

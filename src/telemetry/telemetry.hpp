@@ -45,6 +45,12 @@ class Telemetry {
     }
     if (config.journal) {
       journal_ = std::make_unique<Journal>(config.journal_capacity);
+      // Overflow visibility, mirroring telemetry.trace.dropped: the ring
+      // silently evicting its oldest entries is exactly the failure mode
+      // a post-mortem must know about.
+      const Journal* j = journal_.get();
+      registry_.root().scope("telemetry").scope("journal").counter_fn(
+          "dropped", [j] { return j->dropped(); });
     }
     sampler_.set_interval(config.sample_interval);
   }

@@ -49,6 +49,8 @@ const char* trace_event_name(TraceEventType type) {
     case TraceEventType::kReqFlowStep:
     case TraceEventType::kReqFlowEnd:
       return "req";
+    case TraceEventType::kLeak:
+      return "leak";
   }
   return "?";
 }
@@ -80,6 +82,8 @@ const char* trace_event_category(TraceEventType type) {
     case TraceEventType::kReqFlowStep:
     case TraceEventType::kReqFlowEnd:
       return "serve";
+    case TraceEventType::kLeak:
+      return "emu";
   }
   return "?";
 }

@@ -62,6 +62,7 @@ enum class TraceEventType : uint8_t {
   kReqFlowStart,
   kReqFlowStep,
   kReqFlowEnd,
+  kLeak,  // taint sink fired on this lane (instant; arg = leak depth)
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEventType type);

@@ -34,6 +34,7 @@ binary::Image make(std::string_view name, int scale) {
   if (name == "memcpy") return make_memcpy(scale);
   if (name == "python") return make_python(scale);
   if (name == "server") return make_server(scale);  // §V-A request handler
+  if (name == "leaky") return make_leaky_server(scale);  // over-reading sibling
   throw std::invalid_argument("unknown workload: " + std::string(name));
 }
 

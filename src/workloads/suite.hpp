@@ -42,8 +42,10 @@ binary::Image make_python(int scale);    // python  — Fig 2 interpreter
 
 /// Builds a workload by name. Besides the SPEC-like applications above,
 /// "server" resolves to the §V-A vulnerable request handler
-/// (workloads/wl_server.hpp) used by the serving subsystem. Throws
-/// std::invalid_argument for unknown names.
+/// (workloads/wl_server.hpp) used by the serving subsystem, and "leaky"
+/// to its Heartbleed-style over-reading sibling (the planted address
+/// leak the taint tracker detects). Throws std::invalid_argument for
+/// unknown names.
 [[nodiscard]] binary::Image make(std::string_view name, int scale = 1);
 
 }  // namespace vcfr::workloads

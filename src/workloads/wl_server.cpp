@@ -97,4 +97,77 @@ std::vector<uint8_t> build_exploit_request(uint32_t pop_gadget,
   return frame_request(body);
 }
 
+// The leak-prone sibling (Heartbleed-style): identical framing and stack
+// buffer, but instead of checksumming, the handler echoes body[0] bytes
+// of the stack buffer back to the client with no bounds check on the
+// *read*. buf lives at sp..sp+63 and the saved return address at sp+64,
+// so a response length > 64 discloses the (randomized, bitmap-marked)
+// return address byte by byte.
+const char* leaky_server_source() {
+  return R"(
+  .name leaky-server
+  .entry main
+  .data 0x10000000
+  request:
+    .space 128
+  .text
+  .func main
+  main:
+    call handle_request
+    mov r0, 1
+    out r0             ; "request served" status
+    halt
+  .func handle_request
+  handle_request:
+    sub sp, 64         ; char buf[64]
+    mov r1, @request
+    ldb r2, [r1]       ; n = request[0]
+    ldb r7, [r1+1]     ; resp_len = body[0]  (attacker controlled!)
+    mov r3, 0
+  copy:
+    cmp r3, r2
+    jae copied
+    add r1, 1
+    ldb r4, [r1]
+    mov r5, sp
+    add r5, r3
+    stb r4, [r5]       ; buf[i] = request[1+i]
+    add r3, 1
+    jmp copy
+  copied:
+    mov r3, 0
+  echo:
+    cmp r3, r7
+    jae done
+    mov r5, sp
+    add r5, r3
+    ldb r4, [r5]       ; over-reads past buf when resp_len > 64
+    out r4             ; echoes raw stack bytes -- no bounds check
+    add r3, 1
+    jmp echo
+  done:
+    add sp, 64
+    ret
+  .func rt_restore     ; varargs/argument restore helper: pop r0; ret
+  rt_restore:
+    pop r0
+    ret
+  .func rt_write       ; write() syscall stub: sys 1; ret
+  rt_write:
+    sys 1
+    ret
+)";
+}
+
+binary::Image make_leaky_server(int scale) {
+  (void)scale;  // same program at every scale; work comes from the request
+  return isa::assemble(leaky_server_source());
+}
+
+std::vector<uint8_t> build_leak_request(uint32_t resp_len) {
+  if (resp_len > 255) resp_len = 255;
+  // One-byte body: the requested echo length.
+  return frame_request({static_cast<uint8_t>(resp_len)});
+}
+
 }  // namespace vcfr::workloads

@@ -56,4 +56,24 @@ inline constexpr uint32_t kServerRequestCapacity = 128;
 [[nodiscard]] std::vector<uint8_t> build_exploit_request(uint32_t pop_gadget,
                                                          uint32_t sys_gadget);
 
+/// The VX assembly source of the *leaky* server variant: same wire format
+/// and stack buffer as server_source(), but the handler echoes
+/// `body[0]` bytes of its stack buffer back via `out` — a Heartbleed-style
+/// over-READ. A response length > kServerBufferBytes walks past the
+/// buffer into the saved (randomized, bitmap-marked) return address and
+/// discloses it byte by byte: the canonical derandomization-attack
+/// precursor that the taint tracker (docs/OBSERVABILITY.md) exists to
+/// observe. On a native layout the same over-read silently echoes an
+/// original-space address — no secret, no leak.
+[[nodiscard]] const char* leaky_server_source();
+
+/// Assembles the leaky server (workload name "leaky"; scale ignored as
+/// for make_server).
+[[nodiscard]] binary::Image make_leaky_server(int scale = 0);
+
+/// Builds a leaky-server request asking for `resp_len` echoed bytes
+/// (already framed). resp_len > kServerBufferBytes over-reads into the
+/// saved return address.
+[[nodiscard]] std::vector<uint8_t> build_leak_request(uint32_t resp_len);
+
 }  // namespace vcfr::workloads

@@ -527,5 +527,28 @@ TEST(TelemetryDeterminismTest, SameSeedFleetsExportIdenticalBytes) {
   EXPECT_NE(a.trace, c.trace) << "different seed changes the trace";
 }
 
+// ---- journal capacity (--journal-capacity) ----
+
+TEST(TelemetryTest, JournalCapacityBoundsRingAndCountsDrops) {
+  TelemetryConfig tc;
+  tc.journal = true;
+  tc.journal_capacity = 4;
+  Telemetry tel(tc);
+  Journal* j = tel.journal();
+  ASSERT_NE(j, nullptr);
+  for (uint64_t i = 0; i < 10; ++i) {
+    j->log({i, JournalKind::kSpawn, static_cast<uint32_t>(i), -1, 0, ""});
+  }
+  const auto kept = j->entries();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().cycle, 6u) << "oldest entries dropped first";
+  EXPECT_EQ(j->dropped(), 6u);
+  // The drop total is exported as telemetry.journal.dropped so an
+  // truncated post-mortem is visible in the stats snapshot.
+  EXPECT_NE(tel.registry().to_json().find(
+                "\"telemetry.journal.dropped\": 6"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace vcfr::telemetry

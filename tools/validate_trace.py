@@ -15,7 +15,15 @@ With --csv LATENCY.CSV, also audits the per-request critical-path
 conservation invariant from `vcfr serve --latency-out`:
   queue + run + restart_loss + commit_stall == latency   (every row).
 
+Leak instants (--taint runs) are validated wherever they appear: every
+"leak" event must be an instant on a core lane with a positive depth.
+With --journal JOURNAL.JSONL, the trace's leak instants are also
+cross-referenced against the flight recorder's "leak" entries — same
+count, same depth multiset — so a firing can't be traced but not
+journaled (or vice versa).
+
 Usage: validate_trace.py TRACE.JSON [--csv LATENCY.CSV]
+                                    [--journal JOURNAL.JSONL]
 """
 
 import csv
@@ -43,10 +51,14 @@ def validate_trace(path, errors):
 
     last_ts = {}  # pid -> last seen ts
     flows = {}  # flow id -> {"s": n, "t": n, "f": n, "s_ts": ts, "f_ts": ts}
+    lane_names = {}  # pid -> process_name metadata
+    leak_depths = []  # args.v of every "leak" instant, in order
     n_real = 0
     for i, e in enumerate(events):
         ph = e.get("ph")
         if ph == "M":  # metadata carries no timestamp semantics
+            if e.get("name") == "process_name":
+                lane_names[e.get("pid")] = e.get("args", {}).get("name", "")
             continue
         n_real += 1
         pid, ts = e.get("pid"), e.get("ts")
@@ -60,6 +72,20 @@ def validate_trace(path, errors):
                 f"{last_ts[pid]} -> {ts}",
             )
         last_ts[pid] = ts
+        if e.get("name") == "leak":
+            # A taint-sink firing: instant phase, core lane, sane depth.
+            if ph != "i":
+                fail(errors, f"{path}: leak event {i} has phase {ph!r} "
+                             f"(want instant 'i')")
+            depth = e.get("args", {}).get("v")
+            if not isinstance(depth, int) or depth < 1:
+                fail(errors, f"{path}: leak event {i} has depth {depth!r} "
+                             f"(want >= 1)")
+            lane = lane_names.get(pid, "")
+            if lane and not lane.startswith("core"):
+                fail(errors, f"{path}: leak event {i} sits on lane "
+                             f"{lane!r} (want a core lane)")
+            leak_depths.append(depth)
         if ph in ("s", "t", "f"):
             fid = e.get("id")
             if fid is None:
@@ -88,8 +114,45 @@ def validate_trace(path, errors):
 
     print(
         f"{path}: {n_real} events across {len(last_ts)} lanes, "
-        f"{len(flows)} request flows"
+        f"{len(flows)} request flows, {len(leak_depths)} leak instants"
     )
+    return leak_depths
+
+
+def validate_journal(path, trace_leak_depths, errors):
+    """Cross-references flight-recorder "leak" entries with the trace."""
+    journal_depths = []
+    with open(path, "r", encoding="utf-8") as f:
+        for n, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(errors, f"{path}: line {n + 1} is not JSON: {e}")
+                continue
+            if entry.get("kind") != "leak":
+                continue
+            depth = entry.get("arg")
+            if not isinstance(depth, int) or depth < 1:
+                fail(errors, f"{path}: leak entry line {n + 1} has depth "
+                             f"{depth!r} (want >= 1)")
+            detail = entry.get("detail", "")
+            if "origin=" not in detail or "sink=" not in detail:
+                fail(errors, f"{path}: leak entry line {n + 1} lacks "
+                             f"provenance detail: {detail!r}")
+            journal_depths.append(depth)
+    if trace_leak_depths is not None:
+        if len(journal_depths) != len(trace_leak_depths):
+            fail(errors,
+                 f"{path}: {len(journal_depths)} journaled leaks vs "
+                 f"{len(trace_leak_depths)} trace leak instants")
+        elif sorted(journal_depths) != sorted(trace_leak_depths):
+            fail(errors, f"{path}: journaled leak depths disagree with the "
+                         f"trace's leak instants")
+    print(f"{path}: {len(journal_depths)} journaled leaks, trace agrees"
+          if not errors else f"{path}: {len(journal_depths)} journaled leaks")
 
 
 def validate_csv(path, errors):
@@ -120,17 +183,26 @@ def main(argv):
         return 2
     trace_path = argv[1]
     csv_path = None
+    journal_path = None
     if "--csv" in argv:
         i = argv.index("--csv")
         if i + 1 >= len(argv):
             print("--csv needs a path", file=sys.stderr)
             return 2
         csv_path = argv[i + 1]
+    if "--journal" in argv:
+        i = argv.index("--journal")
+        if i + 1 >= len(argv):
+            print("--journal needs a path", file=sys.stderr)
+            return 2
+        journal_path = argv[i + 1]
 
     errors = []
-    validate_trace(trace_path, errors)
+    leak_depths = validate_trace(trace_path, errors)
     if csv_path:
         validate_csv(csv_path, errors)
+    if journal_path:
+        validate_journal(journal_path, leak_depths, errors)
     if errors:
         print(f"{len(errors)} validation failures", file=sys.stderr)
         return 1

@@ -42,6 +42,7 @@
 #include "telemetry/json_writer.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workloads/suite.hpp"
+#include "workloads/wl_server.hpp"
 
 namespace {
 
@@ -79,6 +80,7 @@ telemetry::TelemetryConfig telemetry_config(const Args& args) {
   if (args.trace_capacity > 0) tc.trace_lane_capacity = args.trace_capacity;
   tc.sample_interval = args.sample_interval;
   tc.journal = !args.journal_out.empty();
+  if (args.journal_capacity > 0) tc.journal_capacity = args.journal_capacity;
   return tc;
 }
 
@@ -117,6 +119,12 @@ void export_telemetry(const Args& args, telemetry::Telemetry& tel) {
     std::fprintf(stderr, "journal: %s (%zu entries, %llu dropped)\n",
                  args.journal_out.c_str(), tel.journal()->entries().size(),
                  static_cast<unsigned long long>(tel.journal()->dropped()));
+    if (tel.journal()->dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: journal dropped %llu entries; the export holds "
+                   "only the most recent window (raise --journal-capacity)\n",
+                   static_cast<unsigned long long>(tel.journal()->dropped()));
+    }
   }
   if (args.sample_interval > 0) {
     const bool as_json =
@@ -255,7 +263,7 @@ int cmd_randomize(const Args& args) {
 
 int cmd_run(const Args& args) {
   const auto image = binary::load_file(require_input(args));
-  if (!telemetry_requested(args) && args.profile_out.empty()) {
+  if (!telemetry_requested(args) && args.profile_out.empty() && !args.taint) {
     emu::RunLimits limits;
     limits.max_instructions = args.max_instr;
     limits.enforce_tags = args.enforce_tags;
@@ -278,6 +286,7 @@ int cmd_run(const Args& args) {
   binary::load(image, mem);
   emu::Emulator emulator(image, mem);
   if (args.enforce_tags) emulator.set_enforce_tags(true);
+  if (args.taint) emulator.set_taint_tracking(true);
   std::optional<profile::Profiler> prof;
   if (!args.profile_out.empty()) {
     prof.emplace(image);
@@ -293,6 +302,14 @@ int cmd_run(const Args& args) {
   scope.counter("rand_events", &st.rand_events);
   scope.counter("bitmap_autoderand_loads", &st.bitmap_autoderand_loads);
   scope.counter("tag_violations", &st.tag_violations);
+  if (args.taint) {
+    const emu::TaintStats& ts = emulator.taint_stats();
+    const telemetry::Scope taint = scope.scope("taint");
+    taint.counter("sources", &ts.sources);
+    taint.counter("propagations", &ts.propagations);
+    taint.counter("leaks", &ts.leaks);
+    taint.counter("max_depth", &ts.max_depth);
+  }
   // Host-side decoded-instruction cache (deterministic for a given run,
   // but about how the host executed the model, not what the model did).
   const emu::DecodeCacheStats& dc = emulator.decode_cache_stats();
@@ -307,6 +324,7 @@ int cmd_run(const Args& args) {
                                                      : image.name);
   }
   emu::StepInfo info;
+  size_t leaks_seen = 0;
   while (st.instructions < args.max_instr) {
     if (!emulator.step(&info)) break;
     const uint64_t n = st.instructions;  // index of the retired instruction
@@ -322,11 +340,33 @@ int cmd_run(const Args& args) {
         lane->instant(telemetry::TraceEventType::kBitmapLoad, 0, n,
                       info.mem_addr);
       }
+      while (leaks_seen < emulator.leaks().size()) {
+        lane->instant(telemetry::TraceEventType::kLeak, 0, n,
+                      emulator.leaks()[leaks_seen].depth);
+        ++leaks_seen;
+      }
     }
     tel.sampler().poll(n);
     if (emulator.halted()) break;
   }
   for (uint32_t v : emulator.output()) rprintf("out: %u (0x%x)\n", v, v);
+  if (args.taint) {
+    const emu::TaintStats& ts = emulator.taint_stats();
+    rprintf("taint: %llu source(s), %llu propagation(s), %llu leak(s), "
+            "max depth %llu\n",
+            static_cast<unsigned long long>(ts.sources),
+            static_cast<unsigned long long>(ts.propagations),
+            static_cast<unsigned long long>(ts.leaks),
+            static_cast<unsigned long long>(ts.max_depth));
+    for (const emu::LeakRecord& l : emulator.leaks()) {
+      rprintf("leak: origin=%s rpc=0x%x epoch=%llu depth=%u sink=%s "
+              "at instruction %llu\n",
+              emu::taint_origin_name(l.origin), l.origin_rpc,
+              static_cast<unsigned long long>(l.epoch), l.depth,
+              emu::leak_sink_name(l.sink),
+              static_cast<unsigned long long>(l.instruction));
+    }
+  }
   const std::string& err = emulator.error();
   rprintf("%s after %llu instructions",
               emulator.halted() ? "halted" : (err.empty() ? "limit" : "FAULT"),
@@ -478,6 +518,7 @@ os::RerandomizePolicy parse_rerand_policy(const cli::Args& args) {
     rp.epoch_tags = true;
   }
   rp.on_trap = args.rerand_on_trap;
+  rp.on_leak = args.rerand_on_leak;
   if (args.rerand_scope == "fleet") {
     rp.scope = os::RerandomizePolicy::Scope::kFleet;
   }
@@ -610,6 +651,7 @@ int cmd_fleet(const Args& args) {
     pc.rerandomize = parse_rerand_policy(args);
     pc.restart = restart;
     pc.watchdog_instructions = args.watchdog;
+    pc.taint = args.taint;
     if (inject && inject->pid == i) {
       pc.inject = inject->plan;
       pc.inject_enabled = true;
@@ -633,6 +675,13 @@ int cmd_fleet(const Args& args) {
   }
 
   const os::FleetReport report = kernel.run();
+  if (args.taint) {
+    std::fprintf(stderr,
+                 "taint: %llu leak(s) detected, %llu leak-triggered "
+                 "re-randomization(s)\n",
+                 static_cast<unsigned long long>(kernel.leaks_detected()),
+                 static_cast<unsigned long long>(kernel.leak_rerands()));
+  }
   if (tel) export_telemetry(args, *tel);
   if (!args.profile_out.empty()) {
     // One profile per tenant; shared-L2 contention appears in each
@@ -707,6 +756,7 @@ int cmd_serve(const Args& args) {
   sc.restart.max_restarts = args.max_restarts;
   sc.restart.backoff_rounds = args.backoff;
   sc.rerandomize = parse_rerand_policy(args);
+  sc.taint = args.taint;
   if (!args.inject.empty()) {
     const InjectSpec spec = parse_inject(args.inject);
     if (spec.pid >= sc.tenants) {
@@ -768,6 +818,7 @@ struct ReqRow {
   uint64_t run = 0;
   uint64_t restart_loss = 0;
   uint64_t commit_stall = 0;
+  uint64_t leaks = 0;  // taint-sink firings (0 unless a --taint CSV)
   bool failed = false;
 };
 
@@ -827,6 +878,8 @@ int cmd_trace_report(const Args& args) {
     r.restart_loss = std::stoull(cell("restart_loss"));
     r.commit_stall = std::stoull(cell("commit_stall"));
     r.failed = cell("status") != "ok";
+    // Leak columns exist only in --taint CSVs; absent means zero.
+    if (col.count("leaks") != 0) r.leaks = std::stoull(cell("leaks"));
     rows.push_back(r);
   }
   if (rows.empty()) throw std::runtime_error(path + ": no request rows");
@@ -963,12 +1016,255 @@ int cmd_trace_report(const Args& args) {
     if (starts != ends) ++violations;
   }
 
+  if (!args.journal_in.empty()) {
+    // Leak forensics from the flight recorder: per-tenant counts, the
+    // deepest propagation chain, and the sink kinds that fired. The
+    // exporter renders fixed `"key": value` spellings, so a substring
+    // scan is exact (same convention as the flow cross-check above).
+    std::ifstream jin(args.journal_in);
+    if (!jin) throw std::runtime_error("cannot open " + args.journal_in);
+    struct LeakAgg {
+      uint64_t count = 0;
+      uint64_t attributed = 0;  // entries carrying a "req" field
+      uint64_t max_depth = 0;
+      std::set<std::string> sinks;
+    };
+    std::map<uint32_t, LeakAgg> by_pid;
+    const auto field_u64 = [](const std::string& line,
+                              const char* key) -> std::optional<uint64_t> {
+      const std::string pat = std::string("\"") + key + "\": ";
+      const size_t pos = line.find(pat);
+      if (pos == std::string::npos) return std::nullopt;
+      return std::stoull(line.substr(pos + pat.size()));
+    };
+    std::string jline;
+    while (std::getline(jin, jline)) {
+      if (jline.find("\"kind\": \"leak\"") == std::string::npos) continue;
+      const auto pid = field_u64(jline, "pid");
+      const auto depth = field_u64(jline, "arg");
+      if (!pid || !depth) continue;
+      LeakAgg& a = by_pid[static_cast<uint32_t>(*pid)];
+      ++a.count;
+      if (field_u64(jline, "req")) ++a.attributed;
+      a.max_depth = std::max(a.max_depth, *depth);
+      const size_t spos = jline.find("sink=");
+      if (spos != std::string::npos) {
+        size_t end = spos + 5;
+        while (end < jline.size() && jline[end] != '"' && jline[end] != ' ') {
+          ++end;
+        }
+        a.sinks.insert(jline.substr(spos + 5, end - spos - 5));
+      }
+    }
+    rprintf("\nleak forensics (%s):\n", args.journal_in.c_str());
+    if (by_pid.empty()) {
+      rprintf("  no leak entries\n");
+    } else {
+      rprintf("%-7s %8s %11s %10s  %s\n", "tenant", "leaks", "attributed",
+              "max_depth", "sinks");
+      for (const auto& [pid, a] : by_pid) {
+        std::string sinks;
+        for (const std::string& s : a.sinks) {
+          if (!sinks.empty()) sinks += ",";
+          sinks += s;
+        }
+        rprintf("%-7u %8llu %11llu %10llu  %s\n", pid,
+                static_cast<unsigned long long>(a.count),
+                static_cast<unsigned long long>(a.attributed),
+                static_cast<unsigned long long>(a.max_depth), sinks.c_str());
+      }
+    }
+    // Cross-check: the CSV's per-tenant leak totals must equal the
+    // journal's request-attributed leak entries — a mismatch means one
+    // of the two observability paths lost or fabricated events.
+    std::map<uint32_t, uint64_t> csv_leaks;
+    for (const ReqRow& r : rows) csv_leaks[r.tenant] += r.leaks;
+    std::set<uint32_t> pids;
+    for (const auto& [pid, a] : by_pid) {
+      if (a.attributed > 0) pids.insert(pid);
+    }
+    for (const auto& [pid, n] : csv_leaks) {
+      if (n > 0) pids.insert(pid);
+    }
+    uint64_t mismatches = 0;
+    for (const uint32_t pid : pids) {
+      const auto jit = by_pid.find(pid);
+      const uint64_t jn = jit == by_pid.end() ? 0 : jit->second.attributed;
+      const auto cit = csv_leaks.find(pid);
+      const uint64_t cn = cit == csv_leaks.end() ? 0 : cit->second;
+      if (jn != cn) {
+        rprintf("LEAK CROSS-CHECK MISMATCH tenant %u: journal has %llu "
+                "request-attributed leak entries, CSV reports %llu\n",
+                pid, static_cast<unsigned long long>(jn),
+                static_cast<unsigned long long>(cn));
+        ++mismatches;
+      }
+    }
+    if (mismatches == 0) {
+      rprintf("  leak cross-check: journal matches CSV\n");
+    }
+    violations += mismatches;
+  }
+
   if (violations > 0) {
     rprintf("\n%llu conservation/flow violations\n",
             static_cast<unsigned long long>(violations));
     return 1;
   }
   return 0;
+}
+
+// ---- leaks: the leak-observability gate ----
+
+int cmd_leaks(const Args& args) {
+  // Three arms, all with taint tracking on and the same over-reading
+  // request (resp_len = 68 echoes the 64-byte stack buffer plus the 4
+  // saved-return bytes above it):
+  //   native — the original layout; no randomized secret ever enters the
+  //            handler's frame, so the sink must stay silent,
+  //   vcfr   — seed-randomized siblings; the sink must fire with full
+  //            provenance (randomized return address, out sink),
+  //   serve  — leaky tenants under --rerand-on-leak; the leaking tenant
+  //            must be re-keyed at its next request boundary.
+  constexpr uint32_t kRespLen = 68;
+  const binary::Image original = workloads::make_leaky_server();
+
+  struct Arm {
+    bool halted = false;
+    uint64_t sources = 0;
+    uint64_t leaks = 0;
+    uint64_t max_depth = 0;
+    std::vector<emu::LeakRecord> records;
+  };
+  const auto run_arm = [&](const binary::Image& image) {
+    binary::Memory mem;
+    binary::load(image, mem);
+    const std::vector<uint8_t> req = workloads::build_leak_request(kRespLen);
+    for (size_t i = 0; i < req.size(); ++i) {
+      mem.write8(workloads::kServerRequestBase + static_cast<uint32_t>(i),
+                 req[i]);
+    }
+    emu::Emulator emulator(image, mem);
+    emulator.set_taint_tracking(true);
+    uint64_t steps = 0;
+    while (steps < 2'000'000 && emulator.step()) {
+      ++steps;
+      if (emulator.halted()) break;
+    }
+    Arm a;
+    a.halted = emulator.halted();
+    a.sources = emulator.taint_stats().sources;
+    a.leaks = emulator.taint_stats().leaks;
+    a.max_depth = emulator.taint_stats().max_depth;
+    a.records = emulator.leaks();
+    return a;
+  };
+
+  const Arm native = run_arm(original);
+  bool pass = native.halted && native.leaks == 0;
+
+  struct Trial {
+    uint64_t seed = 0;
+    Arm arm;
+  };
+  std::vector<Trial> trials;
+  for (uint32_t t = 0; t < args.trials; ++t) {
+    rewriter::RandomizeOptions opts;
+    opts.seed = args.seed + t;
+    const auto rr = rewriter::randomize(original, opts);
+    Trial tr;
+    tr.seed = opts.seed;
+    tr.arm = run_arm(rr.vcfr);
+    bool ok = tr.arm.halted && tr.arm.leaks > 0 && !tr.arm.records.empty();
+    for (const emu::LeakRecord& l : tr.arm.records) {
+      // Every planted leak discloses the pushed (randomized) return
+      // address through the echo loop's `out`.
+      if (l.origin != emu::TaintOrigin::kRetPush) ok = false;
+      if (l.sink != emu::LeakSink::kOut) ok = false;
+    }
+    pass = pass && ok;
+    trials.push_back(std::move(tr));
+  }
+
+  // Serve arm: open-loop leaky tenants; ~3 of 4 generated bodies request
+  // an over-read, so leaks arrive quickly and --rerand-on-leak must have
+  // re-keyed at least one victim.
+  serve::ServeConfig sc;
+  sc.tenants = 2;
+  sc.cores = 1;
+  sc.duration = 60'000;
+  sc.model = serve::ArrivalModel::kOpen;
+  sc.dist = serve::Distribution::kFixed;
+  sc.mean_interarrival = 4'000;
+  sc.workloads = {"leaky"};
+  sc.seed = args.seed;
+  sc.taint = true;
+  sc.rerandomize.on_leak = true;
+  const serve::ServeReport sr = serve::run_serve(sc);
+  const bool serve_ok =
+      sr.leaks > 0 && sr.leak_rerands > 0 && sr.tenants_down == 0;
+  pass = pass && serve_ok;
+
+  telemetry::JsonWriter w;
+  w.begin_object(telemetry::JsonWriter::Style::kPretty);
+  w.key("request_resp_len").value(kRespLen);
+  w.key("native").begin_object();
+  w.key("halted").value(native.halted);
+  w.key("taint_sources").value(native.sources);
+  w.key("leaks").value(native.leaks);
+  w.key("silent").value(native.leaks == 0);
+  w.end_object();
+  w.key("vcfr").begin_array(telemetry::JsonWriter::Style::kPretty);
+  for (const Trial& tr : trials) {
+    const Arm& a = tr.arm;
+    w.begin_object(telemetry::JsonWriter::Style::kCompact);
+    w.key("seed").value(tr.seed);
+    w.key("halted").value(a.halted);
+    w.key("taint_sources").value(a.sources);
+    w.key("leaks").value(a.leaks);
+    w.key("max_depth").value(a.max_depth);
+    if (!a.records.empty()) {
+      w.key("origin")
+          .value(std::string(emu::taint_origin_name(a.records[0].origin)));
+      w.key("sink")
+          .value(std::string(emu::leak_sink_name(a.records[0].sink)));
+      w.key("origin_rpc").value(a.records[0].origin_rpc);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rerand_on_leak").begin_object();
+  w.key("leaks").value(sr.leaks);
+  w.key("leak_rerands").value(sr.leak_rerands);
+  w.key("rekeyed").value(sr.leak_rerands > 0);
+  w.end_object();
+  w.key("pass").value(pass);
+  w.end_object();
+  const std::string json = w.str() + "\n";
+
+  uint64_t detected = 0;
+  for (const Trial& tr : trials) detected += tr.arm.leaks > 0 ? 1 : 0;
+  const std::string s =
+      "leaks: native " +
+      std::string(native.leaks == 0 ? "silent" : "LEAKED") +
+      ", vcfr detected " + std::to_string(detected) + "/" +
+      std::to_string(trials.size()) + " trial(s), rerand-on-leak " +
+      (sr.leak_rerands > 0 ? "re-keyed" : "DID NOT re-key") + " (" +
+      std::to_string(sr.leaks) + " serve leak(s), " +
+      std::to_string(sr.leak_rerands) + " re-rand(s)) -> " +
+      (pass ? "PASS" : "FAIL") + "\n";
+
+  if (!args.output.empty()) {
+    write_file(args.output, json);
+    std::fputs(s.c_str(), g_report);
+    std::fprintf(stderr, "report: %s\n", args.output.c_str());
+  } else if (args.json) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::fputs(s.c_str(), g_report);
+    std::fputs(json.c_str(), g_report);
+  }
+  return pass ? 0 : 1;
 }
 
 int cmd_prof(const Args& args) {
@@ -1217,6 +1513,7 @@ int main(int argc, char** argv) {
     if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "trace-report") return cmd_trace_report(args);
+    if (cmd == "leaks") return cmd_leaks(args);
     if (cmd == "prof") return cmd_prof(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage();
